@@ -1,0 +1,37 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark runs one experiment (E1–E10) at paper scale, asserts the
+paper's claim on the result, and writes the regenerated table to
+``benchmarks/results/<experiment>.txt`` so the artefacts survive
+pytest's output capture.  The pytest-benchmark summary (in
+``bench_output.txt`` when teed) carries the wall-clock costs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir):
+    """Write an ExperimentResult table to the results directory (and
+    echo it, visible with ``pytest -s``)."""
+
+    def _emit(result, *, float_digits: int = 2) -> str:
+        table = result.table(float_digits=float_digits)
+        path = results_dir / f"{result.experiment.lower().replace(' ', '_')}.txt"
+        path.write_text(table + "\n", encoding="utf-8")
+        print(f"\n{table}\n[written to {path}]")
+        return table
+
+    return _emit

@@ -1,0 +1,24 @@
+"""Benchmark E1 — Theorem 1: SMM stabilizes within n + 1 rounds.
+
+Regenerates the full convergence table (families × sizes × initial
+modes, plus exhaustive tiny graphs) and asserts the bound everywhere.
+"""
+
+from repro.experiments import e1_smm_convergence
+
+
+def run_experiment():
+    return e1_smm_convergence.run(
+        families=("cycle", "path", "star", "complete", "tree", "grid", "er-sparse", "udg"),
+        sizes=(4, 8, 16, 32, 64),
+        trials=15,
+        seed=101,
+    )
+
+
+def test_bench_e1_smm_convergence(benchmark, emit):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(result)
+    assert result.rows
+    assert all(row["within_bound"] == 1.0 for row in result.rows)
+    assert all(row["rounds_max"] <= row["bound"] for row in result.rows)

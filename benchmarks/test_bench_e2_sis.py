@@ -1,0 +1,34 @@
+"""Benchmark E2 — Theorem 2: SIS stabilizes in O(n) rounds onto the
+unique greedy fixpoint; plus the Θ(n) worst-case cascade series."""
+
+from repro.experiments import e2_sis_convergence
+
+
+def run_sweep():
+    return e2_sis_convergence.run(
+        families=("cycle", "path", "star", "complete", "tree", "grid", "er-sparse", "udg"),
+        sizes=(4, 8, 16, 32, 64),
+        trials=15,
+        seed=102,
+    )
+
+
+def run_series():
+    return e2_sis_convergence.run_worst_case_series(
+        sizes=(8, 16, 32, 64, 128, 256)
+    )
+
+
+def test_bench_e2_sis_convergence(benchmark, emit):
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit(result)
+    assert all(row["within_bound"] == 1.0 for row in result.rows)
+    assert all(row["greedy_fixpoint"] for row in result.rows)
+
+
+def test_bench_e2_sis_worst_case_series(benchmark, emit):
+    result = benchmark.pedantic(run_series, rounds=1, iterations=1)
+    emit(result)
+    ratios = [row["rounds_over_n"] for row in result.rows]
+    # linear shape: rounds/n bounded and roughly constant
+    assert all(0.8 <= r <= 1.0 for r in ratios)

@@ -1,0 +1,23 @@
+"""Benchmark E3 — Figures 2–3 / Lemmas 1–7: the node-type transition
+diagram, observed empirically with arrow counts."""
+
+from repro.experiments import e3_transitions
+from repro.matching.classification import ALLOWED_TRANSITIONS
+
+
+def run_experiment():
+    return e3_transitions.run(
+        families=("cycle", "path", "complete", "tree", "er-sparse", "udg"),
+        sizes=(4, 8, 16, 32),
+        trials=25,
+        seed=103,
+    )
+
+
+def test_bench_e3_transition_diagram(benchmark, emit):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(result)
+    # every observed arrow is one of Fig. 3's ten
+    assert all(row["in_figure_3"] for row in result.rows)
+    # the sweep is rich enough to exercise the whole diagram
+    assert len(result.rows) == len(ALLOWED_TRANSITIONS)

@@ -1,0 +1,24 @@
+"""Benchmark E4 — Section 3's remark: the min-id choice in R2 is
+necessary (clockwise livelock vs min-id vs randomized, on even cycles)."""
+
+from repro.experiments import e4_counterexample
+
+
+def run_experiment():
+    return e4_counterexample.run(
+        cycle_sizes=(4, 8, 12, 16, 24),
+        livelock_rounds=500,
+        randomized_trials=25,
+        seed=104,
+    )
+
+
+def test_bench_e4_counterexample(benchmark, emit):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(result)
+    clockwise = [r for r in result.rows if r["variant"] == "arbitrary(clockwise)"]
+    minid = [r for r in result.rows if r["variant"] == "min-id (SMM)"]
+    randomized = [r for r in result.rows if r["variant"] == "randomized"]
+    assert all(not r["stabilized"] and r["livelock_period"] == 2 for r in clockwise)
+    assert all(r["stabilized"] and r["rounds"] <= r["bound"] for r in minid)
+    assert all(r["stabilized"] for r in randomized)

@@ -1,0 +1,30 @@
+"""Benchmark E5 — Section 3's claim: the synchronized Hsu–Huang
+baseline "is not as fast" as SMM (rounds head-to-head, plus native
+central-daemon move counts)."""
+
+from repro.experiments import e5_baseline
+
+
+def run_experiment():
+    return e5_baseline.run(
+        families=("cycle", "path", "tree", "er-sparse", "udg"),
+        sizes=(8, 16, 32, 64),
+        trials=8,
+        seed=105,
+    )
+
+
+def test_bench_e5_baseline_comparison(benchmark, emit):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(result)
+    # the paper's qualitative claim: refined Hsu-Huang never beats SMM
+    assert all(row["slowdown_id"] >= 1.0 for row in result.rows)
+    # and the gap widens with n within each family
+    by_family = {}
+    for row in result.rows:
+        by_family.setdefault(row["family"], []).append(row)
+    for rows in by_family.values():
+        rows.sort(key=lambda r: r["n"])
+        assert rows[-1]["hh_id_rounds"] > rows[0]["hh_id_rounds"]
+    # central-daemon moves stay far under the O(n^3) envelope
+    assert all(row["hh_central_moves"] <= row["moves_bound"] for row in result.rows)

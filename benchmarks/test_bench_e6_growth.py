@@ -1,0 +1,20 @@
+"""Benchmark E6 — Lemmas 1, 9, 10: monotone matching growth at two
+matched nodes per two active rounds."""
+
+from repro.experiments import e6_growth
+
+
+def run_experiment():
+    return e6_growth.run(
+        families=("cycle", "path", "complete", "tree", "er-sparse", "udg"),
+        sizes=(4, 8, 16, 32),
+        trials=20,
+        seed=106,
+    )
+
+
+def test_bench_e6_matching_growth(benchmark, emit):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(result)
+    assert all(row["lemma1_violations"] == 0 for row in result.rows)
+    assert all(row["lemma10_violations"] == 0 for row in result.rows)

@@ -1,0 +1,32 @@
+"""Benchmark E7 — fault tolerance: re-stabilization cost after link
+churn, vs recomputing from scratch."""
+
+from repro.experiments import e7_churn
+
+
+def run_experiment():
+    return e7_churn.run(
+        families=("tree", "er-sparse", "udg"),
+        sizes=(16, 32, 64),
+        churn_levels=(1, 2, 4, 8),
+        trials=8,
+        seed=107,
+    )
+
+
+def test_bench_e7_topology_churn(benchmark, emit):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(result)
+    # aggregate claim: recovery is cheaper than fresh computation and
+    # touches a minority of nodes for small churn
+    rec = sum(row["recovery_rounds"] for row in result.rows)
+    fresh = sum(row["fresh_rounds"] for row in result.rows)
+    assert rec < fresh
+    small = [row for row in result.rows if row["churn"] == 1]
+    assert all(row["touched_frac"] < 0.5 for row in small)
+    # containment sanity: repair activity never crosses components
+    # (radius < n) and single-link faults stay local
+    assert all(
+        row["radius_max"] is None or row["radius_max"] < row["n"]
+        for row in result.rows
+    )

@@ -1,0 +1,32 @@
+"""Benchmark E8 — the beacon substrate: static beacon-time vs
+synchronous rounds, and predicate availability under mobility."""
+
+from repro.experiments import e8_adhoc
+
+
+def run_static():
+    return e8_adhoc.run_static(sizes=(10, 20, 40), trials=4, seed=108)
+
+
+def run_mobile():
+    return e8_adhoc.run_mobile(
+        n=20, speeds=(0.0, 0.01, 0.03, 0.06), horizon=150.0, seed=109
+    )
+
+
+def test_bench_e8_static_beacon_rounds(benchmark, emit):
+    result = benchmark.pedantic(run_static, rounds=1, iterations=1)
+    emit(result)
+    assert all(row["stabilized"] for row in result.rows)
+    for row in result.rows:
+        # beacon time within a small factor of the synchronous rounds
+        assert row["beacon_rounds"] <= 4 * max(row["sync_rounds"], 1) + 6
+
+
+def test_bench_e8_mobility_availability(benchmark, emit):
+    result = benchmark.pedantic(run_mobile, rounds=1, iterations=1)
+    emit(result)
+    assert all(0.0 <= row["availability"] <= 1.0 for row in result.rows)
+    # static deployments keep the predicate near-continuously available
+    static = [row for row in result.rows if row["speed"] == 0.0]
+    assert all(row["availability"] > 0.7 for row in static)

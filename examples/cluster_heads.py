@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Cluster-head election with Algorithm SIS.
+
+The classical application of a maximal independent set in ad hoc
+networks: the in-set nodes act as *cluster heads*.  Independence means
+no two heads interfere; maximality means every host has a head within
+one hop (an MIS is a dominating set) — together, a 1-hop clustering.
+
+The script elects heads on a unit-disk deployment, prints the clusters,
+then kills a head (models a drained battery: the node's state is
+corrupted to 'not a head') and shows the protocol healing the
+clustering locally, in a handful of rounds.
+
+Run:  python examples/cluster_heads.py
+"""
+
+from repro import SynchronousMaximalIndependentSet, random_geometric_graph, run_synchronous
+from repro.mis.verify import independent_set_of, verify_execution
+
+
+def clusters_of(graph, heads):
+    """Assign every host to its lowest-id adjacent head."""
+    out = {h: [h] for h in sorted(heads)}
+    for node in graph.nodes:
+        if node in heads:
+            continue
+        head = min(h for h in graph.neighbors(node) if h in heads)
+        out[head].append(node)
+    return out
+
+
+def show(graph, heads, title):
+    print(title)
+    for head, members in clusters_of(graph, heads).items():
+        others = [m for m in members if m != head]
+        print(f"  head {head:>2}: members {others}")
+    print()
+
+
+def main() -> None:
+    graph = random_geometric_graph(25, 0.35, rng=11)
+    sis = SynchronousMaximalIndependentSet()
+
+    # 1. initial election from the clean (all-out) state
+    execution = run_synchronous(sis, graph)
+    heads = verify_execution(graph, execution, expect_greedy=True)
+    print(
+        f"network: {graph.n} hosts, {graph.m} links; elected "
+        f"{len(heads)} cluster heads in {execution.rounds} rounds\n"
+    )
+    show(graph, heads, "initial clustering:")
+
+    # 2. a head dies: its membership bit is wiped (transient fault)
+    victim = max(heads)
+    faulty = execution.final.updated({victim: 0})
+    print(f"head {victim} fails (state corrupted to 0) — re-running...\n")
+
+    # 3. self-stabilization heals the clustering
+    recovery = run_synchronous(sis, graph, faulty)
+    healed = verify_execution(graph, recovery, expect_greedy=True)
+    moved = recovery.moved_nodes()
+    print(
+        f"healed in {recovery.rounds} rounds; only {len(moved)} hosts "
+        f"changed state: {sorted(moved)}"
+    )
+    show(graph, healed, "\nhealed clustering:")
+    assert healed == heads  # unique fixpoint: the same heads re-emerge
+    print(
+        "note: SIS's stable set is the unique greedy MIS, so after a "
+        "transient fault the *same* cluster heads re-emerge — handy for "
+        "stability of higher layers."
+    )
+
+
+if __name__ == "__main__":
+    main()

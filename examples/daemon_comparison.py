@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""One protocol, four execution models.
+
+Self-stabilization results are always relative to a *daemon*.  This
+example runs Algorithm SIS on the same graph from the same corrupted
+configuration under:
+
+* the **synchronous** daemon (the paper's beacon-round model),
+* a **central** daemon (one move at a time, random scheduler),
+* a randomized **distributed** daemon (random subsets move),
+* the **beacon simulator** (real jittered, lossy beacons).
+
+All four converge to the *same* maximal independent set — SIS's stable
+configuration is a unique fixpoint, so the daemon affects only the
+journey, never the destination.  The printed trace of the synchronous
+run shows the id-cascade at work.
+
+Run:  python examples/daemon_comparison.py
+"""
+
+import numpy as np
+
+from repro import (
+    SynchronousMaximalIndependentSet,
+    run_central,
+    run_distributed,
+    run_synchronous,
+)
+from repro.adhoc import StaticPlacement, run_until_stable
+from repro.analysis.tables import render_table
+from repro.analysis.traces import format_execution
+from repro.core.faults import random_configuration
+from repro.graphs.generators import random_geometric_graph
+from repro.mis.verify import independent_set_of
+
+
+def main() -> None:
+    radius = 0.42
+    graph, positions = random_geometric_graph(
+        14, radius, rng=8, return_positions=True
+    )
+    protocol = SynchronousMaximalIndependentSet()
+    corrupted = random_configuration(protocol, graph, rng=9)
+    print(f"network: {graph.n} nodes, {graph.m} links; corrupted start\n")
+
+    rows = []
+    finals = []
+
+    sync = run_synchronous(protocol, graph, corrupted, record_history=True)
+    rows.append({"daemon": "synchronous", "cost": f"{sync.rounds} rounds",
+                 "moves": sync.moves})
+    finals.append(independent_set_of(sync.final))
+
+    central = run_central(protocol, graph, corrupted, strategy="random", rng=1)
+    rows.append({"daemon": "central(random)", "cost": f"{central.moves} moves",
+                 "moves": central.moves})
+    finals.append(independent_set_of(central.final))
+
+    dist = run_distributed(protocol, graph, corrupted, rng=2,
+                           activation_probability=0.5)
+    rows.append({"daemon": "distributed(p=0.5)", "cost": f"{dist.rounds} steps",
+                 "moves": dist.moves})
+    finals.append(independent_set_of(dist.final))
+
+    beacons = run_until_stable(
+        protocol,
+        StaticPlacement(positions),
+        radius=radius,
+        rng=3,
+        loss=0.1,
+        initial_states=corrupted.as_dict(),
+    )
+    rows.append({
+        "daemon": "beacons(10% loss)",
+        "cost": f"{beacons.beacon_rounds:.1f} beacon intervals",
+        "moves": beacons.steps,
+    })
+    finals.append(independent_set_of(beacons.final))
+
+    print(render_table(["daemon", "cost", "moves"], rows,
+                       title="same start, four daemons:"))
+
+    assert all(f == finals[0] for f in finals)
+    print(f"\nall four landed on the SAME set: {sorted(finals[0])}")
+    print("(SIS's stable configuration is a unique fixpoint — the greedy "
+          "MIS by descending id)\n")
+
+    print("synchronous run, round by round:")
+    print(format_execution(graph, sync))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Fault-injection tour: state corruption, link churn, and the
+baseline comparison.
+
+Three vignettes on one network:
+
+1. **State corruption** — a stabilized maximal matching gets an
+   increasing fraction of nodes' pointers scrambled; recovery rounds
+   and the number of touched nodes grow with the blast radius
+   (containment).
+2. **Link churn** — links fail/appear (mobility); the matching is
+   migrated across the change and repaired in a couple of rounds,
+   versus recomputing from scratch.
+3. **Baseline** — the same recovery scenario on the synchronized
+   Hsu–Huang baseline, showing why the paper bothered designing SMM
+   ("the resulting protocol is not as fast").
+
+Run:  python examples/fault_injection.py
+"""
+
+from repro import (
+    HsuHuangMatching,
+    SynchronousMaximalMatching,
+    erdos_renyi_graph,
+    run_synchronized_central,
+    run_synchronous,
+)
+from repro.analysis.tables import render_table
+from repro.core.faults import (
+    migrate_configuration,
+    perturb_configuration,
+    random_configuration,
+)
+from repro.graphs.mutations import apply_churn
+from repro.matching.verify import verify_execution
+
+
+def main() -> None:
+    graph = erdos_renyi_graph(40, 0.1, rng=21)
+    smm = SynchronousMaximalMatching()
+    print(f"network: {graph.n} nodes, {graph.m} links\n")
+
+    # establish the matching once
+    base = run_synchronous(smm, graph)
+    verify_execution(graph, base)
+    print(f"initial stabilization: {base.rounds} rounds\n")
+
+    # ------------------------------------------------------------------
+    # 1. state corruption sweep
+    # ------------------------------------------------------------------
+    rows = []
+    for fraction in (0.05, 0.1, 0.25, 0.5, 1.0):
+        corrupted = perturb_configuration(
+            smm, graph, base.final, fraction=fraction, rng=3
+        )
+        recovery = run_synchronous(smm, graph, corrupted)
+        verify_execution(graph, recovery)
+        rows.append(
+            {
+                "corrupted_frac": fraction,
+                "recovery_rounds": recovery.rounds,
+                "touched_nodes": len(recovery.moved_nodes()),
+                "bound": graph.n + 1,
+            }
+        )
+    print(render_table(
+        ["corrupted_frac", "recovery_rounds", "touched_nodes", "bound"],
+        rows,
+        title="1) recovery from state corruption (SMM)",
+    ))
+
+    # ------------------------------------------------------------------
+    # 2. link churn
+    # ------------------------------------------------------------------
+    rows = []
+    for k in (1, 2, 4, 8):
+        new_graph, _ = apply_churn(graph, k, rng=k)
+        migrated = migrate_configuration(smm, graph, new_graph, base.final)
+        recovery = run_synchronous(smm, new_graph, migrated)
+        verify_execution(new_graph, recovery)
+        fresh = run_synchronous(
+            smm, new_graph, random_configuration(smm, new_graph, rng=k + 50)
+        )
+        rows.append(
+            {
+                "link_changes": k,
+                "recovery_rounds": recovery.rounds,
+                "fresh_rounds": fresh.rounds,
+                "touched_nodes": len(recovery.moved_nodes()),
+            }
+        )
+    print("\n" + render_table(
+        ["link_changes", "recovery_rounds", "fresh_rounds", "touched_nodes"],
+        rows,
+        title="2) recovery after link churn vs fresh start (SMM)",
+    ))
+
+    # ------------------------------------------------------------------
+    # 3. the baseline on the same corruption scenario
+    # ------------------------------------------------------------------
+    hh = HsuHuangMatching()
+    corrupted = perturb_configuration(smm, graph, base.final, fraction=0.5, rng=9)
+    smm_rec = run_synchronous(smm, graph, corrupted)
+    hh_rec = run_synchronized_central(
+        hh, graph, corrupted, priority="id", count_beacon_rounds=True
+    )
+    verify_execution(graph, smm_rec)
+    verify_execution(graph, hh_rec)
+    print(
+        f"\n3) same 50% corruption: SMM recovers in {smm_rec.rounds} "
+        f"rounds, synchronized Hsu-Huang needs {hh_rec.rounds} beacon "
+        f"rounds ({hh_rec.rounds / max(smm_rec.rounds, 1):.1f}x slower)"
+    )
+
+
+if __name__ == "__main__":
+    main()

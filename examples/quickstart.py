@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: run both published protocols on a small network.
+
+Builds a random multi-hop topology, scrambles every node's local state
+(the self-stabilization starting point: *any* configuration), runs
+Algorithm SMM (maximal matching) and Algorithm SIS (maximal independent
+set) under the paper's synchronous daemon, and verifies the results
+against the paper's bounds.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    SynchronousMaximalIndependentSet,
+    SynchronousMaximalMatching,
+    erdos_renyi_graph,
+    run_synchronous,
+)
+from repro.core.faults import random_configuration
+from repro.matching.verify import matching_of, verify_execution as verify_matching
+from repro.mis.verify import independent_set_of, verify_execution as verify_mis
+
+
+def main() -> None:
+    graph = erdos_renyi_graph(24, 0.15, rng=42)
+    print(f"network: {graph.n} nodes, {graph.m} links\n")
+
+    # ------------------------------------------------------------------
+    # Algorithm SMM: maximal matching in <= n+1 rounds (Theorem 1)
+    # ------------------------------------------------------------------
+    smm = SynchronousMaximalMatching()
+    start = random_configuration(smm, graph, rng=7)
+    execution = run_synchronous(smm, graph, start)
+    matching = verify_matching(graph, execution)
+
+    print("Algorithm SMM (maximal matching)")
+    print(f"  stabilized in {execution.rounds} rounds "
+          f"(Theorem 1 bound: {graph.n + 1})")
+    print(f"  rule firings: {execution.moves_by_rule}")
+    print(f"  matching ({len(matching)} edges): {sorted(matching)}\n")
+
+    # ------------------------------------------------------------------
+    # Algorithm SIS: maximal independent set in <= n rounds (Theorem 2)
+    # ------------------------------------------------------------------
+    sis = SynchronousMaximalIndependentSet()
+    start = random_configuration(sis, graph, rng=8)
+    execution = run_synchronous(sis, graph, start)
+    in_set = verify_mis(graph, execution, expect_greedy=True)
+
+    print("Algorithm SIS (maximal independent set)")
+    print(f"  stabilized in {execution.rounds} rounds "
+          f"(Theorem 2 bound: {graph.n})")
+    print(f"  independent set ({len(in_set)} nodes): {sorted(in_set)}")
+    print("  (this is the unique fixpoint: the greedy MIS by descending id)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: lets ``pip install -e . --no-use-pep517`` work in offline
+environments lacking the ``wheel`` package (metadata lives in
+``pyproject.toml``)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,96 @@
+"""repro — Self-stabilizing maximal matching and maximal independent
+set protocols for ad hoc networks.
+
+A full reproduction of Goddard, Hedetniemi, Jacobs & Srimani,
+*"Self-Stabilizing Protocols for Maximal Matching and Maximal
+Independent Sets for Ad Hoc Networks"* (IPDPS 2003): the two published
+protocols (Algorithm SMM and Algorithm SIS), the synchronous beacon
+execution model they are analysed in, the Hsu–Huang central-daemon
+baseline and its synchronous refinement, and an experiment harness that
+re-derives every theorem, lemma, figure and claim of the paper
+empirically.
+
+Quick start::
+
+    from repro import (
+        SynchronousMaximalMatching, run_synchronous, erdos_renyi_graph,
+    )
+    from repro.core.faults import random_configuration
+
+    graph = erdos_renyi_graph(32, 0.15, rng=1)
+    protocol = SynchronousMaximalMatching()
+    start = random_configuration(protocol, graph, rng=2)
+    execution = run_synchronous(protocol, graph, start)
+    assert execution.stabilized and execution.rounds <= graph.n + 1
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.core import (
+    Configuration,
+    Execution,
+    Protocol,
+    Rule,
+    View,
+    run_central,
+    run_distributed,
+    run_synchronized_central,
+    run_synchronous,
+)
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    random_geometric_graph,
+    random_tree,
+    star_graph,
+)
+from repro.matching import (
+    ArbitraryChoiceSMM,
+    HsuHuangMatching,
+    RandomizedSMM,
+    SynchronousMaximalMatching,
+)
+from repro.mis import (
+    CentralDaemonMIS,
+    LubyStyleMIS,
+    SynchronousMaximalIndependentSet,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # engine
+    "Configuration",
+    "Execution",
+    "Protocol",
+    "Rule",
+    "View",
+    "run_synchronous",
+    "run_central",
+    "run_distributed",
+    "run_synchronized_central",
+    # graphs
+    "Graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_graph",
+    "random_tree",
+    "erdos_renyi_graph",
+    "random_geometric_graph",
+    # protocols
+    "SynchronousMaximalMatching",
+    "ArbitraryChoiceSMM",
+    "RandomizedSMM",
+    "HsuHuangMatching",
+    "SynchronousMaximalIndependentSet",
+    "CentralDaemonMIS",
+    "LubyStyleMIS",
+]

@@ -1,0 +1,50 @@
+"""Ad hoc network substrate (paper Section 2).
+
+An event-driven simulator of the paper's system model:
+
+* every node broadcasts a **beacon** at intervals of ``t_b`` (with
+  optional jitter), carrying its protocol state piggybacked;
+* a node discovering a beacon from an unknown sender adds it to its
+  neighbour table; a neighbour silent for longer than the timeout is
+  evicted (the paper's per-link timers ``t_ij``);
+* a node takes a protocol step exactly when it has heard a beacon from
+  **every** current neighbour since its last step — the paper's
+  definition of a *round*;
+* hosts move according to a pluggable mobility model over the unit
+  square, with unit-disk radio connectivity, so links appear and
+  disappear as the paper's fault model prescribes.
+
+High-level entry points live in :mod:`repro.adhoc.runner`:
+:func:`~repro.adhoc.runner.run_until_stable` for static topologies and
+:func:`~repro.adhoc.runner.run_with_mobility` for the full dynamic
+scenario with predicate-availability metrics.
+"""
+
+from repro.adhoc.messages import Beacon
+from repro.adhoc.mobility import (
+    MobilityModel,
+    RandomWalk,
+    RandomWaypoint,
+    StaticPlacement,
+)
+from repro.adhoc.network import AdHocNetwork, SimNode
+from repro.adhoc.runner import (
+    AdHocResult,
+    MobilityResult,
+    run_until_stable,
+    run_with_mobility,
+)
+
+__all__ = [
+    "Beacon",
+    "MobilityModel",
+    "StaticPlacement",
+    "RandomWaypoint",
+    "RandomWalk",
+    "AdHocNetwork",
+    "SimNode",
+    "AdHocResult",
+    "MobilityResult",
+    "run_until_stable",
+    "run_with_mobility",
+]

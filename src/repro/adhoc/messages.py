@@ -1,0 +1,46 @@
+"""Beacon messages.
+
+"Mobile ad hoc networks use periodic beacon messages (also called keep
+alive messages) to inform their neighbors of their continued presence.
+[...] This beacon message provides an inexpensive way of periodically
+exchanging additional information between neighboring nodes."  (paper,
+Section 1)
+
+The additional information here is the sender's protocol state (the
+pointer variable for SMM, the membership bit for SIS) plus — for
+randomized protocols — the sender's current round variate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class Beacon:
+    """One broadcast beacon.
+
+    Attributes
+    ----------
+    sender:
+        Transmitting node id.
+    time:
+        Transmission timestamp (simulation seconds).
+    state:
+        The sender's protocol state at transmission time.
+    rand:
+        The sender's current uniform variate (used only by randomized
+        protocols; deterministic protocols carry and ignore it).
+    seq:
+        Per-sender sequence number — lets tests assert the FIFO property
+        of the logical links (Section 2 assumes bounded FIFO links).
+    """
+
+    sender: NodeId
+    time: float
+    state: Any
+    rand: float
+    seq: int

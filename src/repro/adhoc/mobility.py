@@ -1,0 +1,209 @@
+"""Mobility models over the unit square.
+
+The simulator asks a model one question: *where is node ``i`` at time
+``t``?*  Models answer lazily and deterministically for monotonically
+non-decreasing queries, extending each node's trajectory on demand from
+the model's own child RNG stream, so a simulation is reproducible from
+its seed regardless of event interleaving.
+
+Three classical models:
+
+* :class:`StaticPlacement` — fixed positions (the paper's analysis
+  setting: topology changes are *occasional*, so between changes the
+  network is static);
+* :class:`RandomWaypoint` — pick a uniform destination, travel at a
+  uniform speed, pause, repeat; the standard MANET evaluation model;
+* :class:`RandomWalk` — pick a heading and speed, walk for an
+  exponential holding time, reflect off the walls.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.rng import RngLike, ensure_rng
+from repro.types import NodeId
+
+
+class MobilityModel(ABC):
+    """Answers position queries for a fixed population of nodes."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise SimulationError("mobility model needs at least one node")
+        self.n = n
+
+    @abstractmethod
+    def position(self, node: NodeId, t: float) -> np.ndarray:
+        """Position of ``node`` (dense index ``0..n-1``) at time ``t``.
+
+        ``t`` must be non-negative; queries may go backwards in time
+        only within the already-materialized trajectory.
+        """
+
+    def positions(self, t: float) -> np.ndarray:
+        """All positions at time ``t`` as an ``(n, 2)`` array."""
+        return np.stack([self.position(i, t) for i in range(self.n)])
+
+
+class StaticPlacement(MobilityModel):
+    """Nodes never move.
+
+    Build from explicit coordinates or sample uniform positions with
+    :meth:`uniform`.
+    """
+
+    def __init__(self, coordinates: np.ndarray) -> None:
+        coords = np.asarray(coordinates, dtype=float)
+        if coords.ndim != 2 or coords.shape[1] != 2:
+            raise SimulationError("coordinates must be an (n, 2) array")
+        super().__init__(coords.shape[0])
+        self._coords = coords
+
+    @classmethod
+    def uniform(cls, n: int, rng: RngLike = None) -> "StaticPlacement":
+        return cls(ensure_rng(rng).random((n, 2)))
+
+    def position(self, node: NodeId, t: float) -> np.ndarray:
+        return self._coords[node]
+
+    def positions(self, t: float) -> np.ndarray:
+        return self._coords
+
+
+@dataclass
+class _Leg:
+    """One linear trajectory segment: at rest when start == end."""
+
+    t0: float
+    t1: float
+    p0: np.ndarray
+    p1: np.ndarray
+
+    def at(self, t: float) -> np.ndarray:
+        if self.t1 <= self.t0:
+            return self.p1
+        a = min(max((t - self.t0) / (self.t1 - self.t0), 0.0), 1.0)
+        return self.p0 + a * (self.p1 - self.p0)
+
+
+class _LegBasedModel(MobilityModel):
+    """Shared lazily-extended piecewise-linear trajectory machinery."""
+
+    def __init__(self, n: int, rng: RngLike) -> None:
+        super().__init__(n)
+        parent = ensure_rng(rng)
+        self._rngs = parent.spawn(n)
+        self._legs: List[List[_Leg]] = [[] for _ in range(n)]
+        for i in range(n):
+            p0 = self._rngs[i].random(2)
+            self._legs[i].append(self._first_leg(i, p0))
+
+    def _first_leg(self, node: NodeId, p0: np.ndarray) -> _Leg:
+        raise NotImplementedError
+
+    def _next_leg(self, node: NodeId, prev: _Leg) -> _Leg:
+        raise NotImplementedError
+
+    def position(self, node: NodeId, t: float) -> np.ndarray:
+        if t < 0:
+            raise SimulationError(f"negative time {t}")
+        legs = self._legs[node]
+        while legs[-1].t1 < t:
+            legs.append(self._next_leg(node, legs[-1]))
+        # binary search the covering leg (queries are usually near the
+        # end; scan backwards a few steps first)
+        for leg in reversed(legs[-4:]):
+            if leg.t0 <= t <= leg.t1:
+                return leg.at(t)
+        lo, hi = 0, len(legs) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if legs[mid].t1 < t:
+                lo = mid + 1
+            else:
+                hi = mid
+        return legs[lo].at(t)
+
+
+class RandomWaypoint(_LegBasedModel):
+    """The random waypoint model.
+
+    Each node alternates travel legs (to a uniform destination at a
+    speed drawn uniformly from ``[v_min, v_max]``) and pause legs of
+    ``pause`` seconds.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        v_min: float = 0.01,
+        v_max: float = 0.05,
+        pause: float = 1.0,
+        rng: RngLike = None,
+    ) -> None:
+        if not 0 < v_min <= v_max:
+            raise SimulationError("need 0 < v_min <= v_max")
+        if pause < 0:
+            raise SimulationError("pause must be non-negative")
+        self._v_min = v_min
+        self._v_max = v_max
+        self._pause = pause
+        super().__init__(n, rng)
+
+    def _travel_leg(self, node: NodeId, t0: float, p0: np.ndarray) -> _Leg:
+        gen = self._rngs[node]
+        dest = gen.random(2)
+        speed = float(gen.uniform(self._v_min, self._v_max))
+        distance = float(np.linalg.norm(dest - p0))
+        duration = distance / speed if speed > 0 else 0.0
+        return _Leg(t0, t0 + max(duration, 1e-9), p0, dest)
+
+    def _first_leg(self, node: NodeId, p0: np.ndarray) -> _Leg:
+        return self._travel_leg(node, 0.0, p0)
+
+    def _next_leg(self, node: NodeId, prev: _Leg) -> _Leg:
+        # alternate pause / travel: a pause leg has p0 == p1
+        if not np.array_equal(prev.p0, prev.p1) and self._pause > 0:
+            return _Leg(prev.t1, prev.t1 + self._pause, prev.p1, prev.p1)
+        return self._travel_leg(node, prev.t1, prev.p1)
+
+
+class RandomWalk(_LegBasedModel):
+    """Random direction walk with exponential holding times and wall
+    reflection (positions clamped to the unit square by re-aiming)."""
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        speed: float = 0.03,
+        mean_leg_time: float = 5.0,
+        rng: RngLike = None,
+    ) -> None:
+        if speed <= 0 or mean_leg_time <= 0:
+            raise SimulationError("speed and mean_leg_time must be positive")
+        self._speed = speed
+        self._mean = mean_leg_time
+        super().__init__(n, rng)
+
+    def _walk_leg(self, node: NodeId, t0: float, p0: np.ndarray) -> _Leg:
+        gen = self._rngs[node]
+        duration = float(gen.exponential(self._mean))
+        theta = float(gen.uniform(0.0, 2.0 * math.pi))
+        step = self._speed * duration * np.array([math.cos(theta), math.sin(theta)])
+        p1 = np.clip(p0 + step, 0.0, 1.0)
+        return _Leg(t0, t0 + max(duration, 1e-9), p0, p1)
+
+    def _first_leg(self, node: NodeId, p0: np.ndarray) -> _Leg:
+        return self._walk_leg(node, 0.0, p0)
+
+    def _next_leg(self, node: NodeId, prev: _Leg) -> _Leg:
+        return self._walk_leg(node, prev.t1, prev.p1)

@@ -1,0 +1,99 @@
+"""Per-node neighbour tables with beacon timers.
+
+Implements Section 2's neighbour-discovery protocol:
+
+    "When node i receives the beacon signal from node j which is not in
+    its neighbors list neighbors(i), it adds j to its neighbors list
+    [...].  For each link (i, j), node i maintains a timer t_ij for
+    each of its neighbors j.  If node i does not receive a beacon
+    signal from neighbor j in time [the timeout], it assumes that link
+    (i, j) is no longer available and removes j from its neighbor set.
+    Upon receiving a beacon signal from neighbor j, node i resets its
+    appropriate timer."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Tuple
+
+from repro.adhoc.messages import Beacon
+from repro.errors import SimulationError
+from repro.types import NodeId
+
+
+@dataclass
+class NeighborEntry:
+    """Everything a node remembers about one neighbour."""
+
+    last_heard: float
+    state: Any
+    rand: float
+    last_seq: int
+
+
+class NeighborTable:
+    """One node's view of its neighbourhood, built purely from beacons."""
+
+    def __init__(self, owner: NodeId, timeout: float) -> None:
+        if timeout <= 0:
+            raise SimulationError("neighbour timeout must be positive")
+        self.owner = owner
+        self.timeout = timeout
+        self._entries: Dict[NodeId, NeighborEntry] = {}
+
+    # ------------------------------------------------------------------
+    def record(self, beacon: Beacon) -> bool:
+        """Process a received beacon; returns True when the sender is a
+        *new* neighbour (link creation event).
+
+        Enforces FIFO per sender: a beacon whose sequence number is not
+        greater than the last seen one from that sender indicates a
+        simulator bug and raises.
+        """
+        if beacon.sender == self.owner:
+            raise SimulationError(f"node {self.owner} received its own beacon")
+        entry = self._entries.get(beacon.sender)
+        is_new = entry is None
+        if entry is not None and beacon.seq <= entry.last_seq:
+            raise SimulationError(
+                f"non-FIFO beacon from {beacon.sender} at node {self.owner}: "
+                f"seq {beacon.seq} after {entry.last_seq}"
+            )
+        self._entries[beacon.sender] = NeighborEntry(
+            last_heard=beacon.time,
+            state=beacon.state,
+            rand=beacon.rand,
+            last_seq=beacon.seq,
+        )
+        return is_new
+
+    def purge(self, now: float) -> Tuple[NodeId, ...]:
+        """Evict neighbours whose timer expired; returns the evicted ids
+        (link failure events, which the caller reports to the protocol
+        layer for state sanitization)."""
+        stale = tuple(
+            j
+            for j, entry in self._entries.items()
+            if now - entry.last_heard > self.timeout
+        )
+        for j in stale:
+            del self._entries[j]
+        return stale
+
+    # ------------------------------------------------------------------
+    def neighbors(self) -> Tuple[NodeId, ...]:
+        return tuple(sorted(self._entries))
+
+    def states(self) -> Dict[NodeId, Any]:
+        """The believed neighbour states (possibly one beacon stale)."""
+        return {j: e.state for j, e in self._entries.items()}
+
+    def rands(self) -> Dict[NodeId, float]:
+        return {j: e.rand for j, e in self._entries.items()}
+
+    def knows(self, j: NodeId) -> bool:
+        return j in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,341 @@
+"""The event-driven ad hoc network simulator.
+
+One :class:`AdHocNetwork` couples a guarded-rule protocol to the beacon
+model of Section 2:
+
+* every node broadcasts a beacon every ``t_b`` seconds (± jitter),
+  carrying its current protocol state;
+* delivery is instantaneous to every node within ``radius`` (unit-disk
+  radio), except for independently dropped beacons (``loss``);
+* each receiver updates its neighbour table, evicts silent neighbours
+  (timers), and — once it has heard **every** current neighbour since
+  its last protocol step — executes its first enabled rule against the
+  beaconed states.  That per-node cadence is the paper's *round*:
+  "a period of time in which each node in the system receives beacon
+  messages from all its neighbors";
+* evicted neighbours are reported to the protocol layer, which
+  sanitizes dangling state (e.g. a matching pointer at a vanished
+  link) via the protocol's ``sanitize_state`` hook.
+
+The simulator is omniscient for *measurement only*: the harness can ask
+for the true instantaneous topology and the global configuration to
+evaluate legitimacy, but no node ever reads anything beyond its own
+table.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.adhoc.messages import Beacon
+from repro.adhoc.mobility import MobilityModel
+from repro.adhoc.neighbor import NeighborTable
+from repro.core.configuration import Configuration
+from repro.core.protocol import Protocol, View
+from repro.errors import SimulationError
+from repro.graphs.generators import unit_disk_graph
+from repro.graphs.graph import Graph
+from repro.rng import RngLike, ensure_rng
+from repro.types import NodeId
+
+
+@dataclass
+class SimNode:
+    """Runtime state of one mobile host."""
+
+    node_id: NodeId
+    state: Any
+    table: NeighborTable
+    rand: float = 0.0
+    heard: set = field(default_factory=set)
+    seq: int = 0
+    local_round: int = 0
+    steps: int = 0          # protocol rule firings
+    beacons_sent: int = 0
+    last_step_time: float = 0.0
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One entry of the simulation trace (for tests and debugging)."""
+
+    time: float
+    kind: str  # "step" | "link-up" | "link-down" | "beacon"
+    node: NodeId
+    detail: str = ""
+
+
+class AdHocNetwork:
+    """Event-driven beacon simulation of one protocol instance."""
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        mobility: MobilityModel,
+        *,
+        radius: float,
+        t_b: float = 1.0,
+        jitter: float = 0.05,
+        loss: float = 0.0,
+        timeout_factor: float = 2.5,
+        contention_window: float = 0.0,
+        rng: RngLike = None,
+        initial_states: Optional[Dict[NodeId, Any]] = None,
+        trace: bool = False,
+    ) -> None:
+        if radius <= 0:
+            raise SimulationError("radius must be positive")
+        if t_b <= 0:
+            raise SimulationError("beacon interval must be positive")
+        if not 0.0 <= jitter < 1.0:
+            raise SimulationError("jitter must lie in [0, 1)")
+        if not 0.0 <= loss < 1.0:
+            raise SimulationError("loss must lie in [0, 1)")
+        if timeout_factor <= 1.0:
+            raise SimulationError(
+                "timeout_factor must exceed 1 beacon interval"
+            )
+        if not 0.0 <= contention_window < t_b:
+            raise SimulationError("contention_window must lie in [0, t_b)")
+        self.protocol = protocol
+        self.mobility = mobility
+        self.radius = radius
+        self.t_b = t_b
+        self.jitter = jitter
+        self.loss = loss
+        self.timeout = timeout_factor * t_b
+        self.contention_window = contention_window
+        self.rng = ensure_rng(rng)
+        self.now = 0.0
+        self.trace_enabled = trace
+        self.trace: List[TraceEvent] = []
+        self.collisions = 0
+        # per-receiver timestamp of the last successful reception, for
+        # the optional contention model (see _transmit)
+        self._last_rx: Dict[NodeId, float] = {}
+
+        n = mobility.n
+        self.nodes: Dict[NodeId, SimNode] = {}
+        g0 = self.true_graph()
+        for i in range(n):
+            state = (
+                initial_states[i]
+                if initial_states is not None
+                else protocol.initial_state(i, g0)
+            )
+            self.nodes[i] = SimNode(
+                node_id=i,
+                state=state,
+                table=NeighborTable(i, self.timeout),
+                rand=float(self.rng.random()),
+            )
+
+        # event queue: (time, tiebreak, node_id); only beacon events —
+        # everything else happens during beacon processing
+        self._counter = itertools.count()
+        self._queue: List[Tuple[float, int, NodeId]] = []
+        for i in range(n):
+            # desynchronized starts: beacons phase-shifted uniformly
+            first = float(self.rng.uniform(0.0, t_b))
+            heapq.heappush(self._queue, (first, next(self._counter), i))
+
+    # ------------------------------------------------------------------
+    # omniscient measurement helpers (never visible to nodes)
+    # ------------------------------------------------------------------
+    def true_graph(self, t: Optional[float] = None) -> Graph:
+        """The instantaneous unit-disk topology."""
+        at = self.now if t is None else t
+        return unit_disk_graph(self.mobility.positions(at), self.radius)
+
+    def configuration(self) -> Configuration:
+        """The true global configuration (actual node states)."""
+        return Configuration({i: nd.state for i, nd in self.nodes.items()})
+
+    def is_legitimate(self) -> bool:
+        """Does the true configuration satisfy the protocol's global
+        predicate on the true topology?"""
+        return self.protocol.is_legitimate(self.true_graph(), self.configuration())
+
+    def total_beacons(self) -> int:
+        return sum(nd.beacons_sent for nd in self.nodes.values())
+
+    def total_steps(self) -> int:
+        return sum(nd.steps for nd in self.nodes.values())
+
+    # ------------------------------------------------------------------
+    # event processing
+    # ------------------------------------------------------------------
+    def _record(self, kind: str, node: NodeId, detail: str = "") -> None:
+        if self.trace_enabled:
+            self.trace.append(TraceEvent(self.now, kind, node, detail))
+
+    def _purge_and_sanitize(self, sim: SimNode) -> None:
+        """Evict silent neighbours and let the protocol clean up state
+        that referenced them (the link-layer notification of Section 2)."""
+        evicted = sim.table.purge(self.now)
+        if not evicted:
+            return
+        for j in evicted:
+            sim.heard.discard(j)
+            self._record("link-down", sim.node_id, f"lost {j}")
+        sanitize = getattr(self.protocol, "sanitize_state", None)
+        if sanitize is not None:
+            # Sanitize against the node's *believed* neighbourhood: a
+            # pointer must reference a current table entry.
+            believed = _BelievedGraph(sim.node_id, sim.table.neighbors())
+            sim.state = sanitize(sim.node_id, believed, sim.state)
+
+    def _maybe_step(self, sim: SimNode) -> None:
+        """Fire the node's first enabled rule once it has heard every
+        current neighbour since its previous step."""
+        neighbors = set(sim.table.neighbors())
+        if not neighbors.issubset(sim.heard):
+            return
+        # A node's state may only reference believed neighbours (its
+        # knowledge comes solely from beacons); sanitize before viewing.
+        sanitize = getattr(self.protocol, "sanitize_state", None)
+        if sanitize is not None:
+            believed = _BelievedGraph(sim.node_id, sim.table.neighbors())
+            sim.state = sanitize(sim.node_id, believed, sim.state)
+        view = View(
+            node=sim.node_id,
+            state=sim.state,
+            neighbor_states=sim.table.states(),
+            rand=sim.rand,
+            neighbor_rand=sim.table.rands(),
+        )
+        rule = self.protocol.enabled_rule(view)
+        sim.heard.clear()
+        sim.local_round += 1
+        if rule is not None:
+            sim.state = rule.fire(view)
+            sim.steps += 1
+            sim.last_step_time = self.now
+            sim.rand = float(self.rng.random())
+            self._record("step", sim.node_id, rule.name)
+
+    def _transmit(self, sender: SimNode) -> None:
+        """Broadcast one beacon and deliver it to everyone in range."""
+        sender.seq += 1
+        sender.beacons_sent += 1
+        beacon = Beacon(
+            sender=sender.node_id,
+            time=self.now,
+            state=sender.state,
+            rand=sender.rand,
+            seq=sender.seq,
+        )
+        self._record("beacon", sender.node_id)
+        positions = self.mobility.positions(self.now)
+        me = positions[sender.node_id]
+        r2 = self.radius * self.radius
+        for i, sim in self.nodes.items():
+            if i == sender.node_id:
+                continue
+            d = positions[i] - me
+            if float(d @ d) > r2:
+                continue
+            if self.loss > 0 and self.rng.random() < self.loss:
+                continue
+            # Optional contention model: the paper's link layer
+            # "resolves any contention for the shared medium"; with a
+            # non-zero window we weaken that assumption — a receiver
+            # still busy with a reception that started less than
+            # `contention_window` ago drops the overlapping beacon
+            # (a later-arrival-loses approximation of interference).
+            if self.contention_window > 0.0:
+                last = self._last_rx.get(i)
+                if last is not None and self.now - last < self.contention_window:
+                    self.collisions += 1
+                    self._record("collision", i, f"from {sender.node_id}")
+                    continue
+                self._last_rx[i] = self.now
+            self._purge_and_sanitize(sim)
+            is_new = sim.table.record(beacon)
+            if is_new:
+                self._record("link-up", i, f"heard {sender.node_id}")
+            sim.heard.add(sender.node_id)
+            self._maybe_step(sim)
+
+    def _next_beacon_delay(self) -> float:
+        if self.jitter == 0:
+            return self.t_b
+        return self.t_b * float(
+            self.rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+        )
+
+    # ------------------------------------------------------------------
+    # driving the simulation
+    # ------------------------------------------------------------------
+    def run_until(
+        self,
+        t_end: float,
+        *,
+        callback: Optional[Callable[["AdHocNetwork"], None]] = None,
+        callback_interval: Optional[float] = None,
+    ) -> None:
+        """Advance the simulation clock to ``t_end``.
+
+        ``callback`` (if given) is invoked every ``callback_interval``
+        simulated seconds — the measurement hook used by the runner to
+        sample legitimacy without touching node-local logic.
+        """
+        if t_end < self.now:
+            raise SimulationError("cannot run backwards in time")
+        next_cb = (
+            self.now + callback_interval
+            if callback is not None and callback_interval
+            else None
+        )
+        while self._queue and self._queue[0][0] <= t_end:
+            t, _, node_id = heapq.heappop(self._queue)
+            while next_cb is not None and next_cb <= t:
+                self.now = next_cb
+                callback(self)  # type: ignore[misc]
+                next_cb += callback_interval  # type: ignore[operator]
+            self.now = t
+            sender = self.nodes[node_id]
+            self._purge_and_sanitize(sender)
+            self._transmit(sender)
+            # a node may also step right after transmitting (it might
+            # have been waiting only on its own action cadence)
+            self._maybe_step(sender)
+            heapq.heappush(
+                self._queue,
+                (t + self._next_beacon_delay(), next(self._counter), node_id),
+            )
+        while next_cb is not None and next_cb <= t_end:
+            self.now = next_cb
+            callback(self)  # type: ignore[misc]
+            next_cb += callback_interval  # type: ignore[operator]
+        self.now = t_end
+
+
+class _BelievedGraph:
+    """Minimal graph facade over a node's believed neighbourhood, just
+    rich enough for ``sanitize_state`` hooks (``has_edge`` queries)."""
+
+    def __init__(self, owner: NodeId, neighbors: Tuple[NodeId, ...]) -> None:
+        self._owner = owner
+        self._neighbors = frozenset(neighbors)
+
+    def has_edge(self, u: NodeId, v: NodeId) -> bool:
+        if u == self._owner:
+            return v in self._neighbors
+        if v == self._owner:
+            return u in self._neighbors
+        raise SimulationError(
+            "believed graph only answers edges incident to its owner"
+        )
+
+    def neighbors(self, node: NodeId) -> Tuple[NodeId, ...]:
+        if node != self._owner:
+            raise SimulationError(
+                "believed graph only knows its owner's neighbourhood"
+            )
+        return tuple(sorted(self._neighbors))

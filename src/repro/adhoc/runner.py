@@ -1,0 +1,228 @@
+"""High-level ad hoc simulation drivers and their result records.
+
+Two scenarios cover the experiments:
+
+* :func:`run_until_stable` — static hosts: run the beacon machinery
+  until the true configuration is legitimate and every node is
+  quiescent, reporting beacon-time and beacon-count costs (the ad hoc
+  analogue of the synchronous executor's round counts, experiment E8);
+* :func:`run_with_mobility` — moving hosts: run for a fixed horizon
+  and measure *predicate availability* — the fraction of sampled
+  instants at which the maintained global predicate holds on the true
+  instantaneous topology — plus recovery statistics after topology
+  changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.adhoc.mobility import MobilityModel, StaticPlacement
+from repro.adhoc.network import AdHocNetwork
+from repro.core.configuration import Configuration
+from repro.core.protocol import Protocol
+from repro.errors import SimulationError
+from repro.graphs.graph import Graph
+from repro.rng import RngLike, ensure_rng
+from repro.types import NodeId
+
+
+@dataclass
+class AdHocResult:
+    """Outcome of a static-topology beacon run."""
+
+    stabilized: bool
+    time: float                 #: simulated seconds until quiescent-legitimate
+    beacon_rounds: float        #: ``time / t_b`` — beacon-interval units
+    beacons: int                #: total beacons transmitted
+    steps: int                  #: total protocol rule firings
+    max_local_round: int        #: largest per-node round counter
+    final: Configuration
+    graph: Graph                #: the (static) topology
+
+    @property
+    def legitimate(self) -> bool:
+        return self.stabilized
+
+
+@dataclass
+class RecoveryEpisode:
+    """One observed illegitimacy episode under mobility."""
+
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class MobilityResult:
+    """Outcome of a mobile beacon run."""
+
+    horizon: float
+    samples: int
+    legitimate_samples: int
+    availability: float          #: fraction of samples with predicate true
+    episodes: List[RecoveryEpisode]
+    topology_changes: int        #: sampled edge-set changes
+    beacons: int
+    steps: int
+    final: Configuration
+
+    def mean_recovery_time(self) -> Optional[float]:
+        closed = [e.duration for e in self.episodes]
+        if not closed:
+            return None
+        return sum(closed) / len(closed)
+
+
+def run_until_stable(
+    protocol: Protocol,
+    placement: StaticPlacement,
+    *,
+    radius: float,
+    t_b: float = 1.0,
+    jitter: float = 0.05,
+    loss: float = 0.0,
+    timeout_factor: float = 2.5,
+    contention_window: float = 0.0,
+    rng: RngLike = None,
+    initial_states: Optional[Dict[NodeId, Any]] = None,
+    max_time: Optional[float] = None,
+    quiescence: float = 3.0,
+) -> AdHocResult:
+    """Run a static deployment until legitimate and quiescent.
+
+    Stability is declared when (a) the true configuration satisfies the
+    protocol's global predicate on the true topology and (b) no node
+    has fired a rule in the last ``quiescence`` beacon intervals.
+    ``max_time`` defaults to ``(10 n + 100) · t_b`` — the synchronous
+    executor's budget expressed in beacon time.
+    """
+    net = AdHocNetwork(
+        protocol,
+        placement,
+        radius=radius,
+        t_b=t_b,
+        jitter=jitter,
+        loss=loss,
+        timeout_factor=timeout_factor,
+        contention_window=contention_window,
+        rng=rng,
+        initial_states=initial_states,
+    )
+    graph = net.true_graph()
+    horizon = max_time if max_time is not None else (10 * placement.n + 100) * t_b
+    window = quiescence * t_b
+
+    stable_at: Optional[float] = None
+    last_steps = -1
+
+    t = 0.0
+    check = t_b / 2.0
+    while t < horizon:
+        t = min(t + check, horizon)
+        net.run_until(t)
+        steps = net.total_steps()
+        if steps != last_steps:
+            last_steps = steps
+            continue
+        if net.is_legitimate():
+            # quiescent for long enough?
+            newest = max(nd.last_step_time for nd in net.nodes.values())
+            if net.now - newest >= window:
+                stable_at = newest
+                break
+
+    return AdHocResult(
+        stabilized=stable_at is not None,
+        time=stable_at if stable_at is not None else horizon,
+        beacon_rounds=(stable_at if stable_at is not None else horizon) / t_b,
+        beacons=net.total_beacons(),
+        steps=net.total_steps(),
+        max_local_round=max(nd.local_round for nd in net.nodes.values()),
+        final=net.configuration(),
+        graph=graph,
+    )
+
+
+def run_with_mobility(
+    protocol: Protocol,
+    mobility: MobilityModel,
+    *,
+    radius: float,
+    horizon: float,
+    t_b: float = 1.0,
+    jitter: float = 0.05,
+    loss: float = 0.0,
+    timeout_factor: float = 2.5,
+    contention_window: float = 0.0,
+    rng: RngLike = None,
+    initial_states: Optional[Dict[NodeId, Any]] = None,
+    sample_interval: Optional[float] = None,
+) -> MobilityResult:
+    """Run a mobile deployment for ``horizon`` seconds and sample the
+    maintained predicate.
+
+    Every ``sample_interval`` (default ``t_b / 2``) the harness checks
+    the true topology/configuration pair.  Contiguous illegitimate
+    samples form :class:`RecoveryEpisode` records; their durations are
+    the system's re-stabilization times after mobility-induced faults.
+    """
+    if horizon <= 0:
+        raise SimulationError("horizon must be positive")
+    net = AdHocNetwork(
+        protocol,
+        mobility,
+        radius=radius,
+        t_b=t_b,
+        jitter=jitter,
+        loss=loss,
+        timeout_factor=timeout_factor,
+        contention_window=contention_window,
+        rng=rng,
+        initial_states=initial_states,
+    )
+    interval = sample_interval if sample_interval is not None else t_b / 2.0
+
+    samples = 0
+    good = 0
+    episodes: List[RecoveryEpisode] = []
+    open_start: Optional[float] = None
+    changes = 0
+    previous_edges: Optional[frozenset] = None
+
+    def sample(network: AdHocNetwork) -> None:
+        nonlocal samples, good, open_start, changes, previous_edges
+        samples += 1
+        graph = network.true_graph()
+        if previous_edges is not None and graph.edges != previous_edges:
+            changes += 1
+        previous_edges = graph.edges
+        if network.protocol.is_legitimate(graph, network.configuration()):
+            good += 1
+            if open_start is not None:
+                episodes.append(RecoveryEpisode(open_start, network.now))
+                open_start = None
+        else:
+            if open_start is None:
+                open_start = network.now
+
+    net.run_until(horizon, callback=sample, callback_interval=interval)
+    if open_start is not None:
+        episodes.append(RecoveryEpisode(open_start, horizon))
+
+    return MobilityResult(
+        horizon=horizon,
+        samples=samples,
+        legitimate_samples=good,
+        availability=good / samples if samples else 0.0,
+        episodes=episodes,
+        topology_changes=changes,
+        beacons=net.total_beacons(),
+        steps=net.total_steps(),
+        final=net.configuration(),
+    )

@@ -1,0 +1,48 @@
+"""Analysis and reporting utilities.
+
+* :mod:`~repro.analysis.stats` — summary statistics over trial
+  populations (rounds, moves, recovery times);
+* :mod:`~repro.analysis.tables` — plain-text table/series rendering so
+  every experiment prints paper-style rows;
+* :mod:`~repro.analysis.theory` — the paper's analytic bounds, kept in
+  one place so experiments compare measured values against the exact
+  expressions proved in the text.
+"""
+
+from repro.analysis.convergence import (
+    PowerFit,
+    classify_order,
+    empirical_exponent,
+    fit_power_law,
+)
+from repro.analysis.serialize import (
+    execution_from_json,
+    execution_to_json,
+    result_to_csv,
+    result_to_json,
+)
+from repro.analysis.stats import Summary, summarize
+from repro.analysis.tables import render_series, render_table
+from repro.analysis.theory import (
+    hsu_huang_move_bound,
+    sis_round_bound,
+    smm_round_bound,
+)
+
+__all__ = [
+    "Summary",
+    "summarize",
+    "render_table",
+    "render_series",
+    "smm_round_bound",
+    "sis_round_bound",
+    "hsu_huang_move_bound",
+    "PowerFit",
+    "fit_power_law",
+    "classify_order",
+    "empirical_exponent",
+    "execution_to_json",
+    "execution_from_json",
+    "result_to_json",
+    "result_to_csv",
+]

@@ -1,0 +1,157 @@
+"""Serialization of executions and experiment results.
+
+Experiment artefacts should outlive the Python session: this module
+renders :class:`~repro.core.executor.Execution` records and
+:class:`~repro.experiments.common.ExperimentResult` tables to plain
+JSON / CSV so downstream tooling (plotting, regression tracking)
+needs no imports from this library.
+
+Pointer states serialize ``None`` as JSON ``null``; tuple states (MDS,
+BFS tree) as JSON arrays; everything round-trips through
+:func:`execution_from_dict` for the state shapes used by the built-in
+protocols.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping
+
+from repro.core.configuration import Configuration
+from repro.core.executor import Execution
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle:
+    # experiments.common renders tables via repro.analysis.tables, so
+    # the analysis package must not import experiments at import time.
+    from repro.experiments.common import ExperimentResult
+
+
+def _state_to_json(state: Any) -> Any:
+    if isinstance(state, tuple):
+        return list(state)
+    return state
+
+
+def _state_from_json(state: Any) -> Any:
+    if isinstance(state, list):
+        return tuple(state)
+    return state
+
+
+def configuration_to_dict(config: Mapping) -> Dict[str, Any]:
+    """JSON-safe mapping (keys become strings, tuples become lists)."""
+    return {str(node): _state_to_json(s) for node, s in sorted(config.items())}
+
+
+def configuration_from_dict(data: Mapping[str, Any]) -> Configuration:
+    return Configuration(
+        {int(node): _state_from_json(s) for node, s in data.items()}
+    )
+
+
+def execution_to_dict(execution: Execution) -> Dict[str, Any]:
+    """A JSON-safe dictionary with the full execution record.
+
+    The (optional) history is included when present; monitors are not
+    serializable and are simply absent.
+    """
+    return {
+        "protocol": execution.protocol_name,
+        "daemon": execution.daemon,
+        "stabilized": execution.stabilized,
+        "rounds": execution.rounds,
+        "moves": execution.moves,
+        "moves_by_rule": dict(execution.moves_by_rule),
+        "legitimate": execution.legitimate,
+        "initial": configuration_to_dict(execution.initial),
+        "final": configuration_to_dict(execution.final),
+        "move_log": [
+            {str(node): rule for node, rule in entry.items()}
+            for entry in execution.move_log
+        ],
+        "history": (
+            [configuration_to_dict(c) for c in execution.history]
+            if execution.history is not None
+            else None
+        ),
+    }
+
+
+def execution_to_json(execution: Execution, *, indent: int | None = None) -> str:
+    return json.dumps(execution_to_dict(execution), indent=indent)
+
+
+def execution_from_dict(data: Mapping[str, Any]) -> Execution:
+    """Rebuild an :class:`Execution` from :func:`execution_to_dict`
+    output (states restored per the tuple/list convention)."""
+    return Execution(
+        protocol_name=data["protocol"],
+        daemon=data["daemon"],
+        stabilized=bool(data["stabilized"]),
+        rounds=int(data["rounds"]),
+        moves=int(data["moves"]),
+        moves_by_rule={str(k): int(v) for k, v in data["moves_by_rule"].items()},
+        initial=configuration_from_dict(data["initial"]),
+        final=configuration_from_dict(data["final"]),
+        move_log=[
+            {int(node): str(rule) for node, rule in entry.items()}
+            for entry in data["move_log"]
+        ],
+        history=(
+            [configuration_from_dict(c) for c in data["history"]]
+            if data.get("history") is not None
+            else None
+        ),
+        legitimate=bool(data["legitimate"]),
+    )
+
+
+def execution_from_json(text: str) -> Execution:
+    return execution_from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# experiment results
+# ----------------------------------------------------------------------
+def result_to_dict(result: "ExperimentResult") -> Dict[str, Any]:
+    return {
+        "experiment": result.experiment,
+        "paper_artifact": result.paper_artifact,
+        "columns": list(result.columns),
+        "rows": [dict(row) for row in result.rows],
+        "notes": list(result.notes),
+    }
+
+
+def result_to_json(result: "ExperimentResult", *, indent: int | None = None) -> str:
+    return json.dumps(result_to_dict(result), indent=indent)
+
+
+def result_to_csv(result: "ExperimentResult") -> str:
+    """The result rows as CSV (columns in table order; missing cells
+    empty).  Notes are not representable in CSV and are omitted."""
+    buf = io.StringIO()
+    writer = csv.DictWriter(
+        buf, fieldnames=list(result.columns), extrasaction="ignore"
+    )
+    writer.writeheader()
+    for row in result.rows:
+        writer.writerow({col: row.get(col, "") for col in result.columns})
+    return buf.getvalue()
+
+
+def result_from_json(text: str) -> "ExperimentResult":
+    from repro.experiments.common import ExperimentResult
+
+    data = json.loads(text)
+    result = ExperimentResult(
+        experiment=data["experiment"],
+        paper_artifact=data["paper_artifact"],
+        columns=list(data["columns"]),
+    )
+    for row in data["rows"]:
+        result.rows.append(dict(row))
+    result.notes.extend(data.get("notes", []))
+    return result

@@ -1,0 +1,63 @@
+"""Summary statistics for trial populations."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample."""
+
+    count: int
+    minimum: float
+    maximum: float
+    mean: float
+    median: float
+    std: float
+    p95: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count} min={self.minimum:g} med={self.median:g} "
+            f"mean={self.mean:.3g} p95={self.p95:g} max={self.maximum:g}"
+        )
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Summarize a non-empty sample."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        count=int(arr.size),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        p95=float(np.percentile(arr, 95)),
+    )
+
+
+def ratio_of_means(numerators: Sequence[float], denominators: Sequence[float]) -> float:
+    """Mean(numerators) / mean(denominators) — the speedup statistic the
+    baseline-comparison experiment reports (robust against per-trial
+    zero denominators, unlike mean-of-ratios)."""
+    num = float(np.mean(np.asarray(numerators, dtype=float)))
+    den = float(np.mean(np.asarray(denominators, dtype=float)))
+    if den == 0.0:
+        return math.inf if num > 0 else 1.0
+    return num / den
+
+
+def fraction_within(values: Iterable[float], bound: float) -> float:
+    """Fraction of the sample that is <= ``bound``."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot evaluate an empty sample")
+    return float((arr <= bound).mean())

@@ -1,0 +1,81 @@
+"""Plain-text table rendering for experiment output.
+
+The paper has no numeric tables (its evaluation is analytic), so the
+harness prints its measured reproductions in a uniform format: one
+:func:`render_table` per experiment with a caption naming the paper
+artefact being validated.  Keeping rendering in one module means every
+benchmark writes identical-looking rows into ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+
+def _format_cell(value, float_digits: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        return f"{value:.{float_digits}f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def render_table(
+    columns: Sequence[str],
+    rows: Sequence[Mapping[str, object]],
+    *,
+    title: Optional[str] = None,
+    float_digits: int = 2,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    ``rows`` are mappings; missing keys render as ``-``.  Column order
+    follows ``columns``.
+    """
+    cells = [
+        [_format_cell(row.get(col), float_digits) for col in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(col)), *(len(r[k]) for r in cells)) if cells else len(str(col))
+        for k, col in enumerate(columns)
+    ]
+    sep = "+".join("-" * (w + 2) for w in widths)
+    header = " | ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append(sep)
+    for r in cells:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_name: str,
+    y_name: str,
+    points: Sequence[tuple],
+    *,
+    title: Optional[str] = None,
+    width: int = 40,
+    float_digits: int = 2,
+) -> str:
+    """Render an (x, y) series with a proportional ASCII bar per point —
+    the textual stand-in for a paper figure."""
+    if not points:
+        raise ValueError("cannot render an empty series")
+    ys = [float(y) for _, y in points]
+    peak = max(ys) if max(ys) > 0 else 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{x_name:>12} | {y_name}")
+    for (x, y) in points:
+        bar = "#" * max(1, int(round(width * float(y) / peak))) if y else ""
+        lines.append(f"{str(x):>12} | {float(y):.{float_digits}f} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Human-readable execution traces.
+
+Debugging a guarded-rule protocol means reading what happened round by
+round.  :func:`format_execution` renders a recorded execution as a
+compact per-round narrative; :func:`format_round` renders one step.
+Used by the examples and handy in a REPL::
+
+    >>> ex = run_synchronous(smm, g, cfg, record_history=True)
+    >>> print(format_execution(g, ex))          # doctest: +SKIP
+    round 1: 0 R2->1 | 2 R2->1 | ...
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.executor import Execution
+from repro.graphs.graph import Graph
+
+
+def _state_repr(state) -> str:
+    if state is None:
+        return "⊥"
+    if isinstance(state, tuple):
+        return "(" + ",".join(_state_repr(s) for s in state) + ")"
+    return str(state)
+
+
+def format_round(
+    execution: Execution, round_index: int, *, show_states: bool = True
+) -> str:
+    """One round's movers as ``node RULE->newstate`` entries.
+
+    ``round_index`` is 1-based (round t produced ``history[t]``).
+    """
+    if not 1 <= round_index <= len(execution.move_log):
+        raise IndexError(
+            f"round {round_index} outside 1..{len(execution.move_log)}"
+        )
+    movers = execution.move_log[round_index - 1]
+    if not movers:
+        return f"round {round_index}: (no winners)"
+    parts = []
+    after = (
+        execution.history[round_index]
+        if show_states and execution.history is not None
+        else None
+    )
+    for node in sorted(movers):
+        entry = f"{node} {movers[node]}"
+        if after is not None:
+            entry += f"->{_state_repr(after[node])}"
+        parts.append(entry)
+    return f"round {round_index}: " + " | ".join(parts)
+
+
+def format_execution(
+    graph: Graph,
+    execution: Execution,
+    *,
+    max_rounds: Optional[int] = None,
+    show_states: bool = True,
+) -> str:
+    """The whole run as one narrative block.
+
+    Shows the initial configuration, each round's movers (elided past
+    ``max_rounds`` if set) and the verdict line.
+    """
+    lines: List[str] = []
+    initial = ", ".join(
+        f"{node}:{_state_repr(state)}"
+        for node, state in execution.initial.items_sorted()
+    )
+    lines.append(f"initial: {initial}")
+    shown = len(execution.move_log)
+    if max_rounds is not None:
+        shown = min(shown, max_rounds)
+    for t in range(1, shown + 1):
+        lines.append(format_round(execution, t, show_states=show_states))
+    if shown < len(execution.move_log):
+        lines.append(f"... {len(execution.move_log) - shown} more rounds ...")
+    verdict = "stabilized" if execution.stabilized else "DID NOT stabilize"
+    lines.append(
+        f"{verdict} after {execution.rounds} rounds, {execution.moves} moves "
+        f"{dict(execution.moves_by_rule)}; legitimate={execution.legitimate}"
+    )
+    return "\n".join(lines)
+
+
+def rule_firing_summary(execution: Execution) -> str:
+    """Per-rule counts plus per-round mover counts — the one-line
+    rhythm of a run (e.g. the counterexample's '4,4,4,4,...')."""
+    rhythm = ",".join(str(len(entry)) for entry in execution.move_log) or "-"
+    return (
+        f"{execution.protocol_name}/{execution.daemon}: "
+        f"moves {dict(execution.moves_by_rule)}; movers per round [{rhythm}]"
+    )

@@ -1,0 +1,247 @@
+"""Command-line entry point: run the reproduction experiments.
+
+Usage (installed as ``python -m repro``):
+
+* ``python -m repro list`` — enumerate the experiments with the paper
+  artefact each reproduces;
+* ``python -m repro run E4`` — run one experiment at full (benchmark)
+  scale and print its table;
+* ``python -m repro run E1 E2 --quick`` — reduced-scale runs;
+* ``python -m repro run all --quick`` — everything.
+
+Exit status is non-zero if any requested experiment's core assertion
+fails (the same assertions the benchmark suite makes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro.experiments import (
+    e1_smm_convergence,
+    e2_sis_convergence,
+    e3_transitions,
+    e4_counterexample,
+    e5_baseline,
+    e6_growth,
+    e7_churn,
+    e8_adhoc,
+    e9_transform,
+    e10_scaling,
+    e11_ablations,
+    e12_id_sensitivity,
+)
+from repro.experiments.common import ExperimentResult
+
+#: experiment id -> (description, full-scale runner, quick runner)
+Runner = Callable[[], List[ExperimentResult]]
+
+
+def _registry() -> Dict[str, Tuple[str, Runner, Runner]]:
+    return {
+        "E1": (
+            "Theorem 1 — SMM stabilizes in <= n+1 rounds",
+            lambda: [e1_smm_convergence.run(trials=15, seed=101)],
+            lambda: [
+                e1_smm_convergence.run(
+                    families=("cycle", "tree"), sizes=(4, 8, 16), trials=5, seed=101
+                )
+            ],
+        ),
+        "E2": (
+            "Theorem 2 — SIS stabilizes in O(n) rounds (unique fixpoint)",
+            lambda: [
+                e2_sis_convergence.run(trials=15, seed=102),
+                e2_sis_convergence.run_worst_case_series(),
+            ],
+            lambda: [
+                e2_sis_convergence.run(
+                    families=("cycle", "tree"), sizes=(4, 8, 16), trials=5, seed=102
+                ),
+                e2_sis_convergence.run_worst_case_series(sizes=(8, 16, 32)),
+            ],
+        ),
+        "E3": (
+            "Figs. 2-3 / Lemmas 1-7 — node-type transition diagram",
+            lambda: [e3_transitions.run(trials=25, seed=103)],
+            lambda: [
+                e3_transitions.run(
+                    families=("cycle", "tree"), sizes=(4, 8), trials=10, seed=103
+                )
+            ],
+        ),
+        "E4": (
+            "Section 3 remark — arbitrary R2 choice livelocks on C_4",
+            lambda: [e4_counterexample.run(seed=104)],
+            lambda: [
+                e4_counterexample.run(
+                    cycle_sizes=(4, 8), randomized_trials=5, seed=104
+                )
+            ],
+        ),
+        "E5": (
+            "Section 3 — converted Hsu-Huang 'not as fast' than SMM",
+            lambda: [e5_baseline.run(trials=8, seed=105)],
+            lambda: [
+                e5_baseline.run(
+                    families=("cycle", "tree"), sizes=(8, 16), trials=3, seed=105
+                )
+            ],
+        ),
+        "E6": (
+            "Lemmas 1, 9, 10 — monotone matching growth",
+            lambda: [e6_growth.run(trials=20, seed=106)],
+            lambda: [
+                e6_growth.run(
+                    families=("cycle", "tree"), sizes=(8, 16), trials=5, seed=106
+                )
+            ],
+        ),
+        "E7": (
+            "Sections 1-2 — re-stabilization after link churn",
+            lambda: [e7_churn.run(trials=8, seed=107)],
+            lambda: [
+                e7_churn.run(
+                    families=("tree",), sizes=(16,), churn_levels=(1, 4),
+                    trials=3, seed=107,
+                )
+            ],
+        ),
+        "E8": (
+            "Section 2 — beacon rounds & mobility availability",
+            lambda: [
+                e8_adhoc.run_static(trials=4, seed=108),
+                e8_adhoc.run_mobile(horizon=150.0, seed=109),
+            ],
+            lambda: [
+                e8_adhoc.run_static(sizes=(10, 20), trials=2, seed=108),
+                e8_adhoc.run_mobile(
+                    n=12, speeds=(0.0, 0.03), horizon=60.0, seed=109
+                ),
+            ],
+        ),
+        "E9": (
+            "Conclusion — central protocols port via daemon refinement",
+            lambda: [e9_transform.run(trials=6, seed=110)],
+            lambda: [
+                e9_transform.run(
+                    families=("cycle",), sizes=(8, 16), trials=2, seed=110
+                )
+            ],
+        ),
+        "E10": (
+            "engineering — vectorized kernels vs reference engine",
+            lambda: [e10_scaling.run(sizes=(64, 128, 256, 512, 1024), seed=111)],
+            lambda: [e10_scaling.run(sizes=(64, 128), seed=111)],
+        ),
+        "E11": (
+            "ablations — R1 acceptance choice; beacon loss/timeout",
+            lambda: [
+                e11_ablations.run_acceptance_choosers(seed=120),
+                e11_ablations.run_beacon_parameters(seed=121),
+                e11_ablations.run_contention(seed=122),
+            ],
+            lambda: [
+                e11_ablations.run_acceptance_choosers(
+                    families=("cycle",), sizes=(8, 16), trials=4, seed=120
+                ),
+                e11_ablations.run_beacon_parameters(
+                    n=10,
+                    loss_rates=(0.0, 0.2),
+                    timeout_factors=(2.5,),
+                    trials=2,
+                    seed=121,
+                ),
+            ],
+        ),
+        "E12": (
+            "extension — id-assignment sensitivity of rounds/solutions",
+            lambda: [e12_id_sensitivity.run(relabelings=20, seed=130)],
+            lambda: [
+                e12_id_sensitivity.run(
+                    families=("cycle", "tree"), sizes=(16,),
+                    relabelings=6, seed=130,
+                )
+            ],
+        ),
+    }
+
+
+def _order_key(eid: str) -> int:
+    return int(eid[1:])
+
+
+def cmd_list() -> int:
+    registry = _registry()
+    width = max(len(k) for k in registry)
+    for eid in sorted(registry, key=_order_key):
+        description = registry[eid][0]
+        print(f"{eid:<{width}}  {description}")
+    return 0
+
+
+def cmd_run(ids: List[str], quick: bool) -> int:
+    registry = _registry()
+    if any(i.lower() == "all" for i in ids):
+        ids = sorted(registry, key=_order_key)
+    failures = 0
+    for eid in ids:
+        key = eid.upper()
+        if key not in registry:
+            print(f"unknown experiment {eid!r}; try 'list'", file=sys.stderr)
+            return 2
+        description, full, fast = registry[key]
+        print(f"=== {key}: {description} ===")
+        started = time.perf_counter()
+        try:
+            results = (fast if quick else full)()
+        except AssertionError as exc:
+            failures += 1
+            print(f"FAILED: {exc}", file=sys.stderr)
+            continue
+        elapsed = time.perf_counter() - started
+        for result in results:
+            print(result.table())
+            print()
+        print(f"({elapsed:.1f}s)\n")
+    return 1 if failures else 0
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction harness for Goddard et al., IPDPS 2003.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list the experiments")
+    runner = sub.add_parser("run", help="run experiments and print tables")
+    runner.add_argument("ids", nargs="+", help="experiment ids (E1..E11) or 'all'")
+    runner.add_argument(
+        "--quick", action="store_true", help="reduced-scale parameters"
+    )
+    reporter = sub.add_parser(
+        "report", help="run everything and write a markdown report"
+    )
+    reporter.add_argument(
+        "-o", "--output", default="REPORT.md", help="output path"
+    )
+    reporter.add_argument(
+        "--quick", action="store_true", help="reduced-scale parameters"
+    )
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "report":
+        from repro.experiments.report import write_report
+
+        text = write_report(args.output, quick=args.quick)
+        print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+        return 0 if "✗ FAILED" not in text else 1
+    return cmd_run(args.ids, args.quick)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""Self-stabilizing graph colouring (extension).
+
+Reference [7] of the paper — Hedetniemi, Jacobs & Srimani, "Fault
+tolerant distributed coloring algorithms that stabilize in linear
+time" — is the same research programme's colouring protocol and the
+paradigm the paper says it follows.  We include the Grundy-colouring
+protocol as a third client of the engine: it demonstrates the
+conclusion's claim that centrally-solvable predicates port to the
+synchronous model via daemon refinement (experiment E9).
+"""
+
+from repro.coloring.grundy import GrundyColoring, is_grundy_coloring
+
+__all__ = ["GrundyColoring", "is_grundy_coloring"]

@@ -1,0 +1,66 @@
+"""Core self-stabilization engine.
+
+This subpackage is protocol-agnostic machinery: the guarded-rule
+:class:`~repro.core.protocol.Protocol` abstraction, immutable
+:class:`~repro.core.configuration.Configuration` snapshots, the
+execution daemons (synchronous, central, distributed — see
+:mod:`~repro.core.daemons`), the run-to-stabilization
+:mod:`~repro.core.executor`, invariant monitors, transient-fault
+injection and the central-daemon-to-synchronous refinement transformer
+(:mod:`~repro.core.transform`).
+
+The synchronous daemon is the paper's execution model: in each round
+every node receives beacon messages (with piggybacked state) from all
+neighbours and every *privileged* (guard-enabled) node moves
+simultaneously, all guards being evaluated against the previous round's
+states.
+"""
+
+from repro.core.configuration import Configuration
+from repro.core.daemons import (
+    AdversarialStrategy,
+    CentralStrategy,
+    MinIdStrategy,
+    RandomStrategy,
+    RoundRobinStrategy,
+)
+from repro.core.executor import (
+    Execution,
+    enabled_nodes,
+    run_central,
+    run_distributed,
+    run_synchronous,
+)
+from repro.core.protocol import Protocol, Rule, View
+from repro.core.faults import perturb_configuration, migrate_configuration
+from repro.core.invariants import (
+    ClosureMonitor,
+    HistoryMonitor,
+    Monitor,
+    PredicateMonitor,
+)
+from repro.core.transform import run_synchronized_central
+
+__all__ = [
+    "Configuration",
+    "Protocol",
+    "Rule",
+    "View",
+    "Execution",
+    "enabled_nodes",
+    "run_synchronous",
+    "run_central",
+    "run_distributed",
+    "run_synchronized_central",
+    "CentralStrategy",
+    "RandomStrategy",
+    "MinIdStrategy",
+    "RoundRobinStrategy",
+    "AdversarialStrategy",
+    "Monitor",
+    "PredicateMonitor",
+    "ClosureMonitor",
+    "HistoryMonitor",
+    "perturb_configuration",
+    "migrate_configuration",
+]

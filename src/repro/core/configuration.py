@@ -1,0 +1,99 @@
+"""Immutable global configurations.
+
+The paper defines the global system state ``S_t`` as "the union of the
+local states (values of the pointer variables) of each node i at time
+t".  :class:`Configuration` is exactly that: a frozen node-id -> state
+mapping.  Immutability lets the executor keep histories, move logs and
+round snapshots by reference, and lets hypothesis-based tests treat
+configurations as values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Tuple
+
+from repro.types import NodeId, S
+
+
+class Configuration(Mapping[NodeId, object]):
+    """A frozen mapping from node id to local state.
+
+    Supports the full read-only :class:`~collections.abc.Mapping`
+    protocol plus :meth:`updated` for deriving successor configurations.
+    Equality and hashing are structural (hashing requires hashable
+    states, which all protocols in this library use: ints, ``None``,
+    small frozen tuples).
+    """
+
+    __slots__ = ("_states", "_hash")
+
+    def __init__(self, states: Mapping[NodeId, object]):
+        self._states: Dict[NodeId, object] = dict(states)
+        self._hash: int | None = None
+
+    # -- Mapping protocol ------------------------------------------------
+    def __getitem__(self, node: NodeId) -> object:
+        return self._states[node]
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._states)
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._states
+
+    # -- value semantics --------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Configuration):
+            return self._states == other._states
+        if isinstance(other, Mapping):
+            return self._states == dict(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._states.items()))
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{k}: {v!r}" for k, v in sorted(self._states.items()))
+        return f"Configuration({{{inner}}})"
+
+    # -- derivation ---------------------------------------------------------
+    def updated(self, changes: Mapping[NodeId, object]) -> "Configuration":
+        """A new configuration with ``changes`` applied.
+
+        Nodes absent from ``changes`` keep their state.  Unknown node
+        ids are rejected — a configuration's domain is fixed by the
+        (fixed) node set of the network.
+        """
+        unknown = set(changes) - set(self._states)
+        if unknown:
+            raise KeyError(f"unknown nodes in update: {sorted(unknown)}")
+        if not changes:
+            return self
+        merged = dict(self._states)
+        merged.update(changes)
+        return Configuration(merged)
+
+    def as_dict(self) -> Dict[NodeId, object]:
+        """A mutable copy of the underlying mapping."""
+        return dict(self._states)
+
+    def items_sorted(self) -> Tuple[Tuple[NodeId, object], ...]:
+        """``(node, state)`` pairs in ascending node order."""
+        return tuple(sorted(self._states.items()))
+
+    def where(self, pred) -> frozenset[NodeId]:
+        """Nodes whose state satisfies ``pred(state)``."""
+        return frozenset(n for n, s in self._states.items() if pred(s))
+
+    def diff(self, other: "Configuration") -> frozenset[NodeId]:
+        """Nodes whose state differs between ``self`` and ``other``."""
+        if set(self._states) != set(other._states):
+            raise KeyError("configurations have different domains")
+        return frozenset(
+            n for n, s in self._states.items() if other._states[n] != s
+        )

@@ -1,0 +1,137 @@
+"""Daemon (scheduler) strategies.
+
+Self-stabilization results are always relative to a *daemon* — the
+abstract adversary that decides which privileged nodes move:
+
+* **synchronous daemon** — every privileged node moves, every round,
+  with guards evaluated on the previous round's states.  This is the
+  paper's model (beacon rounds) and is implemented directly by
+  :func:`repro.core.executor.run_synchronous`.
+* **central daemon** — exactly one privileged node moves per step.  The
+  classical model of Dijkstra and of the Hsu–Huang maximal matching
+  baseline.  The choice of *which* node is the daemon's; this module
+  provides the standard strategies (random, min-id, round-robin) plus
+  an adversarial hook for worst-case probing.
+* **distributed daemon** — an arbitrary non-empty subset of privileged
+  nodes moves per step; implemented by
+  :func:`repro.core.executor.run_distributed` with a random subset
+  model.
+
+Strategies are deliberately tiny objects: the executor hands them the
+sorted tuple of currently privileged nodes and full context, they
+return one node id.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.configuration import Configuration
+from repro.errors import ProtocolError
+from repro.graphs.graph import Graph
+from repro.types import NodeId
+
+
+class CentralStrategy(ABC):
+    """Chooses the single mover among the privileged nodes."""
+
+    @abstractmethod
+    def choose(
+        self,
+        enabled: Tuple[NodeId, ...],
+        config: Configuration,
+        graph: Graph,
+        step: int,
+        rng: np.random.Generator,
+    ) -> NodeId:
+        """Return one member of ``enabled`` (which is non-empty, sorted)."""
+
+    def reset(self) -> None:
+        """Forget any internal scheduling state (between runs)."""
+
+
+class RandomStrategy(CentralStrategy):
+    """Uniformly random privileged node — the 'fair coin' daemon.
+
+    The standard daemon for *measuring* expected move counts of central
+    protocols (e.g. Hsu–Huang in experiment E5).
+    """
+
+    def choose(self, enabled, config, graph, step, rng):
+        return enabled[int(rng.integers(len(enabled)))]
+
+
+class MinIdStrategy(CentralStrategy):
+    """Always the smallest-id privileged node (deterministic runs)."""
+
+    def choose(self, enabled, config, graph, step, rng):
+        return enabled[0]
+
+
+class RoundRobinStrategy(CentralStrategy):
+    """Cycles through node ids, picking the next privileged node at or
+    after the cursor — a weakly fair deterministic daemon."""
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def choose(self, enabled, config, graph, step, rng):
+        nodes = graph.nodes
+        n = len(nodes)
+        enabled_set = set(enabled)
+        for offset in range(n):
+            candidate = nodes[(self._cursor + offset) % n]
+            if candidate in enabled_set:
+                self._cursor = (self._cursor + offset + 1) % n
+                return candidate
+        raise ProtocolError("round-robin strategy called with no enabled node")
+
+
+class AdversarialStrategy(CentralStrategy):
+    """A daemon driven by a user-supplied choice function.
+
+    ``chooser(enabled, config, graph, step) -> node`` lets experiments
+    encode hand-crafted worst cases (e.g. the proposal-chain schedules
+    that drive Hsu–Huang towards its O(n^3) move bound).  The returned
+    node must be privileged; the executor re-checks.
+    """
+
+    def __init__(
+        self,
+        chooser: Callable[
+            [Tuple[NodeId, ...], Configuration, Graph, int], NodeId
+        ],
+    ) -> None:
+        self._chooser = chooser
+
+    def choose(self, enabled, config, graph, step, rng):
+        node = self._chooser(enabled, config, graph, step)
+        if node not in enabled:
+            raise ProtocolError(
+                f"adversarial strategy chose unprivileged node {node!r}"
+            )
+        return node
+
+
+def make_strategy(spec: "str | CentralStrategy") -> CentralStrategy:
+    """Coerce a strategy spec: ``'random' | 'min-id' | 'round-robin'`` or
+    an existing strategy instance."""
+    if isinstance(spec, CentralStrategy):
+        return spec
+    table = {
+        "random": RandomStrategy,
+        "min-id": MinIdStrategy,
+        "round-robin": RoundRobinStrategy,
+    }
+    try:
+        return table[spec]()
+    except KeyError:
+        raise ProtocolError(
+            f"unknown central strategy {spec!r}; expected one of {sorted(table)}"
+        ) from None

@@ -1,0 +1,453 @@
+"""Run protocols to stabilization under the different daemons.
+
+The central object is :class:`Execution`, a full record of one run:
+initial and final configurations, stabilization flag, round/move
+accounting (per rule), the per-round move log and — optionally — the
+complete configuration history.  Experiments E3 (transition diagram)
+and E6 (matching growth) read histories; everything else reads the
+summary fields.
+
+Round semantics (synchronous daemon) follow the paper exactly: at round
+``t`` every node evaluates its guards against the states ``S_t`` that
+arrived on the latest beacons, all privileged nodes fire simultaneously,
+and the post-move configuration is ``S_{t+1}``.  The run has stabilized
+at the first round in which no node is privileged; ``Execution.rounds``
+counts the rounds in which at least one move happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.configuration import Configuration
+from repro.core.daemons import CentralStrategy, make_strategy
+from repro.core.invariants import Monitor
+from repro.core.protocol import Protocol, Rule, View
+from repro.errors import StabilizationTimeout
+from repro.graphs.graph import Graph
+from repro.rng import RngLike, ensure_rng
+from repro.types import NodeId
+
+
+# ----------------------------------------------------------------------
+# view construction
+# ----------------------------------------------------------------------
+def build_view(
+    protocol: Protocol,
+    graph: Graph,
+    config: Mapping[NodeId, object],
+    node: NodeId,
+    rand_map: Optional[Mapping[NodeId, float]] = None,
+) -> View:
+    """The local view of ``node`` under ``config``.
+
+    ``rand_map`` supplies the per-round variates for randomized
+    protocols; deterministic runs pass ``None`` and views carry zeros.
+    """
+    neigh = graph.neighbors(node)
+    neighbor_states = {j: config[j] for j in neigh}
+    if rand_map is None:
+        return View(node=node, state=config[node], neighbor_states=neighbor_states)
+    return View(
+        node=node,
+        state=config[node],
+        neighbor_states=neighbor_states,
+        rand=rand_map[node],
+        neighbor_rand={j: rand_map[j] for j in neigh},
+    )
+
+
+def _rand_map(
+    protocol: Protocol, graph: Graph, rng: np.random.Generator
+) -> Optional[Dict[NodeId, float]]:
+    if not protocol.uses_randomness:
+        return None
+    values = rng.random(graph.n)
+    return {node: float(values[k]) for k, node in enumerate(graph.nodes)}
+
+
+def enabled_nodes(
+    protocol: Protocol,
+    graph: Graph,
+    config: Mapping[NodeId, object],
+    rand_map: Optional[Mapping[NodeId, float]] = None,
+) -> Tuple[NodeId, ...]:
+    """Sorted tuple of privileged nodes in ``config``."""
+    out = []
+    for node in graph.nodes:
+        view = build_view(protocol, graph, config, node, rand_map)
+        if protocol.is_enabled(view):
+            out.append(node)
+    return tuple(out)
+
+
+# ----------------------------------------------------------------------
+# execution record
+# ----------------------------------------------------------------------
+@dataclass
+class Execution:
+    """Complete record of one protocol run.
+
+    Attributes
+    ----------
+    protocol_name / daemon:
+        What ran and under which daemon ("synchronous", "central:<strategy>",
+        "distributed", "sync-central-refined:<priority>").
+    stabilized:
+        True iff a configuration with no privileged node was reached
+        within the budget.
+    rounds:
+        Synchronous/distributed daemons: number of rounds in which at
+        least one node moved.  Central daemon: equals ``moves``.
+    moves:
+        Total rule firings.
+    moves_by_rule:
+        Firing count per rule name.
+    initial / final:
+        First and last configurations.
+    move_log:
+        ``move_log[t]`` maps each node that moved in round/step ``t`` to
+        the rule name it fired.
+    history:
+        When recorded: ``history[0]`` is the initial configuration and
+        ``history[t]`` the configuration after round/step ``t`` (so
+        ``history[-1] == final``).
+    legitimate:
+        Whether the final configuration satisfies the protocol's global
+        predicate (evaluated once at the end).
+    """
+
+    protocol_name: str
+    daemon: str
+    stabilized: bool
+    rounds: int
+    moves: int
+    moves_by_rule: Dict[str, int]
+    initial: Configuration
+    final: Configuration
+    move_log: List[Dict[NodeId, str]]
+    history: Optional[List[Configuration]]
+    legitimate: bool
+
+    def rounds_to_stabilize(self) -> int:
+        """Rounds actually needed (alias of :attr:`rounds`); raises if
+        the run did not stabilize."""
+        if not self.stabilized:
+            raise StabilizationTimeout(
+                f"{self.protocol_name} did not stabilize within budget", self
+            )
+        return self.rounds
+
+    def moved_nodes(self) -> frozenset[NodeId]:
+        """All nodes that fired at least one rule during the run."""
+        out: set[NodeId] = set()
+        for entry in self.move_log:
+            out.update(entry)
+        return frozenset(out)
+
+
+def _default_round_budget(graph: Graph) -> int:
+    # Generous relative to the paper's n+1 bound so that genuinely
+    # divergent variants (experiment E4) are the only timeouts.
+    return 10 * graph.n + 100
+
+
+def _resolve_config(
+    protocol: Protocol, graph: Graph, config: Optional[Mapping[NodeId, object]]
+) -> Configuration:
+    if config is None:
+        config = {node: protocol.initial_state(node, graph) for node in graph.nodes}
+    cfg = config if isinstance(config, Configuration) else Configuration(config)
+    protocol.validate_configuration(graph, cfg)
+    return cfg
+
+
+# ----------------------------------------------------------------------
+# synchronous daemon (the paper's model)
+# ----------------------------------------------------------------------
+def run_synchronous(
+    protocol: Protocol,
+    graph: Graph,
+    config: Optional[Mapping[NodeId, object]] = None,
+    *,
+    rng: RngLike = None,
+    max_rounds: Optional[int] = None,
+    record_history: bool = False,
+    monitors: Sequence[Monitor] = (),
+    raise_on_timeout: bool = False,
+) -> Execution:
+    """Run under the synchronous daemon until no node is privileged.
+
+    Every round, guards are evaluated on the current configuration and
+    *all* privileged nodes fire simultaneously — the paper's beacon
+    model, where each round every node has heard the current state of
+    each neighbour.
+
+    Parameters
+    ----------
+    config:
+        Initial configuration; default is the protocol's clean start.
+    max_rounds:
+        Round budget (default ``10 n + 100``).  On exhaustion the
+        run is returned with ``stabilized=False`` — or raised as
+        :class:`StabilizationTimeout` if ``raise_on_timeout``.
+    record_history:
+        Keep every intermediate configuration (memory ~ rounds × n).
+    monitors:
+        :class:`~repro.core.invariants.Monitor` objects called on the
+        initial configuration and after every round.
+    """
+    gen = ensure_rng(rng)
+    current = _resolve_config(protocol, graph, config)
+    initial = current
+    budget = _default_round_budget(graph) if max_rounds is None else max_rounds
+
+    moves_by_rule: Dict[str, int] = {name: 0 for name in protocol.rule_names()}
+    move_log: List[Dict[NodeId, str]] = []
+    history: Optional[List[Configuration]] = [current] if record_history else None
+
+    for monitor in monitors:
+        monitor.on_start(graph, current)
+
+    stabilized = False
+    rounds = 0
+    while rounds < budget:
+        rand_map = _rand_map(protocol, graph, gen)
+        changes: Dict[NodeId, object] = {}
+        fired: Dict[NodeId, str] = {}
+        for node in graph.nodes:
+            view = build_view(protocol, graph, current, node, rand_map)
+            rule = protocol.enabled_rule(view)
+            if rule is not None:
+                changes[node] = rule.fire(view)
+                fired[node] = rule.name
+        if not fired:
+            if protocol.is_quiescent(graph, current):
+                stabilized = True
+                break
+            # Randomized protocol, unlucky draws: the round still
+            # happened (beacons were exchanged) but nobody won — count
+            # it and redraw next iteration.
+            rounds += 1
+            move_log.append({})
+            if history is not None:
+                history.append(current)
+            for monitor in monitors:
+                monitor.on_round(rounds, current)
+            continue
+        current = current.updated(changes)
+        rounds += 1
+        for name in fired.values():
+            moves_by_rule[name] += 1
+        move_log.append(fired)
+        if history is not None:
+            history.append(current)
+        for monitor in monitors:
+            monitor.on_round(rounds, current)
+    else:  # budget exhausted without break — one final privilege check
+        if not protocol.uses_randomness:
+            stabilized = not enabled_nodes(protocol, graph, current)
+
+    execution = Execution(
+        protocol_name=protocol.name,
+        daemon="synchronous",
+        stabilized=stabilized,
+        rounds=rounds,
+        moves=sum(moves_by_rule.values()),
+        moves_by_rule=moves_by_rule,
+        initial=initial,
+        final=current,
+        move_log=move_log,
+        history=history,
+        legitimate=protocol.is_legitimate(graph, current),
+    )
+    for monitor in monitors:
+        monitor.on_finish(execution)
+    if raise_on_timeout and not execution.stabilized:
+        raise StabilizationTimeout(
+            f"{protocol.name} exceeded {budget} synchronous rounds", execution
+        )
+    return execution
+
+
+# ----------------------------------------------------------------------
+# central daemon
+# ----------------------------------------------------------------------
+def run_central(
+    protocol: Protocol,
+    graph: Graph,
+    config: Optional[Mapping[NodeId, object]] = None,
+    *,
+    strategy: "str | CentralStrategy" = "random",
+    rng: RngLike = None,
+    max_moves: Optional[int] = None,
+    record_history: bool = False,
+    monitors: Sequence[Monitor] = (),
+    raise_on_timeout: bool = False,
+) -> Execution:
+    """Run under the central daemon: one privileged node moves per step.
+
+    This is the execution model of the Hsu–Huang baseline (and of most
+    classical self-stabilization results).  ``strategy`` picks the
+    mover; see :mod:`repro.core.daemons`.  ``rounds`` in the returned
+    execution equals ``moves`` (each step is one move).
+    """
+    gen = ensure_rng(rng)
+    chooser = make_strategy(strategy)
+    chooser.reset()
+    current = _resolve_config(protocol, graph, config)
+    initial = current
+    budget = max_moves if max_moves is not None else 4 * graph.n * graph.n + 100
+
+    moves_by_rule: Dict[str, int] = {name: 0 for name in protocol.rule_names()}
+    move_log: List[Dict[NodeId, str]] = []
+    history: Optional[List[Configuration]] = [current] if record_history else None
+
+    for monitor in monitors:
+        monitor.on_start(graph, current)
+
+    stabilized = False
+    moves = 0
+    ticks = 0
+    while ticks < budget:
+        ticks += 1
+        rand_map = _rand_map(protocol, graph, gen)
+        enabled = enabled_nodes(protocol, graph, current, rand_map)
+        if not enabled:
+            if protocol.is_quiescent(graph, current):
+                stabilized = True
+                break
+            continue  # randomized protocol, unlucky draws: redraw
+        node = chooser.choose(enabled, current, graph, moves, gen)
+        view = build_view(protocol, graph, current, node, rand_map)
+        rule = protocol.enabled_rule(view)
+        assert rule is not None  # node came from the enabled set
+        current = current.updated({node: rule.fire(view)})
+        moves += 1
+        moves_by_rule[rule.name] += 1
+        move_log.append({node: rule.name})
+        if history is not None:
+            history.append(current)
+        for monitor in monitors:
+            monitor.on_round(moves, current)
+
+    execution = Execution(
+        protocol_name=protocol.name,
+        daemon=f"central:{type(chooser).__name__}",
+        stabilized=stabilized,
+        rounds=moves,
+        moves=moves,
+        moves_by_rule=moves_by_rule,
+        initial=initial,
+        final=current,
+        move_log=move_log,
+        history=history,
+        legitimate=protocol.is_legitimate(graph, current),
+    )
+    for monitor in monitors:
+        monitor.on_finish(execution)
+    if raise_on_timeout and not execution.stabilized:
+        raise StabilizationTimeout(
+            f"{protocol.name} exceeded {budget} central-daemon moves", execution
+        )
+    return execution
+
+
+# ----------------------------------------------------------------------
+# distributed daemon
+# ----------------------------------------------------------------------
+def run_distributed(
+    protocol: Protocol,
+    graph: Graph,
+    config: Optional[Mapping[NodeId, object]] = None,
+    *,
+    rng: RngLike = None,
+    activation_probability: float = 0.5,
+    max_steps: Optional[int] = None,
+    record_history: bool = False,
+    monitors: Sequence[Monitor] = (),
+    raise_on_timeout: bool = False,
+) -> Execution:
+    """Run under a randomized distributed daemon.
+
+    Each step, every privileged node is *activated* independently with
+    probability ``activation_probability``; if the coin flips produce an
+    empty set, one privileged node is activated uniformly at random so
+    that the daemon is live.  All activated nodes fire simultaneously
+    against the pre-step configuration.
+
+    This daemon interpolates between the central daemon (p → 0) and the
+    synchronous daemon (p = 1); tests use it to probe robustness of the
+    protocols outside the paper's model.
+    """
+    if not 0.0 <= activation_probability <= 1.0:
+        raise ValueError("activation_probability must lie in [0, 1]")
+    gen = ensure_rng(rng)
+    current = _resolve_config(protocol, graph, config)
+    initial = current
+    budget = max_steps if max_steps is not None else 20 * graph.n + 200
+
+    moves_by_rule: Dict[str, int] = {name: 0 for name in protocol.rule_names()}
+    move_log: List[Dict[NodeId, str]] = []
+    history: Optional[List[Configuration]] = [current] if record_history else None
+
+    for monitor in monitors:
+        monitor.on_start(graph, current)
+
+    stabilized = False
+    steps = 0
+    ticks = 0
+    while ticks < budget:
+        ticks += 1
+        rand_map = _rand_map(protocol, graph, gen)
+        enabled = enabled_nodes(protocol, graph, current, rand_map)
+        if not enabled:
+            if protocol.is_quiescent(graph, current):
+                stabilized = True
+                break
+            continue  # randomized protocol, unlucky draws: redraw
+        mask = gen.random(len(enabled)) < activation_probability
+        active = [node for node, m in zip(enabled, mask) if m]
+        if not active:
+            active = [enabled[int(gen.integers(len(enabled)))]]
+        changes: Dict[NodeId, object] = {}
+        fired: Dict[NodeId, str] = {}
+        for node in active:
+            view = build_view(protocol, graph, current, node, rand_map)
+            rule = protocol.enabled_rule(view)
+            assert rule is not None
+            changes[node] = rule.fire(view)
+            fired[node] = rule.name
+        current = current.updated(changes)
+        steps += 1
+        for name in fired.values():
+            moves_by_rule[name] += 1
+        move_log.append(fired)
+        if history is not None:
+            history.append(current)
+        for monitor in monitors:
+            monitor.on_round(steps, current)
+
+    execution = Execution(
+        protocol_name=protocol.name,
+        daemon="distributed",
+        stabilized=stabilized,
+        rounds=steps,
+        moves=sum(moves_by_rule.values()),
+        moves_by_rule=moves_by_rule,
+        initial=initial,
+        final=current,
+        move_log=move_log,
+        history=history,
+        legitimate=protocol.is_legitimate(graph, current),
+    )
+    for monitor in monitors:
+        monitor.on_finish(execution)
+    if raise_on_timeout and not execution.stabilized:
+        raise StabilizationTimeout(
+            f"{protocol.name} exceeded {budget} distributed steps", execution
+        )
+    return execution

@@ -1,0 +1,113 @@
+"""Transient fault injection and topology-change migration.
+
+Self-stabilization gives fault tolerance for free: any finite burst of
+transient faults (memory corruption, lost updates, topology changes)
+leaves the system in *some* configuration, from which convergence is
+guaranteed.  This module provides the two fault models the experiments
+use:
+
+* :func:`perturb_configuration` — corrupt the local state of a random
+  subset of nodes (models memory faults / lost beacons);
+* :func:`migrate_configuration` — carry a configuration from an old
+  topology to a new one after link churn.  State referring to vanished
+  links is sanitized exactly as the paper's system model prescribes:
+  the link-layer neighbour-discovery protocol "informs the upper layer
+  of any creation/deletion of logical links", and a pointer variable
+  whose target is no longer a neighbour resets to null.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.core.configuration import Configuration
+from repro.core.protocol import Protocol
+from repro.graphs.graph import Graph
+from repro.rng import RngLike, ensure_rng
+from repro.types import NodeId
+
+
+def random_configuration(
+    protocol: Protocol, graph: Graph, rng: RngLike = None
+) -> Configuration:
+    """A configuration drawn uniformly from each node's local state
+    space — the 'arbitrary initial state' of the self-stabilization
+    definition."""
+    gen = ensure_rng(rng)
+    cfg = Configuration(
+        {node: protocol.random_state(node, graph, gen) for node in graph.nodes}
+    )
+    protocol.validate_configuration(graph, cfg)
+    return cfg
+
+
+def perturb_configuration(
+    protocol: Protocol,
+    graph: Graph,
+    config: Mapping[NodeId, object],
+    *,
+    fraction: float = 0.25,
+    count: Optional[int] = None,
+    rng: RngLike = None,
+) -> Configuration:
+    """Corrupt the state of a random subset of nodes.
+
+    Either ``count`` nodes, or ``round(fraction * n)`` (at least one
+    when ``fraction > 0``), are re-drawn through
+    :meth:`Protocol.random_state`.  Models a burst of transient faults
+    hitting a stabilized system; experiments measure containment (how
+    quickly and how locally the system recovers).
+    """
+    if count is None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must lie in [0, 1]")
+        count = int(round(fraction * graph.n))
+        if fraction > 0 and count == 0:
+            count = 1
+    if count < 0 or count > graph.n:
+        raise ValueError(f"count {count} outside 0..{graph.n}")
+    gen = ensure_rng(rng)
+    victims = gen.choice(np.asarray(graph.nodes), size=count, replace=False)
+    cfg = config if isinstance(config, Configuration) else Configuration(config)
+    changes = {
+        int(node): protocol.random_state(int(node), graph, gen) for node in victims
+    }
+    out = cfg.updated(changes)
+    protocol.validate_configuration(graph, out)
+    return out
+
+
+def migrate_configuration(
+    protocol: Protocol,
+    old_graph: Graph,
+    new_graph: Graph,
+    config: Mapping[NodeId, object],
+) -> Configuration:
+    """Carry ``config`` across a topology change.
+
+    Every node keeps its state; states invalidated by the change (e.g.
+    a matching pointer at a failed link) are sanitized via the
+    protocol's :meth:`sanitize_state` hook if it has one, else reset to
+    the protocol's initial state for that node.  This mirrors Section 2
+    of the paper: the link layer detects the lost beacon, evicts the
+    neighbour, and the upper layer reacts.
+    """
+    if set(old_graph.nodes) != set(new_graph.nodes):
+        raise ValueError("topology changes must preserve the node set")
+    sanitize = getattr(protocol, "sanitize_state", None)
+    out = {}
+    for node in new_graph.nodes:
+        state = config[node]
+        if sanitize is not None:
+            state = sanitize(node, new_graph, state)
+        else:
+            try:
+                protocol.validate_state(node, new_graph, state)
+            except Exception:
+                state = protocol.initial_state(node, new_graph)
+        out[node] = state
+    cfg = Configuration(out)
+    protocol.validate_configuration(new_graph, cfg)
+    return cfg

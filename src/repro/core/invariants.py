@@ -1,0 +1,152 @@
+"""Invariant monitors attached to executions.
+
+A :class:`Monitor` observes a run from the outside: the executor calls
+``on_start`` with the initial configuration, ``on_round`` after every
+round/step, and ``on_finish`` with the completed
+:class:`~repro.core.executor.Execution`.  Monitors never influence the
+run — they record, or raise ``AssertionError`` when a claimed invariant
+is violated, which is how the lemma-checking experiments (E3, E6) turn
+the paper's proofs into executable checks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.configuration import Configuration
+from repro.graphs.graph import Graph
+from repro.types import NodeId
+
+
+class Monitor:
+    """Base monitor; all hooks default to no-ops."""
+
+    def on_start(self, graph: Graph, config: Configuration) -> None:
+        """Called once, before any move, with the initial configuration."""
+
+    def on_round(self, round_index: int, config: Configuration) -> None:
+        """Called after round/step ``round_index`` (1-based) completes."""
+
+    def on_finish(self, execution) -> None:
+        """Called once with the completed execution record."""
+
+
+class HistoryMonitor(Monitor):
+    """Records every configuration (initial + one per round).
+
+    Functionally equivalent to ``record_history=True`` on the executor
+    but composable with other monitors, and usable with runners that do
+    not expose the flag.
+    """
+
+    def __init__(self) -> None:
+        self.graph: Optional[Graph] = None
+        self.configurations: List[Configuration] = []
+
+    def on_start(self, graph: Graph, config: Configuration) -> None:
+        self.graph = graph
+        self.configurations = [config]
+
+    def on_round(self, round_index: int, config: Configuration) -> None:
+        self.configurations.append(config)
+
+
+class PredicateMonitor(Monitor):
+    """Evaluates a boolean predicate on every configuration.
+
+    ``predicate(graph, config) -> bool``.  The trace of values is kept
+    in :attr:`values`; with ``require=True`` a ``False`` raises
+    immediately (use for "this must hold at every step" invariants,
+    e.g. Lemma 1's matched-stay-matched).
+    """
+
+    def __init__(
+        self,
+        predicate: Callable[[Graph, Configuration], bool],
+        *,
+        name: str = "predicate",
+        require: bool = False,
+    ) -> None:
+        self._predicate = predicate
+        self.name = name
+        self.require = require
+        self.values: List[bool] = []
+        self._graph: Optional[Graph] = None
+
+    def _check(self, config: Configuration) -> None:
+        assert self._graph is not None
+        value = bool(self._predicate(self._graph, config))
+        self.values.append(value)
+        if self.require and not value:
+            raise AssertionError(
+                f"invariant {self.name!r} violated at step {len(self.values) - 1}"
+            )
+
+    def on_start(self, graph: Graph, config: Configuration) -> None:
+        self._graph = graph
+        self.values = []
+        self._check(config)
+
+    def on_round(self, round_index: int, config: Configuration) -> None:
+        self._check(config)
+
+    def first_true(self) -> Optional[int]:
+        """Index (0 = initial) of the first configuration satisfying the
+        predicate, or ``None`` if it never held."""
+        for i, v in enumerate(self.values):
+            if v:
+                return i
+        return None
+
+    def holds_from(self) -> Optional[int]:
+        """First index from which the predicate holds *for the rest of
+        the run* (closure point), or ``None``."""
+        last_false = -1
+        for i, v in enumerate(self.values):
+            if not v:
+                last_false = i
+        start = last_false + 1
+        return start if start < len(self.values) else None
+
+
+class ClosureMonitor(PredicateMonitor):
+    """Checks the *closure* half of self-stabilization.
+
+    Once the legitimacy predicate holds it must keep holding.  Raises
+    ``AssertionError`` on the first legitimate -> illegitimate
+    transition.  (Convergence — the other half — is what the executors
+    measure.)
+    """
+
+    def __init__(
+        self, predicate: Callable[[Graph, Configuration], bool], *, name: str = "closure"
+    ) -> None:
+        super().__init__(predicate, name=name, require=False)
+
+    def _check(self, config: Configuration) -> None:
+        assert self._graph is not None
+        value = bool(self._predicate(self._graph, config))
+        if self.values and self.values[-1] and not value:
+            raise AssertionError(
+                f"closure of {self.name!r} violated at step {len(self.values)}: "
+                "legitimate configuration became illegitimate"
+            )
+        self.values.append(value)
+
+
+class QuiescenceMonitor(Monitor):
+    """Records, per round, how many nodes moved (from the move counts
+    implied by successive configurations)."""
+
+    def __init__(self) -> None:
+        self._previous: Optional[Configuration] = None
+        self.changed_per_round: List[int] = []
+
+    def on_start(self, graph: Graph, config: Configuration) -> None:
+        self._previous = config
+        self.changed_per_round = []
+
+    def on_round(self, round_index: int, config: Configuration) -> None:
+        assert self._previous is not None
+        self.changed_per_round.append(len(config.diff(self._previous)))
+        self._previous = config

@@ -1,0 +1,214 @@
+"""The guarded-rule protocol abstraction.
+
+A self-stabilizing protocol, in the style of Dijkstra and of the paper,
+is a set of *rules* of the form ``if <guard over local view> then
+<action>``.  A node is *privileged* (enabled) when some guard holds on
+its local view — its own state plus the states of its neighbours, which
+in the ad hoc model arrive piggybacked on beacon messages.
+
+:class:`Protocol` subclasses define:
+
+* the per-node state space (via :meth:`Protocol.initial_state`,
+  :meth:`Protocol.random_state` and :meth:`Protocol.validate_state`);
+* an ordered sequence of :class:`Rule` objects — when several guards
+  hold, the *first* enabled rule fires (rule priority; the paper's
+  protocols have pairwise-exclusive guards, so ordering never matters
+  for them, but the engine supports prioritized rule sets);
+* the global legitimacy predicate (:meth:`Protocol.is_legitimate`).
+
+Randomized protocols (Luby-style MIS, randomized local mutual
+exclusion) read the per-round uniform variate ``view.rand`` /
+``view.neighbor_rand`` that the executor draws for every node every
+round; deterministic protocols simply ignore them.  In the beacon
+model these variates ride along with the state in the beacon payload.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Generic, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidConfigurationError, ProtocolError
+from repro.graphs.graph import Graph
+from repro.types import NodeId, S
+
+
+@dataclass(frozen=True)
+class View(Generic[S]):
+    """Everything a node can see when evaluating guards.
+
+    Attributes
+    ----------
+    node:
+        The node's own id (ids are comparable; both SMM and SIS compare
+        them in guards).
+    state:
+        The node's own local state.
+    neighbor_states:
+        Mapping from neighbour id to that neighbour's state, exactly as
+        learned from the latest beacon of each neighbour.
+    rand:
+        This node's fresh uniform variate for the current round.
+    neighbor_rand:
+        The neighbours' variates for the current round (communicated on
+        the same beacons as the states).
+    """
+
+    node: NodeId
+    state: S
+    neighbor_states: Mapping[NodeId, S]
+    rand: float = 0.0
+    neighbor_rand: Mapping[NodeId, float] = field(default_factory=dict)
+
+    @property
+    def neighbors(self) -> Tuple[NodeId, ...]:
+        """Neighbour ids, ascending (``N(i)``)."""
+        return tuple(sorted(self.neighbor_states))
+
+    def state_of(self, j: NodeId) -> S:
+        """The last beaconed state of neighbour ``j``."""
+        try:
+            return self.neighbor_states[j]
+        except KeyError:
+            raise ProtocolError(
+                f"node {self.node} has no neighbor {j}"
+            ) from None
+
+    def any_neighbor(self, pred: Callable[[NodeId, S], bool]) -> bool:
+        """``∃ j ∈ N(i): pred(j, state_j)``."""
+        return any(pred(j, s) for j, s in self.neighbor_states.items())
+
+    def all_neighbors(self, pred: Callable[[NodeId, S], bool]) -> bool:
+        """``∀ j ∈ N(i): pred(j, state_j)``."""
+        return all(pred(j, s) for j, s in self.neighbor_states.items())
+
+    def neighbors_where(self, pred: Callable[[NodeId, S], bool]) -> Tuple[NodeId, ...]:
+        """Ascending ids of neighbours satisfying ``pred``."""
+        return tuple(sorted(j for j, s in self.neighbor_states.items() if pred(j, s)))
+
+
+@dataclass(frozen=True)
+class Rule(Generic[S]):
+    """One guarded command: ``if guard(view) then state := action(view)``.
+
+    ``name`` labels the rule in move logs (the analysis modules count
+    R1/R2/R3 firings per round); ``description`` is the paper's informal
+    reading (e.g. "accept proposal").
+    """
+
+    name: str
+    guard: Callable[[View[S]], bool]
+    action: Callable[[View[S]], S]
+    description: str = ""
+
+    def enabled(self, view: View[S]) -> bool:
+        return self.guard(view)
+
+    def fire(self, view: View[S]) -> S:
+        if not self.guard(view):
+            raise ProtocolError(
+                f"rule {self.name} fired on node {view.node} with a false guard"
+            )
+        return self.action(view)
+
+
+class Protocol(ABC, Generic[S]):
+    """Base class for guarded-rule protocols.
+
+    Subclasses must define :attr:`name`, :meth:`rules`,
+    :meth:`initial_state`, :meth:`random_state` and
+    :meth:`is_legitimate`; :meth:`validate_state` defaults to accepting
+    everything and should be overridden when the state space is
+    constrained (pointers must reference neighbours, flags must be 0/1,
+    ...).
+    """
+
+    #: Human-readable protocol name, used in experiment tables.
+    name: str = "protocol"
+
+    #: Set truthy by randomized protocols: the executor then draws one
+    #: fresh uniform variate per node per round and exposes it (plus the
+    #: neighbours') through the view.  Deterministic protocols leave it
+    #: false so runs do not consume generator state needlessly.
+    uses_randomness: bool = False
+
+    @abstractmethod
+    def rules(self) -> Sequence[Rule[S]]:
+        """The ordered rule set (first enabled rule fires)."""
+
+    @abstractmethod
+    def initial_state(self, node: NodeId, graph: Graph) -> S:
+        """The 'clean start' state (e.g. null pointer, out of set)."""
+
+    @abstractmethod
+    def random_state(
+        self, node: NodeId, graph: Graph, rng: np.random.Generator
+    ) -> S:
+        """An arbitrary state, uniform over the node's local state space.
+
+        Self-stabilization is convergence from *every* configuration;
+        experiments sample initial configurations through this method.
+        """
+
+    def validate_state(self, node: NodeId, graph: Graph, state: S) -> None:
+        """Raise :class:`InvalidConfigurationError` if ``state`` is not
+        a member of the node's local state space."""
+
+    @abstractmethod
+    def is_legitimate(self, graph: Graph, config: Mapping[NodeId, S]) -> bool:
+        """The global predicate the protocol maintains (its spec)."""
+
+    def is_quiescent(self, graph: Graph, config: Mapping[NodeId, S]) -> bool:
+        """Whether a configuration in which no node is privileged is
+        genuinely terminal.
+
+        For deterministic protocols guard-enabledness is a function of
+        the configuration alone, so "nobody privileged now" means
+        "nobody privileged ever" and the default ``True`` is correct.
+        Randomized protocols whose *guards* read the per-round variates
+        (e.g. the Luby-style MIS) must override this: a round in which
+        every node lost its draw proves nothing about the next round's
+        draws, so the executor keeps running until this predicate
+        confirms termination.
+        """
+        return True
+
+    # ------------------------------------------------------------------
+    # derived helpers
+    # ------------------------------------------------------------------
+    def enabled_rule(self, view: View[S]) -> Optional[Rule[S]]:
+        """The first rule whose guard holds on ``view`` (or ``None``).
+
+        A node is *privileged* exactly when this is not ``None``.
+        """
+        for rule in self.rules():
+            if rule.guard(view):
+                return rule
+        return None
+
+    def is_enabled(self, view: View[S]) -> bool:
+        return self.enabled_rule(view) is not None
+
+    def rule_names(self) -> Tuple[str, ...]:
+        names = tuple(r.name for r in self.rules())
+        if len(set(names)) != len(names):
+            raise ProtocolError(f"duplicate rule names in {self.name}: {names}")
+        return names
+
+    def validate_configuration(
+        self, graph: Graph, config: Mapping[NodeId, S]
+    ) -> None:
+        """Check that ``config`` covers exactly the node set and that
+        every local state type-checks."""
+        if set(config) != set(graph.nodes):
+            missing = set(graph.nodes) - set(config)
+            extra = set(config) - set(graph.nodes)
+            raise InvalidConfigurationError(
+                f"configuration domain mismatch (missing={sorted(missing)}, "
+                f"extra={sorted(extra)})"
+            )
+        for node in graph.nodes:
+            self.validate_state(node, graph, config[node])

@@ -1,0 +1,187 @@
+"""Central-daemon → synchronous-model refinement.
+
+Section 3 of the paper notes that the Hsu–Huang central-daemon maximal
+matching algorithm "may be converted into a synchronous model protocol
+using the techniques of [Afek–Dolev / Beauquier et al.], [but] the
+resulting protocol is not as fast" as SMM; the conclusion generalizes
+the observation to any centrally-solvable problem.  This module
+implements that conversion so experiment E5/E9 can measure the claim.
+
+The construction is *local mutual exclusion*: in each synchronous
+round, a privileged node actually fires only if it holds the locally
+highest priority among the privileged nodes of its closed
+neighbourhood.  The set of movers is then independent in the conflict
+graph, so the parallel step is serializable — it equals a sequence of
+central-daemon moves (movers are pairwise non-adjacent; a node's guard
+and action read only its own and its neighbours' states, so moves by
+non-neighbours commute).  Any central-daemon convergence proof
+therefore carries over unchanged.
+
+Two priority schemes are provided:
+
+* ``"id"`` — priority is the node id.  Deterministic; the globally
+  largest privileged node always moves, so every round makes progress.
+* ``"random"`` — fresh uniform priorities every round (ties broken by
+  id), the Beauquier-et-al-style randomized refinement.  Expected
+  parallelism is Θ(privileged / Δ) movers per round.
+
+In the beacon model each refinement round costs *two* beacon rounds:
+one for neighbours' states (to evaluate guards) and one to exchange
+the (priority, privileged)-bits that arbitrate the mutex.  The runner
+reports raw refinement rounds; callers that want beacon-time multiply
+by :data:`BEACON_ROUNDS_PER_STEP`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.configuration import Configuration
+from repro.core.executor import (
+    Execution,
+    _resolve_config,
+    build_view,
+)
+from repro.core.invariants import Monitor
+from repro.core.protocol import Protocol
+from repro.errors import ProtocolError, StabilizationTimeout
+from repro.graphs.graph import Graph
+from repro.rng import RngLike, ensure_rng
+from repro.types import NodeId
+
+#: Beacon rounds consumed by one refinement round (state exchange +
+#: priority/privilege exchange).
+BEACON_ROUNDS_PER_STEP = 2
+
+
+def _priorities(
+    scheme: str, graph: Graph, gen: np.random.Generator
+) -> Dict[NodeId, tuple]:
+    """Per-round priority of every node; larger tuple wins."""
+    if scheme == "id":
+        return {node: (node,) for node in graph.nodes}
+    if scheme == "random":
+        draws = gen.random(graph.n)
+        return {
+            node: (float(draws[k]), node) for k, node in enumerate(graph.nodes)
+        }
+    raise ProtocolError(f"unknown priority scheme {scheme!r}")
+
+
+def run_synchronized_central(
+    protocol: Protocol,
+    graph: Graph,
+    config: Optional[Mapping[NodeId, object]] = None,
+    *,
+    priority: str = "id",
+    rng: RngLike = None,
+    max_rounds: Optional[int] = None,
+    record_history: bool = False,
+    monitors: Sequence[Monitor] = (),
+    raise_on_timeout: bool = False,
+    count_beacon_rounds: bool = False,
+) -> Execution:
+    """Run a central-daemon protocol in the synchronous model via local
+    mutual exclusion.
+
+    Per refinement round: evaluate every node's guard on the current
+    configuration; fire exactly the privileged nodes whose priority
+    beats every privileged closed-neighbour.  Stabilizes when no node
+    is privileged.
+
+    Parameters mirror :func:`repro.core.executor.run_synchronous`.
+    ``priority`` selects the scheme (``"id"`` or ``"random"``); with
+    ``count_beacon_rounds=True`` the returned execution reports rounds
+    in beacon time (refinement rounds × :data:`BEACON_ROUNDS_PER_STEP`),
+    which is the honest unit for comparing against SMM in E5.
+    """
+    gen = ensure_rng(rng)
+    current = _resolve_config(protocol, graph, config)
+    initial = current
+    budget = max_rounds if max_rounds is not None else 20 * graph.n * graph.n + 200
+
+    moves_by_rule: Dict[str, int] = {name: 0 for name in protocol.rule_names()}
+    move_log = []
+    history = [current] if record_history else None
+
+    for monitor in monitors:
+        monitor.on_start(graph, current)
+
+    stabilized = False
+    rounds = 0
+    while rounds < budget:
+        rand_map = None
+        if protocol.uses_randomness:
+            draws = gen.random(graph.n)
+            rand_map = {
+                node: float(draws[k]) for k, node in enumerate(graph.nodes)
+            }
+        # which nodes are privileged, and with which rule
+        enabled_rules = {}
+        for node in graph.nodes:
+            view = build_view(protocol, graph, current, node, rand_map)
+            rule = protocol.enabled_rule(view)
+            if rule is not None:
+                enabled_rules[node] = (rule, view)
+        if not enabled_rules:
+            if protocol.is_quiescent(graph, current):
+                stabilized = True
+                break
+            rounds += 1  # randomized guards: nobody won; redraw
+            continue
+        prio = _priorities(priority, graph, gen)
+        movers = [
+            node
+            for node in enabled_rules
+            if all(
+                prio[node] > prio[j]
+                for j in graph.neighbors(node)
+                if j in enabled_rules
+            )
+        ]
+        if not movers:
+            raise ProtocolError(
+                "local mutex produced an empty mover set with privileged "
+                "nodes present (priority scheme must be a total order)"
+            )
+        changes = {}
+        fired = {}
+        for node in movers:
+            rule, view = enabled_rules[node]
+            changes[node] = rule.fire(view)
+            fired[node] = rule.name
+        current = current.updated(changes)
+        rounds += 1
+        for name in fired.values():
+            moves_by_rule[name] += 1
+        move_log.append(fired)
+        if history is not None:
+            history.append(current)
+        for monitor in monitors:
+            monitor.on_round(rounds, current)
+
+    reported_rounds = (
+        rounds * BEACON_ROUNDS_PER_STEP if count_beacon_rounds else rounds
+    )
+    execution = Execution(
+        protocol_name=protocol.name,
+        daemon=f"sync-central-refined:{priority}",
+        stabilized=stabilized,
+        rounds=reported_rounds,
+        moves=sum(moves_by_rule.values()),
+        moves_by_rule=moves_by_rule,
+        initial=initial,
+        final=current,
+        move_log=move_log,
+        history=history,
+        legitimate=protocol.is_legitimate(graph, current),
+    )
+    for monitor in monitors:
+        monitor.on_finish(execution)
+    if raise_on_timeout and not execution.stabilized:
+        raise StabilizationTimeout(
+            f"{protocol.name} (refined) exceeded {budget} rounds", execution
+        )
+    return execution

@@ -1,0 +1,12 @@
+"""Self-stabilizing minimal dominating set (extension).
+
+The paper's introduction motivates self-stabilizing predicate
+maintenance with, among others, "a minimal dominating set must be
+maintained to optimize the number and the locations of the resource
+centers".  This subpackage supplies that protocol as a fourth engine
+client and a further subject for the daemon-refinement experiment E9.
+"""
+
+from repro.domination.mds import MinimalDominatingSet, is_minimal_dominating_set
+
+__all__ = ["MinimalDominatingSet", "is_minimal_dominating_set"]

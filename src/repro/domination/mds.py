@@ -1,0 +1,148 @@
+"""Self-stabilizing minimal dominating set (central-daemon protocol).
+
+A dominating set S is *minimal* when no proper subset dominates; i.e.
+every member is needed — it either dominates itself only (no neighbour
+in S) or some neighbour depends on it alone.
+
+Guards may read only neighbour states, but minimality is a 2-hop
+property ("does my neighbour have another dominator?").  The standard
+resolution is to publish a *dominator count* alongside the membership
+bit: the local state is ``(x, m)`` where ``x ∈ {0,1}`` is membership
+and ``m`` should equal ``|{j ∈ N(i) : x(j) = 1}|``.  Three rules, in
+priority order:
+
+``RC``  if ``m(i) ≠ |{j ∈ N(i): x(j)=1}|``
+        then fix ``m(i)``                      *(repair the count)*
+
+``R1``  if ``x(i)=0 ∧ m(i)=0``
+        then ``x(i):=1``                        *(enter: undominated)*
+
+``R2``  if ``x(i)=1 ∧ m(i)≥1 ∧ ∀j∈N(i): (x(j)=1 ∨ m(j)≥2)``
+        then ``x(i):=0``                        *(leave: redundant)*
+
+R2's guard is the published-count version of "I am dominated by
+someone else and every out-neighbour that I dominate has a second
+dominator" (``m(j)`` counts ``i`` itself, hence ``≥ 2``).
+
+Correct under the central daemon; under the raw synchronous daemon two
+adjacent redundant members can leave together and re-enter forever, so
+— like Grundy colouring and Hsu–Huang — it ports to the synchronous
+model through the local-mutex refinement (experiment E9).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.protocol import Protocol, Rule, View
+from repro.errors import InvalidConfigurationError
+from repro.graphs.graph import Graph
+from repro.graphs.properties import is_dominating_set
+from repro.types import NodeId
+
+#: Local state: (membership bit, believed dominator count).
+MdsState = Tuple[int, int]
+
+
+def is_minimal_dominating_set(graph: Graph, nodes: AbstractSet[NodeId]) -> bool:
+    """True iff ``nodes`` dominates and no member is redundant."""
+    s = set(nodes)
+    if not is_dominating_set(graph, s):
+        return False
+    for i in s:
+        if not is_dominating_set(graph, s - {i}):
+            continue
+        return False
+    return True
+
+
+class MinimalDominatingSet(Protocol[MdsState]):
+    """The (x, m) minimal dominating set protocol described above."""
+
+    name = "MDS"
+
+    def __init__(self) -> None:
+        self._rules = (
+            Rule(
+                name="RC",
+                guard=self._rc_guard,
+                action=self._rc_action,
+                description="repair dominator count",
+            ),
+            Rule(
+                name="R1",
+                guard=self._r1_guard,
+                action=lambda v: (1, v.state[1]),
+                description="enter: undominated",
+            ),
+            Rule(
+                name="R2",
+                guard=self._r2_guard,
+                action=lambda v: (0, v.state[1]),
+                description="leave: redundant",
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _true_count(view: View) -> int:
+        return sum(1 for s in view.neighbor_states.values() if s[0] == 1)
+
+    def _rc_guard(self, view: View) -> bool:
+        return view.state[1] != self._true_count(view)
+
+    def _rc_action(self, view: View) -> MdsState:
+        return (view.state[0], self._true_count(view))
+
+    def _r1_guard(self, view: View) -> bool:
+        return view.state[0] == 0 and view.state[1] == 0
+
+    def _r2_guard(self, view: View) -> bool:
+        x, m = view.state
+        if x != 1 or m < 1:
+            return False
+        return all(
+            s[0] == 1 or s[1] >= 2 for s in view.neighbor_states.values()
+        )
+
+    # ------------------------------------------------------------------
+    def rules(self) -> Sequence[Rule[MdsState]]:
+        return self._rules
+
+    def initial_state(self, node: NodeId, graph: Graph) -> MdsState:
+        return (0, 0)
+
+    def random_state(
+        self, node: NodeId, graph: Graph, rng: np.random.Generator
+    ) -> MdsState:
+        return (int(rng.integers(2)), int(rng.integers(graph.degree(node) + 1)))
+
+    def validate_state(self, node: NodeId, graph: Graph, state: MdsState) -> None:
+        ok = (
+            isinstance(state, tuple)
+            and len(state) == 2
+            and state[0] in (0, 1)
+            and isinstance(state[1], (int, np.integer))
+            and 0 <= state[1] <= graph.degree(node)
+        )
+        if not ok:
+            raise InvalidConfigurationError(
+                f"node {node}: invalid MDS state {state!r}"
+            )
+
+    def is_legitimate(
+        self, graph: Graph, config: Mapping[NodeId, MdsState]
+    ) -> bool:
+        """Counts correct and the membership set minimal dominating."""
+        for i in graph.nodes:
+            true_m = sum(1 for j in graph.neighbors(i) if config[j][0] == 1)
+            if config[i][1] != true_m:
+                return False
+        in_set = {i for i in graph.nodes if config[i][0] == 1}
+        return is_minimal_dominating_set(graph, in_set)
+
+    def members(self, config: Mapping[NodeId, MdsState]) -> frozenset[NodeId]:
+        """The dominating set encoded by a configuration."""
+        return frozenset(i for i, s in config.items() if s[0] == 1)

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing genuine bugs (``TypeError``/``ValueError`` from misuse are
+still raised directly where appropriate).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all library-specific exceptions."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graphs or graph operations."""
+
+
+class NotConnectedError(GraphError):
+    """Raised when an operation requires a connected topology.
+
+    The paper's system model (Section 2) assumes the network graph stays
+    connected; generators and mutators raise this when the assumption
+    cannot be met.
+    """
+
+
+class ProtocolError(ReproError):
+    """Raised when a protocol definition or its use is inconsistent."""
+
+
+class InvalidConfigurationError(ProtocolError):
+    """Raised when a configuration does not type-check for a protocol.
+
+    Examples: a matching pointer referring to a non-neighbour, or an SIS
+    flag that is not 0/1.
+    """
+
+
+class StabilizationTimeout(ReproError):
+    """Raised when an execution exceeds its round/move budget.
+
+    Carries the partial :class:`repro.core.executor.Execution` so that
+    callers (e.g. the non-stabilization counterexample in experiment E4)
+    can inspect the divergent run.
+    """
+
+    def __init__(self, message: str, execution: object | None = None) -> None:
+        super().__init__(message)
+        self.execution = execution
+
+
+class SimulationError(ReproError):
+    """Raised for inconsistencies inside the ad hoc network simulator."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment harness is configured inconsistently."""

@@ -1,0 +1,47 @@
+"""Experiment harness: one module per reproduced paper artefact.
+
+Every experiment exposes a ``run(...) -> ExperimentResult`` with seeded
+defaults small enough for CI; the benchmarks call the same entry points
+with paper-scale parameters.  See DESIGN.md §3 for the experiment
+index (E1–E10) and EXPERIMENTS.md for recorded outcomes.
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    exhaustive_configurations,
+    graph_workloads,
+    initial_configurations,
+)
+from repro.experiments import (
+    e1_smm_convergence,
+    e2_sis_convergence,
+    e3_transitions,
+    e4_counterexample,
+    e5_baseline,
+    e6_growth,
+    e7_churn,
+    e8_adhoc,
+    e9_transform,
+    e10_scaling,
+    e11_ablations,
+    e12_id_sensitivity,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "graph_workloads",
+    "initial_configurations",
+    "exhaustive_configurations",
+    "e1_smm_convergence",
+    "e2_sis_convergence",
+    "e3_transitions",
+    "e4_counterexample",
+    "e5_baseline",
+    "e6_growth",
+    "e7_churn",
+    "e8_adhoc",
+    "e9_transform",
+    "e10_scaling",
+    "e11_ablations",
+    "e12_id_sensitivity",
+]

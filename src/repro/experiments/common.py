@@ -1,0 +1,186 @@
+"""Shared experiment plumbing: result records, workload sweeps and
+initial-configuration samplers.
+
+Self-stabilization claims quantify over *all* initial configurations.
+The harness approximates that quantifier three ways, matching DESIGN.md
+§2's substitution note:
+
+* **clean** — the protocol's designed start (all pointers null, all
+  bits zero): measures the "deployment" cost;
+* **random** — uniform over each node's local state space: measures the
+  post-fault recovery cost the self-stabilization definition is about;
+* **exhaustive** — for tiny graphs, literally every configuration:
+  turns Theorem 1/2's universal claims into finite, fully-checked
+  statements.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.configuration import Configuration
+from repro.core.protocol import Protocol
+from repro.core.faults import random_configuration
+from repro.errors import ExperimentError
+from repro.graphs.generators import family as graph_family
+from repro.graphs.graph import Graph
+from repro.analysis.tables import render_table
+from repro.rng import RngLike, ensure_rng
+from repro.types import NodeId
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result record printed by every experiment/benchmark."""
+
+    experiment: str
+    paper_artifact: str
+    columns: Sequence[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, **row: object) -> None:
+        self.rows.append(dict(row))
+
+    def note(self, message: str) -> None:
+        self.notes.append(message)
+
+    def table(self, *, float_digits: int = 2) -> str:
+        title = f"[{self.experiment}] {self.paper_artifact}"
+        body = render_table(
+            self.columns, self.rows, title=title, float_digits=float_digits
+        )
+        if self.notes:
+            body += "\n" + "\n".join(f"  * {note}" for note in self.notes)
+        return body
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+
+# ----------------------------------------------------------------------
+# workload sweeps
+# ----------------------------------------------------------------------
+def graph_workloads(
+    families: Sequence[str],
+    sizes: Sequence[int],
+    seed: int,
+    *,
+    graphs_per_cell: int = 1,
+) -> Iterator[Tuple[str, int, Graph, np.random.Generator]]:
+    """Yield ``(family, n, graph, trial_rng)`` for a full sweep.
+
+    Random families get ``graphs_per_cell`` independent samples per
+    (family, n) cell; deterministic families yield one.  Every cell
+    receives its own spawned RNG so cells are independently
+    reproducible.
+    """
+    parent = ensure_rng(seed)
+    for name in families:
+        make = graph_family(name)
+        deterministic = name in ("cycle", "path", "star", "complete")
+        for n in sizes:
+            count = 1 if deterministic else graphs_per_cell
+            for _ in range(count):
+                cell_rng = parent.spawn(1)[0]
+                graph = make(n, cell_rng)
+                yield name, n, graph, cell_rng
+
+
+# ----------------------------------------------------------------------
+# initial configurations
+# ----------------------------------------------------------------------
+def initial_configurations(
+    protocol: Protocol,
+    graph: Graph,
+    mode: str,
+    trials: int,
+    rng: RngLike,
+) -> Iterator[Configuration]:
+    """Yield ``trials`` initial configurations of the requested mode.
+
+    Modes: ``clean`` (one configuration, repeated), ``random``.
+    Use :func:`exhaustive_configurations` for the exhaustive mode.
+    """
+    gen = ensure_rng(rng)
+    if mode == "clean":
+        clean = Configuration(
+            {node: protocol.initial_state(node, graph) for node in graph.nodes}
+        )
+        for _ in range(trials):
+            yield clean
+    elif mode == "random":
+        for _ in range(trials):
+            yield random_configuration(protocol, graph, gen)
+    else:
+        raise ExperimentError(f"unknown initial-configuration mode {mode!r}")
+
+
+def local_state_space(
+    protocol: Protocol, graph: Graph, node: NodeId
+) -> List[object]:
+    """Enumerate a node's local state space for exhaustive sweeps.
+
+    Supported protocols: pointer protocols (``{None} ∪ N(i)``) and bit
+    protocols (``{0, 1}``), detected via their ``random_state``
+    signature conventions — pointer protocols expose ``sanitize_state``;
+    bit protocols validate 0/1.
+    """
+    # pointer protocols (matching family)
+    if hasattr(protocol, "sanitize_state"):
+        return [None, *graph.neighbors(node)]
+    # bit protocols
+    try:
+        protocol.validate_state(node, graph, 0)
+        protocol.validate_state(node, graph, 1)
+        return [0, 1]
+    except Exception as exc:  # pragma: no cover - defensive
+        raise ExperimentError(
+            f"cannot enumerate state space of {protocol.name}: {exc}"
+        ) from exc
+
+
+def exhaustive_configurations(
+    protocol: Protocol, graph: Graph, *, limit: int = 500_000
+) -> Iterator[Configuration]:
+    """Every configuration of ``protocol`` on ``graph``.
+
+    Raises :class:`ExperimentError` when the space exceeds ``limit``
+    (the universal quantifier is only checkable on tiny graphs — e.g.
+    SMM on C_4 has 3^4 = 81 configurations, SIS on any 8-node graph
+    2^8 = 256).
+    """
+    spaces = [local_state_space(protocol, graph, node) for node in graph.nodes]
+    total = 1
+    for s in spaces:
+        total *= len(s)
+        if total > limit:
+            raise ExperimentError(
+                f"state space too large for exhaustion (> {limit})"
+            )
+    nodes = graph.nodes
+    for combo in itertools.product(*spaces):
+        yield Configuration(dict(zip(nodes, combo)))
+
+
+def detect_cycle(
+    history: Sequence[Configuration],
+) -> Optional[Tuple[int, int]]:
+    """Detect a repeated configuration in a run history.
+
+    Returns ``(first_index, period)`` for the earliest recurrence, or
+    ``None``.  Under a deterministic protocol and daemon, a recurrence
+    proves a livelock — the certificate experiment E4 produces for the
+    paper's counterexample.
+    """
+    seen: Dict[Configuration, int] = {}
+    for idx, config in enumerate(history):
+        if config in seen:
+            return seen[config], idx - seen[config]
+        seen[config] = idx
+    return None

@@ -1,0 +1,168 @@
+"""E8 — Section 2's system model: the protocols over real beacons.
+
+Part 1 (static): random geometric deployments run through the full
+beacon machinery (neighbour discovery, timers, per-node round
+detection).  The time to reach a legitimate, quiescent configuration —
+in beacon intervals — is compared with the synchronous executor's round
+count on the same topology: the beacon model should cost a small
+constant factor (rounds complete asynchronously, timers add slack), not
+change the shape.
+
+Part 2 (mobile): random-waypoint hosts at increasing speeds.  Reported
+per speed: predicate availability (fraction of sampled instants at
+which the true topology/configuration pair satisfies the predicate),
+topology change counts, and mean recovery time per illegitimacy
+episode — the paper's "readjust the global predicates" made
+quantitative.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.adhoc.mobility import RandomWaypoint, StaticPlacement
+from repro.adhoc.runner import run_until_stable, run_with_mobility
+from repro.analysis.stats import summarize
+from repro.core.executor import run_synchronous
+from repro.experiments.common import ExperimentResult
+from repro.graphs.generators import random_geometric_graph
+from repro.matching.smm import SynchronousMaximalMatching
+from repro.mis.sis import SynchronousMaximalIndependentSet
+from repro.rng import ensure_rng
+
+DEFAULT_SIZES = (10, 20, 40)
+DEFAULT_SPEEDS = (0.0, 0.01, 0.03, 0.06)
+
+
+def _radius(n: int) -> float:
+    """Connectivity-safe unit-disk radius for n uniform nodes."""
+    return float(min(1.2, np.sqrt(3.0 * np.log(max(n, 2)) / max(n, 2))))
+
+
+def run_static(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    *,
+    trials: int = 5,
+    seed: int = 80,
+    t_b: float = 1.0,
+    loss: float = 0.0,
+) -> ExperimentResult:
+    """Part 1 — beacon-time stabilization on static deployments."""
+    result = ExperimentResult(
+        experiment="E8-static",
+        paper_artifact="Section 2 — beacon rounds vs synchronous rounds (static hosts)",
+        columns=[
+            "protocol",
+            "n",
+            "sync_rounds",
+            "beacon_rounds",
+            "beacons_per_node",
+            "stabilized",
+        ],
+    )
+    rng = ensure_rng(seed)
+    protocols = (
+        ("SMM", SynchronousMaximalMatching),
+        ("SIS", SynchronousMaximalIndependentSet),
+    )
+    for n in sizes:
+        radius = _radius(n)
+        for name, make in protocols:
+            sync_rounds, beacon_rounds, beacons = [], [], []
+            all_ok = True
+            for _ in range(trials):
+                graph, pos = random_geometric_graph(
+                    n, radius, rng, return_positions=True
+                )
+                protocol = make()
+                ex = run_synchronous(protocol, graph)
+                sync_rounds.append(ex.rounds)
+                res = run_until_stable(
+                    protocol,
+                    StaticPlacement(pos),
+                    radius=radius,
+                    t_b=t_b,
+                    loss=loss,
+                    rng=rng,
+                )
+                all_ok = all_ok and res.stabilized
+                beacon_rounds.append(res.beacon_rounds)
+                beacons.append(res.beacons / n)
+            result.add(
+                protocol=name,
+                n=n,
+                sync_rounds=summarize(sync_rounds).mean,
+                beacon_rounds=summarize(beacon_rounds).mean,
+                beacons_per_node=summarize(beacons).mean,
+                stabilized=all_ok,
+            )
+    result.note(
+        "beacon_rounds tracks sync_rounds up to a small constant: the "
+        "beacon model realizes the paper's synchronous rounds"
+    )
+    return result
+
+
+def run_mobile(
+    n: int = 20,
+    speeds: Sequence[float] = DEFAULT_SPEEDS,
+    *,
+    horizon: float = 150.0,
+    seed: int = 81,
+    t_b: float = 1.0,
+) -> ExperimentResult:
+    """Part 2 — predicate availability under random-waypoint mobility."""
+    result = ExperimentResult(
+        experiment="E8-mobile",
+        paper_artifact="Sections 1-2 — predicate availability under host mobility",
+        columns=[
+            "protocol",
+            "speed",
+            "availability",
+            "topology_changes",
+            "episodes",
+            "mean_recovery_s",
+        ],
+    )
+    rng = ensure_rng(seed)
+    radius = _radius(n) * 1.3  # denser radio to keep the graph mostly connected
+    protocols = (
+        ("SMM", SynchronousMaximalMatching),
+        ("SIS", SynchronousMaximalIndependentSet),
+    )
+    for name, make in protocols:
+        for speed in speeds:
+            if speed == 0.0:
+                mobility = StaticPlacement.uniform(n, rng.spawn(1)[0])
+            else:
+                mobility = RandomWaypoint(
+                    n,
+                    v_min=max(speed / 2, 1e-3),
+                    v_max=speed,
+                    pause=2.0,
+                    rng=rng.spawn(1)[0],
+                )
+            res = run_with_mobility(
+                make(),
+                mobility,
+                radius=radius,
+                horizon=horizon,
+                t_b=t_b,
+                rng=rng.spawn(1)[0],
+            )
+            result.add(
+                protocol=name,
+                speed=speed,
+                availability=res.availability,
+                topology_changes=res.topology_changes,
+                episodes=len(res.episodes),
+                mean_recovery_s=res.mean_recovery_time(),
+            )
+    result.note(
+        "availability degrades smoothly with speed while each episode "
+        "recovers in a few beacon intervals — graceful degradation, not "
+        "collapse"
+    )
+    return result

@@ -1,0 +1,70 @@
+"""Graph substrate: topologies on which the protocols run.
+
+The paper's system model (Section 2) is an undirected graph with a fixed
+node set, unique node ids, bidirectional links and a connected topology
+whose *edge set* changes over time as hosts move.  This subpackage
+provides:
+
+* :class:`~repro.graphs.graph.Graph` — an immutable adjacency-list graph
+  tuned for neighbourhood queries (the only graph operation the
+  protocols perform);
+* :mod:`~repro.graphs.generators` — workload topologies: cycles, paths,
+  trees, grids, complete and bipartite graphs, Erdős–Rényi graphs and
+  random geometric (unit-disk) graphs that model ad hoc radio ranges;
+* :mod:`~repro.graphs.mutations` — link churn operators used to model
+  mobility-induced topology changes (experiment E7);
+* :mod:`~repro.graphs.properties` — predicate checkers (matchings,
+  independent sets, domination) used everywhere in verification.
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators import (
+    complete_graph,
+    complete_bipartite_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    from_networkx,
+    grid_graph,
+    path_graph,
+    random_geometric_graph,
+    random_tree,
+    star_graph,
+)
+from repro.graphs.mutations import (
+    add_random_edge,
+    apply_churn,
+    remove_random_edge,
+    rewire_random_edge,
+)
+from repro.graphs.properties import (
+    is_dominating_set,
+    is_independent_set,
+    is_matching,
+    is_maximal_independent_set,
+    is_maximal_matching,
+    matched_nodes,
+)
+
+__all__ = [
+    "Graph",
+    "complete_graph",
+    "complete_bipartite_graph",
+    "cycle_graph",
+    "erdos_renyi_graph",
+    "from_networkx",
+    "grid_graph",
+    "path_graph",
+    "random_geometric_graph",
+    "random_tree",
+    "star_graph",
+    "add_random_edge",
+    "apply_churn",
+    "remove_random_edge",
+    "rewire_random_edge",
+    "is_dominating_set",
+    "is_independent_set",
+    "is_matching",
+    "is_maximal_independent_set",
+    "is_maximal_matching",
+    "matched_nodes",
+]

@@ -1,0 +1,287 @@
+"""An immutable undirected graph with fast neighbourhood queries.
+
+Why not use :class:`networkx.Graph` directly?  The protocols evaluate
+guards of the form "does some neighbour satisfy P" millions of times per
+experiment sweep; a frozen adjacency representation with tuple
+neighbour lists is measurably faster and, being immutable, can be shared
+freely between configurations, daemons and history snapshots without
+defensive copying.  Conversions to/from networkx are provided for
+interoperability (generators lean on networkx where convenient).
+
+Node identifiers are ints with the natural total order, matching the
+paper's assumption of unique, comparable ids (Section 2: "we assume
+each node is assigned a unique ID").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple
+
+import networkx as nx
+
+from repro.errors import GraphError
+from repro.types import Edge, NodeId, canonical_edge
+
+
+class Graph:
+    """Immutable undirected graph over integer node ids.
+
+    Parameters
+    ----------
+    nodes:
+        Iterable of node ids.  Ids must be unique ints.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Both endpoints must appear in
+        ``nodes``; self loops and duplicate edges are rejected so that
+        accidental workload bugs surface early.
+
+    Notes
+    -----
+    Neighbour lists are stored sorted ascending.  Rule R2 of Algorithm
+    SMM needs the *minimum-id* neighbour satisfying a predicate; sorted
+    adjacency makes that a simple first-match scan.
+    """
+
+    __slots__ = ("_adj", "_nodes", "_edges", "_hash")
+
+    def __init__(self, nodes: Iterable[NodeId], edges: Iterable[Tuple[NodeId, NodeId]]):
+        node_list = list(nodes)
+        node_set = set(node_list)
+        if len(node_set) != len(node_list):
+            raise GraphError("duplicate node ids")
+        for n in node_list:
+            if not isinstance(n, int):
+                raise GraphError(f"node id {n!r} is not an int")
+
+        adj: Dict[NodeId, list[NodeId]] = {n: [] for n in node_list}
+        edge_set: set[Edge] = set()
+        for u, v in edges:
+            e = canonical_edge(u, v)
+            if e in edge_set:
+                raise GraphError(f"duplicate edge {e}")
+            if u not in node_set or v not in node_set:
+                raise GraphError(f"edge {e} references unknown node")
+            edge_set.add(e)
+            adj[u].append(v)
+            adj[v].append(u)
+
+        self._adj: Dict[NodeId, Tuple[NodeId, ...]] = {
+            n: tuple(sorted(neigh)) for n, neigh in adj.items()
+        }
+        self._nodes: Tuple[NodeId, ...] = tuple(sorted(node_list))
+        self._edges: frozenset[Edge] = frozenset(edge_set)
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Tuple[NodeId, ...]:
+        """All node ids, ascending."""
+        return self._nodes
+
+    @property
+    def edges(self) -> frozenset[Edge]:
+        """All edges in canonical ``(min, max)`` form."""
+        return self._edges
+
+    @property
+    def n(self) -> int:
+        """Number of nodes (the paper's ``n``)."""
+        return len(self._nodes)
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return len(self._edges)
+
+    def neighbors(self, node: NodeId) -> Tuple[NodeId, ...]:
+        """Neighbours of ``node``, ascending.  ``N(i)`` in the paper."""
+        try:
+            return self._adj[node]
+        except KeyError:
+            raise GraphError(f"unknown node {node!r}") from None
+
+    def closed_neighbors(self, node: NodeId) -> Tuple[NodeId, ...]:
+        """``N[i] = N(i) ∪ {i}``, ascending."""
+        neigh = self.neighbors(node)
+        out = list(neigh)
+        out.append(node)
+        out.sort()
+        return tuple(out)
+
+    def degree(self, node: NodeId) -> int:
+        return len(self.neighbors(node))
+
+    def max_degree(self) -> int:
+        """``Δ(G)``; 0 for the empty graph."""
+        return max((len(a) for a in self._adj.values()), default=0)
+
+    def has_node(self, node: NodeId) -> bool:
+        return node in self._adj
+
+    def has_edge(self, u: NodeId, v: NodeId) -> bool:
+        if u == v:
+            return False
+        return canonical_edge(u, v) in self._edges
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._adj
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._nodes == other._nodes and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._nodes, self._edges))
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph(n={self.n}, m={self.m})"
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """True iff the graph is connected (vacuously true when empty)."""
+        if self.n == 0:
+            return True
+        seen = {self._nodes[0]}
+        stack = [self._nodes[0]]
+        while stack:
+            u = stack.pop()
+            for v in self._adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return len(seen) == self.n
+
+    def connected_components(self) -> list[frozenset[NodeId]]:
+        """Connected components as frozensets, ordered by smallest member."""
+        seen: set[NodeId] = set()
+        comps: list[frozenset[NodeId]] = []
+        for start in self._nodes:
+            if start in seen:
+                continue
+            comp = {start}
+            stack = [start]
+            while stack:
+                u = stack.pop()
+                for v in self._adj[u]:
+                    if v not in comp:
+                        comp.add(v)
+                        stack.append(v)
+            seen |= comp
+            comps.append(frozenset(comp))
+        return comps
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+    def with_edges(
+        self,
+        add: Iterable[Tuple[NodeId, NodeId]] = (),
+        remove: Iterable[Tuple[NodeId, NodeId]] = (),
+    ) -> "Graph":
+        """Return a new graph with edges added/removed (nodes unchanged).
+
+        This is the primitive behind topology churn: the paper's model
+        keeps the node set fixed while links appear and disappear.
+        """
+        edge_set = set(self._edges)
+        for u, v in remove:
+            e = canonical_edge(u, v)
+            if e not in edge_set:
+                raise GraphError(f"cannot remove absent edge {e}")
+            edge_set.remove(e)
+        for u, v in add:
+            e = canonical_edge(u, v)
+            if e in edge_set:
+                raise GraphError(f"cannot add existing edge {e}")
+            edge_set.add(e)
+        return Graph(self._nodes, edge_set)
+
+    def subgraph(self, nodes: Iterable[NodeId]) -> "Graph":
+        """Induced subgraph on ``nodes``."""
+        keep = set(nodes)
+        for nd in keep:
+            if nd not in self._adj:
+                raise GraphError(f"unknown node {nd!r}")
+        edges = [e for e in self._edges if e[0] in keep and e[1] in keep]
+        return Graph(keep, edges)
+
+    def relabeled(self, mapping: Mapping[NodeId, NodeId]) -> "Graph":
+        """Return an isomorphic graph with node ids relabelled.
+
+        Used by experiments that randomize the *id assignment* while
+        keeping the topology fixed (both SMM's R2 and SIS's guards are
+        id-sensitive, so the id permutation is part of the workload).
+        """
+        if set(mapping) != set(self._nodes):
+            raise GraphError("relabel mapping must cover exactly the node set")
+        if len(set(mapping.values())) != len(mapping):
+            raise GraphError("relabel mapping must be injective")
+        nodes = [mapping[n] for n in self._nodes]
+        edges = [(mapping[u], mapping[v]) for u, v in self._edges]
+        return Graph(nodes, edges)
+
+    # ------------------------------------------------------------------
+    # interop
+    # ------------------------------------------------------------------
+    def to_networkx(self) -> nx.Graph:
+        """Convert to a :class:`networkx.Graph` (copies the structure)."""
+        g = nx.Graph()
+        g.add_nodes_from(self._nodes)
+        g.add_edges_from(self._edges)
+        return g
+
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[Tuple[NodeId, NodeId]], n: int | None = None
+    ) -> "Graph":
+        """Build a graph from an edge list.
+
+        If ``n`` is given, the node set is ``0..n-1``; otherwise it is
+        the set of endpoints appearing in ``edges``.
+        """
+        edge_list = [canonical_edge(u, v) for u, v in edges]
+        if n is not None:
+            nodes: Sequence[NodeId] = range(n)
+            for u, v in edge_list:
+                if not (0 <= u < n and 0 <= v < n):
+                    raise GraphError(f"edge ({u}, {v}) outside 0..{n - 1}")
+        else:
+            nodes = sorted({x for e in edge_list for x in e})
+        return cls(nodes, edge_list)
+
+    def adjacency_arrays(self):
+        """CSR-style adjacency ``(indptr, indices, ids)`` as numpy arrays.
+
+        The vectorized kernels (``repro.matching.smm_vectorized`` and
+        ``repro.mis.sis_vectorized``) consume this flat layout; see the
+        HPC guide note in DESIGN.md §5 (contiguous arrays, views not
+        copies).  ``ids[k]`` maps dense index ``k`` back to the node id;
+        ``indices`` holds *dense* neighbour indices.
+        """
+        import numpy as np
+
+        ids = np.asarray(self._nodes, dtype=np.int64)
+        pos = {node: k for k, node in enumerate(self._nodes)}
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        for k, node in enumerate(self._nodes):
+            indptr[k + 1] = indptr[k] + len(self._adj[node])
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        cursor = 0
+        for node in self._nodes:
+            for v in self._adj[node]:
+                indices[cursor] = pos[v]
+                cursor += 1
+        return indptr, indices, ids

@@ -1,0 +1,167 @@
+"""Topology churn operators modelling mobility-induced link changes.
+
+The paper's fault model (Sections 1–2) is exactly this: "occasional link
+failures and/or new link creations in the network (due to mobility of
+the hosts)".  Experiment E7 stabilizes a protocol, perturbs the topology
+with these operators and measures the rounds needed to re-stabilize.
+
+All operators keep the node set fixed and (by default) preserve
+connectivity, matching the model's standing assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence, Tuple
+
+from repro.errors import GraphError, NotConnectedError
+from repro.graphs.graph import Graph
+from repro.rng import RngLike, ensure_rng
+from repro.types import Edge, NodeId, canonical_edge
+
+
+def _non_edges(g: Graph) -> list[Edge]:
+    """All node pairs that are not currently linked."""
+    out: list[Edge] = []
+    nodes = g.nodes
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1:]:
+            if not g.has_edge(u, v):
+                out.append((u, v))
+    return out
+
+
+def _removable_edges(g: Graph, keep_connected: bool) -> list[Edge]:
+    """Edges whose removal is allowed (non-bridges if staying connected).
+
+    Bridges are found once with Tarjan's algorithm (via networkx) —
+    O(n + m) — instead of per-edge connectivity probes.
+    """
+    candidates = sorted(g.edges)
+    if not keep_connected:
+        return candidates
+    import networkx as nx
+
+    # nx.bridges handles disconnected graphs per component, so the
+    # criterion "removal must not increase the component count" holds
+    # in general
+    bridges = {canonical_edge(u, v) for u, v in nx.bridges(g.to_networkx())}
+    return [e for e in candidates if e not in bridges]
+
+
+def add_random_edge(g: Graph, rng: RngLike = None) -> Tuple[Graph, Edge]:
+    """Create a random new link (a pair of hosts moved into range).
+
+    Returns the new graph and the edge added.  Raises
+    :class:`GraphError` if the graph is already complete.
+    """
+    gen = ensure_rng(rng)
+    candidates = _non_edges(g)
+    if not candidates:
+        raise GraphError("graph is complete; no edge can be added")
+    e = candidates[int(gen.integers(len(candidates)))]
+    return g.with_edges(add=[e]), e
+
+
+def remove_random_edge(
+    g: Graph, rng: RngLike = None, *, keep_connected: bool = True
+) -> Tuple[Graph, Edge]:
+    """Fail a random link (a pair of hosts moved out of range).
+
+    With ``keep_connected=True`` only non-bridge edges are candidates,
+    honouring the paper's assumption that "the network topology remains
+    connected".  Raises :class:`NotConnectedError` when no edge can be
+    removed without disconnecting.
+    """
+    gen = ensure_rng(rng)
+    candidates = _removable_edges(g, keep_connected)
+    if not candidates:
+        raise NotConnectedError("no edge can be removed under the constraints")
+    e = candidates[int(gen.integers(len(candidates)))]
+    return g.with_edges(remove=[e]), e
+
+
+def rewire_random_edge(
+    g: Graph, rng: RngLike = None, *, keep_connected: bool = True
+) -> Tuple[Graph, Edge, Edge]:
+    """Remove one random link and add another (a host that moved).
+
+    Returns ``(graph, removed, added)``.
+    """
+    g2, removed = remove_random_edge(g, rng, keep_connected=keep_connected)
+    g3, added = add_random_edge(g2, rng)
+    return g3, removed, added
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One applied topology change, for experiment logging."""
+
+    kind: str  # "add" | "remove" | "rewire"
+    added: Tuple[Edge, ...] = field(default=())
+    removed: Tuple[Edge, ...] = field(default=())
+
+
+def apply_churn(
+    g: Graph,
+    k: int,
+    rng: RngLike = None,
+    *,
+    kinds: Sequence[str] = ("add", "remove", "rewire"),
+    keep_connected: bool = True,
+) -> Tuple[Graph, list[ChurnEvent]]:
+    """Apply ``k`` random topology changes drawn uniformly from ``kinds``.
+
+    Each change is one of:
+
+    * ``"add"``     — a new link appears,
+    * ``"remove"``  — an existing (non-bridge) link fails,
+    * ``"rewire"``  — one link fails and another appears.
+
+    Changes that are impossible in the current graph (e.g. ``add`` on a
+    complete graph) fall back to another kind; if no kind is applicable
+    the churn stops early.  Returns the final graph plus the event log.
+    """
+    if k < 0:
+        raise GraphError("churn count must be non-negative")
+    for kind in kinds:
+        if kind not in ("add", "remove", "rewire"):
+            raise GraphError(f"unknown churn kind {kind!r}")
+    gen = ensure_rng(rng)
+    events: list[ChurnEvent] = []
+    current = g
+    for _ in range(k):
+        order = list(kinds)
+        gen.shuffle(order)
+        applied = False
+        for kind in order:
+            try:
+                if kind == "add":
+                    current, e = add_random_edge(current, gen)
+                    events.append(ChurnEvent("add", added=(e,)))
+                elif kind == "remove":
+                    current, e = remove_random_edge(
+                        current, gen, keep_connected=keep_connected
+                    )
+                    events.append(ChurnEvent("remove", removed=(e,)))
+                else:
+                    current, rem, add = rewire_random_edge(
+                        current, gen, keep_connected=keep_connected
+                    )
+                    events.append(ChurnEvent("rewire", added=(add,), removed=(rem,)))
+                applied = True
+                break
+            except (GraphError, NotConnectedError):
+                continue
+        if not applied:
+            break
+    return current, events
+
+
+def edge_difference(before: Graph, after: Graph) -> Tuple[set[Edge], set[Edge]]:
+    """Return ``(created, destroyed)`` link sets between two topologies."""
+    if before.nodes != after.nodes:
+        raise GraphError("edge_difference requires identical node sets")
+    created = set(after.edges) - set(before.edges)
+    destroyed = set(before.edges) - set(after.edges)
+    return created, destroyed

@@ -1,0 +1,157 @@
+"""Predicate checkers for the global properties the protocols maintain.
+
+These are the *specifications* against which every protocol run is
+verified: a stabilized SMM configuration must induce a maximal matching
+(paper Lemma 8), a stabilized SIS configuration a maximal independent
+set (Lemma 13).  Maximal independent sets are also dominating sets, a
+fact the MIS tests exploit.
+
+All checkers are pure functions over a :class:`~repro.graphs.graph.Graph`
+plus a candidate set, written for clarity rather than speed (they run
+once per trial, not once per round).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Iterable, Mapping, Set, Tuple
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.types import Edge, NodeId, canonical_edge
+
+
+def _as_edge_set(edges: Iterable[Tuple[NodeId, NodeId]]) -> Set[Edge]:
+    return {canonical_edge(u, v) for u, v in edges}
+
+
+def is_matching(g: Graph, edges: Iterable[Tuple[NodeId, NodeId]]) -> bool:
+    """True iff ``edges`` is a matching of ``g``.
+
+    A matching is a subset of E whose members are pairwise disjoint
+    (paper Section 3).  Edges outside the graph disqualify immediately.
+    """
+    m = _as_edge_set(edges)
+    if not all(e in g.edges for e in m):
+        return False
+    used: set[NodeId] = set()
+    for u, v in m:
+        if u in used or v in used:
+            return False
+        used.add(u)
+        used.add(v)
+    return True
+
+
+def matched_nodes(edges: Iterable[Tuple[NodeId, NodeId]]) -> frozenset[NodeId]:
+    """The set of endpoints of a matching (the paper's ``M_t`` node set)."""
+    out: set[NodeId] = set()
+    for u, v in _as_edge_set(edges):
+        out.add(u)
+        out.add(v)
+    return frozenset(out)
+
+
+def is_maximal_matching(g: Graph, edges: Iterable[Tuple[NodeId, NodeId]]) -> bool:
+    """True iff ``edges`` is a matching no proper superset of which matches.
+
+    Equivalently: a matching such that every edge of ``g`` touches a
+    matched node (otherwise that edge could be added).
+    """
+    m = _as_edge_set(edges)
+    if not is_matching(g, m):
+        return False
+    covered = matched_nodes(m)
+    return all(u in covered or v in covered for u, v in g.edges)
+
+
+def is_independent_set(g: Graph, nodes: AbstractSet[NodeId]) -> bool:
+    """True iff no two members of ``nodes`` are adjacent in ``g``."""
+    s = set(nodes)
+    for nd in s:
+        if nd not in g:
+            return False
+    return all(not (u in s and v in s) for u, v in g.edges)
+
+
+def is_dominating_set(g: Graph, nodes: AbstractSet[NodeId]) -> bool:
+    """True iff every node is in ``nodes`` or adjacent to a member."""
+    s = set(nodes)
+    for nd in s:
+        if nd not in g:
+            return False
+    return all(
+        node in s or any(x in s for x in g.neighbors(node)) for node in g.nodes
+    )
+
+
+def is_maximal_independent_set(g: Graph, nodes: AbstractSet[NodeId]) -> bool:
+    """True iff ``nodes`` is independent and inclusion-maximal.
+
+    An independent set is maximal iff it is also dominating: a
+    non-dominated node could be added without breaking independence.
+    """
+    return is_independent_set(g, nodes) and is_dominating_set(g, nodes)
+
+
+def greedy_mis_by_descending_id(g: Graph) -> frozenset[NodeId]:
+    """The unique stable set of Algorithm SIS: greedy MIS by descending id.
+
+    A stable SIS configuration satisfies ``x(i) = 1`` iff no neighbour
+    ``j > i`` has ``x(j) = 1``; resolving that recursion from the
+    largest id downward yields exactly this greedy set.  Experiment E2
+    checks that every stabilized run lands on this set.
+    """
+    in_set: set[NodeId] = set()
+    for node in sorted(g.nodes, reverse=True):
+        if not any(j in in_set for j in g.neighbors(node) if j > node):
+            in_set.add(node)
+    return frozenset(in_set)
+
+
+def greedy_maximal_matching(g: Graph) -> frozenset[Edge]:
+    """A deterministic sequential maximal matching (offline comparator).
+
+    Scans edges in canonical order and adds every edge whose endpoints
+    are both free.  Used as the classical (non-fault-tolerant) baseline:
+    it produces a valid maximal matching but must be recomputed from
+    scratch on any topology change, unlike SMM which self-repairs.
+    """
+    used: set[NodeId] = set()
+    out: set[Edge] = set()
+    for u, v in sorted(g.edges):
+        if u not in used and v not in used:
+            out.add((u, v))
+            used.add(u)
+            used.add(v)
+    return frozenset(out)
+
+
+def pointer_matching(pointers: Mapping[NodeId, NodeId | None]) -> frozenset[Edge]:
+    """Extract the matched edges from a pointer configuration.
+
+    An edge ``{i, j}`` is matched iff the pointers reciprocate
+    (``i -> j`` and ``j -> i`` — the paper's ``i <-> j``).
+    """
+    out: set[Edge] = set()
+    for i, p in pointers.items():
+        if p is None or p == i:
+            continue
+        if pointers.get(p) == i:
+            out.add(canonical_edge(i, p))
+    return frozenset(out)
+
+
+def matching_number_upper_bound(g: Graph) -> int:
+    """A trivial upper bound on the matching size: ``floor(n / 2)``."""
+    return g.n // 2
+
+
+def maximum_matching_size(g: Graph) -> int:
+    """The maximum matching size, via networkx (Blossom algorithm).
+
+    Used by tests to check the classical guarantee that any *maximal*
+    matching has at least half the maximum size.
+    """
+    import networkx as nx
+
+    return len(nx.max_weight_matching(g.to_networkx(), maxcardinality=True))

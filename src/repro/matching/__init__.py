@@ -1,0 +1,70 @@
+"""Maximal matching protocols (paper Section 3).
+
+* :class:`~repro.matching.smm.SynchronousMaximalMatching` — Algorithm
+  SMM (Fig. 1): rules R1 (accept proposal), R2 (propose to the
+  minimum-id null neighbour), R3 (back off).  Stabilizes to a maximal
+  matching in at most n+1 synchronous rounds (Theorem 1).
+* :mod:`~repro.matching.variants` — the arbitrary-choice variant whose
+  non-stabilization on even cycles motivates the min-id requirement,
+  plus a randomized-choice variant used as an ablation.
+* :class:`~repro.matching.hsu_huang.HsuHuangMatching` — the central
+  daemon baseline of Hsu & Huang (IPL 1992) that the paper compares
+  against.
+* :mod:`~repro.matching.classification` — the node-type taxonomy of
+  Figs. 2–3 (M / A0 / A1 / PA / PM / PP) and the transition-diagram
+  validator.
+* :mod:`~repro.matching.smm_vectorized` — a NumPy kernel for the SMM
+  synchronous round, used by the scaling benchmarks.
+"""
+
+from repro.matching.smm import (
+    MatchingProtocolBase,
+    SynchronousMaximalMatching,
+    min_id_chooser,
+    max_id_chooser,
+    random_chooser,
+)
+from repro.matching.variants import (
+    ArbitraryChoiceSMM,
+    RandomizedSMM,
+    clockwise_chooser,
+)
+from repro.matching.hsu_huang import HsuHuangMatching
+from repro.matching.classification import (
+    ALLOWED_TRANSITIONS,
+    TRANSIENT_TYPES,
+    NodeType,
+    classify,
+    classify_node,
+    observed_transitions,
+    type_counts,
+    validate_transitions,
+)
+from repro.matching.verify import (
+    matching_of,
+    is_stable_configuration,
+    verify_execution,
+)
+
+__all__ = [
+    "MatchingProtocolBase",
+    "SynchronousMaximalMatching",
+    "ArbitraryChoiceSMM",
+    "RandomizedSMM",
+    "HsuHuangMatching",
+    "min_id_chooser",
+    "max_id_chooser",
+    "random_chooser",
+    "clockwise_chooser",
+    "NodeType",
+    "ALLOWED_TRANSITIONS",
+    "TRANSIENT_TYPES",
+    "classify",
+    "classify_node",
+    "type_counts",
+    "observed_transitions",
+    "validate_transitions",
+    "matching_of",
+    "is_stable_configuration",
+    "verify_execution",
+]

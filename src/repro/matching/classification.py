@@ -1,0 +1,205 @@
+"""Node-type taxonomy and transition diagram (paper Figs. 2–3).
+
+For any configuration the paper classifies every node (M = matched,
+P = pointing, A = aloof):
+
+* ``M``  — matched: ``i <-> j`` for some neighbour ``j``;
+* ``A``  — aloof: null pointer; refined into
+  * ``A0`` (the paper's ``A^∅``) — aloof with **no** suitor
+    (``¬∃ j ∈ N(i): j -> i``),
+  * ``A1`` — aloof with at least one suitor;
+* ``P``  — pointing, unreciprocated (``i -> j``, ``j ̸-> i``); refined
+  by the pointee's class into ``PA`` (pointee aloof), ``PM`` (pointee
+  matched), ``PP`` (pointee pointing).
+
+``{M, A, P}`` weakly partitions V; ``{A0, A1}`` partitions A and
+``{PA, PM, PP}`` partitions P.
+
+Lemmas 1–6 prove that the only possible one-round type transitions are
+the arrows of Fig. 3, encoded here in :data:`ALLOWED_TRANSITIONS`:
+
+* ``M -> M``                       (Lemma 1: matched nodes stay matched)
+* ``PM -> A0``, ``PP -> A0``       (Lemmas 2–3: back-off, and no new
+  suitor can arrive at a node that was not null)
+* ``PA -> M | PM``                 (Lemma 4: the aloof pointee must
+  accept *someone*)
+* ``A1 -> M``                      (Lemma 5: a suitor is accepted and
+  suitors cannot move)
+* ``A0 -> A0 | M | PM | PP``       (Lemma 6)
+
+Since no arrow *enters* ``A1`` or ``PA``, both are empty from round 1
+on (Lemma 7) — :data:`TRANSIENT_TYPES`.  Experiment E3 replays
+histories through :func:`observed_transitions` and checks containment
+in the diagram via :func:`validate_transitions`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.configuration import Configuration
+from repro.errors import ProtocolError
+from repro.graphs.graph import Graph
+from repro.types import NodeId, Pointer
+
+
+class NodeType(enum.Enum):
+    """The six node types of Fig. 2."""
+
+    M = "M"    # matched
+    A0 = "A0"  # aloof, no suitors (the paper's A^∅)
+    A1 = "A1"  # aloof, has suitors
+    PA = "PA"  # pointing at an aloof node
+    PM = "PM"  # pointing at a matched node
+    PP = "PP"  # pointing at a pointing node
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def is_aloof(self) -> bool:
+        return self in (NodeType.A0, NodeType.A1)
+
+    @property
+    def is_pointing(self) -> bool:
+        return self in (NodeType.PA, NodeType.PM, NodeType.PP)
+
+
+#: Fig. 3's arrows as (source, destination) pairs, including the
+#: self-loops.  A transition observed outside this set falsifies one of
+#: Lemmas 1–6.
+ALLOWED_TRANSITIONS: frozenset[Tuple[NodeType, NodeType]] = frozenset(
+    {
+        (NodeType.M, NodeType.M),
+        (NodeType.PM, NodeType.A0),
+        (NodeType.PP, NodeType.A0),
+        (NodeType.PA, NodeType.M),
+        (NodeType.PA, NodeType.PM),
+        (NodeType.A1, NodeType.M),
+        (NodeType.A0, NodeType.A0),
+        (NodeType.A0, NodeType.M),
+        (NodeType.A0, NodeType.PM),
+        (NodeType.A0, NodeType.PP),
+    }
+)
+
+#: Types with no incoming arrow: possibly non-empty only at t = 0
+#: (Lemma 7).
+TRANSIENT_TYPES: frozenset[NodeType] = frozenset({NodeType.A1, NodeType.PA})
+
+
+def classify(
+    graph: Graph, config: Mapping[NodeId, Pointer]
+) -> Dict[NodeId, NodeType]:
+    """Classify every node of ``config`` per Fig. 2."""
+    # pass 1: coarse classes
+    matched: set[NodeId] = set()
+    aloof: set[NodeId] = set()
+    for node in graph.nodes:
+        p = config[node]
+        if p is None:
+            aloof.add(node)
+        elif config[p] == node:
+            matched.add(node)
+
+    out: Dict[NodeId, NodeType] = {}
+    for node in graph.nodes:
+        p = config[node]
+        if node in matched:
+            out[node] = NodeType.M
+        elif node in aloof:
+            has_suitor = any(config[j] == node for j in graph.neighbors(node))
+            out[node] = NodeType.A1 if has_suitor else NodeType.A0
+        else:
+            # pointing, unreciprocated
+            assert p is not None
+            if p in matched:
+                out[node] = NodeType.PM
+            elif p in aloof:
+                out[node] = NodeType.PA
+            else:
+                out[node] = NodeType.PP
+    return out
+
+
+def classify_node(
+    graph: Graph, config: Mapping[NodeId, Pointer], node: NodeId
+) -> NodeType:
+    """The Fig. 2 type of a single node (convenience wrapper)."""
+    return classify(graph, config)[node]
+
+
+def type_counts(
+    graph: Graph, config: Mapping[NodeId, Pointer]
+) -> Dict[NodeType, int]:
+    """Histogram of node types — the paper's |M_t|, |A0_t|, ... ."""
+    counts = {t: 0 for t in NodeType}
+    for t in classify(graph, config).values():
+        counts[t] += 1
+    return counts
+
+
+def matched_count(graph: Graph, config: Mapping[NodeId, Pointer]) -> int:
+    """|M_t| — the number of matched *nodes* (twice the matched edges)."""
+    return type_counts(graph, config)[NodeType.M]
+
+
+def observed_transitions(
+    graph: Graph, history: Sequence[Mapping[NodeId, Pointer]]
+) -> Dict[Tuple[NodeType, NodeType], int]:
+    """Count every per-node type transition along a run history.
+
+    ``history[t]`` is the configuration after round ``t`` (with
+    ``history[0]`` the initial configuration, as produced by
+    ``record_history=True``).
+    """
+    if len(history) < 1:
+        raise ProtocolError("history must contain at least one configuration")
+    counts: Dict[Tuple[NodeType, NodeType], int] = {}
+    previous = classify(graph, history[0])
+    for config in history[1:]:
+        current = classify(graph, config)
+        for node in graph.nodes:
+            key = (previous[node], current[node])
+            counts[key] = counts.get(key, 0) + 1
+        previous = current
+    return counts
+
+
+def validate_transitions(
+    graph: Graph, history: Sequence[Mapping[NodeId, Pointer]]
+) -> None:
+    """Assert a history respects Fig. 3 and Lemma 7.
+
+    Raises ``AssertionError`` naming the offending arrow or the
+    non-empty transient set.  Used by experiment E3 and the SMM tests.
+    """
+    observed = observed_transitions(graph, history)
+    illegal = {arrow for arrow in observed if arrow not in ALLOWED_TRANSITIONS}
+    if illegal:
+        pretty = ", ".join(f"{a}->{b}" for a, b in sorted(
+            illegal, key=lambda ab: (ab[0].value, ab[1].value)
+        ))
+        raise AssertionError(f"transitions outside Fig. 3: {pretty}")
+    # Lemma 7: A1 and PA empty for every t >= 1
+    for t, config in enumerate(history[1:], start=1):
+        types = classify(graph, config)
+        bad = {n: ty for n, ty in types.items() if ty in TRANSIENT_TYPES}
+        if bad:
+            raise AssertionError(
+                f"Lemma 7 violated at round {t}: transient-typed nodes {bad}"
+            )
+
+
+def transition_matrix(
+    counts: Mapping[Tuple[NodeType, NodeType], int]
+) -> List[List[int]]:
+    """Render transition counts as a dense matrix in NodeType order
+    (rows = source, columns = destination) for table output."""
+    order = list(NodeType)
+    index = {t: k for k, t in enumerate(order)}
+    matrix = [[0] * len(order) for _ in order]
+    for (src, dst), c in counts.items():
+        matrix[index[src]][index[dst]] += c
+    return matrix

@@ -1,0 +1,57 @@
+"""The Hsu–Huang (1992) central-daemon maximal matching baseline.
+
+Su-Chu Hsu and Shing-Tsaan Huang, "A self-stabilizing algorithm for
+maximal matching", *Information Processing Letters* 43:77–81, 1992 —
+reference [15] of the paper, and the algorithm the paper positions SMM
+against:
+
+    "While the central daemon algorithm of [15] may be converted into a
+    synchronous model protocol using the techniques of [1, 16], the
+    resulting protocol is not as fast."
+
+The rules are the same pointer dance as SMM's — accept / propose /
+back off — but designed for the **central daemon** (one privileged node
+moves at a time) and with an *arbitrary* choice of null neighbour in
+the propose rule (no min-id requirement; under a central daemon the
+serial schedule already prevents the livelock).  Hsu & Huang bound the
+stabilization at ``O(n^3)`` moves (later analyses tightened this; the
+move-count experiments report measured values).
+
+Run it with :func:`repro.core.executor.run_central` for the native
+model, or with :func:`repro.core.transform.run_synchronized_central`
+for the synchronous conversion that experiment E5 compares against SMM.
+Running it raw under the synchronous daemon reproduces the livelock —
+that is exactly the arbitrary-choice variant of experiment E4.
+"""
+
+from __future__ import annotations
+
+from repro.matching.smm import Chooser, MatchingProtocolBase, min_id_chooser
+
+
+class HsuHuangMatching(MatchingProtocolBase):
+    """Hsu–Huang's three rules, parameterized by the propose choice.
+
+    The default chooser is min-id so that deterministic runs are
+    reproducible, but any chooser is correct under the central daemon —
+    pass :func:`repro.matching.smm.max_id_chooser` or a custom one to
+    probe schedule sensitivity.
+    """
+
+    name = "HsuHuang92"
+
+    def __init__(
+        self,
+        propose_chooser: Chooser = min_id_chooser,
+        accept_chooser: Chooser = min_id_chooser,
+    ) -> None:
+        super().__init__(
+            accept_chooser=accept_chooser, propose_chooser=propose_chooser
+        )
+
+
+def central_move_bound(n: int) -> int:
+    """Hsu–Huang's published move bound under the central daemon,
+    ``O(n^3)`` — returned as the concrete ``n^3`` envelope used by the
+    tests (measured runs sit far below it)."""
+    return n ** 3

@@ -1,0 +1,224 @@
+"""Executable statements of the paper's Lemmas 1–10.
+
+Each function takes a graph and a recorded SMM history (plus the move
+log where needed) and returns the list of violations — empty iff the
+lemma held on that run.  The experiment harness (E3, E6) and the test
+suite both call these, so the paper's proof obligations exist in
+exactly one place.
+
+Indexing convention (matches :class:`repro.core.executor.Execution`):
+``history[t]`` is the configuration at time ``t`` (``history[0]`` the
+initial one), and ``move_log[t]`` lists the nodes that moved *at time
+t*, i.e. during the transition ``history[t] -> history[t+1]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+from repro.graphs.graph import Graph
+from repro.matching.classification import (
+    ALLOWED_TRANSITIONS,
+    TRANSIENT_TYPES,
+    NodeType,
+    classify,
+)
+from repro.types import NodeId, Pointer
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One counterexample to a lemma, with enough context to debug."""
+
+    lemma: str
+    time: int
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.lemma} @ t={self.time}] {self.detail}"
+
+
+def _matched_sets(graph: Graph, history) -> List[frozenset[NodeId]]:
+    out = []
+    for config in history:
+        types = classify(graph, config)
+        out.append(frozenset(n for n, t in types.items() if t is NodeType.M))
+    return out
+
+
+def check_lemma_1(graph: Graph, history: Sequence[Mapping[NodeId, Pointer]]) -> List[Violation]:
+    """Lemma 1: ``M_t ⊆ M_{t+1}`` — matched nodes stay matched."""
+    sets = _matched_sets(graph, history)
+    out = []
+    for t, (a, b) in enumerate(zip(sets, sets[1:])):
+        lost = a - b
+        if lost:
+            out.append(
+                Violation("Lemma 1", t, f"nodes unmatched: {sorted(lost)}")
+            )
+    return out
+
+
+def _type_sequences(graph: Graph, history) -> List[Dict[NodeId, NodeType]]:
+    return [classify(graph, config) for config in history]
+
+
+def _containment(
+    name: str,
+    source: NodeType,
+    targets: frozenset,
+    graph: Graph,
+    history,
+) -> List[Violation]:
+    """Generic 'every source-typed node lands in targets next round'."""
+    types = _type_sequences(graph, history)
+    out = []
+    for t, (now, nxt) in enumerate(zip(types, types[1:])):
+        for node, ty in now.items():
+            if ty is source and nxt[node] not in targets:
+                out.append(
+                    Violation(
+                        name,
+                        t,
+                        f"node {node}: {source.value} -> {nxt[node].value}",
+                    )
+                )
+    return out
+
+
+def check_lemma_2(graph, history) -> List[Violation]:
+    """Lemma 2: ``PM_t ⊆ A_{t+1}`` (in fact A0: the suitors of a PM
+    node are PP nodes and back off in the same round)."""
+    return _containment(
+        "Lemma 2", NodeType.PM, frozenset({NodeType.A0}), graph, history
+    )
+
+
+def check_lemma_3(graph, history) -> List[Violation]:
+    """Lemma 3: ``PP_t ⊆ A_{t+1}`` (again, specifically A0)."""
+    return _containment(
+        "Lemma 3", NodeType.PP, frozenset({NodeType.A0}), graph, history
+    )
+
+
+def check_lemma_4(graph, history) -> List[Violation]:
+    """Lemma 4: ``PA_t ⊆ M_{t+1} ∪ PM_{t+1}``."""
+    return _containment(
+        "Lemma 4", NodeType.PA, frozenset({NodeType.M, NodeType.PM}), graph, history
+    )
+
+
+def check_lemma_5(graph, history) -> List[Violation]:
+    """Lemma 5: ``A1_t ⊆ M_{t+1}`` — a node with suitors gets matched."""
+    return _containment(
+        "Lemma 5", NodeType.A1, frozenset({NodeType.M}), graph, history
+    )
+
+
+def check_lemma_6(graph, history) -> List[Violation]:
+    """Lemma 6: ``A0_t ⊆ A0_{t+1} ∪ PM_{t+1} ∪ M_{t+1} ∪ PP_{t+1}``."""
+    return _containment(
+        "Lemma 6",
+        NodeType.A0,
+        frozenset({NodeType.A0, NodeType.PM, NodeType.M, NodeType.PP}),
+        graph,
+        history,
+    )
+
+
+def check_lemma_7(graph, history) -> List[Violation]:
+    """Lemma 7: for all ``t >= 1``, ``A1_t = PA_t = ∅``."""
+    out = []
+    for t, config in enumerate(history):
+        if t == 0:
+            continue
+        types = classify(graph, config)
+        bad = {n: ty for n, ty in types.items() if ty in TRANSIENT_TYPES}
+        if bad:
+            pretty = ", ".join(f"{n}:{ty.value}" for n, ty in sorted(bad.items()))
+            out.append(Violation("Lemma 7", t, f"transient nodes {pretty}"))
+    return out
+
+
+def check_lemma_9(graph, history, move_log) -> List[Violation]:
+    """Lemma 9: for ``t >= 1``, if some A0 node moves at time t then
+    ``|M_{t+1}| >= |M_t| + 2``."""
+    types = _type_sequences(graph, history)
+    sets = _matched_sets(graph, history)
+    out = []
+    for t, movers in enumerate(move_log):
+        if t == 0 or t + 1 >= len(sets):
+            continue
+        if any(types[t][node] is NodeType.A0 for node in movers):
+            growth = len(sets[t + 1]) - len(sets[t])
+            if growth < 2:
+                out.append(
+                    Violation(
+                        "Lemma 9", t, f"A0 moved but |M| grew by {growth}"
+                    )
+                )
+    return out
+
+
+def check_lemma_10(graph, history, move_log) -> List[Violation]:
+    """Lemma 10: for ``t >= 1``, moves at t and t+1 imply
+    ``|M_{t+2}| >= |M_t| + 2``."""
+    sets = _matched_sets(graph, history)
+    out = []
+    for t in range(1, len(move_log) - 1):
+        if move_log[t] and move_log[t + 1]:
+            growth = len(sets[t + 2]) - len(sets[t])
+            if growth < 2:
+                out.append(
+                    Violation(
+                        "Lemma 10",
+                        t,
+                        f"active rounds t,t+1 but |M| grew by {growth}",
+                    )
+                )
+    return out
+
+
+def check_figure_3(graph, history) -> List[Violation]:
+    """Figs. 2–3: every observed per-node transition is one of the ten
+    arrows of the transition diagram."""
+    types = _type_sequences(graph, history)
+    out = []
+    for t, (now, nxt) in enumerate(zip(types, types[1:])):
+        for node in graph.nodes:
+            arrow = (now[node], nxt[node])
+            if arrow not in ALLOWED_TRANSITIONS:
+                out.append(
+                    Violation(
+                        "Figure 3",
+                        t,
+                        f"node {node}: {arrow[0].value} -> {arrow[1].value}",
+                    )
+                )
+    return out
+
+
+def check_all(graph, execution) -> List[Violation]:
+    """Run every lemma check over a recorded execution.
+
+    ``execution`` must have been produced with ``record_history=True``.
+    Returns the concatenated violation list (empty iff the paper's
+    Section 3 analysis held on this run).
+    """
+    history = execution.history
+    if history is None:
+        raise ValueError("execution must be recorded with record_history=True")
+    move_log = execution.move_log
+    out: List[Violation] = []
+    out += check_lemma_1(graph, history)
+    out += check_lemma_2(graph, history)
+    out += check_lemma_3(graph, history)
+    out += check_lemma_4(graph, history)
+    out += check_lemma_5(graph, history)
+    out += check_lemma_6(graph, history)
+    out += check_lemma_7(graph, history)
+    out += check_lemma_9(graph, history, move_log)
+    out += check_lemma_10(graph, history, move_log)
+    out += check_figure_3(graph, history)
+    return out

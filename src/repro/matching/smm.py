@@ -1,0 +1,218 @@
+"""Algorithm SMM — Synchronous Maximal Matching (paper Fig. 1).
+
+Each node ``i`` maintains a single pointer variable that is either null
+(``i -> *``, encoded ``None``) or designates one neighbour (``i -> j``).
+Node ``i`` is *matched* when ``i -> j`` and ``j -> i`` (``i <-> j``).
+The three rules, verbatim from the paper:
+
+``R1``  if ``(i -> *) ∧ (∃ j ∈ N(i): j -> i)``
+        then ``i -> j``                                 *(accept proposal)*
+
+``R2``  if ``(i -> *) ∧ (∀ k ∈ N(i): k ̸-> i) ∧ (∃ j ∈ N(i): j -> *)``
+        then ``i -> min{ j ∈ N(i) : j -> * }``          *(make proposal)*
+
+``R3``  if ``(i -> j ∧ j -> k ≠ * ∧ k ≠ i)``
+        then ``i -> *``                                 *(back off)*
+
+Under the synchronous daemon the protocol stabilizes, from any initial
+configuration, to a configuration whose reciprocated pointers form a
+maximal matching — in at most ``n + 1`` rounds (Theorem 1).
+
+Rule R1's choice among proposers is unconstrained in the paper ("may
+select"); rule R2's choice **must** be the minimum-id null neighbour —
+Section 3 shows a 4-cycle oscillating forever under an arbitrary
+choice (see :mod:`repro.matching.variants` and experiment E4).  Both
+choices are injectable here so baselines and counterexamples reuse this
+class; :class:`SynchronousMaximalMatching` pins R2 to min-id.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.protocol import Protocol, Rule, View
+from repro.errors import InvalidConfigurationError, ProtocolError
+from repro.graphs.graph import Graph
+from repro.graphs.properties import is_maximal_matching, pointer_matching
+from repro.types import NodeId, Pointer
+
+#: A chooser picks one node among a non-empty ascending candidate tuple,
+#: given the chooser's local view (for id- or randomness-based picks).
+Chooser = Callable[[View, Tuple[NodeId, ...]], NodeId]
+
+
+def min_id_chooser(view: View, candidates: Tuple[NodeId, ...]) -> NodeId:
+    """The minimum-id candidate — the choice Theorem 1 requires for R2."""
+    return candidates[0]
+
+
+def max_id_chooser(view: View, candidates: Tuple[NodeId, ...]) -> NodeId:
+    """The maximum-id candidate (an 'arbitrary but deterministic' pick)."""
+    return candidates[-1]
+
+
+def random_chooser(view: View, candidates: Tuple[NodeId, ...]) -> NodeId:
+    """A uniformly random candidate driven by the node's per-round
+    variate (requires a protocol with ``uses_randomness = True``)."""
+    index = min(int(view.rand * len(candidates)), len(candidates) - 1)
+    return candidates[index]
+
+
+class MatchingProtocolBase(Protocol[Pointer]):
+    """Pointer-based matching rules with injectable choice functions.
+
+    The local state is ``None`` (null) or a neighbour id.  Subclasses /
+    instances fix the two choosers:
+
+    * ``accept_chooser`` — R1's pick among current proposers;
+    * ``propose_chooser`` — R2's pick among null neighbours.
+    """
+
+    name = "pointer-matching"
+
+    def __init__(
+        self,
+        accept_chooser: Chooser = min_id_chooser,
+        propose_chooser: Chooser = min_id_chooser,
+    ) -> None:
+        self._accept = accept_chooser
+        self._propose = propose_chooser
+        self._rules = (
+            Rule(
+                name="R1",
+                guard=self._r1_guard,
+                action=self._r1_action,
+                description="accept proposal",
+            ),
+            Rule(
+                name="R2",
+                guard=self._r2_guard,
+                action=self._r2_action,
+                description="make proposal",
+            ),
+            Rule(
+                name="R3",
+                guard=self._r3_guard,
+                action=self._r3_action,
+                description="back off",
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # rules (guards read only the local view, as the model requires)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _proposers(view: View) -> Tuple[NodeId, ...]:
+        """Neighbours currently pointing at this node."""
+        me = view.node
+        return view.neighbors_where(lambda j, s: s == me)
+
+    @staticmethod
+    def _null_neighbors(view: View) -> Tuple[NodeId, ...]:
+        return view.neighbors_where(lambda j, s: s is None)
+
+    def _r1_guard(self, view: View) -> bool:
+        return view.state is None and bool(self._proposers(view))
+
+    def _r1_action(self, view: View) -> Pointer:
+        return self._choose(self._accept, view, self._proposers(view))
+
+    def _r2_guard(self, view: View) -> bool:
+        return (
+            view.state is None
+            and not self._proposers(view)
+            and bool(self._null_neighbors(view))
+        )
+
+    def _r2_action(self, view: View) -> Pointer:
+        return self._choose(self._propose, view, self._null_neighbors(view))
+
+    @staticmethod
+    def _r3_guard(view: View) -> bool:
+        j = view.state
+        if j is None:
+            return False
+        target = view.state_of(j)
+        return target is not None and target != view.node
+
+    @staticmethod
+    def _r3_action(view: View) -> Pointer:
+        return None
+
+    def _choose(
+        self, chooser: Chooser, view: View, candidates: Tuple[NodeId, ...]
+    ) -> NodeId:
+        pick = chooser(view, candidates)
+        if pick not in candidates:
+            raise ProtocolError(
+                f"chooser returned {pick!r}, not one of {candidates!r}"
+            )
+        return pick
+
+    # ------------------------------------------------------------------
+    # Protocol interface
+    # ------------------------------------------------------------------
+    def rules(self) -> Sequence[Rule[Pointer]]:
+        return self._rules
+
+    def initial_state(self, node: NodeId, graph: Graph) -> Pointer:
+        """Clean start: every pointer null (the paper's ``i -> *``)."""
+        return None
+
+    def random_state(
+        self, node: NodeId, graph: Graph, rng: np.random.Generator
+    ) -> Pointer:
+        """Uniform over the local state space ``{null} ∪ N(i)``."""
+        options: list[Pointer] = [None, *graph.neighbors(node)]
+        return options[int(rng.integers(len(options)))]
+
+    def validate_state(self, node: NodeId, graph: Graph, state: Pointer) -> None:
+        if state is None:
+            return
+        if state == node or not graph.has_edge(node, state):
+            raise InvalidConfigurationError(
+                f"node {node}: pointer {state!r} is not a neighbour"
+            )
+
+    def sanitize_state(self, node: NodeId, graph: Graph, state: Pointer) -> Pointer:
+        """Reset pointers dangling over failed links (Section 2: the
+        neighbour-discovery protocol evicts vanished neighbours)."""
+        if state is not None and (state == node or not graph.has_edge(node, state)):
+            return None
+        return state
+
+    def is_legitimate(
+        self, graph: Graph, config: Mapping[NodeId, Pointer]
+    ) -> bool:
+        """Lemma 8's characterization of stable configurations: the
+        reciprocated pointers form a *maximal* matching and every
+        unmatched node has a null pointer."""
+        matching = pointer_matching(dict(config))
+        if not is_maximal_matching(graph, matching):
+            return False
+        matched = {x for e in matching for x in e}
+        return all(
+            config[node] is None for node in graph.nodes if node not in matched
+        )
+
+
+class SynchronousMaximalMatching(MatchingProtocolBase):
+    """Algorithm SMM exactly as published: R2 picks the minimum-id null
+    neighbour (required for Theorem 1's n+1-round stabilization); R1
+    accepts the minimum-id proposer (any deterministic choice is
+    admissible — "may select").
+    """
+
+    name = "SMM"
+
+    def __init__(self, accept_chooser: Chooser = min_id_chooser) -> None:
+        super().__init__(
+            accept_chooser=accept_chooser, propose_chooser=min_id_chooser
+        )
+
+
+def theoretical_round_bound(graph: Graph) -> int:
+    """Theorem 1's bound on SMM stabilization: ``n + 1`` rounds."""
+    return graph.n + 1

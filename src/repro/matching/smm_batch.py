@@ -1,0 +1,156 @@
+"""Batch-vectorized SMM: step many independent runs simultaneously.
+
+Experiment sweeps run the same protocol on the same graph from many
+initial configurations (E1: dozens of random starts per cell; the
+exhaustive sweeps: hundreds).  Stepping them one at a time leaves
+vectorization on the table — the round kernel is embarrassingly
+parallel across runs.  :class:`BatchSMM` holds a ``(k, n)`` pointer
+matrix (one row per run) and advances all non-stabilized rows each
+round with the same CSR-segment operations as the single-run kernel,
+vectorized over the batch axis.
+
+Equivalence with the single-run kernel (hence, transitively, with the
+reference engine) is pinned by ``tests/test_batch_kernels.py``.
+
+Implementation note (per the HPC guides' broadcasting advice): the
+segmented minima use ``np.minimum.at`` with flat indices computed once,
+so the hot loop allocates only the per-round value matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import StabilizationTimeout
+from repro.graphs.graph import Graph
+from repro.matching.smm_vectorized import VectorizedSMM
+
+
+@dataclass
+class BatchResult:
+    """Summary of a batch run."""
+
+    stabilized: np.ndarray   #: (k,) bool — per-run stabilization flag
+    rounds: np.ndarray       #: (k,) int — rounds used by each run
+    final_ptr: np.ndarray    #: (k, n) final pointer matrix
+
+    @property
+    def all_stabilized(self) -> bool:
+        return bool(self.stabilized.all())
+
+    def max_rounds(self) -> int:
+        return int(self.rounds.max(initial=0))
+
+
+class BatchSMM:
+    """SMM rounds vectorized across a batch of runs on one graph."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self.single = VectorizedSMM(graph)  # reused for encode/decode
+        indptr, indices, ids = graph.adjacency_arrays()
+        self.n = graph.n
+        self._indices = indices
+        self._row = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(indptr))
+        self._arange_n = np.arange(self.n, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def encode_batch(self, configs: Sequence) -> np.ndarray:
+        """Stack ``{node: pointer}`` mappings into a (k, n) matrix."""
+        return np.stack([self.single.encode(cfg) for cfg in configs])
+
+    def decode_batch(self, ptrs: np.ndarray):
+        return [self.single.decode(ptrs[i]) for i in range(ptrs.shape[0])]
+
+    # ------------------------------------------------------------------
+    def step_batch(self, ptrs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """One synchronous round for every row.
+
+        Returns ``(new_ptrs, moved)`` where ``moved`` is a (k,) bool
+        array flagging rows in which at least one rule fired.
+        """
+        k, n = ptrs.shape
+        assert n == self.n
+        indices = self._indices
+        row = self._row
+        sentinel = n
+
+        neighbor_ptr = ptrs[:, indices]            # (k, E)
+        is_null = ptrs < 0                          # (k, n)
+
+        proposer_entry = neighbor_ptr == row        # (k, E) broadcast row
+        vals = np.where(proposer_entry, indices, sentinel)
+        min_proposer = np.full((k, n), sentinel, dtype=np.int64)
+        # flat scatter-min: row index within batch * n + owner
+        flat_owner = (np.arange(k)[:, None] * n + row).ravel()
+        np.minimum.at(min_proposer.reshape(-1), flat_owner, vals.ravel())
+        has_proposer = min_proposer < sentinel
+
+        null_entry = neighbor_ptr < 0
+        vals2 = np.where(null_entry, indices, sentinel)
+        min_null = np.full((k, n), sentinel, dtype=np.int64)
+        np.minimum.at(min_null.reshape(-1), flat_owner, vals2.ravel())
+        has_null = min_null < sentinel
+
+        r1 = is_null & has_proposer
+        r2 = is_null & ~has_proposer & has_null
+
+        safe_target = np.where(is_null, 0, ptrs)
+        target_ptr = np.take_along_axis(ptrs, safe_target, axis=1)
+        r3 = (~is_null) & (target_ptr >= 0) & (target_ptr != self._arange_n)
+
+        new_ptrs = ptrs.copy()
+        new_ptrs[r1] = min_proposer[r1]
+        new_ptrs[r2] = min_null[r2]
+        new_ptrs[r3] = -1
+        moved = (r1 | r2 | r3).any(axis=1)
+        return new_ptrs, moved
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        configs,
+        *,
+        max_rounds: Optional[int] = None,
+        raise_on_timeout: bool = False,
+    ) -> BatchResult:
+        """Run every row to stabilization (or the shared round budget).
+
+        ``configs`` is a sequence of mappings or a prepared (k, n) int
+        matrix.  Already-stabilized rows are frozen (their pointers no
+        longer change), so mixed batches cost only as many rounds as
+        the slowest member.
+        """
+        if isinstance(configs, np.ndarray):
+            ptrs = configs.astype(np.int64, copy=True)
+        else:
+            ptrs = self.encode_batch(configs)
+        k = ptrs.shape[0]
+        budget = max_rounds if max_rounds is not None else self.n + 8
+
+        active = np.ones(k, dtype=bool)
+        rounds = np.zeros(k, dtype=np.int64)
+        for _ in range(budget + 1):
+            new_ptrs, moved = self.step_batch(ptrs)
+            moved &= active
+            if not moved.any():
+                active[:] = False
+                break
+            ptrs[moved] = new_ptrs[moved]
+            rounds[moved] += 1
+        else:  # budget exhausted: which rows are still moving?
+            _, moved = self.step_batch(ptrs)
+            active = moved
+
+        result = BatchResult(
+            stabilized=~active, rounds=rounds, final_ptr=ptrs
+        )
+        if raise_on_timeout and not result.all_stabilized:
+            raise StabilizationTimeout(
+                f"batch SMM: {int(active.sum())} runs exceeded {budget} rounds",
+                result,
+            )
+        return result

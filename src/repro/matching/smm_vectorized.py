@@ -1,0 +1,192 @@
+"""Vectorized SMM synchronous rounds (NumPy kernel).
+
+The reference engine (:mod:`repro.core.executor`) builds per-node view
+objects each round — ideal for clarity, monitors and rule accounting,
+but Python-loop bound.  Following the optimization workflow of the HPC
+guides (make it work, make it right, then vectorize the measured hot
+loop), this module re-implements exactly one thing — the SMM
+synchronous round with min-id choosers — as array operations over a
+CSR adjacency, for the large-``n`` scaling benchmarks (experiment E10).
+
+Pointer encoding: ``ptr[k] ∈ {-1} ∪ {0..n-1}`` over *dense* node
+indices (``-1`` is null).  :func:`repro.graphs.graph.Graph.adjacency_arrays`
+guarantees dense index order equals id order, so "minimum dense index"
+below is "minimum id", matching rules R1/R2 of the reference protocol.
+
+Equivalence with the reference engine is pinned by
+``tests/test_smm_vectorized.py`` on random graphs and random initial
+configurations, round by round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.configuration import Configuration
+from repro.errors import InvalidConfigurationError, StabilizationTimeout
+from repro.graphs.graph import Graph
+from repro.types import NodeId, Pointer
+
+
+@dataclass
+class VectorResult:
+    """Summary of a vectorized run (mirrors the fields experiments read
+    from :class:`repro.core.executor.Execution`)."""
+
+    stabilized: bool
+    rounds: int
+    moves: int
+    moves_by_rule: Dict[str, int]
+    final_ptr: np.ndarray  # dense pointer array, -1 = null
+
+
+class VectorizedSMM:
+    """SMM rounds as NumPy array operations over one fixed graph."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        indptr, indices, ids = graph.adjacency_arrays()
+        self._indptr = indptr
+        self._indices = indices
+        self._ids = ids
+        self._id_to_dense = {int(node): k for k, node in enumerate(ids)}
+        self.n = graph.n
+        # row owner of each CSR entry, precomputed once (no per-round
+        # allocation for it)
+        self._row = np.repeat(
+            np.arange(self.n, dtype=np.int64), np.diff(indptr)
+        )
+
+    # ------------------------------------------------------------------
+    # encoding helpers
+    # ------------------------------------------------------------------
+    def encode(self, config) -> np.ndarray:
+        """Dense pointer array from a ``{node: Pointer}`` mapping."""
+        ptr = np.full(self.n, -1, dtype=np.int64)
+        for node, p in dict(config).items():
+            k = self._id_to_dense[int(node)]
+            if p is not None:
+                try:
+                    ptr[k] = self._id_to_dense[int(p)]
+                except KeyError:
+                    raise InvalidConfigurationError(
+                        f"pointer target {p!r} is not a node"
+                    ) from None
+        return ptr
+
+    def decode(self, ptr: np.ndarray) -> Configuration:
+        """``{node: Pointer}`` configuration from a dense pointer array."""
+        states: Dict[NodeId, Pointer] = {}
+        for k in range(self.n):
+            target = int(ptr[k])
+            states[int(self._ids[k])] = None if target < 0 else int(self._ids[target])
+        return Configuration(states)
+
+    # ------------------------------------------------------------------
+    # the round kernel
+    # ------------------------------------------------------------------
+    def step(self, ptr: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """One synchronous round.
+
+        Returns ``(new_ptr, r1_mask, r2_mask, r3_mask)`` where the masks
+        flag the nodes that fired each rule.
+        """
+        n = self.n
+        indices = self._indices
+        row = self._row
+        sentinel = n  # acts as +inf for segmented minima
+
+        neighbor_ptr = ptr[indices]  # pointer of each CSR neighbour entry
+        is_null = ptr < 0
+
+        # min proposer per node: neighbours j with ptr[j] == me
+        proposer_entry = neighbor_ptr == row
+        vals = np.where(proposer_entry, indices, sentinel)
+        min_proposer = np.full(n, sentinel, dtype=np.int64)
+        np.minimum.at(min_proposer, row, vals)
+        has_proposer = min_proposer < sentinel
+
+        # min null neighbour per node
+        null_entry = neighbor_ptr < 0
+        vals2 = np.where(null_entry, indices, sentinel)
+        min_null = np.full(n, sentinel, dtype=np.int64)
+        np.minimum.at(min_null, row, vals2)
+        has_null_neighbor = min_null < sentinel
+
+        r1 = is_null & has_proposer
+        r2 = is_null & ~has_proposer & has_null_neighbor
+
+        # R3: i -> j, j -> k with k not in {null, i}
+        target = np.where(is_null, 0, ptr)  # safe index; masked below
+        target_ptr = ptr[target]
+        r3 = (~is_null) & (target_ptr >= 0) & (target_ptr != np.arange(n))
+
+        new_ptr = ptr.copy()
+        new_ptr[r1] = min_proposer[r1]
+        new_ptr[r2] = min_null[r2]
+        new_ptr[r3] = -1
+        return new_ptr, r1, r2, r3
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        config=None,
+        *,
+        max_rounds: Optional[int] = None,
+        raise_on_timeout: bool = False,
+    ) -> VectorResult:
+        """Iterate rounds until no rule fires.
+
+        ``config`` may be a ``{node: Pointer}`` mapping or a dense
+        pointer array; ``None`` starts all-null.
+        """
+        if config is None:
+            ptr = np.full(self.n, -1, dtype=np.int64)
+        elif isinstance(config, np.ndarray):
+            ptr = config.astype(np.int64, copy=True)
+        else:
+            ptr = self.encode(config)
+
+        budget = max_rounds if max_rounds is not None else self.n + 8
+        moves_by_rule = {"R1": 0, "R2": 0, "R3": 0}
+        rounds = 0
+        stabilized = False
+        while True:
+            new_ptr, r1, r2, r3 = self.step(ptr)
+            fired = int(r1.sum() + r2.sum() + r3.sum())
+            if fired == 0:
+                stabilized = True
+                break
+            if rounds >= budget:
+                break
+            ptr = new_ptr
+            rounds += 1
+            moves_by_rule["R1"] += int(r1.sum())
+            moves_by_rule["R2"] += int(r2.sum())
+            moves_by_rule["R3"] += int(r3.sum())
+        result = VectorResult(
+            stabilized=stabilized,
+            rounds=rounds,
+            moves=sum(moves_by_rule.values()),
+            moves_by_rule=moves_by_rule,
+            final_ptr=ptr,
+        )
+        if raise_on_timeout and not stabilized:
+            raise StabilizationTimeout(
+                f"vectorized SMM exceeded {budget} rounds", result
+            )
+        return result
+
+    def matching(self, ptr: np.ndarray) -> frozenset[tuple[NodeId, NodeId]]:
+        """Extract matched edges (reciprocated pointers) from a dense
+        pointer array, in node ids."""
+        out = set()
+        targets = ptr
+        for k in range(self.n):
+            t = int(targets[k])
+            if t >= 0 and int(targets[t]) == k and k < t:
+                out.add((int(self._ids[k]), int(self._ids[t])))
+        return frozenset(out)

@@ -1,0 +1,94 @@
+"""SMM variants probing the necessity of the min-id choice in R2.
+
+Section 3 of the paper closes with:
+
+    "It is interesting to note that in rule R2 of Algorithm SMM, it is
+    necessary that i select a minimum neighbor j, rather than an
+    arbitrary neighbor.  For if we were to omit this requirement, the
+    algorithm may not stabilize: Consider a four cycle, with all
+    pointers initially null, which repeatedly select their clockwise
+    neighbor using rule R2, and then execute rule R3."
+
+:class:`ArbitraryChoiceSMM` with :func:`clockwise_chooser` reproduces
+exactly that oscillation (experiment E4): on ``C_4`` starting all-null,
+every node proposes clockwise, nobody is reciprocated, everybody backs
+off, forever — period-2 livelock.
+
+:class:`RandomizedSMM` is the natural ablation: choices are uniform
+random per round.  Symmetry is then broken with probability bounded
+away from zero each cycle, so it stabilizes almost surely — but with
+unbounded worst-case time, which is precisely the guarantee gap the
+deterministic min-id rule closes.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.protocol import View
+from repro.matching.smm import (
+    Chooser,
+    MatchingProtocolBase,
+    min_id_chooser,
+    random_chooser,
+)
+from repro.types import NodeId
+
+
+def clockwise_chooser(n: int) -> Chooser:
+    """A chooser for cycle graphs ``C_n`` (ids ``0..n-1`` around the
+    ring): among the candidates, prefer the clockwise neighbour
+    ``(i + 1) mod n``; fall back to the minimum id.
+
+    With this chooser the all-null configuration of ``C_n`` (n even)
+    livelocks under :class:`ArbitraryChoiceSMM`: the clockwise neighbour
+    of a null node is always itself null, so R2 always proposes
+    clockwise and no proposal is ever mutual.
+    """
+
+    def choose(view: View, candidates: Tuple[NodeId, ...]) -> NodeId:
+        clockwise = (view.node + 1) % n
+        if clockwise in candidates:
+            return clockwise
+        return candidates[0]
+
+    return choose
+
+
+class ArbitraryChoiceSMM(MatchingProtocolBase):
+    """SMM with R2's min-id requirement dropped.
+
+    The supplied ``propose_chooser`` plays the adversary that the
+    paper's "arbitrary neighbor" allows.  Correct when it stabilizes
+    (the stable configurations are the same as SMM's) but — as the
+    counterexample shows — it may never stabilize.
+    """
+
+    name = "SMM-arbitrary"
+
+    def __init__(
+        self,
+        propose_chooser: Chooser,
+        accept_chooser: Chooser = min_id_chooser,
+    ) -> None:
+        super().__init__(
+            accept_chooser=accept_chooser, propose_chooser=propose_chooser
+        )
+
+
+class RandomizedSMM(MatchingProtocolBase):
+    """SMM with uniform-random choices in both R1 and R2.
+
+    Uses the executor's per-round variates; each node's pick is a
+    deterministic function of its variate, so the protocol remains a
+    legal randomized guarded-rule system (the variate travels on the
+    beacon like any other state).
+    """
+
+    name = "SMM-randomized"
+    uses_randomness = True
+
+    def __init__(self) -> None:
+        super().__init__(
+            accept_chooser=random_chooser, propose_chooser=random_chooser
+        )

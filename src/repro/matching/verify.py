@@ -1,0 +1,72 @@
+"""Verification helpers for matching executions.
+
+These wrap the generic predicate checkers of
+:mod:`repro.graphs.properties` for pointer configurations and whole
+:class:`~repro.core.executor.Execution` records.  Every matching test
+and experiment funnels through :func:`verify_execution`, which checks
+the full contract of Theorem 1 / Lemma 8 on a completed run.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.executor import Execution
+from repro.graphs.graph import Graph
+from repro.graphs.properties import (
+    is_matching,
+    is_maximal_matching,
+    pointer_matching,
+)
+from repro.types import Edge, NodeId, Pointer
+
+
+def matching_of(config: Mapping[NodeId, Pointer]) -> frozenset[Edge]:
+    """The matched edges of a pointer configuration (``i <-> j`` pairs)."""
+    return pointer_matching(dict(config))
+
+
+def is_stable_configuration(
+    graph: Graph, config: Mapping[NodeId, Pointer]
+) -> bool:
+    """Lemma 8's characterization, checked directly on the states:
+    reciprocated pointers form a maximal matching and every unmatched
+    node is aloof (null pointer)."""
+    matching = matching_of(config)
+    if not is_maximal_matching(graph, matching):
+        return False
+    matched = {x for e in matching for x in e}
+    return all(config[n] is None for n in graph.nodes if n not in matched)
+
+
+def verify_execution(graph: Graph, execution: Execution) -> frozenset[Edge]:
+    """Full post-run contract check; returns the final matching.
+
+    Asserts (raising ``AssertionError`` with a description otherwise):
+
+    1. the run stabilized;
+    2. the executor's own legitimacy evaluation agrees;
+    3. the final matching is a valid matching of the *current* graph;
+    4. it is maximal;
+    5. unmatched nodes are aloof.
+    """
+    if not execution.stabilized:
+        raise AssertionError(
+            f"{execution.protocol_name} did not stabilize "
+            f"({execution.rounds} rounds, {execution.moves} moves)"
+        )
+    if not execution.legitimate:
+        raise AssertionError("stabilized configuration is not legitimate")
+    final = execution.final
+    matching = matching_of(final)
+    if not is_matching(graph, matching):
+        raise AssertionError(f"final pointers do not form a matching: {matching}")
+    if not is_maximal_matching(graph, matching):
+        raise AssertionError(f"final matching is not maximal: {matching}")
+    matched = {x for e in matching for x in e}
+    loose = {
+        n: final[n] for n in graph.nodes if n not in matched and final[n] is not None
+    }
+    if loose:
+        raise AssertionError(f"unmatched nodes with non-null pointers: {loose}")
+    return matching

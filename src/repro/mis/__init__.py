@@ -1,0 +1,35 @@
+"""Maximal independent set protocols (paper Section 4).
+
+* :class:`~repro.mis.sis.SynchronousMaximalIndependentSet` — Algorithm
+  SIS/SMI (Fig. 4): two id-driven rules; stabilizes in O(n) rounds
+  (Theorem 2) to the *unique* fixpoint — the greedy MIS by descending
+  id.
+* :mod:`~repro.mis.variants` — an id-free central-daemon MIS baseline
+  (which livelocks under the synchronous daemon, illuminating why SIS
+  compares ids) and a Luby-style randomized synchronous comparator.
+* :mod:`~repro.mis.verify` — execution contract checks.
+* :mod:`~repro.mis.sis_vectorized` / :mod:`~repro.mis.sis_batch` /
+  :mod:`~repro.mis.luby_vectorized` — NumPy kernels (single run, batch
+  of runs, and the randomized comparator — the latter draw-for-draw
+  identical to the reference engine).
+"""
+
+from repro.mis.luby_vectorized import VectorizedLuby
+from repro.mis.sis import SynchronousMaximalIndependentSet, sis_round_bound
+from repro.mis.variants import CentralDaemonMIS, LubyStyleMIS
+from repro.mis.verify import (
+    independent_set_of,
+    is_stable_configuration,
+    verify_execution,
+)
+
+__all__ = [
+    "SynchronousMaximalIndependentSet",
+    "sis_round_bound",
+    "CentralDaemonMIS",
+    "LubyStyleMIS",
+    "VectorizedLuby",
+    "independent_set_of",
+    "is_stable_configuration",
+    "verify_execution",
+]

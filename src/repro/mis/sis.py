@@ -1,0 +1,120 @@
+"""Algorithm SIS (the paper also calls it SMI) — Synchronous Maximal
+Independent Set (paper Fig. 4).
+
+Each node ``i`` holds one bit ``x(i)``; ``x(i) = 1`` means "in the
+set".  The two rules, with ids totally ordered ("we assume that no two
+neighbors have the same ID"):
+
+``R1``  if ``x(i) = 0 ∧ ¬∃ j ∈ N(i): j > i ∧ x(j) = 1``
+        then ``x(i) := 1``                       *(enter the set)*
+
+``R2``  if ``x(i) = 1 ∧ ∃ j ∈ N(i): j > i ∧ x(j) = 1``
+        then ``x(i) := 0``                       *(leave the set)*
+
+**Theorem 2**: the protocol stabilizes in O(n) synchronous rounds; the
+proof sketch peels the graph two rounds per "layer": largest nodes
+enter at round 1 and never leave, their neighbours are forced out
+permanently by round 2, the locally largest remaining nodes enter next,
+and so on.
+
+A configuration is stable iff ``x(i) = 1 ⟺ no neighbour j > i has
+x(j) = 1`` — a recursion with exactly one solution: the **greedy MIS by
+descending id** (resolve ids from the largest down).  Stable
+configurations therefore do not merely form *some* MIS (Lemma 13);
+they form a canonical one, and every run lands on it.  Experiment E2
+checks both facts.
+
+A subtlety worth recording: *MIS-ness itself is not closed* under SIS's
+rules.  A configuration whose set is a maximal independent set other
+than the greedy one is still unstable (some out-node with no larger
+in-set neighbour fires R1, transiently breaking independence).  The
+protocol's invariant class is the fixpoint characterization above, not
+"is an MIS"; :meth:`is_legitimate` implements the fixpoint check and a
+dedicated test documents the non-closure of plain MIS-ness.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.protocol import Protocol, Rule, View
+from repro.errors import InvalidConfigurationError
+from repro.graphs.graph import Graph
+from repro.graphs.properties import greedy_mis_by_descending_id
+from repro.types import NodeId
+
+
+class SynchronousMaximalIndependentSet(Protocol[int]):
+    """Algorithm SIS exactly as published."""
+
+    name = "SIS"
+
+    def __init__(self) -> None:
+        self._rules = (
+            Rule(
+                name="R1",
+                guard=self._r1_guard,
+                action=lambda view: 1,
+                description="enter the set",
+            ),
+            Rule(
+                name="R2",
+                guard=self._r2_guard,
+                action=lambda view: 0,
+                description="leave the set",
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _bigger_in_set(view: View) -> bool:
+        """``∃ j ∈ N(i): j > i ∧ x(j) = 1``."""
+        me = view.node
+        return view.any_neighbor(lambda j, s: j > me and s == 1)
+
+    def _r1_guard(self, view: View) -> bool:
+        return view.state == 0 and not self._bigger_in_set(view)
+
+    def _r2_guard(self, view: View) -> bool:
+        return view.state == 1 and self._bigger_in_set(view)
+
+    # ------------------------------------------------------------------
+    def rules(self) -> Sequence[Rule[int]]:
+        return self._rules
+
+    def initial_state(self, node: NodeId, graph: Graph) -> int:
+        """Clean start: nobody in the set."""
+        return 0
+
+    def random_state(
+        self, node: NodeId, graph: Graph, rng: np.random.Generator
+    ) -> int:
+        return int(rng.integers(2))
+
+    def validate_state(self, node: NodeId, graph: Graph, state: int) -> None:
+        if state not in (0, 1):
+            raise InvalidConfigurationError(
+                f"node {node}: SIS state must be 0 or 1, got {state!r}"
+            )
+
+    def is_legitimate(self, graph: Graph, config: Mapping[NodeId, int]) -> bool:
+        """The stable-configuration predicate:
+        ``x(i) = 1 ⟺ ¬∃ j ∈ N(i): j > i ∧ x(j) = 1`` for every node —
+        equivalently, the in-set nodes are exactly the greedy MIS by
+        descending id."""
+        for i in graph.nodes:
+            blocked = any(j > i and config[j] == 1 for j in graph.neighbors(i))
+            if (config[i] == 1) == blocked:
+                return False
+        return True
+
+    def stable_set(self, graph: Graph) -> frozenset[NodeId]:
+        """The unique stable set — greedy MIS by descending id."""
+        return greedy_mis_by_descending_id(graph)
+
+
+def sis_round_bound(graph: Graph) -> int:
+    """Theorem 2's stabilization bound for SIS: at most ``n`` rounds."""
+    return graph.n

@@ -1,0 +1,173 @@
+"""MIS comparators: an id-free central-daemon baseline and a
+Luby-style randomized synchronous protocol.
+
+Both exist to situate Algorithm SIS:
+
+* :class:`CentralDaemonMIS` is the folklore self-stabilizing MIS that
+  predates the paper — enter when undominated, leave on any in-set
+  neighbour, no id comparison.  Correct under the **central** daemon,
+  but under the synchronous daemon two adjacent out-nodes can enter
+  together and then leave together, forever: the exact analogue of the
+  matching counterexample, and the reason SIS's guards compare ids.
+  (Section 5: centrally-solvable problems are synchronously solvable —
+  but only via conversion; the raw central algorithm does not port.)
+
+* :class:`LubyStyleMIS` breaks symmetry with per-round randomness
+  instead of ids, in the spirit of Luby (1986): an out-node enters when
+  undominated *and* it beats every undominated out-neighbour on the
+  round's (variate, id) draw; of two adjacent in-nodes the smaller draw
+  leaves.  Converges almost surely with O(log n)-ish expected rounds on
+  bounded-degree graphs — the classical trade: faster than SIS's Θ(n)
+  worst case, but only probabilistically and with per-round random bits
+  on every beacon.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.protocol import Protocol, Rule, View
+from repro.errors import InvalidConfigurationError
+from repro.graphs.graph import Graph
+from repro.graphs.properties import is_maximal_independent_set
+from repro.types import NodeId
+
+
+class _BitProtocol(Protocol[int]):
+    """Shared plumbing for 0/1-state MIS protocols."""
+
+    def initial_state(self, node: NodeId, graph: Graph) -> int:
+        return 0
+
+    def random_state(
+        self, node: NodeId, graph: Graph, rng: np.random.Generator
+    ) -> int:
+        return int(rng.integers(2))
+
+    def validate_state(self, node: NodeId, graph: Graph, state: int) -> None:
+        if state not in (0, 1):
+            raise InvalidConfigurationError(
+                f"node {node}: state must be 0 or 1, got {state!r}"
+            )
+
+    def is_legitimate(self, graph: Graph, config: Mapping[NodeId, int]) -> bool:
+        """Stability for these variants is plain MIS-ness: no node has
+        both rules disabled outside an MIS."""
+        in_set = {n for n in graph.nodes if config[n] == 1}
+        return is_maximal_independent_set(graph, in_set)
+
+
+class CentralDaemonMIS(_BitProtocol):
+    """Id-free MIS for the central daemon.
+
+    ``R1``: ``x(i)=0 ∧ ¬∃ j ∈ N(i): x(j)=1  →  x(i):=1``
+    ``R2``: ``x(i)=1 ∧  ∃ j ∈ N(i): x(j)=1  →  x(i):=0``
+
+    Every central-daemon execution stabilizes in at most ``2n`` moves
+    (each R2 move is enabled only from an illegitimate start or after
+    an adversary's interleaving; the potential |{i: rules disabled}|
+    grows monotonically under any serial schedule).  Under the
+    synchronous daemon it livelocks on any edge whose endpoints start
+    ``0,0`` with no other in-set neighbours — see
+    ``tests/test_mis_variants.py``.
+    """
+
+    name = "MIS-central"
+
+    def __init__(self) -> None:
+        self._rules = (
+            Rule(
+                "R1",
+                guard=lambda v: v.state == 0
+                and not v.any_neighbor(lambda j, s: s == 1),
+                action=lambda v: 1,
+                description="enter when undominated",
+            ),
+            Rule(
+                "R2",
+                guard=lambda v: v.state == 1
+                and v.any_neighbor(lambda j, s: s == 1),
+                action=lambda v: 0,
+                description="leave on conflict",
+            ),
+        )
+
+    def rules(self) -> Sequence[Rule[int]]:
+        return self._rules
+
+
+class LubyStyleMIS(_BitProtocol):
+    """Randomized synchronous MIS with per-round (variate, id) draws.
+
+    ``R1``: enter if out of the set, no in-set neighbour, and my draw
+    beats the draw of every out-of-set neighbour.
+    ``R2``: leave if in the set and some in-set neighbour beats my draw.
+
+    Two adjacent nodes can never both enter in the same round (one draw
+    beats the other), so independence violations never *arise*; initial
+    violations are resolved by R2, where only the loser leaves, so an
+    adjacent in-pair never leaves simultaneously either.
+
+    Because the guards read the per-round draws, "nobody privileged this
+    round" does not imply termination (everyone may simply have lost);
+    :meth:`is_quiescent` therefore confirms termination structurally —
+    both rules are unsatisfiable for every draw exactly when the in-set
+    is a maximal independent set.
+    """
+
+    name = "MIS-luby"
+    uses_randomness = True
+
+    def __init__(self) -> None:
+        self._rules = (
+            Rule(
+                "R1",
+                guard=self._enter_guard,
+                action=lambda v: 1,
+                description="enter on winning draw",
+            ),
+            Rule(
+                "R2",
+                guard=self._leave_guard,
+                action=lambda v: 0,
+                description="leave on losing draw",
+            ),
+        )
+
+    @staticmethod
+    def _draw(view: View, j: NodeId | None = None):
+        if j is None:
+            return (view.rand, view.node)
+        return (view.neighbor_rand[j], j)
+
+    def _enter_guard(self, view: View) -> bool:
+        if view.state != 0:
+            return False
+        if view.any_neighbor(lambda j, s: s == 1):
+            return False
+        mine = self._draw(view)
+        return all(
+            mine > self._draw(view, j)
+            for j, s in view.neighbor_states.items()
+            if s == 0
+        )
+
+    def _leave_guard(self, view: View) -> bool:
+        if view.state != 1:
+            return False
+        mine = self._draw(view)
+        return any(
+            s == 1 and self._draw(view, j) > mine
+            for j, s in view.neighbor_states.items()
+        )
+
+    def rules(self) -> Sequence[Rule[int]]:
+        return self._rules
+
+    def is_quiescent(self, graph: Graph, config: Mapping[NodeId, int]) -> bool:
+        """Terminal iff the in-set is an MIS: then R1 fails on domination
+        for every out-node and R2 fails on independence for every
+        in-node, regardless of the draws."""
+        return self.is_legitimate(graph, config)

@@ -1,0 +1,63 @@
+"""Verification helpers for MIS executions."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.executor import Execution
+from repro.graphs.graph import Graph
+from repro.graphs.properties import (
+    greedy_mis_by_descending_id,
+    is_dominating_set,
+    is_independent_set,
+    is_maximal_independent_set,
+)
+from repro.types import NodeId
+
+
+def independent_set_of(config: Mapping[NodeId, int]) -> frozenset[NodeId]:
+    """The in-set nodes (``x(i) = 1``) of a bit configuration."""
+    return frozenset(n for n, x in config.items() if x == 1)
+
+
+def is_stable_configuration(graph: Graph, config: Mapping[NodeId, int]) -> bool:
+    """SIS's fixpoint predicate: ``x(i)=1`` iff no larger in-set
+    neighbour — equivalently, the set is the greedy MIS by descending
+    id."""
+    for i in graph.nodes:
+        blocked = any(j > i and config[j] == 1 for j in graph.neighbors(i))
+        if (config[i] == 1) == blocked:
+            return False
+    return True
+
+
+def verify_execution(
+    graph: Graph, execution: Execution, *, expect_greedy: bool = False
+) -> frozenset[NodeId]:
+    """Full post-run contract check for an MIS protocol run.
+
+    Asserts stabilization, independence, domination (= maximality), and
+    — when ``expect_greedy`` (Algorithm SIS) — that the set is exactly
+    the canonical greedy MIS by descending id.  Returns the final set.
+    """
+    if not execution.stabilized:
+        raise AssertionError(
+            f"{execution.protocol_name} did not stabilize "
+            f"({execution.rounds} rounds, {execution.moves} moves)"
+        )
+    in_set = independent_set_of(execution.final)
+    if not is_independent_set(graph, in_set):
+        raise AssertionError(f"final set is not independent: {sorted(in_set)}")
+    if not is_dominating_set(graph, in_set):
+        raise AssertionError(
+            f"final independent set is not maximal (not dominating): {sorted(in_set)}"
+        )
+    assert is_maximal_independent_set(graph, in_set)
+    if expect_greedy:
+        canonical = greedy_mis_by_descending_id(graph)
+        if in_set != canonical:
+            raise AssertionError(
+                f"SIS landed on {sorted(in_set)}, expected the canonical "
+                f"greedy set {sorted(canonical)}"
+            )
+    return in_set

@@ -1,0 +1,21 @@
+"""Self-stabilizing spanning tree (extension).
+
+The paper's very first motivation (Section 1): "a minimal spanning
+tree must be maintained to minimize latency and bandwidth requirements
+of multicast/broadcast messages or to implement echo-based distributed
+algorithms" — and its references [13, 14] are the same group's
+self-stabilizing multicast-tree protocols.  This subpackage supplies
+the canonical member of that family — a synchronous self-stabilizing
+**BFS spanning tree** — as a fifth client of the engine, demonstrating
+that the beacon-round framework of the paper carries the protocols its
+introduction promises.
+"""
+
+from repro.spanning.bfs_tree import (
+    BfsSpanningTree,
+    bfs_distances,
+    is_bfs_tree,
+    tree_edges,
+)
+
+__all__ = ["BfsSpanningTree", "bfs_distances", "is_bfs_tree", "tree_edges"]

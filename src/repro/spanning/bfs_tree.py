@@ -1,0 +1,229 @@
+"""Synchronous self-stabilizing BFS spanning tree.
+
+Each node maintains ``(dist, parent)``; the designated *root* (by
+convention the minimum node id, matching the id-driven symmetry
+breaking of Algorithms SMM/SIS) anchors the recursion:
+
+``R_root``  if ``i = r ∧ (dist(i), parent(i)) ≠ (0, ⊥)``
+            then ``(dist, parent) := (0, ⊥)``
+
+``R_node``  if ``i ≠ r ∧ (dist(i), parent(i)) ≠ BEST(i)``
+            then ``(dist, parent) := BEST(i)``
+
+where ``BEST(i) = (1 + min_j dist(j), argmin)`` over the beaconed
+neighbour distances, the argmin tie-broken towards the smallest parent
+id, and distances clamped to ``n`` (corrupted values cannot exceed the
+state space).
+
+Under the synchronous daemon the protocol stabilizes from any
+configuration in at most ``n + D + 2`` rounds, where ``D`` is the
+graph diameter: level k of the true BFS order is correct and stable
+once levels < k are (the usual layered argument); corrupted
+too-*small* distances grow by at least one per round until they either
+meet their true value or hit the clamp, which costs at most n extra
+rounds.  The measured worst cases sit well inside this envelope
+(``tests/test_spanning.py``).
+
+Stable configurations satisfy ``dist(i) = d_G(r, i)`` with parents one
+step closer to the root, i.e. the parent pointers form a BFS spanning
+tree — the multicast backbone of the paper's introduction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.protocol import Protocol, Rule, View
+from repro.errors import InvalidConfigurationError
+from repro.graphs.graph import Graph
+from repro.types import NodeId
+
+#: Local state: (distance estimate, parent id or None).
+TreeState = Tuple[int, Optional[NodeId]]
+
+
+def bfs_distances(graph: Graph, root: NodeId) -> Dict[NodeId, int]:
+    """True BFS distances from ``root`` (the protocol's target)."""
+    dist = {root: 0}
+    frontier = [root]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for v in graph.neighbors(u):
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    nxt.append(v)
+        frontier = nxt
+    return dist
+
+
+def tree_edges(config: Mapping[NodeId, TreeState]) -> frozenset:
+    """The parent edges of a configuration (canonical orientation)."""
+    out = set()
+    for node, (_, parent) in config.items():
+        if parent is not None:
+            out.add((min(node, parent), max(node, parent)))
+    return frozenset(out)
+
+
+def is_bfs_tree(graph: Graph, root: NodeId, config: Mapping[NodeId, TreeState]) -> bool:
+    """True iff ``config`` encodes a BFS spanning tree rooted at ``root``.
+
+    Checks: the root is anchored at (0, ⊥); every other node's distance
+    is the true BFS distance; its parent is a neighbour exactly one
+    level closer.
+    """
+    truth = bfs_distances(graph, root)
+    if len(truth) != graph.n:
+        return False  # disconnected: no spanning tree exists
+    for node in graph.nodes:
+        dist, parent = config[node]
+        if node == root:
+            if dist != 0 or parent is not None:
+                return False
+            continue
+        if dist != truth[node]:
+            return False
+        if parent is None or not graph.has_edge(node, parent):
+            return False
+        if truth[parent] != dist - 1:
+            return False
+    return True
+
+
+class BfsSpanningTree(Protocol[TreeState]):
+    """The two-rule BFS tree protocol described in the module docstring.
+
+    Parameters
+    ----------
+    root:
+        The designated root id — a protocol constant every node knows,
+        exactly like the id ordering assumed by SMM/SIS.  Use
+        :meth:`make_for` to root a graph at its minimum id.
+    """
+
+    name = "BFS-tree"
+
+    def __init__(self, root: NodeId) -> None:
+        if not isinstance(root, (int, np.integer)):
+            raise InvalidConfigurationError(f"root must be a node id, got {root!r}")
+        self._root = int(root)
+        self._rules = (
+            Rule(
+                name="R_root",
+                guard=self._root_guard,
+                action=lambda v: (0, None),
+                description="anchor the root at level 0",
+            ),
+            Rule(
+                name="R_node",
+                guard=self._node_guard,
+                action=self._node_action,
+                description="adopt 1 + min neighbour level",
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def root_of(self, graph: Graph) -> NodeId:
+        if self._root not in graph:
+            raise InvalidConfigurationError(
+                f"designated root {self._root} is not a node"
+            )
+        return self._root
+
+    def _is_root(self, view: View) -> bool:
+        return view.node == self._root
+
+    @classmethod
+    def make_for(cls, graph: Graph) -> "BfsSpanningTree":
+        """A protocol instance rooted at the graph's minimum id."""
+        return cls(root=graph.nodes[0])
+
+    @staticmethod
+    def _clamp(graph_size_hint: int, value: int) -> int:
+        return min(value, graph_size_hint)
+
+    def _best(self, view: View) -> TreeState:
+        """``(1 + min neighbour dist, min-id argmin)``.
+
+        No clamp is needed for convergence: values can transiently
+        exceed ``n`` while wrong estimates climb, but once the correct
+        BFS levels propagate (layer by layer from the anchored root)
+        every estimate is overwritten by its true value.  Only
+        *initial* configurations are validated against the ``<= n``
+        state-space bound.
+        """
+        best_dist = None
+        best_parent = None
+        for j in sorted(view.neighbor_states):
+            d = view.neighbor_states[j][0]
+            if best_dist is None or d < best_dist:
+                best_dist = d
+                best_parent = j
+        assert best_dist is not None  # connected graph: deg >= 1
+        return (best_dist + 1, best_parent)
+
+    def _root_guard(self, view: View) -> bool:
+        return self._is_root(view) and view.state != (0, None)
+
+    def _node_guard(self, view: View) -> bool:
+        if self._is_root(view):
+            return False
+        if not view.neighbor_states:
+            return False  # isolated non-root: no move possible
+        return view.state != self._best(view)
+
+    def _node_action(self, view: View) -> TreeState:
+        return self._best(view)
+
+    # ------------------------------------------------------------------
+    def rules(self) -> Sequence[Rule[TreeState]]:
+        return self._rules
+
+    def initial_state(self, node: NodeId, graph: Graph) -> TreeState:
+        if node == self.root_of(graph):
+            return (0, None)
+        return (graph.n, None)
+
+    def random_state(
+        self, node: NodeId, graph: Graph, rng: np.random.Generator
+    ) -> TreeState:
+        dist = int(rng.integers(graph.n + 1))
+        neighbors = graph.neighbors(node)
+        options: list[Optional[NodeId]] = [None, *neighbors]
+        parent = options[int(rng.integers(len(options)))]
+        return (dist, parent)
+
+    def validate_state(self, node: NodeId, graph: Graph, state: TreeState) -> None:
+        ok = (
+            isinstance(state, tuple)
+            and len(state) == 2
+            and isinstance(state[0], (int, np.integer))
+            and 0 <= state[0] <= graph.n
+            and (state[1] is None or graph.has_edge(node, state[1]))
+        )
+        if not ok:
+            raise InvalidConfigurationError(
+                f"node {node}: invalid BFS-tree state {state!r}"
+            )
+
+    def sanitize_state(self, node: NodeId, graph: Graph, state: TreeState) -> TreeState:
+        """Drop a parent pointer over a failed link (keep the distance
+        estimate; the rules re-derive both)."""
+        dist, parent = state
+        if parent is not None and not graph.has_edge(node, parent):
+            return (dist, None)
+        return state
+
+    def is_legitimate(
+        self, graph: Graph, config: Mapping[NodeId, TreeState]
+    ) -> bool:
+        return is_bfs_tree(graph, self.root_of(graph), config)
+
+    def round_bound(self, graph: Graph) -> int:
+        """The convergence envelope used by tests: ``n + D + 2``."""
+        truth = bfs_distances(graph, self.root_of(graph))
+        diameter_from_root = max(truth.values(), default=0)
+        return graph.n + diameter_from_root + 2

@@ -1,0 +1,44 @@
+"""Shared type aliases used across the :mod:`repro` package.
+
+The paper models the network as an undirected graph ``G = (V, E)`` whose
+vertices carry unique, totally ordered identifiers.  Throughout this
+library node identifiers are plain ``int`` values; the total order on
+``int`` is the identifier order assumed by both Algorithm SMM (rule R2
+selects the *minimum-id* null neighbour) and Algorithm SIS (the
+guards compare neighbour ids).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Optional, Tuple, TypeVar
+
+#: A node identifier.  Must be hashable and totally ordered; the library
+#: uses ``int`` everywhere, and graph generators always produce ints.
+NodeId = int
+
+#: An undirected edge, canonically stored with the smaller endpoint first.
+Edge = Tuple[NodeId, NodeId]
+
+#: The local state of a node under some protocol (protocol specific).
+S = TypeVar("S")
+
+#: Pointer value used by the matching protocols: ``None`` encodes the
+#: paper's null pointer ``i -> *``; an integer encodes ``i -> j``.
+Pointer = Optional[NodeId]
+
+#: Read-only view of a full configuration (node id -> local state).
+ConfigurationView = Mapping[NodeId, object]
+
+#: Anything acceptable as a dictionary key in user-facing result tables.
+Key = Hashable
+
+
+def canonical_edge(u: NodeId, v: NodeId) -> Edge:
+    """Return the canonical (sorted) representation of the edge ``{u, v}``.
+
+    >>> canonical_edge(3, 1)
+    (1, 3)
+    """
+    if u == v:
+        raise ValueError(f"self-loop edge ({u!r}, {v!r}) is not allowed")
+    return (u, v) if u < v else (v, u)

@@ -1,0 +1,98 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(
+    params=["cycle6", "path7", "star6", "k5", "grid3x3", "tree9", "er12"]
+)
+def small_graph(request) -> Graph:
+    """A small connected graph of each structural family."""
+    name = request.param
+    if name == "cycle6":
+        return cycle_graph(6)
+    if name == "path7":
+        return path_graph(7)
+    if name == "star6":
+        return star_graph(6)
+    if name == "k5":
+        return complete_graph(5)
+    if name == "grid3x3":
+        return grid_graph(3, 3)
+    if name == "tree9":
+        return random_tree(9, rng=7)
+    if name == "er12":
+        return erdos_renyi_graph(12, 0.3, rng=11)
+    raise AssertionError(name)
+
+
+# ----------------------------------------------------------------------
+# hypothesis strategies
+# ----------------------------------------------------------------------
+@st.composite
+def connected_graphs(draw, min_n: int = 2, max_n: int = 12):
+    """A random connected graph: a random tree plus random extra edges."""
+    n = draw(st.integers(min_n, max_n))
+    seed = draw(st.integers(0, 2**31 - 1))
+    gen = np.random.default_rng(seed)
+    g = random_tree(n, gen)
+    extra = draw(st.integers(0, max(0, n * (n - 1) // 2 - (n - 1))))
+    candidates = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if not g.has_edge(u, v)
+    ]
+    gen.shuffle(candidates)
+    add = candidates[: min(extra, len(candidates))]
+    return g.with_edges(add=add)
+
+
+@st.composite
+def pointer_configurations(draw, graph: Graph):
+    """A uniformly random pointer configuration for a matching protocol."""
+    states = {}
+    for node in graph.nodes:
+        options = [None, *graph.neighbors(node)]
+        states[node] = draw(st.sampled_from(options))
+    return states
+
+
+@st.composite
+def bit_configurations(draw, graph: Graph):
+    """A uniformly random 0/1 configuration."""
+    return {node: draw(st.integers(0, 1)) for node in graph.nodes}
+
+
+@st.composite
+def graphs_with_pointers(draw, min_n: int = 2, max_n: int = 10):
+    g = draw(connected_graphs(min_n, max_n))
+    cfg = draw(pointer_configurations(g))
+    return g, cfg
+
+
+@st.composite
+def graphs_with_bits(draw, min_n: int = 2, max_n: int = 10):
+    g = draw(connected_graphs(min_n, max_n))
+    cfg = draw(bit_configurations(g))
+    return g, cfg

@@ -1,0 +1,89 @@
+"""Tests for the beacon-driven neighbour table."""
+
+import pytest
+
+from repro.adhoc.messages import Beacon
+from repro.adhoc.neighbor import NeighborTable
+from repro.errors import SimulationError
+
+
+def beacon(sender, time, state=None, rand=0.5, seq=1):
+    return Beacon(sender=sender, time=time, state=state, rand=rand, seq=seq)
+
+
+class TestRecord:
+    def test_new_neighbor_detected(self):
+        t = NeighborTable(owner=0, timeout=2.5)
+        assert t.record(beacon(1, 1.0)) is True
+        assert t.record(beacon(1, 2.0, seq=2)) is False
+
+    def test_state_updated(self):
+        t = NeighborTable(owner=0, timeout=2.5)
+        t.record(beacon(1, 1.0, state="a"))
+        t.record(beacon(1, 2.0, state="b", seq=2))
+        assert t.states() == {1: "b"}
+
+    def test_own_beacon_rejected(self):
+        t = NeighborTable(owner=0, timeout=2.5)
+        with pytest.raises(SimulationError):
+            t.record(beacon(0, 1.0))
+
+    def test_fifo_violation_detected(self):
+        t = NeighborTable(owner=0, timeout=2.5)
+        t.record(beacon(1, 1.0, seq=5))
+        with pytest.raises(SimulationError):
+            t.record(beacon(1, 2.0, seq=5))
+
+    def test_rands_exposed(self):
+        t = NeighborTable(owner=0, timeout=2.5)
+        t.record(beacon(1, 1.0, rand=0.25))
+        assert t.rands() == {1: 0.25}
+
+
+class TestPurge:
+    def test_stale_neighbor_evicted(self):
+        t = NeighborTable(owner=0, timeout=2.0)
+        t.record(beacon(1, 0.0))
+        t.record(beacon(2, 1.5))
+        evicted = t.purge(now=2.5)
+        assert evicted == (1,)
+        assert t.neighbors() == (2,)
+
+    def test_fresh_neighbors_kept(self):
+        t = NeighborTable(owner=0, timeout=2.0)
+        t.record(beacon(1, 1.0))
+        assert t.purge(now=2.0) == ()
+        assert t.knows(1)
+
+    def test_timer_reset_on_beacon(self):
+        """'Upon receiving a beacon signal from neighbor j, node i
+        resets its appropriate timer.'"""
+        t = NeighborTable(owner=0, timeout=2.0)
+        t.record(beacon(1, 0.0))
+        t.record(beacon(1, 1.9, seq=2))
+        assert t.purge(now=3.0) == ()
+
+    def test_rediscovery_after_eviction(self):
+        t = NeighborTable(owner=0, timeout=1.0)
+        t.record(beacon(1, 0.0, seq=9))
+        t.purge(now=5.0)
+        # rediscovery restarts the FIFO sequence
+        assert t.record(beacon(1, 6.0, seq=1)) is True
+
+
+class TestBasics:
+    def test_invalid_timeout(self):
+        with pytest.raises(SimulationError):
+            NeighborTable(owner=0, timeout=0.0)
+
+    def test_neighbors_sorted(self):
+        t = NeighborTable(owner=0, timeout=5.0)
+        t.record(beacon(3, 1.0))
+        t.record(beacon(1, 1.0))
+        assert t.neighbors() == (1, 3)
+
+    def test_len(self):
+        t = NeighborTable(owner=0, timeout=5.0)
+        assert len(t) == 0
+        t.record(beacon(1, 1.0))
+        assert len(t) == 1

@@ -1,0 +1,224 @@
+"""Tests for the event-driven beacon simulator."""
+
+import numpy as np
+import pytest
+
+from repro.adhoc.mobility import StaticPlacement
+from repro.adhoc.network import AdHocNetwork, _BelievedGraph
+from repro.errors import SimulationError
+from repro.graphs.generators import random_geometric_graph
+from repro.graphs.properties import (
+    greedy_mis_by_descending_id,
+    is_maximal_matching,
+    pointer_matching,
+)
+from repro.matching.smm import SynchronousMaximalMatching
+from repro.mis.sis import SynchronousMaximalIndependentSet
+
+RADIUS = 0.45
+
+
+def placement(n=12, seed=3):
+    g, pos = random_geometric_graph(n, RADIUS, rng=seed, return_positions=True)
+    return g, StaticPlacement(pos)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"radius": 0.0},
+            {"t_b": 0.0},
+            {"jitter": 1.0},
+            {"loss": 1.0},
+            {"timeout_factor": 1.0},
+        ],
+    )
+    def test_invalid_parameters(self, kw):
+        _, pl = placement()
+        base = dict(radius=RADIUS)
+        base.update(kw)
+        with pytest.raises(SimulationError):
+            AdHocNetwork(SynchronousMaximalIndependentSet(), pl, **base)
+
+    def test_initial_states_default_clean(self):
+        _, pl = placement()
+        net = AdHocNetwork(SynchronousMaximalIndependentSet(), pl, radius=RADIUS)
+        assert all(s == 0 for s in net.configuration().values())
+
+    def test_initial_states_override(self):
+        _, pl = placement()
+        states = {i: 1 for i in range(12)}
+        net = AdHocNetwork(
+            SynchronousMaximalIndependentSet(),
+            pl,
+            radius=RADIUS,
+            initial_states=states,
+        )
+        assert net.configuration() == states
+
+
+class TestConvergence:
+    def test_sis_reaches_greedy_set(self):
+        g, pl = placement()
+        net = AdHocNetwork(SynchronousMaximalIndependentSet(), pl, radius=RADIUS, rng=1)
+        net.run_until(40.0)
+        cfg = net.configuration()
+        in_set = {i for i, s in cfg.items() if s == 1}
+        assert in_set == greedy_mis_by_descending_id(g)
+        assert net.is_legitimate()
+
+    def test_smm_reaches_maximal_matching(self):
+        g, pl = placement()
+        net = AdHocNetwork(SynchronousMaximalMatching(), pl, radius=RADIUS, rng=1)
+        net.run_until(60.0)
+        m = pointer_matching(net.configuration().as_dict())
+        assert is_maximal_matching(g, m)
+
+    def test_converges_despite_loss(self):
+        g, pl = placement()
+        net = AdHocNetwork(
+            SynchronousMaximalIndependentSet(), pl, radius=RADIUS, rng=1, loss=0.2
+        )
+        net.run_until(120.0)
+        assert net.is_legitimate()
+
+    def test_converges_from_corrupt_start(self):
+        g, pl = placement()
+        states = {i: 1 for i in range(12)}  # everyone claims membership
+        net = AdHocNetwork(
+            SynchronousMaximalIndependentSet(),
+            pl,
+            radius=RADIUS,
+            rng=2,
+            initial_states=states,
+        )
+        net.run_until(60.0)
+        assert net.is_legitimate()
+
+
+class TestAccounting:
+    def test_beacon_counts_accumulate(self):
+        _, pl = placement()
+        net = AdHocNetwork(SynchronousMaximalIndependentSet(), pl, radius=RADIUS, rng=1)
+        net.run_until(10.0)
+        # ~10 beacons per node in 10 s at t_b = 1
+        assert 8 * 12 <= net.total_beacons() <= 12 * 12
+
+    def test_local_rounds_advance(self):
+        _, pl = placement()
+        net = AdHocNetwork(SynchronousMaximalIndependentSet(), pl, radius=RADIUS, rng=1)
+        net.run_until(10.0)
+        assert all(nd.local_round > 0 for nd in net.nodes.values())
+
+    def test_trace_recording(self):
+        _, pl = placement()
+        net = AdHocNetwork(
+            SynchronousMaximalIndependentSet(), pl, radius=RADIUS, rng=1, trace=True
+        )
+        net.run_until(5.0)
+        kinds = {e.kind for e in net.trace}
+        assert "beacon" in kinds and "step" in kinds and "link-up" in kinds
+
+    def test_cannot_run_backwards(self):
+        _, pl = placement()
+        net = AdHocNetwork(SynchronousMaximalIndependentSet(), pl, radius=RADIUS)
+        net.run_until(5.0)
+        with pytest.raises(SimulationError):
+            net.run_until(1.0)
+
+    def test_callback_sampling(self):
+        _, pl = placement()
+        net = AdHocNetwork(SynchronousMaximalIndependentSet(), pl, radius=RADIUS, rng=1)
+        samples = []
+        net.run_until(
+            10.0,
+            callback=lambda n: samples.append(n.now),
+            callback_interval=1.0,
+        )
+        assert len(samples) == 10
+        assert samples == sorted(samples)
+
+
+class TestContentionModel:
+    def test_invalid_window_rejected(self):
+        _, pl = placement()
+        with pytest.raises(SimulationError):
+            AdHocNetwork(
+                SynchronousMaximalIndependentSet(),
+                pl,
+                radius=RADIUS,
+                contention_window=1.5,  # >= t_b
+            )
+
+    def test_collisions_counted_and_traced(self):
+        _, pl = placement()
+        net = AdHocNetwork(
+            SynchronousMaximalIndependentSet(),
+            pl,
+            radius=RADIUS,
+            rng=1,
+            contention_window=0.3,
+            trace=True,
+        )
+        net.run_until(20.0)
+        assert net.collisions > 0
+        assert any(e.kind == "collision" for e in net.trace)
+
+    def test_still_stabilizes_under_contention_with_jitter(self):
+        """Ample beacon jitter decorrelates collisions round-to-round,
+        so contention becomes an absorbable transient fault."""
+        g, pl = placement()
+        net = AdHocNetwork(
+            SynchronousMaximalIndependentSet(),
+            pl,
+            radius=RADIUS,
+            rng=1,
+            jitter=0.2,
+            contention_window=0.2,
+        )
+        net.run_until(150.0)
+        assert net.is_legitimate()
+
+    def test_synchronized_beacons_collide_persistently(self):
+        """The measured pathology: with near-synchronized beacons the
+        same pairs collide every interval — convergence stalls for a
+        long time (here: still illegitimate after 150 s)."""
+        g, pl = placement()
+        net = AdHocNetwork(
+            SynchronousMaximalIndependentSet(),
+            pl,
+            radius=RADIUS,
+            rng=1,
+            jitter=0.05,
+            contention_window=0.2,
+        )
+        net.run_until(150.0)
+        assert not net.is_legitimate()
+        assert net.collisions > 1000
+
+    def test_zero_window_no_collisions(self):
+        _, pl = placement()
+        net = AdHocNetwork(
+            SynchronousMaximalIndependentSet(), pl, radius=RADIUS, rng=1
+        )
+        net.run_until(10.0)
+        assert net.collisions == 0
+
+
+class TestBelievedGraph:
+    def test_has_edge_owner_incident(self):
+        bg = _BelievedGraph(0, (1, 2))
+        assert bg.has_edge(0, 1) and bg.has_edge(2, 0)
+        assert not bg.has_edge(0, 9)
+
+    def test_foreign_edge_rejected(self):
+        bg = _BelievedGraph(0, (1, 2))
+        with pytest.raises(SimulationError):
+            bg.has_edge(1, 2)
+
+    def test_neighbors_owner_only(self):
+        bg = _BelievedGraph(0, (2, 1))
+        assert bg.neighbors(0) == (1, 2)
+        with pytest.raises(SimulationError):
+            bg.neighbors(1)

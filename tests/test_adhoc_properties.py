@@ -1,0 +1,130 @@
+"""Deeper behavioural properties of the beacon substrate.
+
+These tests inspect simulation traces to verify model-level guarantees
+that the convergence tests only exercise implicitly: FIFO delivery,
+round cadence, state-staleness bounds, and eviction behaviour when a
+host falls silent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adhoc.mobility import StaticPlacement
+from repro.adhoc.network import AdHocNetwork
+from repro.graphs.generators import random_geometric_graph
+from repro.mis.sis import SynchronousMaximalIndependentSet
+from repro.matching.smm import SynchronousMaximalMatching
+
+RADIUS = 0.45
+
+
+def make_net(protocol=None, n=10, seed=5, **kw):
+    g, pos = random_geometric_graph(n, RADIUS, rng=seed, return_positions=True)
+    net = AdHocNetwork(
+        protocol or SynchronousMaximalIndependentSet(),
+        StaticPlacement(pos),
+        radius=RADIUS,
+        rng=seed,
+        **kw,
+    )
+    return g, net
+
+
+class TestBeaconCadence:
+    def test_beacon_counts_per_node_uniform(self):
+        _, net = make_net()
+        net.run_until(20.0)
+        counts = [nd.beacons_sent for nd in net.nodes.values()]
+        # every node beacons ~ once per t_b: 20 ± jitter slack
+        assert all(17 <= c <= 23 for c in counts)
+
+    def test_zero_jitter_exact_cadence(self):
+        _, net = make_net(jitter=0.0)
+        net.run_until(10.0)
+        counts = [nd.beacons_sent for nd in net.nodes.values()]
+        # phase-shifted starts but exact 1.0 periods: 10 or 11 beacons
+        assert all(c in (10, 11) for c in counts)
+
+    def test_local_rounds_track_beacon_time(self):
+        """In a static connected network every node completes roughly
+        one round per beacon interval."""
+        _, net = make_net()
+        net.run_until(30.0)
+        for nd in net.nodes.values():
+            assert 20 <= nd.local_round <= 40
+
+
+class TestFifoAndSequence:
+    def test_sequence_numbers_strictly_increase(self):
+        _, net = make_net(trace=True)
+        net.run_until(15.0)
+        # per sender, the table's recorded last_seq must equal the
+        # sender's own counter — nothing lost at the table level except
+        # what distance/loss drops
+        for i, sim in net.nodes.items():
+            for j in sim.table.neighbors():
+                entry_seq = sim.table._entries[j].last_seq
+                assert entry_seq <= net.nodes[j].seq
+
+
+class TestStaleness:
+    def test_believed_states_at_most_one_interval_stale(self):
+        """Without loss, a believed neighbour state is never older than
+        ~one (jittered) beacon interval."""
+        _, net = make_net(jitter=0.05)
+        net.run_until(12.0)
+        now = net.now
+        for sim in net.nodes.values():
+            for j, entry in sim.table._entries.items():
+                assert now - entry.last_heard <= 1.3
+
+
+class TestSilentNodeEviction:
+    def test_dead_node_is_evicted_everywhere(self):
+        """Stop one node's beacons; every neighbour evicts it within
+        the timeout and the matching repairs around it."""
+        g, net = make_net(protocol=SynchronousMaximalMatching(), n=12, seed=7)
+        net.run_until(20.0)
+        victim = 0
+        # silence the victim: drop its pending beacon events
+        net._queue = [ev for ev in net._queue if ev[2] != victim]
+        import heapq
+
+        heapq.heapify(net._queue)
+        net.run_until(20.0 + net.timeout + 5.0)
+        for i, sim in net.nodes.items():
+            if i == victim:
+                continue
+            assert not sim.table.knows(victim)
+            # nobody still points at the dead node
+            assert sim.state != victim
+
+    def test_eviction_trace_events(self):
+        g, net = make_net(n=12, seed=7, trace=True)
+        net.run_until(10.0)
+        net._queue = [ev for ev in net._queue if ev[2] != 3]
+        import heapq
+
+        heapq.heapify(net._queue)
+        net.run_until(10.0 + net.timeout + 4.0)
+        downs = [e for e in net.trace if e.kind == "link-down" and "lost 3" in e.detail]
+        true_neighbors = sum(
+            1 for i in net.nodes if i != 3 and g.has_edge(i, 3)
+        )
+        assert len(downs) >= true_neighbors
+
+
+class TestLossResilience:
+    @pytest.mark.parametrize("loss", [0.05, 0.15, 0.3])
+    def test_rounds_still_complete_under_loss(self, loss):
+        _, net = make_net(loss=loss, seed=9)
+        net.run_until(40.0)
+        assert all(nd.local_round > 0 for nd in net.nodes.values())
+
+    def test_loss_slows_rounds(self):
+        _, lossless = make_net(seed=11)
+        _, lossy = make_net(loss=0.3, seed=11)
+        lossless.run_until(30.0)
+        lossy.run_until(30.0)
+        mean = lambda net: np.mean([nd.local_round for nd in net.nodes.values()])
+        assert mean(lossy) < mean(lossless)

@@ -1,0 +1,143 @@
+"""Tests for the high-level ad hoc runners."""
+
+import pytest
+
+from repro.adhoc.mobility import RandomWaypoint, StaticPlacement
+from repro.adhoc.runner import (
+    RecoveryEpisode,
+    run_until_stable,
+    run_with_mobility,
+)
+from repro.errors import SimulationError
+from repro.graphs.generators import random_geometric_graph
+from repro.graphs.properties import is_maximal_matching, pointer_matching
+from repro.matching.smm import SynchronousMaximalMatching
+from repro.mis.sis import SynchronousMaximalIndependentSet
+
+RADIUS = 0.45
+
+
+def make_placement(n=12, seed=3):
+    g, pos = random_geometric_graph(n, RADIUS, rng=seed, return_positions=True)
+    return g, StaticPlacement(pos)
+
+
+class TestRunUntilStable:
+    def test_sis_stabilizes(self):
+        g, pl = make_placement()
+        res = run_until_stable(
+            SynchronousMaximalIndependentSet(), pl, radius=RADIUS, rng=1
+        )
+        assert res.stabilized and res.legitimate
+        assert res.time > 0 and res.beacon_rounds == res.time  # t_b = 1
+        assert res.graph == g
+
+    def test_smm_stabilizes_to_maximal_matching(self):
+        g, pl = make_placement()
+        res = run_until_stable(SynchronousMaximalMatching(), pl, radius=RADIUS, rng=1)
+        assert res.stabilized
+        m = pointer_matching(res.final.as_dict())
+        assert is_maximal_matching(g, m)
+
+    def test_beacon_time_scales_with_t_b(self):
+        _, pl = make_placement()
+        fast = run_until_stable(
+            SynchronousMaximalIndependentSet(), pl, radius=RADIUS, rng=1, t_b=0.5
+        )
+        slow = run_until_stable(
+            SynchronousMaximalIndependentSet(), pl, radius=RADIUS, rng=1, t_b=2.0
+        )
+        assert fast.time < slow.time
+
+    def test_timeout_reported_not_raised(self):
+        _, pl = make_placement()
+        res = run_until_stable(
+            SynchronousMaximalIndependentSet(),
+            pl,
+            radius=RADIUS,
+            rng=1,
+            max_time=0.1,
+        )
+        assert not res.stabilized
+        assert res.time == pytest.approx(0.1)
+
+    def test_initial_states_honoured(self):
+        g, pl = make_placement()
+        start = {i: 1 for i in range(12)}
+        res = run_until_stable(
+            SynchronousMaximalIndependentSet(),
+            pl,
+            radius=RADIUS,
+            rng=1,
+            initial_states=start,
+        )
+        assert res.stabilized  # recovers from the corrupt start
+
+
+class TestRunWithMobility:
+    def test_metrics_shape(self):
+        mob = RandomWaypoint(10, v_min=0.01, v_max=0.04, rng=2)
+        res = run_with_mobility(
+            SynchronousMaximalIndependentSet(),
+            mob,
+            radius=0.5,
+            horizon=40.0,
+            rng=3,
+        )
+        assert res.samples > 0
+        assert 0.0 <= res.availability <= 1.0
+        assert res.legitimate_samples <= res.samples
+        assert res.beacons > 0
+
+    def test_static_mobility_high_availability(self):
+        _, pl = make_placement()
+        res = run_with_mobility(
+            SynchronousMaximalIndependentSet(),
+            pl,
+            radius=RADIUS,
+            horizon=60.0,
+            rng=1,
+        )
+        # after initial stabilization the predicate holds forever
+        assert res.availability > 0.8
+        assert res.topology_changes == 0
+
+    def test_invalid_horizon(self):
+        _, pl = make_placement()
+        with pytest.raises(SimulationError):
+            run_with_mobility(
+                SynchronousMaximalIndependentSet(), pl, radius=RADIUS, horizon=0.0
+            )
+
+    def test_episodes_well_formed(self):
+        mob = RandomWaypoint(10, v_min=0.02, v_max=0.06, rng=5)
+        res = run_with_mobility(
+            SynchronousMaximalIndependentSet(),
+            mob,
+            radius=0.5,
+            horizon=60.0,
+            rng=6,
+        )
+        for ep in res.episodes:
+            assert ep.end >= ep.start >= 0.0
+        if res.episodes:
+            assert res.mean_recovery_time() > 0
+
+    def test_mean_recovery_none_without_episodes(self):
+        from repro.adhoc.runner import MobilityResult
+
+        res = MobilityResult(
+            horizon=1.0,
+            samples=2,
+            legitimate_samples=2,
+            availability=1.0,
+            episodes=[],
+            topology_changes=0,
+            beacons=0,
+            steps=0,
+            final=None,
+        )
+        assert res.mean_recovery_time() is None
+
+    def test_recovery_episode_duration(self):
+        assert RecoveryEpisode(2.0, 5.0).duration == 3.0

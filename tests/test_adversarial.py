@@ -1,0 +1,95 @@
+"""Tests for the adversarial initial-configuration constructors."""
+
+import pytest
+
+from repro.core.executor import run_synchronous
+from repro.errors import GraphError
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    star_graph,
+)
+from repro.matching.adversarial import (
+    adversarial_configurations,
+    all_null,
+    pessimal_cycle,
+    proposal_chain,
+    reverse_proposal_chain,
+    worst_case_rounds,
+)
+from repro.matching.smm import SynchronousMaximalMatching
+from repro.matching.verify import verify_execution
+
+SMM = SynchronousMaximalMatching()
+
+
+class TestConstructors:
+    def test_all_null(self):
+        g = cycle_graph(5)
+        assert all(v is None for v in all_null(g).values())
+
+    def test_proposal_chain_on_path(self):
+        g = path_graph(4)
+        cfg = proposal_chain(g)
+        assert cfg[0] == 1 and cfg[1] == 2 and cfg[2] == 3
+        assert cfg[3] is None
+
+    def test_reverse_chain_on_path(self):
+        g = path_graph(4)
+        cfg = reverse_proposal_chain(g)
+        assert cfg[3] == 2 and cfg[1] == 0
+        assert cfg[0] is None
+
+    def test_chains_are_valid_configurations(self):
+        g = erdos_renyi_graph(12, 0.3, rng=1)
+        SMM.validate_configuration(g, proposal_chain(g))
+        SMM.validate_configuration(g, reverse_proposal_chain(g))
+
+    def test_pessimal_cycle(self):
+        g = cycle_graph(6)
+        cfg = pessimal_cycle(g)
+        assert all(cfg[i] == (i + 1) % 6 for i in range(6))
+
+    def test_pessimal_cycle_rejects_non_cycles(self):
+        with pytest.raises(GraphError):
+            pessimal_cycle(path_graph(5))
+
+    def test_adversarial_configurations_labels(self):
+        labels = {name for name, _ in adversarial_configurations(cycle_graph(6))}
+        assert labels == {
+            "all-null",
+            "proposal-chain",
+            "reverse-chain",
+            "pessimal-cycle",
+        }
+        labels = {name for name, _ in adversarial_configurations(star_graph(5))}
+        assert "pessimal-cycle" not in labels
+
+
+class TestWorstCase:
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_pessimal_cycle_is_essentially_tight(self, n):
+        """The pessimal cycle forces exactly n rounds against the n+1
+        bound — Theorem 1 is tight up to one round."""
+        rounds, label = worst_case_rounds(cycle_graph(n))
+        assert rounds == n
+        assert label == "pessimal-cycle"
+
+    def test_path_zipper_is_linear(self):
+        rounds, _ = worst_case_rounds(path_graph(32))
+        assert rounds >= 30
+
+    def test_all_starts_stabilize_and_verify(self):
+        for g in (cycle_graph(8), path_graph(9), complete_graph(7),
+                  erdos_renyi_graph(12, 0.3, rng=4)):
+            for label, cfg in adversarial_configurations(g):
+                ex = run_synchronous(SMM, g, cfg, max_rounds=g.n + 2)
+                verify_execution(g, ex)
+
+    def test_worst_case_within_bound(self):
+        for seed in range(4):
+            g = erdos_renyi_graph(14, 0.3, rng=seed)
+            rounds, _ = worst_case_rounds(g)
+            assert rounds <= g.n + 1

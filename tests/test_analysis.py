@@ -1,0 +1,139 @@
+"""Tests for the analysis utilities (stats, tables, theory)."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import (
+    Summary,
+    fraction_within,
+    ratio_of_means,
+    summarize,
+)
+from repro.analysis.tables import render_series, render_table
+from repro.analysis.theory import (
+    hsu_huang_move_bound,
+    sis_round_bound,
+    smm_matching_growth_bound,
+    smm_round_bound,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1, 2, 3, 4, 5])
+        assert s.count == 5
+        assert s.minimum == 1 and s.maximum == 5
+        assert s.mean == 3 and s.median == 3
+
+    def test_single_value(self):
+        s = summarize([7])
+        assert s.std == 0.0 and s.p95 == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_p95(self):
+        s = summarize(range(101))
+        assert s.p95 == 95
+
+    def test_str_form(self):
+        assert "med=" in str(summarize([1, 2, 3]))
+
+
+class TestRatioOfMeans:
+    def test_basic(self):
+        assert ratio_of_means([4, 6], [1, 3]) == 2.5
+
+    def test_zero_denominator(self):
+        assert ratio_of_means([1], [0]) == math.inf
+        assert ratio_of_means([0], [0]) == 1.0
+
+
+class TestFractionWithin:
+    def test_basic(self):
+        assert fraction_within([1, 2, 3, 4], 2) == 0.5
+
+    def test_all_within(self):
+        assert fraction_within([1, 2], 10) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fraction_within([], 1)
+
+
+class TestRenderTable:
+    def test_contains_cells_and_title(self):
+        out = render_table(
+            ["a", "b"],
+            [{"a": 1, "b": 2.5}, {"a": 10, "b": None}],
+            title="T",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "2.50" in out and "10" in out and "-" in out
+
+    def test_bool_rendering(self):
+        out = render_table(["ok"], [{"ok": True}, {"ok": False}])
+        assert "yes" in out and "no" in out
+
+    def test_missing_column_dash(self):
+        out = render_table(["a", "b"], [{"a": 1}])
+        assert "-" in out
+
+    def test_nan_dash(self):
+        out = render_table(["x"], [{"x": float("nan")}])
+        assert "-" in out
+
+    def test_empty_rows(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+    def test_float_digits(self):
+        out = render_table(["x"], [{"x": 1.23456}], float_digits=4)
+        assert "1.2346" in out
+
+
+class TestRenderSeries:
+    def test_bars_scale(self):
+        out = render_series("n", "rounds", [(1, 1.0), (2, 2.0)], width=10)
+        lines = out.splitlines()
+        assert lines[-1].count("#") == 10
+        assert lines[-2].count("#") == 5
+
+    def test_title(self):
+        out = render_series("n", "y", [(1, 1.0)], title="Figure")
+        assert out.splitlines()[0] == "Figure"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_series("x", "y", [])
+
+    def test_zero_values_no_bar(self):
+        out = render_series("x", "y", [(1, 0.0), (2, 4.0)])
+        zero_line = out.splitlines()[-2]
+        assert "#" not in zero_line
+
+
+class TestTheoryBounds:
+    def test_smm_bound(self):
+        assert smm_round_bound(10) == 11
+
+    def test_sis_bound(self):
+        assert sis_round_bound(10) == 10
+
+    def test_hsu_huang_bound(self):
+        assert hsu_huang_move_bound(10) == 1000
+
+    @pytest.mark.parametrize("fn", [smm_round_bound, sis_round_bound, hsu_huang_move_bound])
+    def test_invalid_n(self, fn):
+        with pytest.raises(ValueError):
+            fn(0)
+
+    def test_growth_bound(self):
+        assert smm_matching_growth_bound(0) == 0
+        assert smm_matching_growth_bound(1) == 0
+        assert smm_matching_growth_bound(3) == 2
+        assert smm_matching_growth_bound(5) == 4

@@ -1,0 +1,164 @@
+"""Tests for the Fig. 2 node-type taxonomy and Fig. 3 transitions."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.configuration import Configuration
+from repro.core.executor import run_synchronous
+from repro.errors import ProtocolError
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.matching.classification import (
+    ALLOWED_TRANSITIONS,
+    TRANSIENT_TYPES,
+    NodeType,
+    classify,
+    classify_node,
+    matched_count,
+    observed_transitions,
+    transition_matrix,
+    type_counts,
+    validate_transitions,
+)
+from repro.matching.smm import SynchronousMaximalMatching
+
+from conftest import graphs_with_pointers
+
+SMM = SynchronousMaximalMatching()
+
+
+class TestClassify:
+    """One hand-built configuration exhibiting all six types.
+
+    Path 0-1-2-3-4-5-6 with pointers:
+      0 <-> 1 matched; 2 -> 1 (PM); 3 -> 2 (PP); 4 -> 5 where 5 null
+      (PA); 5 null with suitor 4 (A1); 6 null, no suitor (A0).
+    """
+
+    def setup_method(self):
+        self.g = path_graph(7)
+        self.cfg = {0: 1, 1: 0, 2: 1, 3: 2, 4: 5, 5: None, 6: None}
+        self.types = classify(self.g, self.cfg)
+
+    def test_matched(self):
+        assert self.types[0] is NodeType.M
+        assert self.types[1] is NodeType.M
+
+    def test_pm(self):
+        assert self.types[2] is NodeType.PM
+
+    def test_pp(self):
+        assert self.types[3] is NodeType.PP
+
+    def test_pa(self):
+        assert self.types[4] is NodeType.PA
+
+    def test_a1(self):
+        assert self.types[5] is NodeType.A1
+
+    def test_a0(self):
+        assert self.types[6] is NodeType.A0
+
+    def test_classify_node_agrees(self):
+        for node in self.g.nodes:
+            assert classify_node(self.g, self.cfg, node) is self.types[node]
+
+    def test_type_counts(self):
+        counts = type_counts(self.g, self.cfg)
+        assert counts[NodeType.M] == 2
+        assert sum(counts.values()) == 7
+
+    def test_matched_count(self):
+        assert matched_count(self.g, self.cfg) == 2
+
+    def test_type_flags(self):
+        assert NodeType.A0.is_aloof and NodeType.A1.is_aloof
+        assert NodeType.PA.is_pointing and NodeType.PM.is_pointing
+        assert not NodeType.M.is_aloof and not NodeType.M.is_pointing
+
+
+class TestPartitions:
+    @settings(max_examples=30, deadline=None)
+    @given(graphs_with_pointers())
+    def test_every_node_gets_exactly_one_type(self, graph_and_config):
+        g, cfg = graph_and_config
+        types = classify(g, cfg)
+        assert set(types) == set(g.nodes)
+        # definitional consistency
+        for node, t in types.items():
+            p = cfg[node]
+            if t is NodeType.M:
+                assert p is not None and cfg[p] == node
+            elif t.is_aloof:
+                assert p is None
+            else:
+                assert p is not None and cfg[p] != node
+
+
+class TestAllowedTransitions:
+    def test_figure3_arrow_count(self):
+        assert len(ALLOWED_TRANSITIONS) == 10
+
+    def test_transient_types(self):
+        assert TRANSIENT_TYPES == {NodeType.A1, NodeType.PA}
+
+    def test_no_arrows_into_transient_types(self):
+        for _, dst in ALLOWED_TRANSITIONS:
+            assert dst not in TRANSIENT_TYPES
+
+    def test_m_only_goes_to_m(self):
+        arrows_from_m = {
+            dst for src, dst in ALLOWED_TRANSITIONS if src is NodeType.M
+        }
+        assert arrows_from_m == {NodeType.M}
+
+
+class TestObservedTransitions:
+    def test_counts_sum(self):
+        g = cycle_graph(6)
+        ex = run_synchronous(SMM, g, record_history=True)
+        counts = observed_transitions(g, ex.history)
+        assert sum(counts.values()) == ex.rounds * g.n
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ProtocolError):
+            observed_transitions(cycle_graph(4), [])
+
+    def test_single_config_no_transitions(self):
+        g = cycle_graph(4)
+        cfg = Configuration({i: None for i in g.nodes})
+        assert observed_transitions(g, [cfg]) == {}
+
+
+class TestValidateTransitions:
+    @settings(max_examples=40, deadline=None)
+    @given(graphs_with_pointers())
+    def test_every_smm_history_validates(self, graph_and_config):
+        g, cfg = graph_and_config
+        ex = run_synchronous(SMM, g, cfg, record_history=True)
+        validate_transitions(g, ex.history)
+
+    def test_illegal_arrow_detected(self):
+        """A hand-crafted history with M -> A0 (impossible under SMM)
+        must be rejected."""
+        g = path_graph(2)
+        matched = Configuration({0: 1, 1: 0})
+        broken = Configuration({0: None, 1: None})
+        with pytest.raises(AssertionError, match="Fig. 3"):
+            validate_transitions(g, [matched, broken])
+
+    def test_lemma7_violation_detected(self):
+        """A history keeping PA alive at t = 1 must be rejected."""
+        g = path_graph(3)
+        pa = Configuration({0: 1, 1: None, 2: None})  # 0 -> null 1: PA
+        with pytest.raises(AssertionError):
+            validate_transitions(g, [pa, pa])
+
+
+class TestTransitionMatrix:
+    def test_matrix_shape_and_totals(self):
+        g = cycle_graph(8)
+        ex = run_synchronous(SMM, g, record_history=True)
+        counts = observed_transitions(g, ex.history)
+        matrix = transition_matrix(counts)
+        assert len(matrix) == len(NodeType)
+        assert sum(sum(row) for row in matrix) == sum(counts.values())

@@ -1,0 +1,48 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.cli import _registry, main
+
+
+class TestRegistry:
+    def test_twelve_experiments(self):
+        reg = _registry()
+        assert set(reg) == {f"E{i}" for i in range(1, 13)}
+
+    def test_every_entry_well_formed(self):
+        for eid, (description, full, quick) in _registry().items():
+            assert description
+            assert callable(full) and callable(quick)
+
+
+class TestList:
+    def test_list_prints_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for i in range(1, 13):
+            assert f"E{i}" in out
+
+
+class TestRun:
+    def test_run_quick_e4(self, capsys):
+        assert main(["run", "E4", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "livelock" in out
+        assert "arbitrary(clockwise)" in out
+
+    def test_run_lowercase_id(self, capsys):
+        assert main(["run", "e4", "--quick"]) == 0
+
+    def test_run_multiple(self, capsys):
+        assert main(["run", "E4", "E10", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "[E4]" in out and "[E10]" in out
+
+    def test_unknown_id(self, capsys):
+        assert main(["run", "E99", "--quick"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,104 @@
+"""Tests for the immutable Configuration type."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.configuration import Configuration
+
+
+class TestMappingProtocol:
+    def test_getitem(self):
+        c = Configuration({0: None, 1: 5})
+        assert c[1] == 5
+
+    def test_missing_key(self):
+        with pytest.raises(KeyError):
+            Configuration({0: 1})[9]
+
+    def test_len_iter_contains(self):
+        c = Configuration({0: "a", 1: "b"})
+        assert len(c) == 2
+        assert set(c) == {0, 1}
+        assert 0 in c and 7 not in c
+
+    def test_independent_of_source_dict(self):
+        src = {0: 1}
+        c = Configuration(src)
+        src[0] = 99
+        assert c[0] == 1
+
+
+class TestValueSemantics:
+    def test_equality(self):
+        assert Configuration({0: 1}) == Configuration({0: 1})
+        assert Configuration({0: 1}) != Configuration({0: 2})
+
+    def test_equality_with_plain_mapping(self):
+        assert Configuration({0: 1}) == {0: 1}
+
+    def test_hash_consistency(self):
+        a, b = Configuration({0: 1, 1: None}), Configuration({1: None, 0: 1})
+        assert hash(a) == hash(b) and a == b
+
+    def test_usable_in_sets(self):
+        seen = {Configuration({0: 1}), Configuration({0: 1})}
+        assert len(seen) == 1
+
+
+class TestUpdated:
+    def test_applies_changes(self):
+        c = Configuration({0: 1, 1: 2})
+        c2 = c.updated({0: 9})
+        assert c2[0] == 9 and c2[1] == 2
+        assert c[0] == 1  # original untouched
+
+    def test_empty_update_returns_self(self):
+        c = Configuration({0: 1})
+        assert c.updated({}) is c
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(KeyError):
+            Configuration({0: 1}).updated({5: 2})
+
+
+class TestHelpers:
+    def test_as_dict_mutable_copy(self):
+        c = Configuration({0: 1})
+        d = c.as_dict()
+        d[0] = 9
+        assert c[0] == 1
+
+    def test_items_sorted(self):
+        c = Configuration({2: "c", 0: "a", 1: "b"})
+        assert c.items_sorted() == ((0, "a"), (1, "b"), (2, "c"))
+
+    def test_where(self):
+        c = Configuration({0: None, 1: 3, 2: None})
+        assert c.where(lambda s: s is None) == {0, 2}
+
+    def test_diff(self):
+        a = Configuration({0: 1, 1: 2})
+        b = Configuration({0: 1, 1: 9})
+        assert a.diff(b) == {1}
+
+    def test_diff_domain_mismatch(self):
+        with pytest.raises(KeyError):
+            Configuration({0: 1}).diff(Configuration({1: 1}))
+
+
+class TestPropertyBased:
+    @settings(max_examples=40, deadline=None)
+    @given(st.dictionaries(st.integers(0, 20), st.integers(-5, 5), min_size=1))
+    def test_roundtrip(self, data):
+        assert Configuration(data).as_dict() == data
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.dictionaries(st.integers(0, 10), st.integers(-3, 3), min_size=2),
+    )
+    def test_updated_then_diff(self, data):
+        c = Configuration(data)
+        node = sorted(data)[0]
+        c2 = c.updated({node: 99})
+        assert c.diff(c2) == ({node} if data[node] != 99 else set())

@@ -1,0 +1,90 @@
+"""Tests for fault-containment analysis."""
+
+import pytest
+
+from repro.analysis.containment import (
+    affected_by_distance,
+    containment_radius,
+    distances_from_set,
+    edge_fault_sites,
+)
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.graphs.graph import Graph
+
+
+class TestDistancesFromSet:
+    def test_single_source(self):
+        g = path_graph(5)
+        assert distances_from_set(g, [0]) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_multi_source_takes_minimum(self):
+        g = path_graph(5)
+        d = distances_from_set(g, [0, 4])
+        assert d == {0: 0, 1: 1, 2: 2, 3: 1, 4: 0}
+
+    def test_unreachable_absent(self):
+        g = Graph([0, 1, 2], [(0, 1)])
+        d = distances_from_set(g, [0])
+        assert 2 not in d
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(KeyError):
+            distances_from_set(path_graph(3), [9])
+
+
+class TestContainmentRadius:
+    def test_nothing_moved(self):
+        g = cycle_graph(6)
+        assert containment_radius(g, [0], []) is None
+
+    def test_only_site_moved(self):
+        g = cycle_graph(6)
+        assert containment_radius(g, [0], [0]) == 0
+
+    def test_two_hops(self):
+        g = path_graph(6)
+        assert containment_radius(g, [0], [0, 1, 2]) == 2
+
+    def test_unreachable_moved_node_flagged(self):
+        g = Graph([0, 1, 2], [(0, 1)])
+        assert containment_radius(g, [0], [2]) == g.n
+
+    def test_empty_fault_set_rejected(self):
+        with pytest.raises(ValueError):
+            containment_radius(cycle_graph(4), [], [0])
+
+
+class TestAffectedByDistance:
+    def test_histogram(self):
+        g = path_graph(6)
+        hist = affected_by_distance(g, [0], [0, 1, 1, 3])
+        # note: duplicate moved entries are counted as given
+        assert hist == {0: 1, 1: 2, 3: 1}
+
+
+class TestEdgeFaultSites:
+    def test_endpoints_collected(self):
+        assert edge_fault_sites([(0, 1), (2, 3)]) == {0, 1, 2, 3}
+
+    def test_empty(self):
+        assert edge_fault_sites([]) == frozenset()
+
+
+class TestEndToEndContainment:
+    def test_smm_single_link_failure_is_contained(self):
+        """Fail one matched edge on a long cycle; repair stays within
+        a couple of hops of the failure."""
+        from repro.core.executor import run_synchronous
+        from repro.core.faults import migrate_configuration
+        from repro.matching.smm import SynchronousMaximalMatching
+
+        g = cycle_graph(30)
+        smm = SynchronousMaximalMatching()
+        ex = run_synchronous(smm, g)
+        failed = (0, 1)
+        g2 = g.with_edges(remove=[failed])
+        migrated = migrate_configuration(smm, g, g2, ex.final)
+        ex2 = run_synchronous(smm, g2, migrated)
+        assert ex2.stabilized and ex2.legitimate
+        radius = containment_radius(g2, failed, ex2.moved_nodes())
+        assert radius is None or radius <= 4

@@ -1,0 +1,89 @@
+"""Tests for empirical growth-order estimation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    PowerFit,
+    classify_order,
+    empirical_exponent,
+    fit_power_law,
+)
+
+
+def series(fn, xs=(8, 16, 32, 64, 128, 256)):
+    return [(x, fn(x)) for x in xs]
+
+
+class TestFitPowerLaw:
+    def test_exact_linear(self):
+        fit = fit_power_law(series(lambda x: 3.0 * x))
+        assert fit.alpha == pytest.approx(1.0, abs=1e-9)
+        assert fit.c == pytest.approx(3.0, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_exact_quadratic(self):
+        fit = fit_power_law(series(lambda x: 0.5 * x * x))
+        assert fit.alpha == pytest.approx(2.0, abs=1e-9)
+
+    def test_exact_sqrt(self):
+        fit = fit_power_law(series(lambda x: math.sqrt(x)))
+        assert fit.alpha == pytest.approx(0.5, abs=1e-9)
+
+    def test_noisy_linear(self):
+        rng = np.random.default_rng(1)
+        pts = [(x, 2.0 * x * float(rng.uniform(0.9, 1.1))) for x in (8, 16, 32, 64, 128)]
+        fit = fit_power_law(pts)
+        assert 0.9 <= fit.alpha <= 1.1
+        assert fit.r_squared > 0.97
+
+    def test_predict(self):
+        fit = PowerFit(alpha=1.0, c=2.0, r_squared=1.0)
+        assert fit.predict(10) == pytest.approx(20.0)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law([(1, 1), (2, 2)])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            fit_power_law([(1, 0), (2, 2), (3, 3)])
+
+
+class TestClassifyOrder:
+    def test_constant(self):
+        assert classify_order(series(lambda x: 5.0)) == "constant"
+
+    def test_linear(self):
+        assert classify_order(series(lambda x: 2.0 * x + 1)) == "linear"
+
+    def test_superlinear(self):
+        assert classify_order(series(lambda x: x ** 1.8)) == "superlinear"
+
+    def test_logarithmic(self):
+        assert classify_order(series(lambda x: 3.0 * math.log(x))) == "logarithmic"
+
+    def test_sqrt_is_sublinear(self):
+        assert classify_order(series(lambda x: x ** 0.5)) == "sublinear"
+
+
+class TestEmpiricalExponent:
+    def test_wraps_fit(self):
+        fit = empirical_exponent([8, 16, 32], [8, 16, 32])
+        assert fit.alpha == pytest.approx(1.0)
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_exponent([1, 2], [1])
+
+    def test_on_real_sis_series(self):
+        """The E2 worst-case series really is linear."""
+        from repro.experiments.e2_sis_convergence import run_worst_case_series
+
+        r = run_worst_case_series(sizes=(8, 16, 32, 64))
+        fit = empirical_exponent(
+            [row["n"] for row in r.rows], [row["rounds"] for row in r.rows]
+        )
+        assert fit.alpha == pytest.approx(1.0, abs=0.05)

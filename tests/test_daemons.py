@@ -1,0 +1,95 @@
+"""Tests for central daemon strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.daemons import (
+    AdversarialStrategy,
+    MinIdStrategy,
+    RandomStrategy,
+    RoundRobinStrategy,
+    make_strategy,
+)
+from repro.errors import ProtocolError
+from repro.graphs.generators import path_graph
+
+
+GRAPH = path_graph(6)
+CONFIG = Configuration({i: 0 for i in range(6)})
+RNG = np.random.default_rng(0)
+
+
+class TestRandomStrategy:
+    def test_choice_is_member(self):
+        s = RandomStrategy()
+        for _ in range(20):
+            assert s.choose((1, 3, 5), CONFIG, GRAPH, 0, RNG) in (1, 3, 5)
+
+    def test_covers_all_members(self):
+        s = RandomStrategy()
+        gen = np.random.default_rng(1)
+        picks = {s.choose((1, 3, 5), CONFIG, GRAPH, 0, gen) for _ in range(100)}
+        assert picks == {1, 3, 5}
+
+
+class TestMinIdStrategy:
+    def test_always_minimum(self):
+        s = MinIdStrategy()
+        assert s.choose((2, 4, 5), CONFIG, GRAPH, 0, RNG) == 2
+
+
+class TestRoundRobinStrategy:
+    def test_cycles_through(self):
+        s = RoundRobinStrategy()
+        enabled = (0, 2, 4)
+        picks = [s.choose(enabled, CONFIG, GRAPH, i, RNG) for i in range(6)]
+        assert picks == [0, 2, 4, 0, 2, 4]
+
+    def test_skips_disabled(self):
+        s = RoundRobinStrategy()
+        assert s.choose((3,), CONFIG, GRAPH, 0, RNG) == 3
+        assert s.choose((1, 5), CONFIG, GRAPH, 1, RNG) == 5
+
+    def test_reset(self):
+        s = RoundRobinStrategy()
+        s.choose((4,), CONFIG, GRAPH, 0, RNG)
+        s.reset()
+        assert s.choose((0, 4), CONFIG, GRAPH, 0, RNG) == 0
+
+    def test_no_enabled_raises(self):
+        s = RoundRobinStrategy()
+        with pytest.raises(ProtocolError):
+            s.choose((), CONFIG, GRAPH, 0, RNG)
+
+
+class TestAdversarialStrategy:
+    def test_uses_chooser(self):
+        s = AdversarialStrategy(lambda enabled, c, g, step: enabled[-1])
+        assert s.choose((1, 2, 9), CONFIG, GRAPH, 0, RNG) == 9
+
+    def test_rejects_unprivileged_choice(self):
+        s = AdversarialStrategy(lambda enabled, c, g, step: 42)
+        with pytest.raises(ProtocolError):
+            s.choose((1, 2), CONFIG, GRAPH, 0, RNG)
+
+
+class TestMakeStrategy:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("random", RandomStrategy),
+            ("min-id", MinIdStrategy),
+            ("round-robin", RoundRobinStrategy),
+        ],
+    )
+    def test_by_name(self, name, cls):
+        assert isinstance(make_strategy(name), cls)
+
+    def test_passthrough(self):
+        s = MinIdStrategy()
+        assert make_strategy(s) is s
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ProtocolError):
+            make_strategy("chaos")

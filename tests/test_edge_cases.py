@@ -1,0 +1,162 @@
+"""Edge cases and boundary conditions across the stack.
+
+Degenerate networks (single node, single edge, disconnected pieces),
+extreme parameters, and protocol corner states — the inputs a
+downstream user will eventually feed the library.
+"""
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.executor import enabled_nodes, run_central, run_synchronous
+from repro.graphs.generators import path_graph
+from repro.graphs.graph import Graph
+from repro.matching.smm import SynchronousMaximalMatching
+from repro.matching.smm_vectorized import VectorizedSMM
+from repro.mis.sis import SynchronousMaximalIndependentSet
+from repro.mis.sis_vectorized import VectorizedSIS
+from repro.spanning.bfs_tree import BfsSpanningTree
+
+SMM = SynchronousMaximalMatching()
+SIS = SynchronousMaximalIndependentSet()
+
+
+class TestSingleNode:
+    GRAPH = Graph([0], [])
+
+    def test_smm_stable_immediately(self):
+        ex = run_synchronous(SMM, self.GRAPH)
+        assert ex.stabilized and ex.rounds == 0
+        assert ex.legitimate  # empty matching is maximal on K_1
+
+    def test_sis_enters_in_one_round(self):
+        ex = run_synchronous(SIS, self.GRAPH)
+        assert ex.stabilized and ex.rounds == 1
+        assert ex.final[0] == 1  # the MIS of K_1 is {0}
+
+    def test_bfs_tree_root_only(self):
+        p = BfsSpanningTree(0)
+        ex = run_synchronous(p, self.GRAPH)
+        assert ex.stabilized and ex.legitimate
+
+    def test_vectorized_kernels(self):
+        assert VectorizedSMM(self.GRAPH).run().stabilized
+        res = VectorizedSIS(self.GRAPH).run()
+        assert res.stabilized and res.final_x[0] == 1
+
+
+class TestSingleEdge:
+    GRAPH = path_graph(2)
+
+    def test_smm_matches_the_edge(self):
+        ex = run_synchronous(SMM, self.GRAPH)
+        assert ex.stabilized
+        assert ex.final == {0: 1, 1: 0}
+
+    def test_sis_keeps_the_larger(self):
+        ex = run_synchronous(SIS, self.GRAPH)
+        assert ex.stabilized
+        assert ex.final == {0: 0, 1: 1}
+
+    def test_smm_exhaustive_all_nine_configs(self):
+        from repro.experiments.common import exhaustive_configurations
+        from repro.matching.verify import verify_execution
+
+        for cfg in exhaustive_configurations(SMM, self.GRAPH):
+            ex = run_synchronous(SMM, self.GRAPH, cfg)
+            verify_execution(self.GRAPH, ex)
+            assert ex.rounds <= 3
+
+
+class TestDisconnectedGraphs:
+    """The paper assumes connectivity, but the *protocols* are purely
+    local — they behave per-component, and the library should too."""
+
+    GRAPH = Graph([0, 1, 2, 3, 4], [(0, 1), (2, 3)])  # 2 edges + isolate
+
+    def test_smm_matches_each_component(self):
+        ex = run_synchronous(SMM, self.GRAPH)
+        assert ex.stabilized and ex.legitimate
+        assert ex.final[0] == 1 and ex.final[2] == 3
+        assert ex.final[4] is None
+
+    def test_sis_covers_each_component(self):
+        ex = run_synchronous(SIS, self.GRAPH)
+        assert ex.stabilized and ex.legitimate
+        in_set = {n for n, x in ex.final.items() if x == 1}
+        assert in_set == {1, 3, 4}
+
+    def test_isolated_node_in_mis(self):
+        g = Graph([7], [])
+        ex = run_synchronous(SIS, g)
+        assert ex.final[7] == 1
+
+
+class TestEmptyGraph:
+    GRAPH = Graph([], [])
+
+    def test_smm_trivially_stable(self):
+        ex = run_synchronous(SMM, self.GRAPH)
+        assert ex.stabilized and ex.rounds == 0 and ex.legitimate
+
+    def test_enabled_nodes_empty(self):
+        assert enabled_nodes(SIS, self.GRAPH, Configuration({})) == ()
+
+
+class TestExtremeParameters:
+    def test_zero_round_budget(self):
+        g = path_graph(4)
+        ex = run_synchronous(SIS, g, max_rounds=0)
+        # all-zero start is not stable, budget 0: not stabilized
+        assert not ex.stabilized and ex.rounds == 0
+
+    def test_zero_budget_on_stable_config(self):
+        g = path_graph(4)
+        stable = {0: 0, 1: 1, 2: 0, 3: 1}
+        ex = run_synchronous(SIS, g, stable, max_rounds=0)
+        assert ex.stabilized  # the post-loop privilege check catches it
+
+    def test_central_zero_budget(self):
+        g = path_graph(4)
+        ex = run_central(SIS, g, max_moves=0)
+        assert not ex.stabilized and ex.moves == 0
+
+    def test_huge_ids(self):
+        big = 10**12
+        g = Graph([big, big + 1, big + 2], [(big, big + 1), (big + 1, big + 2)])
+        ex = run_synchronous(SIS, g)
+        assert ex.stabilized
+        in_set = {n for n, x in ex.final.items() if x == 1}
+        assert big + 2 in in_set
+
+    def test_negative_ids(self):
+        g = Graph([-3, -2, -1], [(-3, -2), (-2, -1)])
+        ex = run_synchronous(SIS, g)
+        assert ex.stabilized and ex.legitimate
+        assert ex.final[-1] == 1  # -1 is the largest id
+
+
+class TestRelabelingInvariance:
+    """The theorems quantify over id assignments; shifting all ids by a
+    constant (an order-preserving relabeling) must not change runs."""
+
+    def test_smm_shift_invariant(self):
+        g = path_graph(6)
+        shifted = g.relabeled({i: i + 100 for i in g.nodes})
+        ex1 = run_synchronous(SMM, g)
+        ex2 = run_synchronous(SMM, shifted)
+        assert ex1.rounds == ex2.rounds
+        assert {(u + 100, v + 100) for u, v in
+                [(n, p) for n, p in ex1.final.items() if p is not None]} == {
+            (n, p) for n, p in ex2.final.items() if p is not None
+        }
+
+    def test_sis_shift_invariant(self):
+        g = path_graph(7)
+        shifted = g.relabeled({i: i + 50 for i in g.nodes})
+        ex1 = run_synchronous(SIS, g)
+        ex2 = run_synchronous(SIS, shifted)
+        assert ex1.rounds == ex2.rounds
+        set1 = {n + 50 for n, x in ex1.final.items() if x == 1}
+        set2 = {n for n, x in ex2.final.items() if x == 1}
+        assert set1 == set2

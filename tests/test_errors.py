@@ -1,0 +1,49 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ExperimentError,
+    GraphError,
+    InvalidConfigurationError,
+    NotConnectedError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    StabilizationTimeout,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            GraphError,
+            NotConnectedError,
+            ProtocolError,
+            InvalidConfigurationError,
+            StabilizationTimeout,
+            SimulationError,
+            ExperimentError,
+        ],
+    )
+    def test_derives_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_not_connected_is_graph_error(self):
+        assert issubclass(NotConnectedError, GraphError)
+
+    def test_invalid_configuration_is_protocol_error(self):
+        assert issubclass(InvalidConfigurationError, ProtocolError)
+
+    def test_timeout_carries_execution(self):
+        marker = object()
+        err = StabilizationTimeout("nope", marker)
+        assert err.execution is marker
+
+    def test_timeout_execution_optional(self):
+        assert StabilizationTimeout("nope").execution is None
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(ReproError):
+            raise NotConnectedError("x")

@@ -1,0 +1,214 @@
+"""Tests for the execution engine (all three daemons)."""
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.executor import (
+    build_view,
+    enabled_nodes,
+    run_central,
+    run_distributed,
+    run_synchronous,
+)
+from repro.core.invariants import HistoryMonitor
+from repro.errors import InvalidConfigurationError, StabilizationTimeout
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.matching.smm import SynchronousMaximalMatching
+from repro.mis.sis import SynchronousMaximalIndependentSet
+
+SIS = SynchronousMaximalIndependentSet()
+SMM = SynchronousMaximalMatching()
+
+
+class TestBuildView:
+    def test_view_contents(self):
+        g = path_graph(3)
+        cfg = {0: 0, 1: 1, 2: 0}
+        v = build_view(SIS, g, cfg, 1)
+        assert v.node == 1 and v.state == 1
+        assert v.neighbor_states == {0: 0, 2: 0}
+
+    def test_view_with_rand_map(self):
+        g = path_graph(3)
+        cfg = {0: 0, 1: 1, 2: 0}
+        rands = {0: 0.1, 1: 0.5, 2: 0.9}
+        v = build_view(SIS, g, cfg, 1, rands)
+        assert v.rand == 0.5
+        assert v.neighbor_rand == {0: 0.1, 2: 0.9}
+
+
+class TestEnabledNodes:
+    def test_all_enabled_from_zero(self):
+        g = path_graph(4)
+        cfg = {i: 0 for i in range(4)}
+        # all can enter: nobody's larger neighbour is in the set
+        assert enabled_nodes(SIS, g, cfg) == (0, 1, 2, 3)
+
+    def test_stable_configuration_empty(self):
+        g = path_graph(4)
+        stable = {0: 0, 1: 1, 2: 0, 3: 1}
+        assert enabled_nodes(SIS, g, stable) == ()
+
+
+class TestRunSynchronous:
+    def test_clean_start_default(self):
+        g = path_graph(5)
+        ex = run_synchronous(SIS, g)
+        assert ex.stabilized and ex.legitimate
+        assert ex.initial == {i: 0 for i in range(5)}
+
+    def test_round_and_move_accounting(self):
+        g = path_graph(4)
+        ex = run_synchronous(SIS, g)
+        assert ex.moves == sum(ex.moves_by_rule.values())
+        assert len(ex.move_log) == ex.rounds
+        assert all(ex.move_log)  # every active round has movers
+
+    def test_zero_round_run(self):
+        g = path_graph(4)
+        stable = {0: 0, 1: 1, 2: 0, 3: 1}
+        ex = run_synchronous(SIS, g, stable)
+        assert ex.stabilized and ex.rounds == 0 and ex.moves == 0
+        assert ex.final == stable
+
+    def test_history_recording(self):
+        g = path_graph(5)
+        ex = run_synchronous(SIS, g, record_history=True)
+        assert ex.history is not None
+        assert len(ex.history) == ex.rounds + 1
+        assert ex.history[0] == ex.initial
+        assert ex.history[-1] == ex.final
+
+    def test_no_history_by_default(self):
+        assert run_synchronous(SIS, path_graph(3)).history is None
+
+    def test_budget_exhaustion_flagged(self):
+        from repro.matching.variants import ArbitraryChoiceSMM, clockwise_chooser
+
+        g = cycle_graph(4)
+        bad = ArbitraryChoiceSMM(clockwise_chooser(4))
+        ex = run_synchronous(bad, g, {i: None for i in g.nodes}, max_rounds=10)
+        assert not ex.stabilized and ex.rounds == 10
+
+    def test_raise_on_timeout(self):
+        from repro.matching.variants import ArbitraryChoiceSMM, clockwise_chooser
+
+        g = cycle_graph(4)
+        bad = ArbitraryChoiceSMM(clockwise_chooser(4))
+        with pytest.raises(StabilizationTimeout) as info:
+            run_synchronous(
+                bad,
+                g,
+                {i: None for i in g.nodes},
+                max_rounds=10,
+                raise_on_timeout=True,
+            )
+        assert info.value.execution is not None
+
+    def test_invalid_initial_configuration_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(InvalidConfigurationError):
+            run_synchronous(SMM, g, {0: 2, 1: None, 2: None})  # 2 not adjacent to 0
+
+    def test_monitors_called(self):
+        g = path_graph(5)
+        mon = HistoryMonitor()
+        ex = run_synchronous(SIS, g, monitors=[mon])
+        assert len(mon.configurations) == ex.rounds + 1
+        assert mon.configurations[0] == ex.initial
+        assert mon.configurations[-1] == ex.final
+
+    def test_rounds_to_stabilize(self):
+        ex = run_synchronous(SIS, path_graph(4))
+        assert ex.rounds_to_stabilize() == ex.rounds
+
+    def test_rounds_to_stabilize_raises_on_divergence(self):
+        from repro.matching.variants import ArbitraryChoiceSMM, clockwise_chooser
+
+        g = cycle_graph(4)
+        bad = ArbitraryChoiceSMM(clockwise_chooser(4))
+        ex = run_synchronous(bad, g, {i: None for i in g.nodes}, max_rounds=6)
+        with pytest.raises(StabilizationTimeout):
+            ex.rounds_to_stabilize()
+
+    def test_moved_nodes(self):
+        g = path_graph(4)
+        ex = run_synchronous(SIS, g)
+        assert ex.moved_nodes() <= set(g.nodes)
+        assert ex.moved_nodes()  # someone moved from the clean start
+
+    def test_daemon_label(self):
+        assert run_synchronous(SIS, path_graph(3)).daemon == "synchronous"
+
+
+class TestRunCentral:
+    def test_converges_and_counts_moves(self):
+        g = cycle_graph(7)
+        ex = run_central(SIS, g, strategy="random", rng=1)
+        assert ex.stabilized and ex.legitimate
+        assert ex.rounds == ex.moves
+        assert all(len(entry) == 1 for entry in ex.move_log)
+
+    def test_min_id_deterministic(self):
+        g = cycle_graph(7)
+        a = run_central(SIS, g, strategy="min-id")
+        b = run_central(SIS, g, strategy="min-id")
+        assert a.moves == b.moves and a.final == b.final
+
+    def test_round_robin(self):
+        ex = run_central(SIS, cycle_graph(6), strategy="round-robin")
+        assert ex.stabilized and ex.legitimate
+
+    def test_budget_exhaustion(self):
+        g = path_graph(6)
+        ex = run_central(SIS, g, max_moves=1)
+        assert not ex.stabilized and ex.moves == 1
+
+    def test_raise_on_timeout(self):
+        with pytest.raises(StabilizationTimeout):
+            run_central(
+                SIS, path_graph(6), max_moves=1, raise_on_timeout=True
+            )
+
+    def test_history(self):
+        ex = run_central(SIS, path_graph(5), strategy="min-id", record_history=True)
+        assert ex.history is not None and len(ex.history) == ex.moves + 1
+
+    def test_daemon_label_includes_strategy(self):
+        ex = run_central(SIS, path_graph(3), strategy="min-id")
+        assert ex.daemon == "central:MinIdStrategy"
+
+
+class TestRunDistributed:
+    def test_converges(self):
+        g = cycle_graph(9)
+        ex = run_distributed(SIS, g, rng=3, activation_probability=0.5)
+        assert ex.stabilized and ex.legitimate
+
+    def test_probability_one_is_synchronous(self):
+        g = path_graph(6)
+        sync = run_synchronous(SIS, g)
+        dist = run_distributed(SIS, g, rng=1, activation_probability=1.0)
+        assert dist.final == sync.final
+        assert dist.rounds == sync.rounds
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            run_distributed(SIS, path_graph(3), activation_probability=1.5)
+
+    def test_liveness_with_tiny_probability(self):
+        # even with p ~ 0 the daemon activates someone every step
+        ex = run_distributed(
+            SIS, path_graph(5), rng=2, activation_probability=1e-9, max_steps=200
+        )
+        assert ex.stabilized
+        assert all(len(entry) >= 1 for entry in ex.move_log)
+
+    def test_smm_under_distributed_daemon(self):
+        # SMM tolerates partial activation: it still converges and the
+        # final matching is maximal
+        from repro.matching.verify import verify_execution
+
+        g = cycle_graph(8)
+        ex = run_distributed(SMM, g, rng=5, activation_probability=0.6)
+        verify_execution(g, ex)

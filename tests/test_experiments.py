@@ -1,0 +1,172 @@
+"""Smoke tests for all ten experiment modules at reduced scale.
+
+Each test runs an experiment with tiny parameters and asserts the
+*claims* the experiment is supposed to validate — so a regression in
+any protocol or substrate fails here even if the unit tests miss it.
+"""
+
+import pytest
+
+from repro.experiments import (
+    e1_smm_convergence,
+    e2_sis_convergence,
+    e3_transitions,
+    e4_counterexample,
+    e5_baseline,
+    e6_growth,
+    e7_churn,
+    e8_adhoc,
+    e9_transform,
+    e10_scaling,
+)
+
+
+class TestE1:
+    def test_theorem1_holds(self):
+        r = e1_smm_convergence.run(
+            families=("cycle", "tree"), sizes=(4, 8), trials=4, seed=1
+        )
+        assert r.rows
+        assert all(row["within_bound"] == 1.0 for row in r.rows)
+        assert all(row["rounds_max"] <= row["bound"] for row in r.rows)
+
+    def test_includes_exhaustive_rows(self):
+        r = e1_smm_convergence.run(
+            families=("cycle",), sizes=(4,), trials=2, seed=1
+        )
+        assert any(row["init"] == "exhaustive" for row in r.rows)
+
+
+class TestE2:
+    def test_theorem2_holds(self):
+        r = e2_sis_convergence.run(
+            families=("cycle", "tree"), sizes=(4, 8), trials=4, seed=1
+        )
+        assert all(row["within_bound"] == 1.0 for row in r.rows)
+        assert all(row["greedy_fixpoint"] for row in r.rows)
+
+    def test_worst_case_series_linear(self):
+        r = e2_sis_convergence.run_worst_case_series(sizes=(8, 16, 32))
+        ratios = [row["rounds_over_n"] for row in r.rows]
+        assert all(0.8 <= x <= 1.0 for x in ratios)
+
+
+class TestE3:
+    def test_all_observed_arrows_in_figure3(self):
+        r = e3_transitions.run(families=("cycle", "tree"), sizes=(4, 8), trials=5)
+        assert r.rows
+        assert all(row["in_figure_3"] for row in r.rows)
+
+    def test_observes_most_arrows(self):
+        r = e3_transitions.run(
+            families=("cycle", "path", "tree"), sizes=(4, 8, 16), trials=15
+        )
+        assert len(r.rows) >= 8  # of the 10 Fig. 3 arrows
+
+
+class TestE4:
+    def test_clockwise_livelocks_minid_stabilizes(self):
+        r = e4_counterexample.run(cycle_sizes=(4, 8), randomized_trials=4)
+        by_variant = {}
+        for row in r.rows:
+            by_variant.setdefault(row["variant"], []).append(row)
+        assert all(not row["stabilized"] for row in by_variant["arbitrary(clockwise)"])
+        assert all(row["livelock_period"] == 2 for row in by_variant["arbitrary(clockwise)"])
+        assert all(row["stabilized"] for row in by_variant["min-id (SMM)"])
+        assert all(
+            row["rounds"] <= row["bound"] for row in by_variant["min-id (SMM)"]
+        )
+
+    def test_odd_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            e4_counterexample.run(cycle_sizes=(5,))
+
+
+class TestE5:
+    def test_refined_baseline_slower(self):
+        r = e5_baseline.run(families=("cycle", "tree"), sizes=(8, 16), trials=3)
+        assert all(row["slowdown_id"] >= 1.0 for row in r.rows)
+        assert all(
+            row["hh_central_moves"] <= row["moves_bound"] for row in r.rows
+        )
+
+
+class TestE6:
+    def test_lemmas_hold(self):
+        r = e6_growth.run(families=("cycle", "tree"), sizes=(8, 16), trials=5)
+        assert all(row["lemma1_violations"] == 0 for row in r.rows)
+        assert all(row["lemma10_violations"] == 0 for row in r.rows)
+        assert all(
+            row["min_two_round_growth"] is None or row["min_two_round_growth"] >= 2
+            for row in r.rows
+        )
+
+
+class TestE7:
+    def test_recovery_cheaper_than_fresh(self):
+        r = e7_churn.run(
+            families=("tree",), sizes=(24,), churn_levels=(1, 2), trials=4, seed=2
+        )
+        # aggregate: recovery strictly cheaper on average
+        rec = sum(row["recovery_rounds"] for row in r.rows)
+        fresh = sum(row["fresh_rounds"] for row in r.rows)
+        assert rec < fresh
+        assert all(row["touched_frac"] <= 1.0 for row in r.rows)
+
+
+class TestE8:
+    def test_static_tracks_synchronous(self):
+        r = e8_adhoc.run_static(sizes=(10,), trials=2, seed=3)
+        assert all(row["stabilized"] for row in r.rows)
+        for row in r.rows:
+            # beacon time within a small factor of synchronous rounds
+            assert row["beacon_rounds"] <= 4 * max(row["sync_rounds"], 1) + 6
+
+    def test_mobile_availability_degrades_gracefully(self):
+        r = e8_adhoc.run_mobile(n=10, speeds=(0.0, 0.05), horizon=40.0, seed=4)
+        assert all(0.0 <= row["availability"] <= 1.0 for row in r.rows)
+
+
+class TestE9:
+    def test_refinement_ports_all_protocols(self):
+        r = e9_transform.run(families=("cycle",), sizes=(8,), trials=2)
+        assert all(row["all_legitimate"] for row in r.rows)
+        assert {row["protocol"] for row in r.rows} == {
+            "HsuHuang92",
+            "Grundy",
+            "MDS",
+        }
+
+    def test_raw_daemon_livelocks_documented(self):
+        r = e9_transform.run(families=("cycle",), sizes=(8,), trials=1)
+        livelock_notes = [n for n in r.notes if "stabilized=False" in n]
+        assert len(livelock_notes) == 3
+
+
+class TestE10:
+    def test_engines_agree(self):
+        r = e10_scaling.run(sizes=(64,), seed=5)
+        assert all(row["agree"] for row in r.rows)
+        assert all(row["rounds_ref"] == row["rounds_vec"] for row in r.rows)
+
+
+class TestE11:
+    def test_acceptance_choice_is_free(self):
+        from repro.experiments import e11_ablations
+
+        r = e11_ablations.run_acceptance_choosers(
+            families=("cycle",), sizes=(8, 16), trials=4
+        )
+        assert all(row["all_correct"] for row in r.rows)
+        deterministic = [
+            row for row in r.rows if row["accept"] in ("min-id", "max-id")
+        ]
+        assert all(row["rounds_max"] <= row["bound"] for row in deterministic)
+
+    def test_beacon_parameters_safe_timeouts_stabilize(self):
+        from repro.experiments import e11_ablations
+
+        r = e11_ablations.run_beacon_parameters(
+            n=10, loss_rates=(0.0, 0.2), timeout_factors=(2.5,), trials=2
+        )
+        assert all(row["all_stabilized"] for row in r.rows)

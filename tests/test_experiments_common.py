@@ -1,0 +1,116 @@
+"""Tests for the experiment harness plumbing."""
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.errors import ExperimentError
+from repro.experiments.common import (
+    ExperimentResult,
+    detect_cycle,
+    exhaustive_configurations,
+    graph_workloads,
+    initial_configurations,
+    local_state_space,
+)
+from repro.graphs.generators import complete_graph, cycle_graph, path_graph
+from repro.matching.smm import SynchronousMaximalMatching
+from repro.mis.sis import SynchronousMaximalIndependentSet
+
+SMM = SynchronousMaximalMatching()
+SIS = SynchronousMaximalIndependentSet()
+
+
+class TestExperimentResult:
+    def test_add_and_table(self):
+        r = ExperimentResult("EX", "artifact", columns=["a", "b"])
+        r.add(a=1, b=2)
+        r.note("hello")
+        out = r.table()
+        assert "[EX] artifact" in out
+        assert "hello" in out
+
+    def test_column_access(self):
+        r = ExperimentResult("EX", "x", columns=["a"])
+        r.add(a=1)
+        r.add(a=2)
+        assert r.column("a") == [1, 2]
+
+
+class TestGraphWorkloads:
+    def test_deterministic_families_once_per_cell(self):
+        cells = list(graph_workloads(["cycle"], [4, 8], seed=1, graphs_per_cell=5))
+        assert len(cells) == 2
+
+    def test_random_families_multiple_per_cell(self):
+        cells = list(graph_workloads(["tree"], [8], seed=1, graphs_per_cell=3))
+        assert len(cells) == 3
+
+    def test_reproducible(self):
+        a = [g for _, _, g, _ in graph_workloads(["tree", "er-sparse"], [8], seed=5)]
+        b = [g for _, _, g, _ in graph_workloads(["tree", "er-sparse"], [8], seed=5)]
+        assert a == b
+
+    def test_yields_requested_sizes(self):
+        sizes = [n for _, n, _, _ in graph_workloads(["cycle", "path"], [4, 6], seed=1)]
+        assert sizes == [4, 6, 4, 6]
+
+
+class TestInitialConfigurations:
+    def test_clean_mode(self):
+        g = cycle_graph(5)
+        configs = list(initial_configurations(SIS, g, "clean", 3, rng=1))
+        assert len(configs) == 3
+        assert all(c == {i: 0 for i in g.nodes} for c in configs)
+
+    def test_random_mode_varies(self):
+        g = cycle_graph(8)
+        configs = list(initial_configurations(SIS, g, "random", 10, rng=1))
+        assert len({c for c in configs}) > 1
+
+    def test_unknown_mode(self):
+        with pytest.raises(ExperimentError):
+            list(initial_configurations(SIS, cycle_graph(4), "weird", 1, rng=1))
+
+
+class TestLocalStateSpace:
+    def test_pointer_protocol(self):
+        g = path_graph(3)
+        assert local_state_space(SMM, g, 1) == [None, 0, 2]
+
+    def test_bit_protocol(self):
+        assert local_state_space(SIS, cycle_graph(4), 0) == [0, 1]
+
+
+class TestExhaustiveConfigurations:
+    def test_smm_c4_has_81(self):
+        assert sum(1 for _ in exhaustive_configurations(SMM, cycle_graph(4))) == 81
+
+    def test_sis_counts(self):
+        assert sum(1 for _ in exhaustive_configurations(SIS, path_graph(5))) == 32
+
+    def test_limit_enforced(self):
+        with pytest.raises(ExperimentError):
+            list(exhaustive_configurations(SIS, complete_graph(30), limit=100))
+
+    def test_all_valid(self):
+        g = cycle_graph(4)
+        for cfg in exhaustive_configurations(SMM, g):
+            SMM.validate_configuration(g, cfg)
+
+
+class TestDetectCycle:
+    def test_no_cycle(self):
+        h = [Configuration({0: i}) for i in range(5)]
+        assert detect_cycle(h) is None
+
+    def test_period_two(self):
+        a, b = Configuration({0: 0}), Configuration({0: 1})
+        assert detect_cycle([a, b, a, b]) == (0, 2)
+
+    def test_rho_shape(self):
+        a, b, c = (Configuration({0: i}) for i in range(3))
+        assert detect_cycle([a, b, c, b]) == (1, 2)
+
+    def test_fixpoint_is_period_one(self):
+        a = Configuration({0: 0})
+        assert detect_cycle([a, a]) == (0, 1)

@@ -1,0 +1,127 @@
+"""Tests for fault injection and topology-change migration."""
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.executor import run_synchronous
+from repro.core.faults import (
+    migrate_configuration,
+    perturb_configuration,
+    random_configuration,
+)
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.matching.smm import SynchronousMaximalMatching
+from repro.mis.sis import SynchronousMaximalIndependentSet
+
+SMM = SynchronousMaximalMatching()
+SIS = SynchronousMaximalIndependentSet()
+
+
+class TestRandomConfiguration:
+    def test_valid_for_smm(self):
+        g = cycle_graph(8)
+        cfg = random_configuration(SMM, g, rng=1)
+        SMM.validate_configuration(g, cfg)
+
+    def test_valid_for_sis(self):
+        g = cycle_graph(8)
+        cfg = random_configuration(SIS, g, rng=1)
+        assert all(v in (0, 1) for v in cfg.values())
+
+    def test_reproducible(self):
+        g = cycle_graph(8)
+        assert random_configuration(SMM, g, rng=5) == random_configuration(
+            SMM, g, rng=5
+        )
+
+    def test_covers_state_space(self):
+        g = cycle_graph(8)
+        import numpy as np
+
+        gen = np.random.default_rng(0)
+        seen = set()
+        for _ in range(50):
+            seen.update(random_configuration(SMM, g, gen).values())
+        assert None in seen and len(seen) > 2
+
+
+class TestPerturbConfiguration:
+    def test_fraction_touches_at_most_count(self):
+        g = cycle_graph(10)
+        base = Configuration({i: 0 for i in g.nodes})
+        out = perturb_configuration(SIS, g, base, fraction=0.3, rng=1)
+        assert len(out.diff(base)) <= 3
+
+    def test_count_parameter(self):
+        g = cycle_graph(10)
+        base = Configuration({i: 0 for i in g.nodes})
+        out = perturb_configuration(SIS, g, base, count=10, rng=2)
+        # all ten nodes redrawn (some may redraw their old value)
+        assert len(out.diff(base)) <= 10
+
+    def test_fraction_zero_identity(self):
+        g = cycle_graph(6)
+        base = Configuration({i: 0 for i in g.nodes})
+        assert perturb_configuration(SIS, g, base, fraction=0.0, rng=1) == base
+
+    def test_small_fraction_rounds_up_to_one(self):
+        g = cycle_graph(6)
+        base = Configuration({i: None for i in g.nodes})
+        out = perturb_configuration(SMM, g, base, fraction=0.01, rng=3)
+        assert len(out.diff(base)) <= 1
+
+    def test_invalid_fraction(self):
+        g = cycle_graph(6)
+        base = Configuration({i: 0 for i in g.nodes})
+        with pytest.raises(ValueError):
+            perturb_configuration(SIS, g, base, fraction=1.5)
+
+    def test_invalid_count(self):
+        g = cycle_graph(6)
+        base = Configuration({i: 0 for i in g.nodes})
+        with pytest.raises(ValueError):
+            perturb_configuration(SIS, g, base, count=99)
+
+    def test_result_is_valid(self):
+        g = cycle_graph(8)
+        base = random_configuration(SMM, g, rng=1)
+        out = perturb_configuration(SMM, g, base, fraction=0.5, rng=2)
+        SMM.validate_configuration(g, out)
+
+
+class TestMigrateConfiguration:
+    def test_pointer_at_failed_link_sanitized(self):
+        g = cycle_graph(4)
+        stable = Configuration({0: 1, 1: 0, 2: 3, 3: 2})
+        g2 = g.with_edges(remove=[(0, 1)])
+        migrated = migrate_configuration(SMM, g, g2, stable)
+        assert migrated[0] is None and migrated[1] is None
+        assert migrated[2] == 3 and migrated[3] == 2  # untouched pair
+
+    def test_new_link_preserves_states(self):
+        g = path_graph(4)
+        stable = Configuration({0: 1, 1: 0, 2: 3, 3: 2})
+        g2 = g.with_edges(add=[(0, 3)])
+        migrated = migrate_configuration(SMM, g, g2, stable)
+        assert migrated == stable
+
+    def test_bit_states_never_invalidated(self):
+        g = cycle_graph(5)
+        cfg = random_configuration(SIS, g, rng=1)
+        g2 = g.with_edges(remove=[(0, 1)], add=[(0, 2)])
+        assert migrate_configuration(SIS, g, g2, cfg) == cfg
+
+    def test_node_set_change_rejected(self):
+        with pytest.raises(ValueError):
+            migrate_configuration(
+                SIS, cycle_graph(4), cycle_graph(5), {i: 0 for i in range(4)}
+            )
+
+    def test_recovery_after_migration(self):
+        """End-to-end: stabilize, fail a link, migrate, re-stabilize."""
+        g = cycle_graph(8)
+        ex = run_synchronous(SMM, g, random_configuration(SMM, g, rng=3))
+        g2 = g.with_edges(remove=[(0, 1)])
+        migrated = migrate_configuration(SMM, g, g2, ex.final)
+        ex2 = run_synchronous(SMM, g2, migrated)
+        assert ex2.stabilized and ex2.legitimate

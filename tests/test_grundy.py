@@ -1,0 +1,120 @@
+"""Tests for the Grundy colouring extension."""
+
+import pytest
+
+from repro.coloring.grundy import GrundyColoring, _mex, is_grundy_coloring
+from repro.core.configuration import Configuration
+from repro.core.executor import run_central, run_synchronous
+from repro.core.faults import random_configuration
+from repro.core.transform import run_synchronized_central
+from repro.errors import InvalidConfigurationError
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    star_graph,
+)
+
+GRUNDY = GrundyColoring()
+
+
+class TestMex:
+    def test_empty(self):
+        assert _mex([]) == 0
+
+    def test_gap(self):
+        assert _mex([0, 1, 3]) == 2
+
+    def test_contiguous(self):
+        assert _mex([0, 1, 2]) == 3
+
+    def test_missing_zero(self):
+        assert _mex([1, 2]) == 0
+
+    def test_duplicates(self):
+        assert _mex([0, 0, 1, 1]) == 2
+
+
+class TestIsGrundyColoring:
+    def test_path_alternating(self):
+        g = path_graph(4)
+        assert is_grundy_coloring(g, {0: 0, 1: 1, 2: 0, 3: 1})
+
+    def test_proper_but_not_grundy(self):
+        g = path_graph(2)
+        # colours 1,2: proper, but both should be mex-reducible
+        assert not is_grundy_coloring(g, {0: 1, 1: 2})
+
+    def test_improper_rejected(self):
+        g = path_graph(2)
+        assert not is_grundy_coloring(g, {0: 0, 1: 0})
+
+    def test_complete_graph_rainbow(self):
+        g = complete_graph(4)
+        assert is_grundy_coloring(g, {0: 0, 1: 1, 2: 2, 3: 3})
+
+
+class TestProtocol:
+    def test_initial_state(self):
+        assert GRUNDY.initial_state(0, cycle_graph(4)) == 0
+
+    def test_random_state_within_degree_bound(self, rng):
+        g = star_graph(6)
+        for node in g.nodes:
+            for _ in range(10):
+                s = GRUNDY.random_state(node, g, rng)
+                assert 0 <= s <= g.degree(node)
+
+    def test_validate_rejects_negative(self):
+        with pytest.raises(InvalidConfigurationError):
+            GRUNDY.validate_state(0, cycle_graph(4), -1)
+
+    def test_validate_rejects_oversized(self):
+        with pytest.raises(InvalidConfigurationError):
+            GRUNDY.validate_state(0, cycle_graph(4), 99)
+
+    def test_legitimate_matches_checker(self):
+        g = path_graph(4)
+        assert GRUNDY.is_legitimate(g, {0: 0, 1: 1, 2: 0, 3: 1})
+        assert not GRUNDY.is_legitimate(g, {0: 0, 1: 0, 2: 0, 3: 0})
+
+
+class TestConvergence:
+    def test_central_daemon(self, rng):
+        for seed in range(5):
+            g = erdos_renyi_graph(12, 0.3, rng=seed)
+            cfg = random_configuration(GRUNDY, g, rng)
+            ex = run_central(GRUNDY, g, cfg, strategy="random", rng=rng)
+            assert ex.stabilized
+            assert is_grundy_coloring(g, ex.final)
+
+    @pytest.mark.parametrize("priority", ["id", "random"])
+    def test_refined_synchronous(self, priority, rng):
+        g = erdos_renyi_graph(14, 0.25, rng=2)
+        cfg = random_configuration(GRUNDY, g, rng)
+        ex = run_synchronized_central(GRUNDY, g, cfg, priority=priority, rng=rng)
+        assert ex.stabilized
+        assert is_grundy_coloring(g, ex.final)
+
+    def test_colors_bounded_by_degree_plus_one(self, rng):
+        g = erdos_renyi_graph(15, 0.3, rng=4)
+        cfg = random_configuration(GRUNDY, g, rng)
+        ex = run_central(GRUNDY, g, cfg, strategy="random", rng=rng)
+        assert max(ex.final.values()) <= g.max_degree()
+
+    def test_raw_synchronous_livelocks_on_symmetry(self):
+        g = cycle_graph(6)
+        ex = run_synchronous(
+            GRUNDY, g, Configuration({i: 0 for i in g.nodes}), max_rounds=50
+        )
+        assert not ex.stabilized
+
+    def test_raw_synchronous_can_converge_without_symmetry(self):
+        """The raw synchronous daemon is not *always* divergent: from an
+        asymmetric corruption the mex cascade can settle."""
+        g = path_graph(3)
+        cfg = {0: 0, 1: 1, 2: 1}
+        ex = run_synchronous(GRUNDY, g, cfg, max_rounds=20)
+        assert ex.stabilized and ex.rounds == 2
+        assert is_grundy_coloring(g, ex.final)

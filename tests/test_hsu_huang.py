@@ -1,0 +1,88 @@
+"""Tests for the Hsu–Huang central-daemon baseline."""
+
+import pytest
+
+from repro.analysis.theory import hsu_huang_move_bound
+from repro.core.executor import run_central
+from repro.core.faults import random_configuration
+from repro.core.transform import run_synchronized_central
+from repro.graphs.generators import cycle_graph, erdos_renyi_graph, path_graph
+from repro.matching.hsu_huang import HsuHuangMatching, central_move_bound
+from repro.matching.smm import max_id_chooser
+from repro.matching.verify import verify_execution
+
+HH = HsuHuangMatching()
+
+
+class TestCentralConvergence:
+    @pytest.mark.parametrize("strategy", ["random", "min-id", "round-robin"])
+    def test_converges_under_every_strategy(self, strategy, rng):
+        g = cycle_graph(9)
+        cfg = random_configuration(HH, g, rng)
+        ex = run_central(HH, g, cfg, strategy=strategy, rng=rng)
+        verify_execution(g, ex)
+
+    def test_random_graphs(self, rng):
+        for seed in range(5):
+            g = erdos_renyi_graph(12, 0.3, rng=seed)
+            cfg = random_configuration(HH, g, rng)
+            ex = run_central(HH, g, cfg, strategy="random", rng=rng)
+            verify_execution(g, ex)
+
+    def test_moves_within_published_bound(self, rng):
+        for n in (6, 10, 14):
+            g = cycle_graph(n)
+            cfg = random_configuration(HH, g, rng)
+            ex = run_central(HH, g, cfg, strategy="random", rng=rng)
+            assert ex.moves <= hsu_huang_move_bound(n)
+
+    def test_bound_helper(self):
+        assert central_move_bound(5) == 125
+
+    def test_arbitrary_choice_is_safe_under_central_daemon(self, rng):
+        """The max-id chooser (an 'arbitrary' choice) is fine when moves
+        are serialized — the livelock needs simultaneity."""
+        g = cycle_graph(8)
+        proto = HsuHuangMatching(propose_chooser=max_id_chooser)
+        cfg = random_configuration(proto, g, rng)
+        ex = run_central(proto, g, cfg, strategy="random", rng=rng)
+        verify_execution(g, ex)
+
+
+class TestSynchronizedConversion:
+    """The paper's Section 3 conversion claim."""
+
+    @pytest.mark.parametrize("priority", ["id", "random"])
+    def test_refined_runs_converge(self, priority, rng):
+        g = erdos_renyi_graph(14, 0.25, rng=3)
+        cfg = random_configuration(HH, g, rng)
+        ex = run_synchronized_central(HH, g, cfg, priority=priority, rng=rng)
+        verify_execution(g, ex)
+
+    def test_refined_slower_than_smm_on_average(self, rng):
+        """'the resulting protocol is not as fast': over a batch of
+        instances the refined baseline needs strictly more rounds in
+        total than SMM."""
+        from repro.core.executor import run_synchronous
+        from repro.matching.smm import SynchronousMaximalMatching
+
+        smm = SynchronousMaximalMatching()
+        smm_total = 0
+        hh_total = 0
+        for seed in range(8):
+            g = erdos_renyi_graph(16, 0.25, rng=seed)
+            cfg = random_configuration(smm, g, rng)
+            smm_total += run_synchronous(smm, g, cfg).rounds
+            hh_total += run_synchronized_central(
+                HH, g, cfg, priority="id", count_beacon_rounds=True
+            ).rounds
+        assert hh_total > smm_total
+
+    def test_beacon_round_accounting(self):
+        g = path_graph(6)
+        cfg = {i: None for i in g.nodes}
+        raw = run_synchronized_central(HH, g, cfg, priority="id")
+        beacon = run_synchronized_central(
+            HH, g, cfg, priority="id", count_beacon_rounds=True
+        )
+        assert beacon.rounds == 2 * raw.rounds

@@ -1,0 +1,183 @@
+"""Cross-module integration scenarios.
+
+Each test is a miniature end-to-end story exercising several subsystems
+together — the kind of flow a downstream user of the library would run.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Configuration,
+    HsuHuangMatching,
+    SynchronousMaximalIndependentSet,
+    SynchronousMaximalMatching,
+    cycle_graph,
+    erdos_renyi_graph,
+    random_geometric_graph,
+    run_central,
+    run_synchronized_central,
+    run_synchronous,
+)
+from repro.adhoc import RandomWaypoint, StaticPlacement, run_until_stable, run_with_mobility
+from repro.core.faults import (
+    migrate_configuration,
+    perturb_configuration,
+    random_configuration,
+)
+from repro.graphs.mutations import apply_churn
+from repro.graphs.properties import (
+    greedy_mis_by_descending_id,
+    is_maximal_matching,
+    pointer_matching,
+)
+from repro.matching.classification import validate_transitions
+from repro.matching.smm_vectorized import VectorizedSMM
+from repro.matching.verify import verify_execution as verify_matching
+from repro.mis.sis_vectorized import VectorizedSIS
+from repro.mis.verify import verify_execution as verify_mis
+
+
+class TestFaultToleranceLifecycle:
+    """The paper's headline story: stabilize, get hit, re-stabilize."""
+
+    def test_smm_survives_state_corruption(self):
+        g = erdos_renyi_graph(24, 0.15, rng=1)
+        smm = SynchronousMaximalMatching()
+        ex = run_synchronous(smm, g)
+        verify_matching(g, ex)
+        # corrupt a third of the nodes
+        corrupted = perturb_configuration(smm, g, ex.final, fraction=0.33, rng=2)
+        ex2 = run_synchronous(smm, g, corrupted)
+        verify_matching(g, ex2)
+        assert ex2.rounds <= g.n + 1
+
+    def test_sis_survives_repeated_churn(self):
+        g = erdos_renyi_graph(20, 0.2, rng=3)
+        sis = SynchronousMaximalIndependentSet()
+        cfg = random_configuration(sis, g, rng=4)
+        rng = np.random.default_rng(5)
+        for _ in range(5):
+            ex = run_synchronous(sis, g, cfg)
+            verify_mis(g, ex, expect_greedy=True)
+            g, _ = apply_churn(g, 2, rng)
+            cfg = migrate_configuration(sis, g, g, ex.final)
+        ex = run_synchronous(sis, g, cfg)
+        verify_mis(g, ex, expect_greedy=True)
+
+    def test_matching_recovery_is_local_for_small_faults(self):
+        """Containment: corrupting one node touches few nodes during
+        recovery."""
+        g = cycle_graph(40)
+        smm = SynchronousMaximalMatching()
+        ex = run_synchronous(smm, g)
+        corrupted = perturb_configuration(smm, g, ex.final, count=1, rng=7)
+        ex2 = run_synchronous(smm, g, corrupted)
+        verify_matching(g, ex2)
+        assert len(ex2.moved_nodes()) <= 6
+
+
+class TestEngineAgreement:
+    """All engines must tell the same story on the same inputs."""
+
+    def test_three_engines_same_sis_fixpoint(self):
+        g = erdos_renyi_graph(18, 0.2, rng=6)
+        sis = SynchronousMaximalIndependentSet()
+        cfg = random_configuration(sis, g, rng=7)
+        target = greedy_mis_by_descending_id(g)
+
+        sync = run_synchronous(sis, g, cfg)
+        central = run_central(sis, g, cfg, strategy="random", rng=8)
+        vec = VectorizedSIS(g)
+        vres = vec.run(cfg)
+
+        for final_set in (
+            {n for n, x in sync.final.items() if x == 1},
+            {n for n, x in central.final.items() if x == 1},
+            vec.independent_set(vres.final_x),
+        ):
+            assert final_set == target
+
+    def test_vectorized_smm_agrees_with_reference_trace(self):
+        g = erdos_renyi_graph(25, 0.15, rng=9)
+        smm = SynchronousMaximalMatching()
+        cfg = random_configuration(smm, g, rng=10)
+        ref = run_synchronous(smm, g, cfg, record_history=True)
+        validate_transitions(g, ref.history)
+        vec = VectorizedSMM(g)
+        res = vec.run(cfg)
+        assert res.rounds == ref.rounds
+        assert vec.decode(res.final_ptr) == ref.final
+
+
+class TestBeaconRealization:
+    """The beacon substrate realizes the synchronous model."""
+
+    def test_adhoc_and_sync_engine_same_sis_answer(self):
+        g, pos = random_geometric_graph(14, 0.42, rng=11, return_positions=True)
+        sis = SynchronousMaximalIndependentSet()
+        sync = run_synchronous(sis, g)
+        res = run_until_stable(sis, StaticPlacement(pos), radius=0.42, rng=12)
+        assert res.stabilized
+        assert res.final == sync.final  # unique fixpoint, any schedule
+
+    def test_adhoc_smm_maximal_even_with_loss(self):
+        g, pos = random_geometric_graph(14, 0.42, rng=13, return_positions=True)
+        smm = SynchronousMaximalMatching()
+        res = run_until_stable(
+            smm, StaticPlacement(pos), radius=0.42, rng=14, loss=0.15
+        )
+        assert res.stabilized
+        assert is_maximal_matching(g, pointer_matching(res.final.as_dict()))
+
+    def test_mobile_network_keeps_predicate_mostly_available(self):
+        mob = RandomWaypoint(12, v_min=0.005, v_max=0.02, pause=4.0, rng=15)
+        res = run_with_mobility(
+            SynchronousMaximalIndependentSet(),
+            mob,
+            radius=0.55,
+            horizon=80.0,
+            rng=16,
+        )
+        assert res.availability > 0.5
+
+
+class TestBaselineStory:
+    """Section 3's comparison, end to end on one instance."""
+
+    def test_smm_beats_synchronized_hsu_huang(self):
+        g = erdos_renyi_graph(32, 0.12, rng=17)
+        smm = SynchronousMaximalMatching()
+        hh = HsuHuangMatching()
+        totals = {"smm": 0, "hh": 0}
+        for seed in range(5):
+            cfg = random_configuration(smm, g, rng=seed)
+            totals["smm"] += run_synchronous(smm, g, cfg).rounds
+            totals["hh"] += run_synchronized_central(
+                hh, g, cfg, priority="id", count_beacon_rounds=True
+            ).rounds
+        assert totals["hh"] > totals["smm"]
+
+
+class TestPublicApi:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None
+
+    def test_quickstart_docstring_flow(self):
+        """The README/quickstart snippet, verbatim semantics."""
+        from repro import SynchronousMaximalMatching, erdos_renyi_graph, run_synchronous
+        from repro.core.faults import random_configuration
+
+        graph = erdos_renyi_graph(32, 0.15, rng=1)
+        protocol = SynchronousMaximalMatching()
+        start = random_configuration(protocol, graph, rng=2)
+        execution = run_synchronous(protocol, graph, start)
+        assert execution.stabilized and execution.rounds <= graph.n + 1

@@ -1,0 +1,109 @@
+"""Tests for invariant monitors."""
+
+import pytest
+
+from repro.core.executor import run_synchronous
+from repro.core.invariants import (
+    ClosureMonitor,
+    HistoryMonitor,
+    Monitor,
+    PredicateMonitor,
+    QuiescenceMonitor,
+)
+from repro.graphs.generators import path_graph
+from repro.graphs.properties import is_maximal_independent_set
+from repro.mis.sis import SynchronousMaximalIndependentSet
+
+SIS = SynchronousMaximalIndependentSet()
+
+
+def sis_stable(graph, config):
+    return SIS.is_legitimate(graph, config)
+
+
+class TestBaseMonitor:
+    def test_hooks_are_noops(self):
+        m = Monitor()
+        m.on_start(path_graph(2), None)
+        m.on_round(1, None)
+        m.on_finish(None)
+
+
+class TestHistoryMonitor:
+    def test_records_initial_plus_rounds(self):
+        g = path_graph(5)
+        mon = HistoryMonitor()
+        ex = run_synchronous(SIS, g, monitors=[mon])
+        assert mon.graph is g
+        assert len(mon.configurations) == ex.rounds + 1
+
+    def test_reset_between_runs(self):
+        g = path_graph(4)
+        mon = HistoryMonitor()
+        run_synchronous(SIS, g, monitors=[mon])
+        first = len(mon.configurations)
+        run_synchronous(SIS, g, monitors=[mon])
+        assert len(mon.configurations) == first
+
+
+class TestPredicateMonitor:
+    def test_traces_values(self):
+        g = path_graph(5)
+        mon = PredicateMonitor(sis_stable, name="stable")
+        ex = run_synchronous(SIS, g, monitors=[mon])
+        assert len(mon.values) == ex.rounds + 1
+        assert mon.values[-1] is True
+        assert mon.values[0] is False  # all-zero start is not stable
+
+    def test_require_raises_on_false(self):
+        g = path_graph(5)
+        mon = PredicateMonitor(sis_stable, name="stable", require=True)
+        with pytest.raises(AssertionError, match="stable"):
+            run_synchronous(SIS, g, monitors=[mon])
+
+    def test_first_true_and_holds_from(self):
+        g = path_graph(5)
+        mon = PredicateMonitor(sis_stable)
+        run_synchronous(SIS, g, monitors=[mon])
+        ft = mon.first_true()
+        assert ft is not None and ft > 0
+        assert mon.holds_from() is not None
+
+    def test_first_true_none_when_never(self):
+        mon = PredicateMonitor(lambda g, c: False)
+        run_synchronous(SIS, path_graph(3), monitors=[mon])
+        assert mon.first_true() is None
+        assert mon.holds_from() is None
+
+
+class TestClosureMonitor:
+    def test_sis_fixpoint_predicate_is_closed(self):
+        g = path_graph(6)
+        mon = ClosureMonitor(sis_stable, name="sis-fixpoint")
+        run_synchronous(SIS, g, monitors=[mon])  # must not raise
+
+    def test_mis_membership_not_closed_under_sis(self):
+        """The documented subtlety: plain MIS-ness is NOT closed under
+        SIS's rules — the protocol can move *through* a non-canonical
+        MIS, transiently breaking it."""
+        g = path_graph(4)
+        # {0, 2} is an MIS but not the greedy one ({1, 3})
+        non_canonical = {0: 1, 1: 0, 2: 1, 3: 0}
+
+        def is_mis(graph, config):
+            return is_maximal_independent_set(
+                graph, {n for n, x in config.items() if x == 1}
+            )
+
+        mon = ClosureMonitor(is_mis, name="mis")
+        with pytest.raises(AssertionError, match="closure"):
+            run_synchronous(SIS, g, non_canonical, monitors=[mon])
+
+
+class TestQuiescenceMonitor:
+    def test_counts_changes(self):
+        g = path_graph(5)
+        mon = QuiescenceMonitor()
+        ex = run_synchronous(SIS, g, monitors=[mon])
+        assert len(mon.changed_per_round) == ex.rounds
+        assert sum(mon.changed_per_round) == ex.moves

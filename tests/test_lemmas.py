@@ -1,0 +1,139 @@
+"""Tests for the executable lemma checkers (Lemmas 1–10, Fig. 3)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.configuration import Configuration
+from repro.core.executor import run_synchronous
+from repro.core.faults import random_configuration
+from repro.graphs.generators import cycle_graph, erdos_renyi_graph, path_graph
+from repro.matching.lemmas import (
+    Violation,
+    check_all,
+    check_figure_3,
+    check_lemma_1,
+    check_lemma_2,
+    check_lemma_3,
+    check_lemma_4,
+    check_lemma_5,
+    check_lemma_6,
+    check_lemma_7,
+    check_lemma_9,
+    check_lemma_10,
+)
+from repro.matching.smm import SynchronousMaximalMatching
+
+from conftest import graphs_with_pointers
+
+SMM = SynchronousMaximalMatching()
+
+
+def record(graph, config):
+    ex = run_synchronous(SMM, graph, config, record_history=True)
+    assert ex.stabilized
+    return ex
+
+
+class TestOnRealRuns:
+    """Every lemma must hold on every recorded SMM run."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(graphs_with_pointers())
+    def test_check_all_empty(self, graph_and_config):
+        g, cfg = graph_and_config
+        ex = record(g, cfg)
+        assert check_all(g, ex) == []
+
+    def test_check_all_over_random_sweep(self, rng):
+        for seed in range(5):
+            g = erdos_renyi_graph(14, 0.25, rng=seed)
+            cfg = random_configuration(SMM, g, rng)
+            ex = record(g, cfg)
+            assert check_all(g, ex) == []
+
+    def test_requires_history(self):
+        g = path_graph(4)
+        ex = run_synchronous(SMM, g)  # no history recorded
+        with pytest.raises(ValueError):
+            check_all(g, ex)
+
+
+class TestIndividualCheckers:
+    """Each checker detects a hand-crafted violation of its lemma."""
+
+    def test_lemma1_detects_unmatching(self):
+        g = path_graph(2)
+        matched = Configuration({0: 1, 1: 0})
+        broken = Configuration({0: None, 1: None})
+        violations = check_lemma_1(g, [matched, broken])
+        assert len(violations) == 1
+        assert violations[0].lemma == "Lemma 1"
+        assert violations[0].time == 0
+
+    def test_lemma2_detects_pm_not_clearing(self):
+        # 2 -> 1 with 0 <-> 1 matched: node 2 is PM and must go to A0;
+        # a history where it keeps pointing violates Lemma 2
+        g = path_graph(3)
+        pm = Configuration({0: 1, 1: 0, 2: 1})
+        assert check_lemma_2(g, [pm, pm])
+
+    def test_lemma3_detects_pp_not_clearing(self):
+        # path 0-1-2-3: 1 -> 2, 2 -> 3, 3 null: nodes 1,2 in P; 1 is PP
+        g = path_graph(4)
+        pp = Configuration({0: None, 1: 2, 2: 3, 3: None})
+        assert check_lemma_3(g, [pp, pp])
+
+    def test_lemma4_detects_pa_not_resolving(self):
+        g = path_graph(3)
+        pa = Configuration({0: 1, 1: None, 2: None})  # 0 -> null 1
+        assert check_lemma_4(g, [pa, pa])
+
+    def test_lemma5_detects_a1_not_matching(self):
+        g = path_graph(3)
+        pa = Configuration({0: 1, 1: None, 2: None})  # node 1 is A1
+        assert check_lemma_5(g, [pa, pa])
+
+    def test_lemma6_detects_a0_to_a1(self):
+        g = path_graph(4)
+        a0 = Configuration({0: None, 1: 2, 2: 1, 3: None})  # 0, 3 in A0
+        # 3 suddenly has a suitor (2 -> 3) while staying null: A0 -> A1
+        a1 = Configuration({0: None, 1: 2, 2: 3, 3: None})
+        assert check_lemma_6(g, [a0, a1])
+
+    def test_lemma7_detects_transients_after_t0(self):
+        g = path_graph(3)
+        pa = Configuration({0: 1, 1: None, 2: None})
+        violations = check_lemma_7(g, [pa, pa, pa])
+        assert {v.time for v in violations} == {1, 2}
+
+    def test_lemma7_allows_transients_at_t0(self):
+        g = path_graph(3)
+        pa = Configuration({0: 1, 1: None, 2: None})
+        ok = Configuration({0: 1, 1: 0, 2: None})
+        assert check_lemma_7(g, [pa, ok]) == []
+
+    def test_lemma9_detects_a0_move_without_growth(self):
+        # fake history: A0 node 0 "moves" (per move_log) but M stagnates
+        g = path_graph(2)
+        a = Configuration({0: None, 1: None})
+        move_log = [{0: "R2"}, {0: "R3"}, {0: "R2"}]
+        history = [a, a, a, a]
+        assert check_lemma_9(g, history, move_log)
+
+    def test_lemma10_detects_two_active_rounds_without_growth(self):
+        g = path_graph(2)
+        a = Configuration({0: None, 1: None})
+        move_log = [{0: "R2"}, {0: "R3"}, {0: "R2"}]
+        history = [a, a, a, a]
+        assert check_lemma_10(g, history, move_log)
+
+    def test_figure3_detects_illegal_arrow(self):
+        g = path_graph(2)
+        matched = Configuration({0: 1, 1: 0})
+        broken = Configuration({0: None, 1: None})
+        violations = check_figure_3(g, [matched, broken])
+        assert len(violations) == 2  # both nodes did M -> A0
+
+    def test_violation_str(self):
+        v = Violation("Lemma 1", 3, "nodes unmatched: [5]")
+        assert "Lemma 1" in str(v) and "t=3" in str(v)

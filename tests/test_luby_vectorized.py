@@ -1,0 +1,112 @@
+"""Equivalence tests: vectorized Luby kernel vs the reference engine.
+
+Both sides draw per-node variates as ``rng.random(n)`` assigned to
+nodes in ascending-id order, so two runs seeded identically must agree
+bit for bit — rounds, trajectories and final sets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.executor import run_synchronous
+from repro.core.faults import random_configuration
+from repro.errors import StabilizationTimeout
+from repro.graphs.generators import cycle_graph, erdos_renyi_graph, path_graph
+from repro.graphs.properties import is_maximal_independent_set
+from repro.mis.luby_vectorized import VectorizedLuby
+from repro.mis.variants import LubyStyleMIS
+
+LUBY = LubyStyleMIS()
+
+
+class TestExactEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_rounds_and_final_match_engine(self, seed):
+        g = erdos_renyi_graph(16, 0.25, rng=seed)
+        cfg = random_configuration(LUBY, g, rng=seed + 100)
+        ref = run_synchronous(
+            LUBY, g, cfg, rng=np.random.default_rng(seed), max_rounds=500
+        )
+        vec = VectorizedLuby(g)
+        res = vec.run(cfg, rng=np.random.default_rng(seed), max_rounds=500)
+        assert ref.stabilized and res.stabilized
+        assert res.rounds == ref.rounds
+        assert vec.decode(res.final_x) == ref.final
+        assert res.moves_by_rule == ref.moves_by_rule
+
+    def test_trajectory_matches_round_by_round(self):
+        g = cycle_graph(12)
+        cfg = {i: 0 for i in g.nodes}
+        ref = run_synchronous(
+            LUBY,
+            g,
+            cfg,
+            rng=np.random.default_rng(7),
+            max_rounds=500,
+            record_history=True,
+        )
+        vec = VectorizedLuby(g)
+        gen = np.random.default_rng(7)
+        x = vec.encode(cfg)
+        for expected in ref.history[1:]:
+            draws = gen.random(g.n)
+            x = vec.step(x, draws)
+            assert vec.decode(x) == expected
+
+
+class TestKernelStandalone:
+    def test_converges_to_mis_on_random_graphs(self):
+        for seed in range(6):
+            g = erdos_renyi_graph(30, 0.15, rng=seed)
+            vec = VectorizedLuby(g)
+            res = vec.run(rng=seed, max_rounds=2000)
+            assert res.stabilized
+            s = vec.independent_set(res.final_x)
+            assert is_maximal_independent_set(g, s)
+
+    def test_resolves_all_ones_start(self):
+        g = cycle_graph(20)
+        vec = VectorizedLuby(g)
+        res = vec.run({i: 1 for i in g.nodes}, rng=3, max_rounds=2000)
+        assert res.stabilized
+        assert is_maximal_independent_set(g, vec.independent_set(res.final_x))
+
+    def test_quiescence_detection(self):
+        g = path_graph(4)
+        vec = VectorizedLuby(g)
+        # {1, 3} is an MIS: quiescent
+        assert vec.is_quiescent(vec.encode({0: 0, 1: 1, 2: 0, 3: 1}))
+        # all-zero: not dominated
+        assert not vec.is_quiescent(vec.encode({i: 0 for i in g.nodes}))
+        # adjacent in-pair: not independent
+        assert not vec.is_quiescent(vec.encode({0: 1, 1: 1, 2: 0, 3: 1}))
+
+    def test_stable_start_zero_rounds(self):
+        g = path_graph(4)
+        vec = VectorizedLuby(g)
+        res = vec.run({0: 0, 1: 1, 2: 0, 3: 1}, rng=1)
+        assert res.stabilized and res.rounds == 0 and res.moves == 0
+
+    def test_timeout(self):
+        g = path_graph(10)
+        vec = VectorizedLuby(g)
+        res = vec.run(max_rounds=0)
+        assert not res.stabilized
+        with pytest.raises(StabilizationTimeout):
+            vec.run(max_rounds=0, raise_on_timeout=True)
+
+    def test_fast_on_long_paths(self):
+        """The randomized comparator's selling point: expected O(log n)
+        rounds where SIS needs Θ(n)."""
+        g = path_graph(256)
+        vec = VectorizedLuby(g)
+        res = vec.run(rng=5, max_rounds=2000)
+        assert res.stabilized
+        assert res.rounds < 64  # n/4, comfortably sublinear in practice
+
+    def test_scales(self):
+        g = erdos_renyi_graph(2000, 3.0 * np.log(2000) / 2000, rng=9)
+        vec = VectorizedLuby(g)
+        res = vec.run(rng=10, max_rounds=5000)
+        assert res.stabilized
+        assert is_maximal_independent_set(g, vec.independent_set(res.final_x))

@@ -1,0 +1,68 @@
+"""Tests for matching execution verification."""
+
+import pytest
+
+from repro.core.executor import run_synchronous
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.matching.smm import SynchronousMaximalMatching
+from repro.matching.variants import ArbitraryChoiceSMM, clockwise_chooser
+from repro.matching.verify import (
+    is_stable_configuration,
+    matching_of,
+    verify_execution,
+)
+
+SMM = SynchronousMaximalMatching()
+
+
+class TestMatchingOf:
+    def test_extracts_reciprocated(self):
+        assert matching_of({0: 1, 1: 0, 2: None}) == {(0, 1)}
+
+    def test_ignores_unreciprocated(self):
+        assert matching_of({0: 1, 1: 2, 2: 1}) == {(1, 2)}
+
+
+class TestIsStableConfiguration:
+    def test_stable(self):
+        g = cycle_graph(4)
+        assert is_stable_configuration(g, {0: 1, 1: 0, 2: 3, 3: 2})
+
+    def test_unmatched_with_pointer_unstable(self):
+        g = path_graph(3)
+        assert not is_stable_configuration(g, {0: 1, 1: 0, 2: 1})
+
+    def test_non_maximal_unstable(self):
+        g = path_graph(4)
+        assert not is_stable_configuration(g, {0: None, 1: None, 2: None, 3: None})
+
+
+class TestVerifyExecution:
+    def test_accepts_good_run(self):
+        g = cycle_graph(6)
+        ex = run_synchronous(SMM, g)
+        m = verify_execution(g, ex)
+        assert len(m) == 3
+
+    def test_rejects_unstabilized_run(self):
+        g = cycle_graph(4)
+        bad = ArbitraryChoiceSMM(clockwise_chooser(4))
+        ex = run_synchronous(bad, g, {i: None for i in g.nodes}, max_rounds=10)
+        with pytest.raises(AssertionError, match="did not stabilize"):
+            verify_execution(g, ex)
+
+    def test_rejects_tampered_final(self):
+        g = path_graph(4)
+        ex = run_synchronous(SMM, g)
+        # tamper: drop the matching entirely
+        ex.final = ex.final.updated({n: None for n in g.nodes})
+        ex.legitimate = True  # even a lying flag doesn't save it
+        with pytest.raises(AssertionError):
+            verify_execution(g, ex)
+
+    def test_rejects_lying_legitimacy_flag(self):
+        g = path_graph(2)
+        ex = run_synchronous(SMM, g)
+        ex.legitimate = False
+        with pytest.raises(AssertionError, match="not legitimate"):
+            verify_execution(g, ex)

@@ -1,0 +1,123 @@
+"""Tests for the minimal dominating set extension."""
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.executor import run_central, run_synchronous
+from repro.core.faults import random_configuration
+from repro.core.transform import run_synchronized_central
+from repro.domination.mds import MinimalDominatingSet, is_minimal_dominating_set
+from repro.errors import InvalidConfigurationError
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    star_graph,
+)
+
+MDS = MinimalDominatingSet()
+
+
+class TestMinimalityChecker:
+    def test_star_hub_minimal(self):
+        g = star_graph(6)
+        assert is_minimal_dominating_set(g, {0})
+
+    def test_hub_plus_leaf_not_minimal(self):
+        g = star_graph(6)
+        assert not is_minimal_dominating_set(g, {0, 1})
+
+    def test_all_leaves_minimal(self):
+        """All leaves dominate the star and no leaf is redundant (each
+        dominates itself only)."""
+        g = star_graph(5)
+        assert is_minimal_dominating_set(g, {1, 2, 3, 4})
+
+    def test_non_dominating_rejected(self):
+        g = path_graph(5)
+        assert not is_minimal_dominating_set(g, {0})
+
+    def test_c6_alternating(self):
+        g = cycle_graph(6)
+        assert is_minimal_dominating_set(g, {0, 3})
+
+    def test_complete_graph_singleton(self):
+        g = complete_graph(5)
+        assert is_minimal_dominating_set(g, {2})
+        assert not is_minimal_dominating_set(g, {1, 2})
+
+
+class TestProtocolBasics:
+    def test_initial_state(self):
+        assert MDS.initial_state(0, cycle_graph(4)) == (0, 0)
+
+    def test_random_state_valid(self, rng):
+        g = cycle_graph(6)
+        for _ in range(20):
+            MDS.validate_state(0, g, MDS.random_state(0, g, rng))
+
+    @pytest.mark.parametrize(
+        "bad", [(2, 0), (0, -1), (0, 99), "x", (1,), None]
+    )
+    def test_validate_rejects(self, bad):
+        with pytest.raises(InvalidConfigurationError):
+            MDS.validate_state(0, cycle_graph(4), bad)
+
+    def test_members_helper(self):
+        cfg = {0: (1, 0), 1: (0, 1), 2: (1, 0)}
+        assert MDS.members(cfg) == {0, 2}
+
+    def test_legitimate_requires_correct_counts(self):
+        g = path_graph(3)
+        # correct set {1} but node 0's count is wrong
+        cfg = {0: (0, 0), 1: (1, 0), 2: (0, 1)}
+        assert not MDS.is_legitimate(g, cfg)
+        cfg_ok = {0: (0, 1), 1: (1, 0), 2: (0, 1)}
+        assert MDS.is_legitimate(g, cfg_ok)
+
+
+class TestConvergence:
+    def test_central_daemon(self, rng):
+        for seed in range(5):
+            g = erdos_renyi_graph(12, 0.3, rng=seed)
+            cfg = random_configuration(MDS, g, rng)
+            ex = run_central(MDS, g, cfg, strategy="random", rng=rng)
+            assert ex.stabilized
+            assert is_minimal_dominating_set(g, MDS.members(ex.final))
+
+    @pytest.mark.parametrize("priority", ["id", "random"])
+    def test_refined_synchronous(self, priority, rng):
+        g = erdos_renyi_graph(14, 0.25, rng=2)
+        cfg = random_configuration(MDS, g, rng)
+        ex = run_synchronized_central(MDS, g, cfg, priority=priority, rng=rng)
+        assert ex.stabilized
+        assert is_minimal_dominating_set(g, MDS.members(ex.final))
+
+    def test_clean_start_everyone_enters_then_prunes(self, rng):
+        g = cycle_graph(8)
+        ex = run_central(MDS, g, strategy="random", rng=rng)
+        assert ex.stabilized
+        members = MDS.members(ex.final)
+        assert is_minimal_dominating_set(g, members)
+
+    def test_raw_synchronous_livelocks_on_symmetry(self):
+        g = cycle_graph(6)
+        # everyone in the set with counts claiming two dominators:
+        # all redundant, all leave together, all undominated, all
+        # re-enter together ... (after count repair rounds)
+        cfg = Configuration({i: (1, 2) for i in g.nodes})
+        ex = run_synchronous(MDS, g, cfg, max_rounds=80)
+        assert not ex.stabilized
+
+    def test_rule_priority_repairs_counts_first(self):
+        """RC outranks R1/R2: with a wrong count the node repairs it
+        before any membership move."""
+        g = path_graph(3)
+        from repro.core.executor import build_view
+
+        # node 1: count says 0 dominators but both neighbours are in
+        view = build_view(MDS, g, {0: (1, 0), 1: (0, 0), 2: (1, 0)}, 1)
+        rule = MDS.enabled_rule(view)
+        assert rule.name == "RC"
+        assert rule.fire(view) == (0, 2)

@@ -1,0 +1,108 @@
+"""Tests for the MIS comparators (central-daemon MIS, Luby-style)."""
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.executor import run_central, run_synchronous
+from repro.core.faults import random_configuration
+from repro.graphs.generators import cycle_graph, erdos_renyi_graph, path_graph
+from repro.graphs.properties import is_independent_set
+from repro.mis.variants import CentralDaemonMIS, LubyStyleMIS
+from repro.mis.verify import independent_set_of, verify_execution
+
+CENTRAL = CentralDaemonMIS()
+LUBY = LubyStyleMIS()
+
+
+class TestCentralDaemonMIS:
+    def test_converges_under_central_daemon(self, rng):
+        for seed in range(5):
+            g = erdos_renyi_graph(12, 0.3, rng=seed)
+            cfg = random_configuration(CENTRAL, g, rng)
+            ex = run_central(CENTRAL, g, cfg, strategy="random", rng=rng)
+            verify_execution(g, ex)
+
+    def test_livelocks_under_synchronous_daemon(self):
+        """The id-free rules oscillate on any symmetric start — the
+        reason SIS compares ids."""
+        g = path_graph(2)
+        ex = run_synchronous(
+            CENTRAL, g, Configuration({0: 0, 1: 0}), max_rounds=50
+        )
+        assert not ex.stabilized  # 00 -> 11 -> 00 -> ...
+
+    def test_livelock_on_cycles_too(self):
+        g = cycle_graph(6)
+        ex = run_synchronous(
+            CENTRAL, g, Configuration({i: 0 for i in g.nodes}), max_rounds=60
+        )
+        assert not ex.stabilized
+
+    def test_any_mis_is_a_fixpoint(self):
+        """Unlike SIS, the id-free protocol accepts *any* MIS."""
+        g = path_graph(4)
+        from repro.core.executor import enabled_nodes
+
+        for mis in ({0, 2}, {0, 3}, {1, 3}):
+            cfg = {i: int(i in mis) for i in g.nodes}
+            assert enabled_nodes(CENTRAL, g, cfg) == ()
+            assert CENTRAL.is_legitimate(g, cfg)
+
+
+class TestLubyStyleMIS:
+    def test_uses_randomness(self):
+        assert LubyStyleMIS.uses_randomness is True
+
+    def test_converges_synchronously(self, rng):
+        for seed in range(5):
+            g = erdos_renyi_graph(14, 0.25, rng=seed)
+            cfg = random_configuration(LUBY, g, rng)
+            ex = run_synchronous(LUBY, g, cfg, rng=rng, max_rounds=500)
+            verify_execution(g, ex)
+
+    def test_breaks_symmetry_on_even_cycles(self, rng):
+        """The exact instance that livelocks the deterministic id-free
+        protocol."""
+        g = cycle_graph(8)
+        ex = run_synchronous(
+            LUBY, g, {i: 0 for i in g.nodes}, rng=rng, max_rounds=500
+        )
+        verify_execution(g, ex)
+
+    def test_independence_never_violated_from_clean_start(self, rng):
+        """Two adjacent nodes can never enter in the same round, so from
+        an independent configuration independence is invariant."""
+        g = erdos_renyi_graph(12, 0.3, rng=3)
+        ex = run_synchronous(
+            LUBY,
+            g,
+            {i: 0 for i in g.nodes},
+            rng=rng,
+            max_rounds=500,
+            record_history=True,
+        )
+        for config in ex.history:
+            assert is_independent_set(g, independent_set_of(config))
+
+    def test_faster_than_sis_on_long_paths(self, rng):
+        """The classical trade: Luby-style randomization beats SIS's
+        linear cascade on path graphs (expected polylog vs Θ(n))."""
+        from repro.mis.sis import SynchronousMaximalIndependentSet
+
+        g = path_graph(64)
+        sis_rounds = run_synchronous(
+            SynchronousMaximalIndependentSet(), g
+        ).rounds
+        luby_rounds = run_synchronous(
+            LUBY, g, {i: 0 for i in g.nodes}, rng=rng, max_rounds=500
+        ).rounds
+        assert luby_rounds < sis_rounds
+
+    def test_resolves_initial_conflicts(self, rng):
+        """From the all-ones start (maximally conflicted) the protocol
+        still converges to an MIS."""
+        g = cycle_graph(10)
+        ex = run_synchronous(
+            LUBY, g, {i: 1 for i in g.nodes}, rng=rng, max_rounds=500
+        )
+        verify_execution(g, ex)

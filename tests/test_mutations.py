@@ -1,0 +1,115 @@
+"""Tests for topology churn operators."""
+
+import pytest
+
+from repro.errors import GraphError, NotConnectedError
+from repro.graphs.generators import complete_graph, cycle_graph, path_graph, random_tree
+from repro.graphs.mutations import (
+    add_random_edge,
+    apply_churn,
+    edge_difference,
+    remove_random_edge,
+    rewire_random_edge,
+)
+
+
+class TestAddRandomEdge:
+    def test_adds_one_edge(self):
+        g = cycle_graph(6)
+        g2, e = add_random_edge(g, rng=1)
+        assert g2.m == g.m + 1
+        assert e in g2.edges and e not in g.edges
+
+    def test_complete_graph_rejected(self):
+        with pytest.raises(GraphError):
+            add_random_edge(complete_graph(4), rng=1)
+
+    def test_node_set_preserved(self):
+        g = cycle_graph(6)
+        g2, _ = add_random_edge(g, rng=1)
+        assert g2.nodes == g.nodes
+
+
+class TestRemoveRandomEdge:
+    def test_removes_one_edge(self):
+        g = complete_graph(5)
+        g2, e = remove_random_edge(g, rng=1)
+        assert g2.m == g.m - 1 and e not in g2.edges
+
+    def test_keeps_connected(self):
+        g = cycle_graph(8)
+        for seed in range(5):
+            g2, _ = remove_random_edge(g, rng=seed)
+            assert g2.is_connected()
+
+    def test_tree_has_no_removable_edges(self):
+        g = random_tree(8, rng=1)
+        with pytest.raises(NotConnectedError):
+            remove_random_edge(g, rng=1)
+
+    def test_tree_removable_when_disconnect_allowed(self):
+        g = random_tree(8, rng=1)
+        g2, _ = remove_random_edge(g, rng=1, keep_connected=False)
+        assert not g2.is_connected()
+
+
+class TestRewire:
+    def test_preserves_edge_count(self):
+        g = cycle_graph(8)
+        g2, removed, added = rewire_random_edge(g, rng=2)
+        assert g2.m == g.m
+        assert removed not in g2.edges
+        assert added in g2.edges
+        assert g2.is_connected()
+
+
+class TestApplyChurn:
+    def test_event_count(self):
+        g = cycle_graph(10)
+        g2, events = apply_churn(g, 5, rng=3)
+        assert len(events) == 5
+        assert g2.is_connected()
+
+    def test_zero_churn_identity(self):
+        g = cycle_graph(6)
+        g2, events = apply_churn(g, 0, rng=1)
+        assert g2 == g and events == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(GraphError):
+            apply_churn(cycle_graph(6), -1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(GraphError):
+            apply_churn(cycle_graph(6), 1, kinds=("teleport",))
+
+    def test_add_only(self):
+        g = path_graph(6)
+        g2, events = apply_churn(g, 3, rng=4, kinds=("add",))
+        assert g2.m == g.m + 3
+        assert all(e.kind == "add" for e in events)
+
+    def test_stops_when_impossible(self):
+        g = complete_graph(4)
+        # only "add" allowed but the graph is complete -> stops early
+        g2, events = apply_churn(g, 3, rng=4, kinds=("add",))
+        assert events == [] and g2 == g
+
+    def test_reproducible(self):
+        g = cycle_graph(10)
+        a, ea = apply_churn(g, 4, rng=9)
+        b, eb = apply_churn(g, 4, rng=9)
+        assert a == b and ea == eb
+
+
+class TestEdgeDifference:
+    def test_basic(self):
+        g = cycle_graph(5)
+        g2 = g.with_edges(add=[(0, 2)], remove=[(0, 1)])
+        created, destroyed = edge_difference(g, g2)
+        assert created == {(0, 2)}
+        assert destroyed == {(0, 1)}
+
+    def test_mismatched_nodes_rejected(self):
+        with pytest.raises(GraphError):
+            edge_difference(cycle_graph(5), cycle_graph(6))

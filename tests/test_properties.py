@@ -1,0 +1,179 @@
+"""Tests for graph predicate checkers, incl. property-based checks."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.properties import (
+    greedy_maximal_matching,
+    greedy_mis_by_descending_id,
+    is_dominating_set,
+    is_independent_set,
+    is_matching,
+    is_maximal_independent_set,
+    is_maximal_matching,
+    matched_nodes,
+    matching_number_upper_bound,
+    maximum_matching_size,
+    pointer_matching,
+)
+
+from conftest import connected_graphs
+
+
+class TestMatching:
+    def test_empty_is_matching(self):
+        assert is_matching(cycle_graph(4), [])
+
+    def test_disjoint_edges(self):
+        assert is_matching(cycle_graph(6), [(0, 1), (3, 4)])
+
+    def test_shared_endpoint_rejected(self):
+        assert not is_matching(cycle_graph(6), [(0, 1), (1, 2)])
+
+    def test_non_edge_rejected(self):
+        assert not is_matching(cycle_graph(6), [(0, 3)])
+
+    def test_matched_nodes(self):
+        assert matched_nodes([(0, 1), (3, 4)]) == {0, 1, 3, 4}
+
+
+class TestMaximalMatching:
+    def test_perfect_matching_on_c4(self):
+        assert is_maximal_matching(cycle_graph(4), [(0, 1), (2, 3)])
+
+    def test_single_edge_on_c4_not_maximal(self):
+        assert not is_maximal_matching(cycle_graph(4), [(0, 1)])
+
+    def test_empty_on_edgeless_graph_maximal(self):
+        g = Graph([0, 1, 2], [])
+        assert is_maximal_matching(g, [])
+
+    def test_empty_on_nonempty_graph_not_maximal(self):
+        assert not is_maximal_matching(path_graph(2), [])
+
+    def test_star_center_edge_maximal(self):
+        assert is_maximal_matching(star_graph(5), [(0, 3)])
+
+    def test_invalid_matching_never_maximal(self):
+        assert not is_maximal_matching(cycle_graph(4), [(0, 1), (1, 2)])
+
+
+class TestIndependentAndDominating:
+    def test_alternating_cycle_is_independent(self):
+        assert is_independent_set(cycle_graph(6), {0, 2, 4})
+
+    def test_adjacent_nodes_not_independent(self):
+        assert not is_independent_set(cycle_graph(6), {0, 1})
+
+    def test_unknown_node_not_independent(self):
+        assert not is_independent_set(cycle_graph(6), {0, 99})
+
+    def test_star_hub_dominating(self):
+        assert is_dominating_set(star_graph(6), {0})
+
+    def test_star_leaf_not_dominating(self):
+        assert not is_dominating_set(star_graph(6), {1})
+
+    def test_unknown_node_not_dominating(self):
+        assert not is_dominating_set(star_graph(6), {99})
+
+    def test_mis_on_c5(self):
+        assert is_maximal_independent_set(cycle_graph(5), {0, 2})
+        assert not is_maximal_independent_set(cycle_graph(5), {0})  # not maximal
+        assert not is_maximal_independent_set(cycle_graph(5), {0, 1})  # not indep
+
+    def test_empty_set_on_empty_graph(self):
+        g = Graph([], [])
+        assert is_maximal_independent_set(g, set())
+
+
+class TestGreedyMis:
+    def test_path_descending(self):
+        # ids 0-1-2-3: greedy by descending id picks 3, then 1
+        assert greedy_mis_by_descending_id(path_graph(4)) == {1, 3}
+
+    def test_complete_graph_picks_max(self):
+        assert greedy_mis_by_descending_id(complete_graph(5)) == {4}
+
+    def test_always_mis(self):
+        for n in (3, 5, 8):
+            g = cycle_graph(n)
+            s = greedy_mis_by_descending_id(g)
+            assert is_maximal_independent_set(g, s)
+
+    def test_fixpoint_characterization(self):
+        g = cycle_graph(7)
+        s = greedy_mis_by_descending_id(g)
+        for i in g.nodes:
+            blocked = any(j > i and j in s for j in g.neighbors(i))
+            assert (i in s) == (not blocked)
+
+
+class TestGreedyMatching:
+    def test_is_maximal(self):
+        for n in (2, 5, 9):
+            g = path_graph(n)
+            m = greedy_maximal_matching(g)
+            assert is_maximal_matching(g, m)
+
+    def test_empty_graph(self):
+        assert greedy_maximal_matching(Graph([0], [])) == frozenset()
+
+    def test_deterministic(self):
+        g = complete_graph(6)
+        assert greedy_maximal_matching(g) == greedy_maximal_matching(g)
+
+
+class TestPointerMatching:
+    def test_reciprocated_pair(self):
+        assert pointer_matching({0: 1, 1: 0, 2: None}) == {(0, 1)}
+
+    def test_unreciprocated_ignored(self):
+        assert pointer_matching({0: 1, 1: 2, 2: 1}) == {(1, 2)}
+
+    def test_all_null(self):
+        assert pointer_matching({0: None, 1: None}) == frozenset()
+
+    def test_self_pointer_ignored(self):
+        assert pointer_matching({0: 0, 1: None}) == frozenset()
+
+
+class TestBounds:
+    def test_upper_bound(self):
+        assert matching_number_upper_bound(cycle_graph(7)) == 3
+
+    def test_maximum_matching_c6(self):
+        assert maximum_matching_size(cycle_graph(6)) == 3
+
+
+class TestPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(connected_graphs())
+    def test_greedy_mis_is_mis(self, g):
+        assert is_maximal_independent_set(g, greedy_mis_by_descending_id(g))
+
+    @settings(max_examples=30, deadline=None)
+    @given(connected_graphs())
+    def test_greedy_matching_is_maximal(self, g):
+        assert is_maximal_matching(g, greedy_maximal_matching(g))
+
+    @settings(max_examples=25, deadline=None)
+    @given(connected_graphs(min_n=2, max_n=10))
+    def test_maximal_matching_half_of_maximum(self, g):
+        """Classical guarantee: any maximal matching has >= 1/2 the
+        maximum matching size."""
+        maximal = greedy_maximal_matching(g)
+        assert 2 * len(maximal) >= maximum_matching_size(g)
+
+    @settings(max_examples=25, deadline=None)
+    @given(connected_graphs())
+    def test_mis_is_dominating(self, g):
+        s = greedy_mis_by_descending_id(g)
+        assert is_dominating_set(g, s)

@@ -1,0 +1,132 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Each property here spans several modules: protocols, verification,
+classical combinatorial guarantees and fault machinery — the global
+soundness net over randomly generated instances.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.theory import sis_round_bound, smm_round_bound
+from repro.core.executor import run_synchronous
+from repro.core.faults import (
+    migrate_configuration,
+    perturb_configuration,
+    random_configuration,
+)
+from repro.graphs.mutations import apply_churn
+from repro.graphs.properties import maximum_matching_size
+from repro.matching.smm import SynchronousMaximalMatching
+from repro.matching.verify import matching_of, verify_execution as verify_matching
+from repro.mis.sis import SynchronousMaximalIndependentSet
+from repro.mis.verify import independent_set_of, verify_execution as verify_mis
+from repro.spanning.bfs_tree import BfsSpanningTree, bfs_distances
+
+from conftest import connected_graphs, graphs_with_bits, graphs_with_pointers
+
+SMM = SynchronousMaximalMatching()
+SIS = SynchronousMaximalIndependentSet()
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestClassicalGuarantees:
+    @RELAXED
+    @given(graphs_with_pointers())
+    def test_smm_matching_at_least_half_maximum(self, graph_and_config):
+        """Any maximal matching is a 2-approximation of the maximum —
+        SMM's output must inherit the guarantee."""
+        g, cfg = graph_and_config
+        ex = run_synchronous(SMM, g, cfg)
+        m = verify_matching(g, ex)
+        assert 2 * len(m) >= maximum_matching_size(g)
+
+    @RELAXED
+    @given(graphs_with_bits())
+    def test_sis_set_at_least_turan_bound(self, graph_and_config):
+        """Any MIS has at least n/(Δ+1) nodes."""
+        g, cfg = graph_and_config
+        ex = run_synchronous(SIS, g, cfg)
+        s = verify_mis(g, ex, expect_greedy=True)
+        assert len(s) * (g.max_degree() + 1) >= g.n
+
+    @RELAXED
+    @given(graphs_with_pointers())
+    def test_smm_and_sis_bounds_joint(self, graph_and_config):
+        g, cfg = graph_and_config
+        ex = run_synchronous(SMM, g, cfg)
+        assert ex.rounds <= smm_round_bound(g.n)
+        ex2 = run_synchronous(SIS, g)
+        assert ex2.rounds <= sis_round_bound(g.n)
+
+
+class TestFaultLifecycleProperties:
+    @RELAXED
+    @given(connected_graphs(min_n=3, max_n=10), st.integers(0, 2**31 - 1))
+    def test_perturb_then_recover(self, g, seed):
+        rng = np.random.default_rng(seed)
+        ex = run_synchronous(SMM, g)
+        corrupted = perturb_configuration(SMM, g, ex.final, fraction=0.5, rng=rng)
+        ex2 = run_synchronous(SMM, g, corrupted)
+        verify_matching(g, ex2)
+
+    @RELAXED
+    @given(connected_graphs(min_n=4, max_n=10), st.integers(0, 2**31 - 1))
+    def test_churn_then_recover(self, g, seed):
+        rng = np.random.default_rng(seed)
+        ex = run_synchronous(SIS, g, random_configuration(SIS, g, rng))
+        g2, _ = apply_churn(g, 2, rng)
+        migrated = migrate_configuration(SIS, g, g2, ex.final)
+        ex2 = run_synchronous(SIS, g2, migrated)
+        verify_mis(g2, ex2, expect_greedy=True)
+
+    @RELAXED
+    @given(connected_graphs(min_n=2, max_n=10), st.integers(0, 2**31 - 1))
+    def test_bfs_tree_distances_match_truth(self, g, seed):
+        rng = np.random.default_rng(seed)
+        p = BfsSpanningTree.make_for(g)
+        cfg = random_configuration(p, g, rng)
+        ex = run_synchronous(p, g, cfg, max_rounds=p.round_bound(g))
+        assert ex.stabilized
+        truth = bfs_distances(g, p.root_of(g))
+        for node in g.nodes:
+            assert ex.final[node][0] == truth[node]
+
+
+class TestDeterminismProperties:
+    @RELAXED
+    @given(graphs_with_pointers())
+    def test_synchronous_runs_are_deterministic(self, graph_and_config):
+        g, cfg = graph_and_config
+        a = run_synchronous(SMM, g, cfg)
+        b = run_synchronous(SMM, g, cfg)
+        assert a.final == b.final and a.rounds == b.rounds
+        assert a.move_log == b.move_log
+
+    @RELAXED
+    @given(graphs_with_bits())
+    def test_sis_final_independent_of_start(self, graph_and_config):
+        g, cfg = graph_and_config
+        from_cfg = run_synchronous(SIS, g, cfg).final
+        from_clean = run_synchronous(SIS, g).final
+        assert from_cfg == from_clean
+
+    @RELAXED
+    @given(graphs_with_pointers())
+    def test_batch_kernel_agrees_with_engine(self, graph_and_config):
+        from repro.matching.smm_batch import BatchSMM
+
+        g, cfg = graph_and_config
+        ref = run_synchronous(SMM, g, cfg)
+        batch = BatchSMM(g)
+        res = batch.run_batch([cfg])
+        assert res.all_stabilized
+        assert int(res.rounds[0]) == ref.rounds
+        assert batch.single.decode(res.final_ptr[0]) == ref.final

@@ -1,0 +1,143 @@
+"""Tests for the Protocol/Rule/View abstractions, via a toy protocol."""
+
+from typing import Mapping, Sequence
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import Protocol, Rule, View
+from repro.errors import InvalidConfigurationError, ProtocolError
+from repro.graphs.generators import path_graph
+from repro.graphs.graph import Graph
+from repro.types import NodeId
+
+
+class CountdownProtocol(Protocol[int]):
+    """Toy protocol: decrement until zero (no neighbour interaction)."""
+
+    name = "countdown"
+
+    def __init__(self) -> None:
+        self._rules = (
+            Rule(
+                "DEC",
+                guard=lambda v: v.state > 0,
+                action=lambda v: v.state - 1,
+                description="decrement",
+            ),
+        )
+
+    def rules(self) -> Sequence[Rule[int]]:
+        return self._rules
+
+    def initial_state(self, node: NodeId, graph: Graph) -> int:
+        return 0
+
+    def random_state(self, node, graph, rng: np.random.Generator) -> int:
+        return int(rng.integers(4))
+
+    def validate_state(self, node, graph, state) -> None:
+        if not isinstance(state, int) or state < 0:
+            raise InvalidConfigurationError(f"bad state {state!r}")
+
+    def is_legitimate(self, graph, config: Mapping[NodeId, int]) -> bool:
+        return all(s == 0 for s in config.values())
+
+
+def make_view(state=0, neighbors=None, **kw):
+    return View(node=0, state=state, neighbor_states=neighbors or {}, **kw)
+
+
+class TestView:
+    def test_neighbors_sorted(self):
+        v = make_view(neighbors={3: "x", 1: "y"})
+        assert v.neighbors == (1, 3)
+
+    def test_state_of(self):
+        v = make_view(neighbors={1: "y"})
+        assert v.state_of(1) == "y"
+
+    def test_state_of_unknown_raises(self):
+        with pytest.raises(ProtocolError):
+            make_view().state_of(9)
+
+    def test_any_all_neighbors(self):
+        v = make_view(neighbors={1: 2, 2: 4})
+        assert v.any_neighbor(lambda j, s: s == 4)
+        assert not v.any_neighbor(lambda j, s: s == 9)
+        assert v.all_neighbors(lambda j, s: s % 2 == 0)
+        assert not v.all_neighbors(lambda j, s: s > 2)
+
+    def test_all_neighbors_vacuous(self):
+        assert make_view().all_neighbors(lambda j, s: False)
+
+    def test_neighbors_where(self):
+        v = make_view(neighbors={1: 0, 2: 1, 3: 0})
+        assert v.neighbors_where(lambda j, s: s == 0) == (1, 3)
+
+    def test_rand_defaults(self):
+        v = make_view()
+        assert v.rand == 0.0 and v.neighbor_rand == {}
+
+
+class TestRule:
+    def test_enabled_and_fire(self):
+        r = Rule("inc", guard=lambda v: v.state < 2, action=lambda v: v.state + 1)
+        v = make_view(state=1)
+        assert r.enabled(v)
+        assert r.fire(v) == 2
+
+    def test_fire_with_false_guard_raises(self):
+        r = Rule("inc", guard=lambda v: False, action=lambda v: 1)
+        with pytest.raises(ProtocolError):
+            r.fire(make_view())
+
+
+class TestProtocol:
+    def setup_method(self):
+        self.protocol = CountdownProtocol()
+        self.graph = path_graph(3)
+
+    def test_enabled_rule_first_match(self):
+        view = make_view(state=2)
+        rule = self.protocol.enabled_rule(view)
+        assert rule is not None and rule.name == "DEC"
+
+    def test_enabled_rule_none_when_stable(self):
+        assert self.protocol.enabled_rule(make_view(state=0)) is None
+
+    def test_is_enabled(self):
+        assert self.protocol.is_enabled(make_view(state=1))
+        assert not self.protocol.is_enabled(make_view(state=0))
+
+    def test_rule_names(self):
+        assert self.protocol.rule_names() == ("DEC",)
+
+    def test_duplicate_rule_names_rejected(self):
+        class BadProtocol(CountdownProtocol):
+            def rules(self):
+                r = Rule("X", guard=lambda v: False, action=lambda v: 0)
+                return (r, r)
+
+        with pytest.raises(ProtocolError):
+            BadProtocol().rule_names()
+
+    def test_validate_configuration_ok(self):
+        self.protocol.validate_configuration(self.graph, {0: 0, 1: 1, 2: 2})
+
+    def test_validate_configuration_missing_node(self):
+        with pytest.raises(InvalidConfigurationError):
+            self.protocol.validate_configuration(self.graph, {0: 0, 1: 0})
+
+    def test_validate_configuration_extra_node(self):
+        with pytest.raises(InvalidConfigurationError):
+            self.protocol.validate_configuration(
+                self.graph, {0: 0, 1: 0, 2: 0, 7: 0}
+            )
+
+    def test_validate_configuration_bad_state(self):
+        with pytest.raises(InvalidConfigurationError):
+            self.protocol.validate_configuration(self.graph, {0: 0, 1: -1, 2: 0})
+
+    def test_uses_randomness_default_false(self):
+        assert CountdownProtocol.uses_randomness is False

@@ -1,0 +1,110 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.report import (
+    _commentary_for,
+    _core_claim_holds,
+    build_report,
+    write_report,
+)
+
+
+def make_result(exp, rows, columns=("x",)):
+    r = ExperimentResult(exp, "artifact", columns=list(columns))
+    for row in rows:
+        r.rows.append(row)
+    return r
+
+
+class TestCoreClaims:
+    def test_e1_pass_and_fail(self):
+        good = make_result("E1", [{"within_bound": 1.0}])
+        bad = make_result("E1", [{"within_bound": 0.0}])
+        assert _core_claim_holds(good)
+        assert not _core_claim_holds(bad)
+
+    def test_e2(self):
+        good = make_result("E2", [{"within_bound": 1.0, "greedy_fixpoint": True}])
+        bad = make_result("E2", [{"within_bound": 1.0, "greedy_fixpoint": False}])
+        assert _core_claim_holds(good) and not _core_claim_holds(bad)
+
+    def test_e3_empty_fails(self):
+        assert not _core_claim_holds(make_result("E3", []))
+
+    def test_e4(self):
+        good = make_result(
+            "E4",
+            [
+                {"variant": "arbitrary(clockwise)", "stabilized": False},
+                {"variant": "min-id (SMM)", "stabilized": True, "rounds": 3, "bound": 5},
+            ],
+        )
+        bad = make_result(
+            "E4", [{"variant": "arbitrary(clockwise)", "stabilized": True}]
+        )
+        assert _core_claim_holds(good) and not _core_claim_holds(bad)
+
+    def test_e5(self):
+        assert _core_claim_holds(make_result("E5", [{"slowdown_id": 2.0}]))
+        assert not _core_claim_holds(make_result("E5", [{"slowdown_id": 0.5}]))
+
+    def test_e7(self):
+        good = make_result("E7", [{"recovery_rounds": 1, "fresh_rounds": 4}])
+        bad = make_result("E7", [{"recovery_rounds": 4, "fresh_rounds": 1}])
+        assert _core_claim_holds(good) and not _core_claim_holds(bad)
+
+    def test_e10_ignores_unchecked_rows(self):
+        r = make_result("E10", [{"agree": None}, {"agree": True}])
+        assert _core_claim_holds(r)
+
+    def test_e11_beacon_only_safe_timeouts_counted(self):
+        r = make_result(
+            "E11-beacon",
+            [
+                {"timeout_factor": 1.5, "all_stabilized": False},
+                {"timeout_factor": 2.5, "all_stabilized": True},
+            ],
+        )
+        assert _core_claim_holds(r)
+
+    def test_unknown_experiment_passes(self):
+        assert _core_claim_holds(make_result("E99", []))
+
+
+class TestCommentary:
+    def test_series_commentary_fits_order(self):
+        r = make_result(
+            "E2-series",
+            [{"n": n, "rounds": n} for n in (8, 16, 32, 64)],
+        )
+        lines = _commentary_for(r)
+        assert any("linear" in line for line in lines)
+
+    def test_e5_commentary_range(self):
+        r = make_result("E5", [{"slowdown_id": 2.0}, {"slowdown_id": 4.0}])
+        lines = _commentary_for(r)
+        assert any("2.0×–4.0×" in line for line in lines)
+
+
+class TestBuildReport:
+    @pytest.fixture(scope="class")
+    def report_text(self):
+        # quick-scale full report: runs every experiment once
+        return build_report(quick=True)
+
+    def test_all_sections_present(self, report_text):
+        for i in range(1, 13):
+            assert f"## E{i} —" in report_text
+
+    def test_summary_line(self, report_text):
+        assert "**Summary: 12/12 experiments reproduced.**" in report_text
+
+    def test_no_failures(self, report_text):
+        assert "✗ FAILED" not in report_text
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "REPORT.md"
+        text = write_report(str(path), quick=True)
+        assert path.read_text() == text

@@ -1,0 +1,118 @@
+"""Tests for seeded randomness helpers."""
+
+import numpy as np
+import pytest
+
+from repro.rng import (
+    DEFAULT_SEED,
+    choice,
+    coin,
+    ensure_rng,
+    iter_rngs,
+    shuffled,
+    spawn,
+    trial_seeds,
+)
+
+
+class TestEnsureRng:
+    def test_none_gives_default_stream(self):
+        a = ensure_rng(None)
+        b = ensure_rng(None)
+        assert a.random() == b.random()
+
+    def test_int_seed_reproducible(self):
+        assert ensure_rng(42).random() == ensure_rng(42).random()
+
+    def test_different_seeds_differ(self):
+        assert ensure_rng(1).random() != ensure_rng(2).random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(5)
+        assert ensure_rng(gen) is gen
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(ensure_rng(np.int64(7)), np.random.Generator)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        assert len(spawn(3, 5)) == 5
+
+    def test_spawn_zero(self):
+        assert spawn(3, 0) == []
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(3, -1)
+
+    def test_children_independent_of_order(self):
+        kids_a = spawn(9, 3)
+        kids_b = spawn(9, 3)
+        for a, b in zip(kids_a, kids_b):
+            assert a.random() == b.random()
+
+    def test_children_distinct(self):
+        kids = spawn(9, 2)
+        assert kids[0].random() != kids[1].random()
+
+
+class TestTrialSeeds:
+    def test_count_and_type(self):
+        seeds = trial_seeds(7, 10)
+        assert len(seeds) == 10
+        assert all(isinstance(s, int) for s in seeds)
+
+    def test_distinct(self):
+        seeds = trial_seeds(7, 100)
+        assert len(set(seeds)) == 100
+
+    def test_reproducible(self):
+        assert trial_seeds(7, 5) == trial_seeds(7, 5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            trial_seeds(7, -1)
+
+    def test_fits_in_63_bits(self):
+        assert all(0 <= s < 2**63 for s in trial_seeds(3, 50))
+
+
+class TestHelpers:
+    def test_shuffled_preserves_multiset(self):
+        data = [1, 2, 2, 3]
+        out = shuffled(data, 1)
+        assert sorted(out) == data
+        assert data == [1, 2, 2, 3]  # input untouched
+
+    def test_shuffled_reproducible(self):
+        assert shuffled(range(20), 4) == shuffled(range(20), 4)
+
+    def test_choice_member(self):
+        assert choice([10, 20, 30], 1) in (10, 20, 30)
+
+    def test_choice_empty_rejected(self):
+        with pytest.raises(ValueError):
+            choice([], 1)
+
+    def test_coin_bounds(self):
+        assert coin(0.0, 1) is False
+        assert coin(1.0, 1) is True
+
+    def test_coin_invalid_probability(self):
+        with pytest.raises(ValueError):
+            coin(1.5, 1)
+
+    def test_coin_rate_roughly_correct(self):
+        gen = ensure_rng(8)
+        hits = sum(coin(0.3, gen) for _ in range(2000))
+        assert 450 < hits < 750
+
+    def test_iter_rngs_stream(self):
+        it = iter_rngs(3)
+        a, b = next(it), next(it)
+        assert a.random() != b.random()

@@ -1,0 +1,108 @@
+"""Tests for execution / result serialization."""
+
+import json
+
+import pytest
+
+from repro.analysis.serialize import (
+    configuration_from_dict,
+    configuration_to_dict,
+    execution_from_json,
+    execution_to_json,
+    result_from_json,
+    result_to_csv,
+    result_to_json,
+)
+from repro.core.executor import run_synchronous
+from repro.core.faults import random_configuration
+from repro.domination.mds import MinimalDominatingSet
+from repro.experiments.common import ExperimentResult
+from repro.graphs.generators import cycle_graph, erdos_renyi_graph
+from repro.matching.smm import SynchronousMaximalMatching
+from repro.mis.sis import SynchronousMaximalIndependentSet
+
+
+class TestConfigurationRoundtrip:
+    def test_pointer_states(self):
+        cfg = {0: None, 1: 0, 2: 3, 3: 2}
+        assert configuration_from_dict(configuration_to_dict(cfg)) == cfg
+
+    def test_tuple_states(self):
+        cfg = {0: (1, 2), 1: (0, 0)}
+        out = configuration_from_dict(configuration_to_dict(cfg))
+        assert out == cfg
+        assert isinstance(out[0], tuple)
+
+    def test_json_safe(self):
+        cfg = {0: None, 1: 0}
+        json.dumps(configuration_to_dict(cfg))  # must not raise
+
+
+class TestExecutionRoundtrip:
+    @pytest.mark.parametrize(
+        "protocol_factory",
+        [
+            SynchronousMaximalMatching,
+            SynchronousMaximalIndependentSet,
+            MinimalDominatingSet,
+        ],
+    )
+    def test_roundtrip_preserves_everything(self, protocol_factory, rng):
+        protocol = protocol_factory()
+        g = erdos_renyi_graph(10, 0.3, rng=3)
+        cfg = random_configuration(protocol, g, rng)
+        # MDS needs a non-synchronous daemon; use histories from the
+        # synchronous run where applicable, else short bounded run
+        ex = run_synchronous(protocol, g, cfg, record_history=True, max_rounds=30)
+        text = execution_to_json(ex)
+        back = execution_from_json(text)
+        assert back.protocol_name == ex.protocol_name
+        assert back.stabilized == ex.stabilized
+        assert back.rounds == ex.rounds
+        assert back.moves == ex.moves
+        assert back.moves_by_rule == ex.moves_by_rule
+        assert back.initial == ex.initial
+        assert back.final == ex.final
+        assert back.move_log == ex.move_log
+        assert back.history == ex.history
+        assert back.legitimate == ex.legitimate
+
+    def test_without_history(self):
+        g = cycle_graph(6)
+        ex = run_synchronous(SynchronousMaximalIndependentSet(), g)
+        back = execution_from_json(execution_to_json(ex))
+        assert back.history is None
+
+    def test_indent_option(self):
+        g = cycle_graph(4)
+        ex = run_synchronous(SynchronousMaximalIndependentSet(), g)
+        assert "\n" in execution_to_json(ex, indent=2)
+
+
+class TestResultSerialization:
+    def make(self):
+        r = ExperimentResult("EX", "thing", columns=["a", "b"])
+        r.add(a=1, b=2.5)
+        r.add(a=3)
+        r.note("note 1")
+        return r
+
+    def test_json_roundtrip(self):
+        r = self.make()
+        back = result_from_json(result_to_json(r))
+        assert back.experiment == "EX"
+        assert back.rows == r.rows
+        assert back.notes == ["note 1"]
+        assert list(back.columns) == ["a", "b"]
+
+    def test_csv(self):
+        csv_text = result_to_csv(self.make())
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"
+        assert lines[2] == "3,"
+
+    def test_csv_ignores_extra_keys(self):
+        r = ExperimentResult("EX", "thing", columns=["a"])
+        r.add(a=1, hidden=9)
+        assert "hidden" not in result_to_csv(r)

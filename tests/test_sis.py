@@ -1,0 +1,179 @@
+"""Tests for Algorithm SIS (rules, Theorem 2, unique fixpoint)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.theory import sis_round_bound
+from repro.core.configuration import Configuration
+from repro.core.executor import enabled_nodes, run_central, run_synchronous
+from repro.core.faults import random_configuration
+from repro.core.protocol import View
+from repro.errors import InvalidConfigurationError
+from repro.experiments.common import exhaustive_configurations
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.properties import greedy_mis_by_descending_id
+from repro.mis.sis import SynchronousMaximalIndependentSet, sis_round_bound as bound2
+from repro.mis.verify import independent_set_of, verify_execution
+
+from conftest import graphs_with_bits
+
+SIS = SynchronousMaximalIndependentSet()
+
+
+def view(node, state, neighbors):
+    return View(node=node, state=state, neighbor_states=neighbors)
+
+
+class TestRuleGuards:
+    def test_r1_enters_without_bigger_in_set(self):
+        v = view(5, 0, {3: 1, 4: 0})
+        rule = SIS.enabled_rule(v)
+        assert rule.name == "R1" and rule.fire(v) == 1
+
+    def test_r1_blocked_by_bigger_in_set(self):
+        v = view(2, 0, {5: 1})
+        assert SIS.enabled_rule(v) is None
+
+    def test_r1_not_blocked_by_smaller_in_set(self):
+        """Smaller in-set neighbours do NOT block entry — the source of
+        the non-closure of plain MIS-ness."""
+        v = view(5, 0, {2: 1})
+        assert SIS.enabled_rule(v).name == "R1"
+
+    def test_r2_leaves_on_bigger_in_set(self):
+        v = view(2, 1, {5: 1})
+        rule = SIS.enabled_rule(v)
+        assert rule.name == "R2" and rule.fire(v) == 0
+
+    def test_r2_ignores_smaller_in_set(self):
+        v = view(5, 1, {2: 1})
+        assert SIS.enabled_rule(v) is None
+
+    def test_isolated_node_enters(self):
+        v = view(0, 0, {})
+        assert SIS.enabled_rule(v).name == "R1"
+
+
+class TestStateSpace:
+    def test_initial_state(self):
+        assert SIS.initial_state(3, cycle_graph(5)) == 0
+
+    def test_random_state_binary(self, rng):
+        g = cycle_graph(5)
+        assert all(SIS.random_state(0, g, rng) in (0, 1) for _ in range(20))
+
+    def test_validate_rejects_non_bit(self):
+        with pytest.raises(InvalidConfigurationError):
+            SIS.validate_state(0, cycle_graph(5), 2)
+
+
+class TestLegitimacy:
+    def test_greedy_set_legitimate(self):
+        g = path_graph(5)
+        greedy = greedy_mis_by_descending_id(g)
+        cfg = {i: int(i in greedy) for i in g.nodes}
+        assert SIS.is_legitimate(g, cfg)
+
+    def test_non_canonical_mis_not_legitimate(self):
+        g = path_graph(4)
+        # {0, 2} is an MIS but not the greedy one {1, 3}
+        assert not SIS.is_legitimate(g, {0: 1, 1: 0, 2: 1, 3: 0})
+
+    def test_stable_iff_legitimate_exhaustive(self):
+        g = cycle_graph(6)
+        for cfg in exhaustive_configurations(SIS, g):
+            stable = not enabled_nodes(SIS, g, cfg)
+            assert stable == SIS.is_legitimate(g, cfg)
+
+    def test_stable_set_helper(self):
+        g = cycle_graph(7)
+        assert SIS.stable_set(g) == greedy_mis_by_descending_id(g)
+
+
+class TestTheorem2:
+    @pytest.mark.parametrize("n", [4, 8, 16, 33])
+    def test_cycle_within_bound(self, n):
+        g = cycle_graph(n)
+        ex = run_synchronous(SIS, g, max_rounds=sis_round_bound(n) + 2)
+        verify_execution(g, ex, expect_greedy=True)
+        assert ex.rounds <= sis_round_bound(n)
+
+    def test_path_clean_start_takes_linear_rounds(self):
+        """The Θ(n) cascade: ascending-id path from all-zero."""
+        for n in (8, 16, 32):
+            g = path_graph(n)
+            ex = run_synchronous(SIS, g, max_rounds=n + 2)
+            assert ex.stabilized
+            assert ex.rounds >= n - 2  # essentially the full envelope
+
+    def test_complete_graph_two_rounds(self):
+        g = complete_graph(10)
+        ex = run_synchronous(SIS, g)
+        verify_execution(g, ex, expect_greedy=True)
+        assert independent_set_of(ex.final) == {9}
+        assert ex.rounds <= 2
+
+    def test_star(self):
+        g = star_graph(6)
+        ex = run_synchronous(SIS, g)
+        verify_execution(g, ex, expect_greedy=True)
+        # hub is 0, leaves 1..5 all enter (no larger neighbour in set)
+        assert independent_set_of(ex.final) == {1, 2, 3, 4, 5}
+
+    def test_random_initial_states(self, rng):
+        g = cycle_graph(12)
+        for _ in range(25):
+            cfg = random_configuration(SIS, g, rng)
+            ex = run_synchronous(SIS, g, cfg)
+            verify_execution(g, ex, expect_greedy=True)
+            assert ex.rounds <= sis_round_bound(g.n)
+
+    def test_exhaustive_c8(self):
+        g = cycle_graph(8)
+        for cfg in exhaustive_configurations(SIS, g):
+            ex = run_synchronous(SIS, g, cfg, max_rounds=sis_round_bound(8))
+            verify_execution(g, ex, expect_greedy=True)
+
+    def test_bound_helpers_agree(self):
+        g = cycle_graph(9)
+        assert bound2(g) == sis_round_bound(9) == 9
+
+
+class TestUniqueFixpoint:
+    @settings(max_examples=40, deadline=None)
+    @given(graphs_with_bits())
+    def test_every_run_lands_on_greedy_set(self, graph_and_config):
+        """Theorem 2 + uniqueness as a hypothesis property."""
+        g, cfg = graph_and_config
+        ex = run_synchronous(SIS, g, cfg, max_rounds=sis_round_bound(g.n) + 2)
+        verify_execution(g, ex, expect_greedy=True)
+        assert ex.rounds <= sis_round_bound(g.n)
+
+    def test_initial_state_irrelevant(self, rng):
+        g = cycle_graph(11)
+        finals = set()
+        for _ in range(10):
+            cfg = random_configuration(SIS, g, rng)
+            finals.add(run_synchronous(SIS, g, cfg).final)
+        assert len(finals) == 1
+
+
+class TestUnderOtherDaemons:
+    def test_converges_under_central_daemon(self, rng):
+        g = cycle_graph(9)
+        cfg = random_configuration(SIS, g, rng)
+        ex = run_central(SIS, g, cfg, strategy="random", rng=rng)
+        verify_execution(g, ex, expect_greedy=True)
+
+    def test_converges_under_distributed_daemon(self, rng):
+        from repro.core.executor import run_distributed
+
+        g = cycle_graph(9)
+        cfg = random_configuration(SIS, g, rng)
+        ex = run_distributed(SIS, g, cfg, rng=rng, activation_probability=0.5)
+        verify_execution(g, ex, expect_greedy=True)

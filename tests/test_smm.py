@@ -1,0 +1,227 @@
+"""Tests for Algorithm SMM (rules, Theorem 1, Lemma 8)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.theory import smm_round_bound
+from repro.core.configuration import Configuration
+from repro.core.executor import enabled_nodes, run_synchronous
+from repro.core.faults import random_configuration
+from repro.core.protocol import View
+from repro.errors import InvalidConfigurationError
+from repro.experiments.common import exhaustive_configurations
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.matching.smm import (
+    SynchronousMaximalMatching,
+    max_id_chooser,
+    min_id_chooser,
+    theoretical_round_bound,
+)
+from repro.matching.verify import matching_of, verify_execution
+
+from conftest import graphs_with_pointers
+
+SMM = SynchronousMaximalMatching()
+
+
+def view(node, state, neighbors):
+    return View(node=node, state=state, neighbor_states=neighbors)
+
+
+class TestRuleGuards:
+    """Unit-level checks of R1/R2/R3 guards on hand-built views."""
+
+    def test_r1_accepts_proposal(self):
+        # node 1 is null, neighbour 0 points at it
+        v = view(1, None, {0: 1, 2: None})
+        rule = SMM.enabled_rule(v)
+        assert rule.name == "R1"
+        assert rule.fire(v) == 0
+
+    def test_r1_min_proposer_default(self):
+        v = view(1, None, {0: 1, 2: 1})
+        assert SMM.enabled_rule(v).fire(v) == 0
+
+    def test_r1_with_custom_accept_chooser(self):
+        proto = SynchronousMaximalMatching(accept_chooser=max_id_chooser)
+        v = view(1, None, {0: 1, 2: 1})
+        assert proto.enabled_rule(v).fire(v) == 2
+
+    def test_r2_proposes_to_min_null(self):
+        v = view(1, None, {0: 2, 2: None, 3: None})
+        rule = SMM.enabled_rule(v)
+        assert rule.name == "R2"
+        assert rule.fire(v) == 2
+
+    def test_r2_blocked_by_proposer(self):
+        # a suitor exists: R1 applies, never R2
+        v = view(1, None, {0: 1, 2: None})
+        assert SMM.enabled_rule(v).name == "R1"
+
+    def test_r2_blocked_without_null_neighbor(self):
+        v = view(1, None, {0: 2, 2: 0})
+        assert SMM.enabled_rule(v) is None
+
+    def test_r3_backs_off(self):
+        # 1 -> 0, but 0 -> 2 (another node)
+        v = view(1, 0, {0: 2, 2: None})
+        rule = SMM.enabled_rule(v)
+        assert rule.name == "R3"
+        assert rule.fire(v) is None
+
+    def test_r3_not_enabled_when_target_null(self):
+        # 1 -> 0, 0 -> * : 1 waits (0 may accept next round)
+        v = view(1, 0, {0: None, 2: None})
+        assert SMM.enabled_rule(v) is None
+
+    def test_matched_node_disabled(self):
+        v = view(1, 0, {0: 1, 2: None})
+        assert SMM.enabled_rule(v) is None
+
+
+class TestStateSpace:
+    def test_initial_state_null(self):
+        assert SMM.initial_state(0, cycle_graph(4)) is None
+
+    def test_random_state_in_space(self, rng):
+        g = cycle_graph(6)
+        for _ in range(30):
+            s = SMM.random_state(2, g, rng)
+            assert s is None or s in g.neighbors(2)
+
+    def test_validate_rejects_non_neighbor(self):
+        g = path_graph(4)
+        with pytest.raises(InvalidConfigurationError):
+            SMM.validate_state(0, g, 3)
+
+    def test_validate_rejects_self(self):
+        g = path_graph(4)
+        with pytest.raises(InvalidConfigurationError):
+            SMM.validate_state(0, g, 0)
+
+    def test_sanitize_clears_dangling(self):
+        g = path_graph(4)
+        assert SMM.sanitize_state(0, g, 3) is None
+        assert SMM.sanitize_state(0, g, 1) == 1
+        assert SMM.sanitize_state(0, g, None) is None
+
+
+class TestLegitimacy:
+    def test_perfect_matching_legitimate(self):
+        g = cycle_graph(4)
+        assert SMM.is_legitimate(g, {0: 1, 1: 0, 2: 3, 3: 2})
+
+    def test_non_maximal_not_legitimate(self):
+        g = path_graph(4)
+        # only nodes 0,1 matched; edge (2,3) still addable
+        assert not SMM.is_legitimate(g, {0: 1, 1: 0, 2: None, 3: None})
+
+    def test_dangling_pointer_not_legitimate(self):
+        g = star_graph(4)
+        # hub matched with 1; node 2 points at hub (unreciprocated)
+        assert not SMM.is_legitimate(g, {0: 1, 1: 0, 2: 0, 3: None})
+
+    def test_stable_iff_legitimate(self):
+        """Lemma 8 both ways, exhaustively on C_4: no privileged node
+        <=> legitimate configuration."""
+        g = cycle_graph(4)
+        for cfg in exhaustive_configurations(SMM, g):
+            stable = not enabled_nodes(SMM, g, cfg)
+            assert stable == SMM.is_legitimate(g, cfg)
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize("n", [4, 8, 16, 33])
+    def test_cycle_within_bound(self, n):
+        g = cycle_graph(n)
+        ex = run_synchronous(SMM, g, max_rounds=smm_round_bound(n) + 2)
+        verify_execution(g, ex)
+        assert ex.rounds <= smm_round_bound(n)
+
+    @pytest.mark.parametrize("n", [2, 7, 16])
+    def test_path_within_bound(self, n):
+        g = path_graph(n)
+        ex = run_synchronous(SMM, g)
+        verify_execution(g, ex)
+        assert ex.rounds <= smm_round_bound(n)
+
+    def test_complete_graph(self):
+        g = complete_graph(9)
+        ex = run_synchronous(SMM, g)
+        verify_execution(g, ex)
+        # K_9: 4 matched edges, 1 node left over
+        assert len(matching_of(ex.final)) == 4
+
+    def test_random_initial_states(self, rng):
+        g = cycle_graph(12)
+        for _ in range(25):
+            cfg = random_configuration(SMM, g, rng)
+            ex = run_synchronous(SMM, g, cfg)
+            verify_execution(g, ex)
+            assert ex.rounds <= smm_round_bound(g.n)
+
+    def test_exhaustive_c4(self):
+        """All 81 configurations of C_4 stabilize within 5 rounds."""
+        g = cycle_graph(4)
+        for cfg in exhaustive_configurations(SMM, g):
+            ex = run_synchronous(SMM, g, cfg, max_rounds=smm_round_bound(4))
+            verify_execution(g, ex)
+
+    def test_exhaustive_path5(self):
+        g = path_graph(5)
+        for cfg in exhaustive_configurations(SMM, g):
+            ex = run_synchronous(SMM, g, cfg, max_rounds=smm_round_bound(5))
+            verify_execution(g, ex)
+
+    def test_bound_helper_matches_theory(self):
+        g = cycle_graph(10)
+        assert theoretical_round_bound(g) == smm_round_bound(10) == 11
+
+    def test_star_matches_exactly_one_edge(self):
+        g = star_graph(7)
+        ex = run_synchronous(SMM, g)
+        verify_execution(g, ex)
+        assert len(matching_of(ex.final)) == 1
+
+
+class TestLemma8Characterization:
+    def test_final_unmatched_nodes_are_aloof(self, rng):
+        g = cycle_graph(9)  # odd cycle: someone stays unmatched
+        ex = run_synchronous(SMM, g, random_configuration(SMM, g, rng))
+        matched = {x for e in matching_of(ex.final) for x in e}
+        for node in g.nodes:
+            if node not in matched:
+                assert ex.final[node] is None
+
+
+class TestPropertyBased:
+    @settings(max_examples=40, deadline=None)
+    @given(graphs_with_pointers())
+    def test_stabilizes_within_theorem_bound(self, graph_and_config):
+        """Theorem 1 as a hypothesis property: any connected graph, any
+        pointer configuration."""
+        g, cfg = graph_and_config
+        ex = run_synchronous(SMM, g, cfg, max_rounds=smm_round_bound(g.n) + 2)
+        verify_execution(g, ex)
+        assert ex.rounds <= smm_round_bound(g.n)
+
+    @settings(max_examples=30, deadline=None)
+    @given(graphs_with_pointers())
+    def test_matched_nodes_never_unmatch(self, graph_and_config):
+        """Lemma 1 as a hypothesis property."""
+        from repro.matching.classification import NodeType, classify
+
+        g, cfg = graph_and_config
+        ex = run_synchronous(SMM, g, cfg, record_history=True)
+        previous = None
+        for config in ex.history:
+            types = classify(g, config)
+            matched = {n for n, t in types.items() if t is NodeType.M}
+            if previous is not None:
+                assert previous <= matched
+            previous = matched

@@ -1,0 +1,128 @@
+"""Tests for SMM variants and the paper's non-stabilization remark."""
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.executor import run_synchronous
+from repro.experiments.common import detect_cycle
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.matching.smm import SynchronousMaximalMatching, max_id_chooser
+from repro.matching.variants import (
+    ArbitraryChoiceSMM,
+    RandomizedSMM,
+    clockwise_chooser,
+)
+from repro.matching.verify import verify_execution
+
+
+def all_null(graph) -> Configuration:
+    return Configuration({i: None for i in graph.nodes})
+
+
+class TestClockwiseCounterexample:
+    """Section 3's closing remark, mechanized."""
+
+    def test_c4_never_stabilizes(self):
+        g = cycle_graph(4)
+        proto = ArbitraryChoiceSMM(clockwise_chooser(4))
+        ex = run_synchronous(proto, g, all_null(g), max_rounds=100, record_history=True)
+        assert not ex.stabilized
+
+    def test_c4_livelock_period_two(self):
+        g = cycle_graph(4)
+        proto = ArbitraryChoiceSMM(clockwise_chooser(4))
+        ex = run_synchronous(proto, g, all_null(g), max_rounds=20, record_history=True)
+        cycle = detect_cycle(ex.history)
+        assert cycle is not None
+        start, period = cycle
+        assert period == 2
+
+    def test_oscillation_alternates_propose_backoff(self):
+        g = cycle_graph(4)
+        proto = ArbitraryChoiceSMM(clockwise_chooser(4))
+        ex = run_synchronous(proto, g, all_null(g), max_rounds=6)
+        # odd rounds: everyone fires R2; even rounds: everyone fires R3
+        assert set(ex.move_log[0].values()) == {"R2"}
+        assert set(ex.move_log[1].values()) == {"R3"}
+        assert set(ex.move_log[2].values()) == {"R2"}
+
+    @pytest.mark.parametrize("n", [4, 8, 12])
+    def test_all_even_cycles_livelock(self, n):
+        g = cycle_graph(n)
+        proto = ArbitraryChoiceSMM(clockwise_chooser(n))
+        ex = run_synchronous(proto, g, all_null(g), max_rounds=60)
+        assert not ex.stabilized
+
+    def test_min_id_fixes_the_same_instance(self):
+        """The exact configuration that livelocks the arbitrary variant
+        stabilizes under the published min-id rule."""
+        g = cycle_graph(4)
+        smm = SynchronousMaximalMatching()
+        ex = run_synchronous(smm, g, all_null(g))
+        verify_execution(g, ex)
+        assert ex.rounds <= 5
+
+
+class TestArbitraryChoiceCanStabilize:
+    def test_max_id_chooser_on_path(self):
+        """Arbitrary choice is not *always* divergent — on asymmetric
+        instances it may stabilize; correctness on stabilization is
+        unchanged."""
+        g = path_graph(6)
+        proto = ArbitraryChoiceSMM(max_id_chooser)
+        ex = run_synchronous(proto, g, all_null(g), max_rounds=100)
+        if ex.stabilized:
+            verify_execution(g, ex)
+
+    def test_clockwise_on_odd_cycle_breaks_symmetry(self):
+        """On odd cycles the ring cannot 2-colour its proposals, so the
+        clockwise schedule cannot livelock in the all-null pattern
+        forever; whatever happens must be correct if it stabilizes."""
+        g = cycle_graph(5)
+        proto = ArbitraryChoiceSMM(clockwise_chooser(5))
+        ex = run_synchronous(proto, g, all_null(g), max_rounds=200)
+        if ex.stabilized:
+            verify_execution(g, ex)
+
+
+class TestRandomizedSMM:
+    def test_uses_randomness_flag(self):
+        assert RandomizedSMM.uses_randomness is True
+
+    def test_stabilizes_on_c4_almost_surely(self):
+        g = cycle_graph(4)
+        proto = RandomizedSMM()
+        successes = 0
+        for seed in range(10):
+            ex = run_synchronous(proto, g, all_null(g), rng=seed, max_rounds=300)
+            if ex.stabilized:
+                verify_execution(g, ex)
+                successes += 1
+        assert successes >= 9  # a.s. convergence; generous slack
+
+    def test_stabilizes_from_random_states(self, rng):
+        from repro.core.faults import random_configuration
+
+        g = cycle_graph(8)
+        proto = RandomizedSMM()
+        for _ in range(10):
+            cfg = random_configuration(proto, g, rng)
+            ex = run_synchronous(proto, g, cfg, rng=rng, max_rounds=500)
+            assert ex.stabilized
+            verify_execution(g, ex)
+
+
+class TestClockwiseChooser:
+    def test_prefers_clockwise(self):
+        from repro.core.protocol import View
+
+        choose = clockwise_chooser(6)
+        v = View(node=2, state=None, neighbor_states={1: None, 3: None})
+        assert choose(v, (1, 3)) == 3
+
+    def test_falls_back_to_min(self):
+        from repro.core.protocol import View
+
+        choose = clockwise_chooser(6)
+        v = View(node=2, state=None, neighbor_states={1: None})
+        assert choose(v, (1,)) == 1

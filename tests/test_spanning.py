@@ -1,0 +1,218 @@
+"""Tests for the self-stabilizing BFS spanning tree extension."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.core.executor import run_central, run_synchronous
+from repro.core.faults import (
+    migrate_configuration,
+    perturb_configuration,
+    random_configuration,
+)
+from repro.errors import InvalidConfigurationError
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.mutations import apply_churn
+from repro.spanning.bfs_tree import (
+    BfsSpanningTree,
+    bfs_distances,
+    is_bfs_tree,
+    tree_edges,
+)
+
+from conftest import connected_graphs
+
+
+class TestBfsDistances:
+    def test_path(self):
+        assert bfs_distances(path_graph(4), 0) == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_star(self):
+        d = bfs_distances(star_graph(5), 0)
+        assert d[0] == 0 and all(d[i] == 1 for i in range(1, 5))
+
+    def test_matches_networkx(self):
+        g = erdos_renyi_graph(20, 0.15, rng=3)
+        ours = bfs_distances(g, 0)
+        theirs = nx.single_source_shortest_path_length(g.to_networkx(), 0)
+        assert ours == dict(theirs)
+
+
+class TestIsBfsTree:
+    def test_accepts_correct_tree(self):
+        g = path_graph(4)
+        cfg = {0: (0, None), 1: (1, 0), 2: (2, 1), 3: (3, 2)}
+        assert is_bfs_tree(g, 0, cfg)
+
+    def test_rejects_wrong_distance(self):
+        g = path_graph(3)
+        assert not is_bfs_tree(g, 0, {0: (0, None), 1: (1, 0), 2: (1, 1)})
+
+    def test_rejects_non_shortest_parent(self):
+        g = cycle_graph(4)
+        # node 2's two shortest parents are 1 and 3 (both level 1);
+        # a parent at its own level is wrong
+        cfg = {0: (0, None), 1: (1, 0), 2: (2, 1), 3: (1, 0)}
+        assert is_bfs_tree(g, 0, cfg)
+        bad = {0: (0, None), 1: (1, 0), 2: (2, 3), 3: (1, 0)}
+        assert is_bfs_tree(g, 0, bad)  # 3 is also level 1: fine
+        worse = {0: (0, None), 1: (1, 0), 2: (1, 1), 3: (1, 0)}
+        assert not is_bfs_tree(g, 0, worse)
+
+    def test_rejects_unanchored_root(self):
+        g = path_graph(2)
+        assert not is_bfs_tree(g, 0, {0: (1, 1), 1: (1, 0)})
+
+    def test_tree_edges_count(self):
+        g = path_graph(5)
+        cfg = {0: (0, None), 1: (1, 0), 2: (2, 1), 3: (3, 2), 4: (4, 3)}
+        assert len(tree_edges(cfg)) == 4
+
+
+class TestProtocolBasics:
+    def test_make_for_uses_min_id(self):
+        g = cycle_graph(5)
+        assert BfsSpanningTree.make_for(g).root_of(g) == 0
+
+    def test_bad_root_type(self):
+        with pytest.raises(InvalidConfigurationError):
+            BfsSpanningTree("zero")
+
+    def test_root_must_exist(self):
+        with pytest.raises(InvalidConfigurationError):
+            BfsSpanningTree(99).root_of(cycle_graph(4))
+
+    def test_initial_state(self):
+        g = path_graph(3)
+        p = BfsSpanningTree(0)
+        assert p.initial_state(0, g) == (0, None)
+        assert p.initial_state(2, g) == (3, None)
+
+    def test_random_state_valid(self, rng):
+        g = cycle_graph(6)
+        p = BfsSpanningTree(0)
+        for node in g.nodes:
+            for _ in range(10):
+                p.validate_state(node, g, p.random_state(node, g, rng))
+
+    def test_validate_rejects_non_neighbor_parent(self):
+        g = path_graph(4)
+        with pytest.raises(InvalidConfigurationError):
+            BfsSpanningTree(0).validate_state(0, g, (1, 3))
+
+    def test_sanitize_drops_dangling_parent(self):
+        g = path_graph(4)
+        p = BfsSpanningTree(0)
+        assert p.sanitize_state(0, g, (2, 3)) == (2, None)
+        assert p.sanitize_state(1, g, (1, 0)) == (1, 0)
+
+
+class TestConvergence:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: path_graph(12),
+            lambda: cycle_graph(12),
+            lambda: star_graph(12),
+            lambda: complete_graph(8),
+            lambda: grid_graph(3, 4),
+        ],
+    )
+    def test_clean_start_converges(self, make):
+        g = make()
+        p = BfsSpanningTree.make_for(g)
+        ex = run_synchronous(p, g, max_rounds=p.round_bound(g))
+        assert ex.stabilized and ex.legitimate
+
+    def test_diameter_plus_one_rounds_from_clean(self):
+        """From the clean start (all estimates at the ceiling), the
+        correct wave costs about D+1 rounds."""
+        g = path_graph(20)
+        p = BfsSpanningTree(0)
+        ex = run_synchronous(p, g)
+        assert ex.stabilized
+        assert ex.rounds <= 20 + 1
+
+    def test_random_starts_converge(self, rng):
+        for seed in range(6):
+            g = erdos_renyi_graph(15, 0.2, rng=seed)
+            p = BfsSpanningTree.make_for(g)
+            cfg = random_configuration(p, g, rng)
+            ex = run_synchronous(p, g, cfg, max_rounds=p.round_bound(g))
+            assert ex.stabilized and ex.legitimate
+
+    def test_non_minimum_root(self, rng):
+        g = erdos_renyi_graph(12, 0.25, rng=2)
+        p = BfsSpanningTree(root=7)
+        cfg = random_configuration(p, g, rng)
+        ex = run_synchronous(p, g, cfg, max_rounds=p.round_bound(g))
+        assert ex.stabilized
+        assert is_bfs_tree(g, 7, ex.final)
+
+    def test_converges_under_central_daemon(self, rng):
+        g = cycle_graph(9)
+        p = BfsSpanningTree(0)
+        cfg = random_configuration(p, g, rng)
+        ex = run_central(p, g, cfg, strategy="random", rng=rng, max_moves=5000)
+        assert ex.stabilized and ex.legitimate
+
+    @settings(max_examples=25, deadline=None)
+    @given(connected_graphs(min_n=2, max_n=10))
+    def test_property_converges_within_bound(self, g):
+        p = BfsSpanningTree.make_for(g)
+        ex = run_synchronous(p, g, max_rounds=p.round_bound(g))
+        assert ex.stabilized and ex.legitimate
+
+    def test_tree_spans_all_nodes(self):
+        g = erdos_renyi_graph(18, 0.2, rng=4)
+        p = BfsSpanningTree.make_for(g)
+        ex = run_synchronous(p, g)
+        assert len(tree_edges(ex.final)) == g.n - 1
+
+
+class TestFaultTolerance:
+    def test_recovers_from_corruption(self, rng):
+        g = erdos_renyi_graph(16, 0.2, rng=5)
+        p = BfsSpanningTree.make_for(g)
+        ex = run_synchronous(p, g)
+        corrupted = perturb_configuration(p, g, ex.final, fraction=0.4, rng=rng)
+        ex2 = run_synchronous(p, g, corrupted, max_rounds=p.round_bound(g))
+        assert ex2.stabilized and ex2.legitimate
+
+    def test_recovers_from_link_churn(self, rng):
+        g = erdos_renyi_graph(16, 0.25, rng=6)
+        p = BfsSpanningTree.make_for(g)
+        ex = run_synchronous(p, g)
+        g2, _ = apply_churn(g, 3, rng)
+        migrated = migrate_configuration(p, g, g2, ex.final)
+        ex2 = run_synchronous(p, g2, migrated, max_rounds=p.round_bound(g2))
+        assert ex2.stabilized
+        assert is_bfs_tree(g2, 0, ex2.final)
+
+    def test_root_corruption_is_repaired_first(self):
+        g = path_graph(5)
+        p = BfsSpanningTree(0)
+        ex = run_synchronous(p, g)
+        broken = ex.final.updated({0: (3, 1)})
+        ex2 = run_synchronous(p, g, broken)
+        assert ex2.stabilized and ex2.legitimate
+        assert ex2.move_log[0].get(0) == "R_root"
+
+
+class TestAdHocIntegration:
+    def test_over_beacons(self):
+        from repro.adhoc import StaticPlacement, run_until_stable
+        from repro.graphs.generators import random_geometric_graph
+
+        g, pos = random_geometric_graph(14, 0.42, rng=9, return_positions=True)
+        p = BfsSpanningTree.make_for(g)
+        res = run_until_stable(p, StaticPlacement(pos), radius=0.42, rng=10)
+        assert res.stabilized
+        assert is_bfs_tree(g, 0, res.final)

@@ -1,0 +1,99 @@
+"""Tests for the execution trace formatter."""
+
+import pytest
+
+from repro.analysis.traces import (
+    format_execution,
+    format_round,
+    rule_firing_summary,
+)
+from repro.core.executor import run_synchronous
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.matching.smm import SynchronousMaximalMatching
+from repro.mis.sis import SynchronousMaximalIndependentSet
+
+SIS = SynchronousMaximalIndependentSet()
+SMM = SynchronousMaximalMatching()
+
+
+class TestFormatRound:
+    def test_shows_rule_and_new_state(self):
+        g = path_graph(3)
+        ex = run_synchronous(SIS, g, record_history=True)
+        line = format_round(ex, 1)
+        assert line.startswith("round 1:")
+        assert "R1->1" in line
+
+    def test_without_states(self):
+        g = path_graph(3)
+        ex = run_synchronous(SIS, g, record_history=True)
+        line = format_round(ex, 1, show_states=False)
+        assert "->" not in line
+
+    def test_no_history_omits_states(self):
+        g = path_graph(3)
+        ex = run_synchronous(SIS, g)
+        assert "->" not in format_round(ex, 1)
+
+    def test_out_of_range(self):
+        g = path_graph(3)
+        ex = run_synchronous(SIS, g)
+        with pytest.raises(IndexError):
+            format_round(ex, 99)
+
+
+class TestFormatExecution:
+    def test_full_narrative(self):
+        g = cycle_graph(6)
+        ex = run_synchronous(SMM, g, record_history=True)
+        text = format_execution(g, ex)
+        assert text.startswith("initial:")
+        assert "stabilized after" in text
+        assert "legitimate=True" in text
+
+    def test_null_pointer_symbol(self):
+        g = cycle_graph(4)
+        ex = run_synchronous(SMM, g, record_history=True)
+        assert "⊥" in format_execution(g, ex)
+
+    def test_round_elision(self):
+        g = cycle_graph(12)
+        ex = run_synchronous(SMM, g, record_history=True)
+        assert ex.rounds > 3
+        text = format_execution(g, ex, max_rounds=2)
+        assert "more rounds" in text
+
+    def test_divergent_run_flagged(self):
+        from repro.matching.variants import ArbitraryChoiceSMM, clockwise_chooser
+
+        g = cycle_graph(4)
+        bad = ArbitraryChoiceSMM(clockwise_chooser(4))
+        ex = run_synchronous(
+            bad, g, {i: None for i in g.nodes}, max_rounds=6, record_history=True
+        )
+        assert "DID NOT stabilize" in format_execution(g, ex)
+
+    def test_tuple_states_render(self):
+        from repro.domination.mds import MinimalDominatingSet
+
+        g = path_graph(3)
+        mds = MinimalDominatingSet()
+        ex = run_synchronous(mds, g, max_rounds=5, record_history=True)
+        text = format_execution(g, ex)
+        assert "(" in text  # tuple states visible
+
+
+class TestRuleFiringSummary:
+    def test_counterexample_rhythm(self):
+        from repro.matching.variants import ArbitraryChoiceSMM, clockwise_chooser
+
+        g = cycle_graph(4)
+        bad = ArbitraryChoiceSMM(clockwise_chooser(4))
+        ex = run_synchronous(bad, g, {i: None for i in g.nodes}, max_rounds=4)
+        summary = rule_firing_summary(ex)
+        assert "[4,4,4,4]" in summary
+
+    def test_zero_round_run(self):
+        g = path_graph(4)
+        ex = run_synchronous(SIS, g, {0: 0, 1: 1, 2: 0, 3: 1})
+        assert "[-]" in rule_firing_summary(ex)

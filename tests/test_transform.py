@@ -1,0 +1,156 @@
+"""Tests for the central→synchronous daemon refinement."""
+
+import pytest
+
+from repro.core.executor import run_central, run_synchronous
+from repro.core.faults import random_configuration
+from repro.core.transform import BEACON_ROUNDS_PER_STEP, run_synchronized_central
+from repro.errors import ProtocolError, StabilizationTimeout
+from repro.graphs.generators import cycle_graph, erdos_renyi_graph, path_graph
+from repro.matching.hsu_huang import HsuHuangMatching
+from repro.matching.smm import max_id_chooser
+from repro.matching.verify import verify_execution
+from repro.mis.sis import SynchronousMaximalIndependentSet
+
+HH = HsuHuangMatching()
+
+
+class TestRefinementCorrectness:
+    @pytest.mark.parametrize("priority", ["id", "random"])
+    def test_converges_to_legitimate(self, priority, rng):
+        for seed in range(4):
+            g = erdos_renyi_graph(12, 0.3, rng=seed)
+            cfg = random_configuration(HH, g, rng)
+            ex = run_synchronized_central(HH, g, cfg, priority=priority, rng=rng)
+            verify_execution(g, ex)
+
+    def test_movers_form_independent_set(self, rng):
+        """The serializability core: no two adjacent nodes ever move in
+        the same refinement round."""
+        g = erdos_renyi_graph(14, 0.3, rng=5)
+        cfg = random_configuration(HH, g, rng)
+        ex = run_synchronized_central(HH, g, cfg, priority="random", rng=rng)
+        for movers in ex.move_log:
+            nodes = list(movers)
+            for i, u in enumerate(nodes):
+                for v in nodes[i + 1:]:
+                    assert not g.has_edge(u, v), (u, v)
+
+    def test_defeats_the_livelock(self):
+        """The adversarial clockwise Hsu–Huang livelocks raw-sync but
+        stabilizes under the refinement (moves are serialized)."""
+        from repro.matching.variants import clockwise_chooser
+
+        g = cycle_graph(8)
+        adversarial = HsuHuangMatching(propose_chooser=clockwise_chooser(8))
+        cfg = {i: None for i in g.nodes}
+        raw = run_synchronous(adversarial, g, cfg, max_rounds=60)
+        assert not raw.stabilized
+        refined = run_synchronized_central(adversarial, g, cfg, priority="id")
+        verify_execution(g, refined)
+
+    def test_equivalent_to_some_central_schedule(self, rng):
+        """Each refined run's final configuration is reachable by a
+        central daemon (here: both reach legitimate fixpoints from the
+        same start — full schedule equality is not required, only
+        correctness of both)."""
+        g = path_graph(8)
+        cfg = random_configuration(HH, g, rng)
+        refined = run_synchronized_central(HH, g, cfg, priority="id")
+        central = run_central(HH, g, cfg, strategy="min-id")
+        verify_execution(g, refined)
+        verify_execution(g, central)
+
+    def test_every_refined_round_replays_serially(self, rng):
+        """The serializability core, replayed explicitly: applying each
+        refined round's movers one at a time (in any order — here
+        ascending id) through the *central-daemon semantics* must (a)
+        find each mover privileged with the same rule at its turn and
+        (b) land on the same configuration as the parallel step."""
+        from repro.core.executor import build_view
+
+        g = erdos_renyi_graph(14, 0.3, rng=6)
+        cfg = random_configuration(HH, g, rng)
+        ex = run_synchronized_central(
+            HH, g, cfg, priority="random", rng=rng, record_history=True
+        )
+        assert ex.history is not None
+        for t, movers in enumerate(ex.move_log):
+            serial = ex.history[t]
+            for node in sorted(movers):
+                view = build_view(HH, g, serial, node)
+                rule = HH.enabled_rule(view)
+                assert rule is not None and rule.name == movers[node]
+                serial = serial.updated({node: rule.fire(view)})
+            assert serial == ex.history[t + 1]
+
+
+class TestAccounting:
+    def test_beacon_round_multiplier(self):
+        g = path_graph(6)
+        cfg = {i: None for i in g.nodes}
+        raw = run_synchronized_central(HH, g, cfg, priority="id")
+        beacon = run_synchronized_central(
+            HH, g, cfg, priority="id", count_beacon_rounds=True
+        )
+        assert beacon.rounds == BEACON_ROUNDS_PER_STEP * raw.rounds
+        assert beacon.moves == raw.moves
+
+    def test_daemon_label(self):
+        g = path_graph(4)
+        ex = run_synchronized_central(HH, g, {i: None for i in g.nodes})
+        assert ex.daemon == "sync-central-refined:id"
+
+    def test_zero_round_run(self):
+        g = path_graph(4)
+        stable = {0: 1, 1: 0, 2: 3, 3: 2}
+        ex = run_synchronized_central(HH, g, stable)
+        assert ex.stabilized and ex.rounds == 0
+
+    def test_history_and_monitors(self):
+        from repro.core.invariants import HistoryMonitor
+
+        g = path_graph(6)
+        mon = HistoryMonitor()
+        ex = run_synchronized_central(
+            HH, g, {i: None for i in g.nodes}, record_history=True, monitors=[mon]
+        )
+        assert ex.history is not None
+        assert len(ex.history) == ex.rounds + 1
+        assert len(mon.configurations) == ex.rounds + 1
+
+
+class TestErrors:
+    def test_unknown_priority_scheme(self):
+        g = path_graph(4)
+        with pytest.raises(ProtocolError):
+            run_synchronized_central(
+                HH, g, {i: None for i in g.nodes}, priority="fifo"
+            )
+
+    def test_raise_on_timeout(self):
+        g = path_graph(8)
+        with pytest.raises(StabilizationTimeout):
+            run_synchronized_central(
+                HH,
+                g,
+                {i: None for i in g.nodes},
+                max_rounds=0,
+                raise_on_timeout=True,
+            )
+
+
+class TestWorksForOtherProtocols:
+    def test_sis_through_refinement(self, rng):
+        """SIS needs no refinement, but running it through one must
+        still converge to the same unique fixpoint (serial schedules
+        are a subset of what SIS tolerates)."""
+        from repro.graphs.properties import greedy_mis_by_descending_id
+        from repro.mis.verify import independent_set_of
+
+        g = cycle_graph(9)
+        sis = SynchronousMaximalIndependentSet()
+        cfg = random_configuration(sis, g, rng)
+        ex = run_synchronized_central(sis, g, cfg, priority="id")
+        assert ex.stabilized
+        assert independent_set_of(ex.final) == greedy_mis_by_descending_id(g)

@@ -1,0 +1,24 @@
+"""Tests for repro.types."""
+
+import pytest
+
+from repro.types import canonical_edge
+
+
+class TestCanonicalEdge:
+    def test_sorted_pair_unchanged(self):
+        assert canonical_edge(1, 3) == (1, 3)
+
+    def test_reversed_pair_sorted(self):
+        assert canonical_edge(3, 1) == (1, 3)
+
+    def test_negative_ids(self):
+        assert canonical_edge(5, -2) == (-2, 5)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_edge(4, 4)
+
+    def test_idempotent(self):
+        e = canonical_edge(9, 2)
+        assert canonical_edge(*e) == e
