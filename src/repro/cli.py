@@ -40,26 +40,31 @@ from repro.experiments.common import ExperimentResult
 Runner = Callable[[], List[ExperimentResult]]
 
 
-def _registry() -> Dict[str, Tuple[str, Runner, Runner]]:
+def _registry(jobs: int = 1) -> Dict[str, Tuple[str, Runner, Runner]]:
+    """Experiment registry.  ``jobs`` is forwarded to the experiments
+    that support parallel trial execution (E1/E2/E5/E6/E12); their
+    output is bit-identical for every value of ``jobs``."""
     return {
         "E1": (
             "Theorem 1 — SMM stabilizes in <= n+1 rounds",
-            lambda: [e1_smm_convergence.run(trials=15, seed=101)],
+            lambda: [e1_smm_convergence.run(trials=15, seed=101, jobs=jobs)],
             lambda: [
                 e1_smm_convergence.run(
-                    families=("cycle", "tree"), sizes=(4, 8, 16), trials=5, seed=101
+                    families=("cycle", "tree"), sizes=(4, 8, 16), trials=5, seed=101,
+                    jobs=jobs,
                 )
             ],
         ),
         "E2": (
             "Theorem 2 — SIS stabilizes in O(n) rounds (unique fixpoint)",
             lambda: [
-                e2_sis_convergence.run(trials=15, seed=102),
+                e2_sis_convergence.run(trials=15, seed=102, jobs=jobs),
                 e2_sis_convergence.run_worst_case_series(),
             ],
             lambda: [
                 e2_sis_convergence.run(
-                    families=("cycle", "tree"), sizes=(4, 8, 16), trials=5, seed=102
+                    families=("cycle", "tree"), sizes=(4, 8, 16), trials=5, seed=102,
+                    jobs=jobs,
                 ),
                 e2_sis_convergence.run_worst_case_series(sizes=(8, 16, 32)),
             ],
@@ -84,19 +89,21 @@ def _registry() -> Dict[str, Tuple[str, Runner, Runner]]:
         ),
         "E5": (
             "Section 3 — converted Hsu-Huang 'not as fast' than SMM",
-            lambda: [e5_baseline.run(trials=8, seed=105)],
+            lambda: [e5_baseline.run(trials=8, seed=105, jobs=jobs)],
             lambda: [
                 e5_baseline.run(
-                    families=("cycle", "tree"), sizes=(8, 16), trials=3, seed=105
+                    families=("cycle", "tree"), sizes=(8, 16), trials=3, seed=105,
+                    jobs=jobs,
                 )
             ],
         ),
         "E6": (
             "Lemmas 1, 9, 10 — monotone matching growth",
-            lambda: [e6_growth.run(trials=20, seed=106)],
+            lambda: [e6_growth.run(trials=20, seed=106, jobs=jobs)],
             lambda: [
                 e6_growth.run(
-                    families=("cycle", "tree"), sizes=(8, 16), trials=5, seed=106
+                    families=("cycle", "tree"), sizes=(8, 16), trials=5, seed=106,
+                    jobs=jobs,
                 )
             ],
         ),
@@ -159,11 +166,11 @@ def _registry() -> Dict[str, Tuple[str, Runner, Runner]]:
         ),
         "E12": (
             "extension — id-assignment sensitivity of rounds/solutions",
-            lambda: [e12_id_sensitivity.run(relabelings=20, seed=130)],
+            lambda: [e12_id_sensitivity.run(relabelings=20, seed=130, jobs=jobs)],
             lambda: [
                 e12_id_sensitivity.run(
                     families=("cycle", "tree"), sizes=(16,),
-                    relabelings=6, seed=130,
+                    relabelings=6, seed=130, jobs=jobs,
                 )
             ],
         ),
@@ -183,8 +190,8 @@ def cmd_list() -> int:
     return 0
 
 
-def cmd_run(ids: List[str], quick: bool) -> int:
-    registry = _registry()
+def cmd_run(ids: List[str], quick: bool, jobs: int = 1) -> int:
+    registry = _registry(jobs)
     if any(i.lower() == "all" for i in ids):
         ids = sorted(registry, key=_order_key)
     failures = 0
@@ -222,6 +229,14 @@ def main(argv: List[str] | None = None) -> int:
     runner.add_argument(
         "--quick", action="store_true", help="reduced-scale parameters"
     )
+    runner.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for trial fan-out (0 = all cores); "
+        "output is bit-identical for every value",
+    )
     reporter = sub.add_parser(
         "report", help="run everything and write a markdown report"
     )
@@ -232,6 +247,8 @@ def main(argv: List[str] | None = None) -> int:
         "--quick", action="store_true", help="reduced-scale parameters"
     )
     args = parser.parse_args(argv)
+    if getattr(args, "jobs", 0) < 0:
+        parser.error(f"argument --jobs: must be >= 0, got {args.jobs}")
     if args.command == "list":
         return cmd_list()
     if args.command == "report":
@@ -240,7 +257,7 @@ def main(argv: List[str] | None = None) -> int:
         text = write_report(args.output, quick=args.quick)
         print(f"wrote {args.output} ({len(text.splitlines())} lines)")
         return 0 if "✗ FAILED" not in text else 1
-    return cmd_run(args.ids, args.quick)
+    return cmd_run(args.ids, args.quick, jobs=args.jobs)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

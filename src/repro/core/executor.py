@@ -149,9 +149,10 @@ class Execution:
         return frozenset(out)
 
 
+#: Default synchronous round budget: ``10 n + 100``.  Generous relative
+#: to the paper's n+1 bound so that genuinely divergent variants
+#: (experiment E4) are the only timeouts.  Documented in docs/api.md.
 def _default_round_budget(graph: Graph) -> int:
-    # Generous relative to the paper's n+1 bound so that genuinely
-    # divergent variants (experiment E4) are the only timeouts.
     return 10 * graph.n + 100
 
 
@@ -178,6 +179,7 @@ def run_synchronous(
     record_history: bool = False,
     monitors: Sequence[Monitor] = (),
     raise_on_timeout: bool = False,
+    active_set: bool = True,
 ) -> Execution:
     """Run under the synchronous daemon until no node is privileged.
 
@@ -191,14 +193,32 @@ def run_synchronous(
     config:
         Initial configuration; default is the protocol's clean start.
     max_rounds:
-        Round budget (default ``10 n + 100``).  On exhaustion the
-        run is returned with ``stabilized=False`` — or raised as
+        Round budget (default ``10 n + 100``,
+        :func:`_default_round_budget`).  On exhaustion the run is
+        returned with ``stabilized=False`` — or raised as
         :class:`StabilizationTimeout` if ``raise_on_timeout``.
     record_history:
         Keep every intermediate configuration (memory ~ rounds × n).
     monitors:
         :class:`~repro.core.invariants.Monitor` objects called on the
         initial configuration and after every round.
+    active_set:
+        Re-evaluate only "dirty" nodes each round (see below).  Purely
+        a performance knob: the produced :class:`Execution` is
+        identical either way (pinned by ``tests/test_active_set.py``).
+
+    Notes
+    -----
+    A node's guards and actions read only its own and its neighbours'
+    states, so its decision can change between rounds only if some node
+    of its *closed neighbourhood* changed state (after round 1 the set
+    of such nodes only shrinks — Lemmas 1–7).  The executor therefore
+    caches every node's pending decision and, per round, recomputes
+    only the nodes whose closed neighbourhood changed in the previous
+    round; all currently privileged nodes still fire simultaneously, so
+    round semantics are byte-identical to the full scan.  Randomized
+    protocols draw fresh variates every round, which invalidates every
+    cached decision: they always run the full scan.
     """
     gen = ensure_rng(rng)
     current = _resolve_config(protocol, graph, config)
@@ -214,17 +234,22 @@ def run_synchronous(
 
     stabilized = False
     rounds = 0
+    track = active_set and not protocol.uses_randomness
+    # decisions[i] = (rule name, new state) for every currently
+    # privileged node i, valid for the current configuration; dirty is
+    # the set of nodes whose entry must be recomputed this round.
+    decisions: Dict[NodeId, Tuple[str, object]] = {}
+    dirty: Iterable[NodeId] = graph.nodes
     while rounds < budget:
         rand_map = _rand_map(protocol, graph, gen)
-        changes: Dict[NodeId, object] = {}
-        fired: Dict[NodeId, str] = {}
-        for node in graph.nodes:
+        for node in dirty:
             view = build_view(protocol, graph, current, node, rand_map)
             rule = protocol.enabled_rule(view)
-            if rule is not None:
-                changes[node] = rule.fire(view)
-                fired[node] = rule.name
-        if not fired:
+            if rule is None:
+                decisions.pop(node, None)
+            else:
+                decisions[node] = (rule.name, rule.fire(view))
+        if not decisions:
             if protocol.is_quiescent(graph, current):
                 stabilized = True
                 break
@@ -238,6 +263,19 @@ def run_synchronous(
             for monitor in monitors:
                 monitor.on_round(rounds, current)
             continue
+        changes: Dict[NodeId, object] = {}
+        fired: Dict[NodeId, str] = {}
+        for node in sorted(decisions):
+            name, value = decisions[node]
+            fired[node] = name
+            changes[node] = value
+        if track:
+            touched = set()
+            for node, value in changes.items():
+                if current[node] != value:
+                    touched.add(node)
+                    touched.update(graph.neighbors(node))
+            dirty = sorted(touched)
         current = current.updated(changes)
         rounds += 1
         for name in fired.values():

@@ -29,8 +29,21 @@ from repro.errors import ExperimentError
 from repro.graphs.generators import family as graph_family
 from repro.graphs.graph import Graph
 from repro.analysis.tables import render_table
+from repro.parallel import TrialRunner, TrialSpec, run_trials
 from repro.rng import RngLike, ensure_rng
 from repro.types import NodeId
+
+__all__ = [
+    "ExperimentResult",
+    "TrialRunner",
+    "TrialSpec",
+    "detect_cycle",
+    "exhaustive_configurations",
+    "graph_workloads",
+    "initial_configurations",
+    "local_state_space",
+    "run_trials",
+]
 
 
 @dataclass

@@ -24,8 +24,12 @@ from typing import Sequence
 
 from repro.analysis.stats import summarize
 from repro.analysis.theory import sis_round_bound, smm_round_bound
-from repro.core.executor import run_synchronous
-from repro.experiments.common import ExperimentResult, graph_workloads
+from repro.experiments.common import (
+    ExperimentResult,
+    TrialSpec,
+    graph_workloads,
+    run_trials,
+)
 from repro.matching.smm import SynchronousMaximalMatching
 from repro.matching.verify import matching_of, verify_execution as verify_matching
 from repro.mis.sis import SynchronousMaximalIndependentSet
@@ -42,8 +46,13 @@ def run(
     *,
     relabelings: int = 20,
     seed: int = 130,
+    jobs: int = 1,
 ) -> ExperimentResult:
-    """Sample id relabelings of each workload topology; see module doc."""
+    """Sample id relabelings of each workload topology; see module doc.
+
+    ``jobs`` fans the (independent, deterministic) relabeled runs across
+    worker processes; results are bit-identical to ``jobs=1``.
+    """
     result = ExperimentResult(
         experiment="E12",
         paper_artifact="extension — sensitivity of rounds and solutions to the id assignment",
@@ -72,14 +81,20 @@ def run(
             gen.shuffle(shuffled)
             perms.append(dict(zip(nodes, shuffled)))
 
+        relabeled = [graph.relabeled(mapping) for mapping in perms]
         for name, protocol, bound_fn in (
             ("SMM", smm, smm_round_bound),
             ("SIS", sis, sis_round_bound),
         ):
+            executions = run_trials(
+                [
+                    TrialSpec(name.lower(), g2, max_rounds=bound_fn(g2.n) + 2)
+                    for g2 in relabeled
+                ],
+                jobs=jobs,
+            )
             rounds, sizes_seen, solutions = [], [], set()
-            for mapping in perms:
-                g2 = graph.relabeled(mapping)
-                ex = run_synchronous(protocol, g2, max_rounds=bound_fn(g2.n) + 2)
+            for mapping, g2, ex in zip(perms, relabeled, executions):
                 if name == "SMM":
                     solution = verify_matching(g2, ex)
                     # normalize back to original labels for comparison

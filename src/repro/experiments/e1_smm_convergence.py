@@ -13,12 +13,13 @@ from typing import Sequence
 
 from repro.analysis.stats import summarize
 from repro.analysis.theory import smm_round_bound
-from repro.core.executor import run_synchronous
 from repro.experiments.common import (
     ExperimentResult,
+    TrialSpec,
     exhaustive_configurations,
     graph_workloads,
     initial_configurations,
+    run_trials,
 )
 from repro.matching.smm import SynchronousMaximalMatching
 from repro.matching.verify import verify_execution
@@ -35,8 +36,13 @@ def run(
     seed: int = 10,
     exhaustive_max_n: int = 5,
     verify: bool = True,
+    jobs: int = 1,
 ) -> ExperimentResult:
-    """Sweep SMM convergence; see module docstring."""
+    """Sweep SMM convergence; see module docstring.
+
+    ``jobs`` fans the (independent, deterministic) trials across worker
+    processes; results are bit-identical to ``jobs=1``.
+    """
     result = ExperimentResult(
         experiment="E1",
         paper_artifact="Theorem 1 — SMM stabilizes in <= n+1 rounds",
@@ -53,31 +59,43 @@ def run(
     )
     protocol = SynchronousMaximalMatching()
 
+    # Collect every trial of the sweep into one spec batch (configs are
+    # drawn here, in the exact order of the serial implementation, so
+    # the RNG streams — and therefore the rows — are unchanged), then
+    # fan the batch out.
+    specs: list[TrialSpec] = []
+    cells = []
     for family, n, graph, rng in graph_workloads(families, sizes, seed):
         bound = smm_round_bound(graph.n)
         for mode in ("clean", "random"):
             mode_trials = 1 if mode == "clean" else trials
-            rounds = []
+            start = len(specs)
             for config in initial_configurations(
                 protocol, graph, mode, mode_trials, rng
             ):
-                execution = run_synchronous(
-                    protocol, graph, config, max_rounds=bound + 4
+                specs.append(
+                    TrialSpec("smm", graph, config, max_rounds=bound + 4)
                 )
-                if verify:
-                    verify_execution(graph, execution)
-                rounds.append(execution.rounds)
-            stats = summarize(rounds)
-            result.add(
-                family=family,
-                n=graph.n,
-                init=mode,
-                trials=len(rounds),
-                rounds_mean=stats.mean,
-                rounds_max=int(stats.maximum),
-                bound=bound,
-                within_bound=float(stats.maximum <= bound),
-            )
+            cells.append((family, graph, mode, bound, start, len(specs)))
+    executions = run_trials(specs, jobs=jobs)
+
+    for family, graph, mode, bound, lo, hi in cells:
+        rounds = []
+        for execution in executions[lo:hi]:
+            if verify:
+                verify_execution(graph, execution)
+            rounds.append(execution.rounds)
+        stats = summarize(rounds)
+        result.add(
+            family=family,
+            n=graph.n,
+            init=mode,
+            trials=len(rounds),
+            rounds_mean=stats.mean,
+            rounds_max=int(stats.maximum),
+            bound=bound,
+            within_bound=float(stats.maximum <= bound),
+        )
 
     # adversarial starts: structured configurations (proposal chains,
     # pessimal cycles, the all-null zipper) that approach the bound
@@ -105,11 +123,15 @@ def run(
         seed + 1,
     ):
         bound = smm_round_bound(graph.n)
+        executions = run_trials(
+            [
+                TrialSpec("smm", graph, config, max_rounds=bound + 4)
+                for config in exhaustive_configurations(protocol, graph)
+            ],
+            jobs=jobs,
+        )
         rounds = []
-        for config in exhaustive_configurations(protocol, graph):
-            execution = run_synchronous(
-                protocol, graph, config, max_rounds=bound + 4
-            )
+        for execution in executions:
             if verify:
                 verify_execution(graph, execution)
             rounds.append(execution.rounds)

@@ -21,9 +21,11 @@ from repro.core.configuration import Configuration
 from repro.core.executor import run_synchronous
 from repro.experiments.common import (
     ExperimentResult,
+    TrialSpec,
     exhaustive_configurations,
     graph_workloads,
     initial_configurations,
+    run_trials,
 )
 from repro.graphs.generators import path_graph
 from repro.mis.sis import SynchronousMaximalIndependentSet
@@ -41,8 +43,13 @@ def run(
     seed: int = 20,
     exhaustive_max_n: int = 8,
     verify: bool = True,
+    jobs: int = 1,
 ) -> ExperimentResult:
-    """Sweep SIS convergence; see module docstring."""
+    """Sweep SIS convergence; see module docstring.
+
+    ``jobs`` fans the (independent, deterministic) trials across worker
+    processes; results are bit-identical to ``jobs=1``.
+    """
     result = ExperimentResult(
         experiment="E2",
         paper_artifact="Theorem 2 — SIS stabilizes in O(n) rounds (envelope n), unique greedy fixpoint",
@@ -60,35 +67,45 @@ def run(
     )
     protocol = SynchronousMaximalIndependentSet()
 
+    # one spec batch for the whole sweep (configs drawn here, in the
+    # serial order, so RNG streams and rows are unchanged), fanned out
+    specs: list[TrialSpec] = []
+    cells = []
     for family, n, graph, rng in graph_workloads(families, sizes, seed):
         bound = sis_round_bound(graph.n)
         for mode in ("clean", "random"):
             mode_trials = 1 if mode == "clean" else trials
-            rounds = []
-            all_greedy = True
+            start = len(specs)
             for config in initial_configurations(
                 protocol, graph, mode, mode_trials, rng
             ):
-                execution = run_synchronous(
-                    protocol, graph, config, max_rounds=bound + 4
+                specs.append(
+                    TrialSpec("sis", graph, config, max_rounds=bound + 4)
                 )
-                if verify:
-                    verify_execution(graph, execution, expect_greedy=True)
-                else:
-                    all_greedy = all_greedy and execution.legitimate
-                rounds.append(execution.rounds)
-            stats = summarize(rounds)
-            result.add(
-                family=family,
-                n=graph.n,
-                init=mode,
-                trials=len(rounds),
-                rounds_mean=stats.mean,
-                rounds_max=int(stats.maximum),
-                bound=bound,
-                within_bound=float(stats.maximum <= bound),
-                greedy_fixpoint=True if verify else all_greedy,
-            )
+            cells.append((family, graph, mode, bound, start, len(specs)))
+    executions = run_trials(specs, jobs=jobs)
+
+    for family, graph, mode, bound, lo, hi in cells:
+        rounds = []
+        all_greedy = True
+        for execution in executions[lo:hi]:
+            if verify:
+                verify_execution(graph, execution, expect_greedy=True)
+            else:
+                all_greedy = all_greedy and execution.legitimate
+            rounds.append(execution.rounds)
+        stats = summarize(rounds)
+        result.add(
+            family=family,
+            n=graph.n,
+            init=mode,
+            trials=len(rounds),
+            rounds_mean=stats.mean,
+            rounds_max=int(stats.maximum),
+            bound=bound,
+            within_bound=float(stats.maximum <= bound),
+            greedy_fixpoint=True if verify else all_greedy,
+        )
 
     # exhaustive part (2^n configurations)
     for family, n, graph, rng in graph_workloads(
@@ -97,11 +114,15 @@ def run(
         seed + 1,
     ):
         bound = sis_round_bound(graph.n)
+        executions = run_trials(
+            [
+                TrialSpec("sis", graph, config, max_rounds=bound + 4)
+                for config in exhaustive_configurations(protocol, graph)
+            ],
+            jobs=jobs,
+        )
         rounds = []
-        for config in exhaustive_configurations(protocol, graph):
-            execution = run_synchronous(
-                protocol, graph, config, max_rounds=bound + 4
-            )
+        for execution in executions:
             if verify:
                 verify_execution(graph, execution, expect_greedy=True)
             rounds.append(execution.rounds)

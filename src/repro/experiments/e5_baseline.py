@@ -23,12 +23,12 @@ from typing import Sequence
 
 from repro.analysis.stats import ratio_of_means, summarize
 from repro.analysis.theory import hsu_huang_move_bound
-from repro.core.executor import run_central, run_synchronous
-from repro.core.transform import run_synchronized_central
 from repro.experiments.common import (
     ExperimentResult,
+    TrialSpec,
     graph_workloads,
     initial_configurations,
+    run_trials,
 )
 from repro.matching.hsu_huang import HsuHuangMatching
 from repro.matching.smm import SynchronousMaximalMatching
@@ -44,8 +44,15 @@ def run(
     *,
     trials: int = 10,
     seed: int = 50,
+    jobs: int = 1,
 ) -> ExperimentResult:
-    """Head-to-head SMM vs synchronized Hsu–Huang; see module doc."""
+    """Head-to-head SMM vs synchronized Hsu–Huang; see module doc.
+
+    ``jobs`` fans the four engine runs of every trial across worker
+    processes.  The randomized engines draw from per-trial integer
+    seeds derived up front in the parent, so the schedule is a function
+    of the spec and ``jobs=N`` output is bit-identical to ``jobs=1``.
+    """
     result = ExperimentResult(
         experiment="E5",
         paper_artifact='Section 3 — converted Hsu-Huang "not as fast" than SMM',
@@ -64,33 +71,62 @@ def run(
     smm = SynchronousMaximalMatching()
     hh = HsuHuangMatching()
 
+    specs: list[TrialSpec] = []
+    cells = []
     for family, n, graph, rng in graph_workloads(families, sizes, seed):
+        configs = list(initial_configurations(smm, graph, "random", trials, rng))
+        # per-trial integer seeds for the randomized engines, drawn in
+        # the parent so the randomized schedules are functions of the
+        # spec (not of which worker runs them, or in which order)
+        trial_seeds = [
+            (int(rng.integers(2**63)), int(rng.integers(2**63)))
+            for _ in configs
+        ]
+        start = len(specs)
+        for config, (seed_rand, seed_central) in zip(configs, trial_seeds):
+            specs.append(TrialSpec("smm", graph, config))
+            specs.append(
+                TrialSpec(
+                    "hsu-huang",
+                    graph,
+                    config,
+                    daemon="synchronized-central",
+                    options=(("priority", "id"), ("count_beacon_rounds", True)),
+                )
+            )
+            specs.append(
+                TrialSpec(
+                    "hsu-huang",
+                    graph,
+                    config,
+                    daemon="synchronized-central",
+                    seed=seed_rand,
+                    options=(("priority", "random"), ("count_beacon_rounds", True)),
+                )
+            )
+            specs.append(
+                TrialSpec(
+                    "hsu-huang",
+                    graph,
+                    config,
+                    daemon="central",
+                    seed=seed_central,
+                    options=(("strategy", "random"),),
+                )
+            )
+        cells.append((family, graph, start, len(specs)))
+    executions = run_trials(specs, jobs=jobs)
+
+    for family, graph, lo, hi in cells:
         smm_rounds, id_rounds, rand_rounds, central_moves = [], [], [], []
-        for config in initial_configurations(smm, graph, "random", trials, rng):
-            ex = run_synchronous(smm, graph, config)
-            verify_execution(graph, ex)
-            smm_rounds.append(ex.rounds)
-
-            ex = run_synchronized_central(
-                hh, graph, config, priority="id", count_beacon_rounds=True
-            )
-            verify_execution(graph, ex)
-            id_rounds.append(ex.rounds)
-
-            ex = run_synchronized_central(
-                hh,
-                graph,
-                config,
-                priority="random",
-                rng=rng,
-                count_beacon_rounds=True,
-            )
-            verify_execution(graph, ex)
-            rand_rounds.append(ex.rounds)
-
-            ex = run_central(hh, graph, config, strategy="random", rng=rng)
-            verify_execution(graph, ex)
-            central_moves.append(ex.moves)
+        for k in range(lo, hi, 4):
+            ex_smm, ex_id, ex_rand, ex_central = executions[k : k + 4]
+            for ex in (ex_smm, ex_id, ex_rand, ex_central):
+                verify_execution(graph, ex)
+            smm_rounds.append(ex_smm.rounds)
+            id_rounds.append(ex_id.rounds)
+            rand_rounds.append(ex_rand.rounds)
+            central_moves.append(ex_central.moves)
 
         result.add(
             family=family,

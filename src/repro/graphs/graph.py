@@ -42,7 +42,7 @@ class Graph:
     adjacency makes that a simple first-match scan.
     """
 
-    __slots__ = ("_adj", "_nodes", "_edges", "_hash")
+    __slots__ = ("_adj", "_nodes", "_edges", "_hash", "_csr")
 
     def __init__(self, nodes: Iterable[NodeId], edges: Iterable[Tuple[NodeId, NodeId]]):
         node_list = list(nodes)
@@ -71,6 +71,7 @@ class Graph:
         self._nodes: Tuple[NodeId, ...] = tuple(sorted(node_list))
         self._edges: frozenset[Edge] = frozenset(edge_set)
         self._hash: int | None = None
+        self._csr: tuple | None = None
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -146,6 +147,18 @@ class Graph:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Graph(n={self.n}, m={self.m})"
+
+    def __getstate__(self):
+        # Keep pickles lean: the CSR cache and hash are derived data and
+        # rebuilt lazily on the receiving side (e.g. in pool workers).
+        return {"_adj": self._adj, "_nodes": self._nodes, "_edges": self._edges}
+
+    def __setstate__(self, state) -> None:
+        self._adj = state["_adj"]
+        self._nodes = state["_nodes"]
+        self._edges = state["_edges"]
+        self._hash = None
+        self._csr = None
 
     # ------------------------------------------------------------------
     # structure queries
@@ -270,18 +283,34 @@ class Graph:
         HPC guide note in DESIGN.md §5 (contiguous arrays, views not
         copies).  ``ids[k]`` maps dense index ``k`` back to the node id;
         ``indices`` holds *dense* neighbour indices.
-        """
-        import numpy as np
 
-        ids = np.asarray(self._nodes, dtype=np.int64)
-        pos = {node: k for k, node in enumerate(self._nodes)}
-        indptr = np.zeros(self.n + 1, dtype=np.int64)
-        for k, node in enumerate(self._nodes):
-            indptr[k + 1] = indptr[k] + len(self._adj[node])
-        indices = np.empty(int(indptr[-1]), dtype=np.int64)
-        cursor = 0
-        for node in self._nodes:
-            for v in self._adj[node]:
-                indices[cursor] = pos[v]
-                cursor += 1
+        The arrays are built once per graph and cached (the graph is
+        immutable), so repeated kernel construction over one graph —
+        the E10 sweep inner loop — costs O(1) after the first call.
+        Callers must treat the returned arrays as read-only.
+        """
+        indptr, indices, ids, _ = self._csr_cache()
         return indptr, indices, ids
+
+    def dense_index(self):
+        """Cached ``{node id -> dense index}`` mapping (the inverse of
+        ``adjacency_arrays()``'s ``ids``).  Treat as read-only."""
+        return self._csr_cache()[3]
+
+    def _csr_cache(self):
+        if self._csr is None:
+            import numpy as np
+
+            ids = np.asarray(self._nodes, dtype=np.int64)
+            pos = {node: k for k, node in enumerate(self._nodes)}
+            indptr = np.zeros(self.n + 1, dtype=np.int64)
+            for k, node in enumerate(self._nodes):
+                indptr[k + 1] = indptr[k] + len(self._adj[node])
+            indices = np.empty(int(indptr[-1]), dtype=np.int64)
+            cursor = 0
+            for node in self._nodes:
+                for v in self._adj[node]:
+                    indices[cursor] = pos[v]
+                    cursor += 1
+            self._csr = (indptr, indices, ids, pos)
+        return self._csr

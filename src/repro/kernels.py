@@ -1,0 +1,40 @@
+"""Shared CSR helpers for the vectorized active-set kernels.
+
+Both NumPy round kernels (:mod:`repro.matching.smm_vectorized` and
+:mod:`repro.mis.sis_vectorized`) step a *frontier* of dirty nodes: after
+each round only the nodes whose closed neighbourhood changed need their
+decision recomputed.  The helpers here turn a set of dirty rows of a CSR
+adjacency into flat entry positions without any per-row Python loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def csr_entry_positions(indptr: np.ndarray, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Flat CSR entry positions of ``rows``.
+
+    Returns ``(positions, counts)`` where ``positions`` is the
+    concatenation of ``range(indptr[r], indptr[r+1])`` over ``rows`` (in
+    row order) and ``counts[j]`` is the degree of ``rows[j]``.  This is
+    the standard "concatenate ranges" construction: one ``arange`` plus
+    one ``repeat``, no Python loop.
+    """
+    starts = indptr[rows]
+    counts = indptr[rows + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), counts
+    shift = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    positions = np.arange(total, dtype=np.int64) + np.repeat(starts - shift, counts)
+    return positions, counts
+
+
+def closed_neighborhood(
+    indptr: np.ndarray, indices: np.ndarray, rows: np.ndarray
+) -> np.ndarray:
+    """Sorted unique dense indices of ``rows`` plus all their neighbours
+    (``N[rows]`` — the next round's dirty set)."""
+    positions, _ = csr_entry_positions(indptr, rows)
+    return np.unique(np.concatenate((rows, indices[positions])))

@@ -1,0 +1,39 @@
+"""Parallel trial execution for the experiment harness.
+
+Every experiment quantifies over graph families × sizes × dozens of
+seeded initial configurations; the trials are independent, so the sweep
+is embarrassingly parallel.  This package fans :class:`TrialSpec`
+records across a ``ProcessPoolExecutor`` while keeping results
+bit-identical to serial execution (pinned by ``tests/test_parallel.py``):
+
+* specs are plain picklable data (protocol *name*, graph, configuration,
+  integer seed) — workers rebuild protocol objects from
+  :data:`PROTOCOLS` and derive RNGs from the spec's seed via
+  :mod:`repro.rng`, so the result of a trial is a pure function of its
+  spec regardless of which process runs it;
+* results come back in spec order;
+* ``jobs=1`` (the default everywhere) runs inline — no pool, no pickling;
+* a broken pool degrades gracefully to inline execution;
+* workers pin BLAS/OMP to one thread each so ``jobs`` processes never
+  oversubscribe the machine.
+
+See docs/performance.md for usage and measured numbers.
+"""
+
+from repro.parallel.trial_runner import (
+    PROTOCOLS,
+    TrialRunner,
+    TrialSpec,
+    execute_trial,
+    resolve_jobs,
+    run_trials,
+)
+
+__all__ = [
+    "PROTOCOLS",
+    "TrialRunner",
+    "TrialSpec",
+    "execute_trial",
+    "resolve_jobs",
+    "run_trials",
+]

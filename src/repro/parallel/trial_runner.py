@@ -1,0 +1,219 @@
+"""Fan independent protocol trials across worker processes.
+
+The unit of work is a :class:`TrialSpec` — plain, picklable data that
+fully determines one protocol run.  :func:`execute_trial` is a pure
+function of the spec: protocols are rebuilt by *name* inside the worker
+(rule closures don't pickle) and any randomness flows from the spec's
+integer ``seed`` through :mod:`repro.rng`, so a trial's result is
+bit-identical whether it runs inline, in this process, or in any worker
+of any pool.  That property is what lets the experiments keep their
+"reproducible from one seed" contract while scaling across cores; it is
+pinned by ``tests/test_parallel.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.executor import Execution, run_central, run_synchronous
+from repro.core.protocol import Protocol
+from repro.errors import ExperimentError
+from repro.graphs.graph import Graph
+from repro.types import NodeId
+
+#: Registered protocol factories, keyed by the names trial specs carry.
+#: Factories (not instances) because rule closures are not picklable —
+#: each worker rebuilds the protocol locally.
+PROTOCOLS: Dict[str, Callable[[], Protocol]] = {}
+
+
+def register_protocol(name: str, factory: Callable[[], Protocol]) -> None:
+    """Register a protocol factory for use in trial specs."""
+    PROTOCOLS[name] = factory
+
+
+def _builtin_protocols() -> None:
+    from repro.matching.hsu_huang import HsuHuangMatching
+    from repro.matching.smm import SynchronousMaximalMatching
+    from repro.mis.sis import SynchronousMaximalIndependentSet
+
+    register_protocol("smm", SynchronousMaximalMatching)
+    register_protocol("sis", SynchronousMaximalIndependentSet)
+    register_protocol("hsu-huang", HsuHuangMatching)
+
+
+_builtin_protocols()
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One protocol run, as plain data.
+
+    Attributes
+    ----------
+    protocol:
+        Key into :data:`PROTOCOLS` (``"smm"``, ``"sis"``, ...).
+    graph / config:
+        The topology and initial configuration (``None`` = clean start).
+    daemon:
+        ``"synchronous"`` (default), ``"central"``, or
+        ``"synchronized-central"`` (the E5 refinement).
+    max_rounds:
+        Budget, forwarded as ``max_rounds`` (``max_moves`` for the
+        central daemon).  ``None`` = the runner's documented default.
+    record_history:
+        Keep per-round configurations (needed by E3/E6-style replays).
+    seed:
+        Integer seed for daemons that consume randomness.  Derive it in
+        the parent (e.g. :func:`repro.rng.trial_seeds`) so the schedule
+        is a function of the spec, not of execution order.
+    options:
+        Extra keyword arguments for the runner, as a sorted tuple of
+        ``(name, value)`` pairs (kept hashable/picklable).
+    """
+
+    protocol: str
+    graph: Graph
+    config: Optional[Mapping[NodeId, object]] = None
+    daemon: str = "synchronous"
+    max_rounds: Optional[int] = None
+    record_history: bool = False
+    seed: Optional[int] = None
+    options: Tuple[Tuple[str, object], ...] = ()
+
+
+def execute_trial(spec: TrialSpec) -> Execution:
+    """Run one trial — a pure function of the spec."""
+    try:
+        protocol = PROTOCOLS[spec.protocol]()
+    except KeyError:
+        raise ExperimentError(
+            f"unknown protocol {spec.protocol!r}; known: {sorted(PROTOCOLS)}"
+        ) from None
+    kwargs = dict(spec.options)
+    if spec.daemon == "synchronous":
+        return run_synchronous(
+            protocol,
+            spec.graph,
+            spec.config,
+            rng=spec.seed,
+            max_rounds=spec.max_rounds,
+            record_history=spec.record_history,
+            **kwargs,
+        )
+    if spec.daemon == "central":
+        return run_central(
+            protocol,
+            spec.graph,
+            spec.config,
+            rng=spec.seed,
+            max_moves=spec.max_rounds,
+            record_history=spec.record_history,
+            **kwargs,
+        )
+    if spec.daemon == "synchronized-central":
+        from repro.core.transform import run_synchronized_central
+
+        return run_synchronized_central(
+            protocol,
+            spec.graph,
+            spec.config,
+            rng=spec.seed,
+            max_rounds=spec.max_rounds,
+            record_history=spec.record_history,
+            **kwargs,
+        )
+    raise ExperimentError(f"unknown daemon {spec.daemon!r}")
+
+
+# ----------------------------------------------------------------------
+# worker environment
+# ----------------------------------------------------------------------
+_THREAD_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+)
+
+
+def _pin_worker_threads() -> None:
+    """Pin BLAS/OMP pools to one thread in this worker.
+
+    ``jobs`` worker processes each spinning a BLAS pool of ``cores``
+    threads oversubscribes the machine ``jobs``-fold; the trials are
+    pure Python + small NumPy element-wise ops, so one thread per worker
+    is optimal.  Env vars cover libraries loaded after the fork;
+    ``threadpoolctl`` (if present) repins ones already loaded.
+    """
+    for var in _THREAD_ENV_VARS:
+        os.environ[var] = "1"
+    try:  # pragma: no cover - optional dependency
+        from threadpoolctl import threadpool_limits
+
+        threadpool_limits(limits=1)
+    except Exception:
+        pass
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` = all cores."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+class TrialRunner:
+    """Run trial specs, fanning across processes when ``jobs > 1``.
+
+    Results always come back in spec order, and are bit-identical to
+    inline execution (each trial is a pure function of its spec).  When
+    the pool cannot be used — ``jobs=1``, pickling trouble, or the pool
+    dying mid-flight — execution degrades gracefully to inline.
+    """
+
+    def __init__(self, jobs: Optional[int] = 1, *, chunksize: Optional[int] = None):
+        self.jobs = resolve_jobs(jobs)
+        self.chunksize = chunksize
+
+    def map(self, specs: Sequence[TrialSpec]) -> List[Execution]:
+        """Execute ``specs`` and return their executions, in order."""
+        specs = list(specs)
+        if self.jobs <= 1 or len(specs) <= 1:
+            return [execute_trial(spec) for spec in specs]
+        chunk = self.chunksize or max(1, len(specs) // (self.jobs * 4))
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(specs)),
+                initializer=_pin_worker_threads,
+            ) as pool:
+                return list(pool.map(execute_trial, specs, chunksize=chunk))
+        except (BrokenProcessPool, OSError, RuntimeError) as exc:
+            # Pool died (OOM kill, fork failure, interpreter without
+            # multiprocessing support...): the trials are side-effect
+            # free, so rerunning everything inline is safe.
+            import warnings
+
+            warnings.warn(
+                f"process pool failed ({exc!r}); falling back to inline execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return [execute_trial(spec) for spec in specs]
+
+
+def run_trials(
+    specs: Sequence[TrialSpec],
+    *,
+    jobs: Optional[int] = 1,
+    chunksize: Optional[int] = None,
+) -> List[Execution]:
+    """Convenience wrapper: ``TrialRunner(jobs).map(specs)``."""
+    return TrialRunner(jobs, chunksize=chunksize).map(specs)

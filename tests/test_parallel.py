@@ -1,0 +1,215 @@
+"""Tests for :mod:`repro.parallel` — the trial fan-out subsystem.
+
+The contract under test: ``TrialRunner`` output is a pure function of
+the spec list — same specs, same results, for every ``jobs`` value,
+with worker processes or inline.  Determinism comes from drawing all
+randomness (configurations, integer seeds) in the parent before
+dispatch, so no test here needs statistical tolerance: everything is
+compared for exact equality.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.executor import run_central, run_synchronous
+from repro.errors import ExperimentError
+from repro.graphs.generators import cycle_graph, erdos_renyi_graph, random_tree
+from repro.matching.smm import SynchronousMaximalMatching
+from repro.parallel import (
+    PROTOCOLS,
+    TrialRunner,
+    TrialSpec,
+    execute_trial,
+    resolve_jobs,
+    run_trials,
+)
+from repro.parallel.trial_runner import register_protocol
+
+SMM = SynchronousMaximalMatching()
+
+
+def executions_equal(a, b):
+    return (
+        a.stabilized == b.stabilized
+        and a.rounds == b.rounds
+        and a.moves == b.moves
+        and a.moves_by_rule == b.moves_by_rule
+        and a.initial == b.initial
+        and a.final == b.final
+        and a.move_log == b.move_log
+        and a.history == b.history
+    )
+
+
+class TestExecuteTrial:
+    def test_matches_direct_run(self):
+        g = cycle_graph(8)
+        clean = {i: None for i in g.nodes}
+        direct = run_synchronous(SMM, g, clean, record_history=True)
+        via_spec = execute_trial(
+            TrialSpec("smm", g, clean, record_history=True)
+        )
+        assert executions_equal(direct, via_spec)
+
+    def test_central_daemon(self):
+        g = cycle_graph(6)
+        direct = run_central(SMM, g, rng=5)
+        via_spec = execute_trial(TrialSpec("smm", g, daemon="central", seed=5))
+        assert executions_equal(direct, via_spec)
+
+    def test_seed_controls_randomness(self):
+        g = erdos_renyi_graph(12, 0.3, rng=1)
+        a = execute_trial(TrialSpec("smm", g, daemon="central", seed=42))
+        b = execute_trial(TrialSpec("smm", g, daemon="central", seed=42))
+        assert executions_equal(a, b)
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ExperimentError, match="protocol"):
+            execute_trial(TrialSpec("nope", cycle_graph(4)))
+
+    def test_unknown_daemon(self):
+        with pytest.raises(ExperimentError, match="daemon"):
+            execute_trial(TrialSpec("smm", cycle_graph(4), daemon="quantum"))
+
+    def test_registry_contents(self):
+        assert {"smm", "sis", "hsu-huang"} <= set(PROTOCOLS)
+
+    def test_register_protocol(self):
+        register_protocol("smm-alias", SynchronousMaximalMatching)
+        try:
+            ex = execute_trial(TrialSpec("smm-alias", cycle_graph(4)))
+            assert ex.stabilized
+        finally:
+            del PROTOCOLS["smm-alias"]
+
+
+class TestTrialRunner:
+    def _specs(self, count=6):
+        specs = []
+        for i in range(count):
+            g = random_tree(8, rng=i)
+            specs.append(TrialSpec("smm", g, record_history=True))
+            specs.append(TrialSpec("sis", g))
+        return specs
+
+    def test_inline_path(self):
+        specs = self._specs()
+        results = TrialRunner(jobs=1).map(specs)
+        assert len(results) == len(specs)
+        assert all(ex.stabilized for ex in results)
+
+    def test_pool_matches_inline(self):
+        specs = self._specs()
+        inline = TrialRunner(jobs=1).map(specs)
+        pooled = TrialRunner(jobs=2).map(specs)
+        assert len(inline) == len(pooled)
+        for a, b in zip(inline, pooled):
+            assert executions_equal(a, b)
+
+    def test_single_spec_runs_inline(self):
+        # a one-element batch should not pay pool start-up cost; the
+        # observable contract is just that it works with jobs > 1
+        [ex] = TrialRunner(jobs=4).map([TrialSpec("smm", cycle_graph(5))])
+        assert ex.stabilized
+
+    def test_empty_batch(self):
+        assert TrialRunner(jobs=4).map([]) == []
+
+    def test_run_trials_helper(self):
+        specs = self._specs(count=2)
+        a = run_trials(specs, jobs=1)
+        b = run_trials(specs, jobs=2)
+        for x, y in zip(a, b):
+            assert executions_equal(x, y)
+
+    def test_chunksize_override(self):
+        specs = self._specs(count=3)
+        a = TrialRunner(jobs=2, chunksize=1).map(specs)
+        b = TrialRunner(jobs=1).map(specs)
+        for x, y in zip(a, b):
+            assert executions_equal(x, y)
+
+    def test_worker_failure_propagates(self):
+        # a bad spec raises the original error, pool or no pool
+        specs = [TrialSpec("smm", cycle_graph(4)), TrialSpec("nope", cycle_graph(4))]
+        with pytest.raises(ExperimentError):
+            TrialRunner(jobs=1).map(specs)
+        with pytest.raises(ExperimentError):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                TrialRunner(jobs=2).map(specs)
+
+
+class TestResolveJobs:
+    def test_positive_passthrough(self):
+        assert resolve_jobs(3) == 3
+
+    def test_zero_and_none_mean_all_cores(self):
+        import os
+
+        expected = os.cpu_count() or 1
+        assert resolve_jobs(0) == expected
+        assert resolve_jobs(None) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+
+class TestExperimentDeterminism:
+    def test_e1_rows_identical_across_jobs(self):
+        """The acceptance check: E1 with jobs=4 is bit-identical to
+        jobs=1 (same RNG streams, same rows)."""
+        from repro.experiments import e1_smm_convergence
+
+        kwargs = dict(families=("cycle", "tree"), sizes=(4, 8), trials=4, seed=101)
+        serial = e1_smm_convergence.run(jobs=1, **kwargs)
+        fanned = e1_smm_convergence.run(jobs=4, **kwargs)
+        assert serial.rows == fanned.rows
+        assert serial.notes == fanned.notes
+
+    def test_e2_rows_identical_across_jobs(self):
+        from repro.experiments import e2_sis_convergence
+
+        kwargs = dict(families=("cycle",), sizes=(4, 8), trials=4, seed=102)
+        serial = e2_sis_convergence.run(jobs=1, **kwargs)
+        fanned = e2_sis_convergence.run(jobs=3, **kwargs)
+        assert serial.rows == fanned.rows
+
+    def test_e5_rows_identical_across_jobs(self):
+        from repro.experiments import e5_baseline
+
+        kwargs = dict(families=("cycle",), sizes=(8,), trials=2, seed=105)
+        serial = e5_baseline.run(jobs=1, **kwargs)
+        fanned = e5_baseline.run(jobs=4, **kwargs)
+        assert serial.rows == fanned.rows
+
+
+class TestSpecPickling:
+    def test_spec_roundtrip(self):
+        import pickle
+
+        g = cycle_graph(6)
+        spec = TrialSpec(
+            "smm",
+            g,
+            Configuration({i: None for i in g.nodes}),
+            daemon="central",
+            max_rounds=200,
+            seed=9,
+            options=(("strategy", "random"),),
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert executions_equal(execute_trial(clone), execute_trial(spec))
+
+    def test_graph_cache_not_pickled(self):
+        import pickle
+
+        g = cycle_graph(6)
+        g.adjacency_arrays()  # populate the CSR cache
+        clone = pickle.loads(pickle.dumps(g))
+        assert clone._csr is None
+        assert clone == g
