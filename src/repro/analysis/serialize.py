@@ -17,7 +17,7 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import TYPE_CHECKING, Any, Dict, List, Mapping
+from typing import TYPE_CHECKING, Any, Dict, Mapping
 
 from repro.core.configuration import Configuration
 from repro.core.executor import Execution
@@ -55,11 +55,14 @@ def execution_to_dict(execution: Execution) -> Dict[str, Any]:
     """A JSON-safe dictionary with the full execution record.
 
     The (optional) history is included when present; monitors are not
-    serializable and are simply absent.
+    serializable and are simply absent.  Kernel-backend results
+    (:class:`~repro.engine.result.RunResult` with ``move_log=None``)
+    serialize the missing log as JSON ``null``.
     """
     return {
         "protocol": execution.protocol_name,
         "daemon": execution.daemon,
+        "backend": execution.backend,
         "stabilized": execution.stabilized,
         "rounds": execution.rounds,
         "moves": execution.moves,
@@ -67,10 +70,14 @@ def execution_to_dict(execution: Execution) -> Dict[str, Any]:
         "legitimate": execution.legitimate,
         "initial": configuration_to_dict(execution.initial),
         "final": configuration_to_dict(execution.final),
-        "move_log": [
-            {str(node): rule for node, rule in entry.items()}
-            for entry in execution.move_log
-        ],
+        "move_log": (
+            [
+                {str(node): rule for node, rule in entry.items()}
+                for entry in execution.move_log
+            ]
+            if execution.move_log is not None
+            else None
+        ),
         "history": (
             [configuration_to_dict(c) for c in execution.history]
             if execution.history is not None
@@ -95,16 +102,21 @@ def execution_from_dict(data: Mapping[str, Any]) -> Execution:
         moves_by_rule={str(k): int(v) for k, v in data["moves_by_rule"].items()},
         initial=configuration_from_dict(data["initial"]),
         final=configuration_from_dict(data["final"]),
-        move_log=[
-            {int(node): str(rule) for node, rule in entry.items()}
-            for entry in data["move_log"]
-        ],
+        move_log=(
+            [
+                {int(node): str(rule) for node, rule in entry.items()}
+                for entry in data["move_log"]
+            ]
+            if data.get("move_log") is not None
+            else None
+        ),
         history=(
             [configuration_from_dict(c) for c in data["history"]]
             if data.get("history") is not None
             else None
         ),
         legitimate=bool(data["legitimate"]),
+        backend=str(data.get("backend", "reference")),
     )
 
 

@@ -40,31 +40,42 @@ from repro.experiments.common import ExperimentResult
 Runner = Callable[[], List[ExperimentResult]]
 
 
-def _registry(jobs: int = 1) -> Dict[str, Tuple[str, Runner, Runner]]:
+def _registry(
+    jobs: int = 1, backend: str = "reference"
+) -> Dict[str, Tuple[str, Runner, Runner]]:
     """Experiment registry.  ``jobs`` is forwarded to the experiments
-    that support parallel trial execution (E1/E2/E5/E6/E12); their
-    output is bit-identical for every value of ``jobs``."""
+    that support parallel trial execution (E1/E2/E4/E5/E6/E12); their
+    output is bit-identical for every value of ``jobs``.  ``backend``
+    (:mod:`repro.engine`) is forwarded to the sweeps that dispatch
+    through the engine (E1/E2/E5/E6/E12); experiments that need
+    capabilities a kernel lacks degrade to the reference engine."""
     return {
         "E1": (
             "Theorem 1 — SMM stabilizes in <= n+1 rounds",
-            lambda: [e1_smm_convergence.run(trials=15, seed=101, jobs=jobs)],
+            lambda: [
+                e1_smm_convergence.run(
+                    trials=15, seed=101, jobs=jobs, backend=backend
+                )
+            ],
             lambda: [
                 e1_smm_convergence.run(
                     families=("cycle", "tree"), sizes=(4, 8, 16), trials=5, seed=101,
-                    jobs=jobs,
+                    jobs=jobs, backend=backend,
                 )
             ],
         ),
         "E2": (
             "Theorem 2 — SIS stabilizes in O(n) rounds (unique fixpoint)",
             lambda: [
-                e2_sis_convergence.run(trials=15, seed=102, jobs=jobs),
+                e2_sis_convergence.run(
+                    trials=15, seed=102, jobs=jobs, backend=backend
+                ),
                 e2_sis_convergence.run_worst_case_series(),
             ],
             lambda: [
                 e2_sis_convergence.run(
                     families=("cycle", "tree"), sizes=(4, 8, 16), trials=5, seed=102,
-                    jobs=jobs,
+                    jobs=jobs, backend=backend,
                 ),
                 e2_sis_convergence.run_worst_case_series(sizes=(8, 16, 32)),
             ],
@@ -80,30 +91,32 @@ def _registry(jobs: int = 1) -> Dict[str, Tuple[str, Runner, Runner]]:
         ),
         "E4": (
             "Section 3 remark — arbitrary R2 choice livelocks on C_4",
-            lambda: [e4_counterexample.run(seed=104)],
+            lambda: [e4_counterexample.run(seed=104, jobs=jobs)],
             lambda: [
                 e4_counterexample.run(
-                    cycle_sizes=(4, 8), randomized_trials=5, seed=104
+                    cycle_sizes=(4, 8), randomized_trials=5, seed=104, jobs=jobs
                 )
             ],
         ),
         "E5": (
             "Section 3 — converted Hsu-Huang 'not as fast' than SMM",
-            lambda: [e5_baseline.run(trials=8, seed=105, jobs=jobs)],
+            lambda: [
+                e5_baseline.run(trials=8, seed=105, jobs=jobs, backend=backend)
+            ],
             lambda: [
                 e5_baseline.run(
                     families=("cycle", "tree"), sizes=(8, 16), trials=3, seed=105,
-                    jobs=jobs,
+                    jobs=jobs, backend=backend,
                 )
             ],
         ),
         "E6": (
             "Lemmas 1, 9, 10 — monotone matching growth",
-            lambda: [e6_growth.run(trials=20, seed=106, jobs=jobs)],
+            lambda: [e6_growth.run(trials=20, seed=106, jobs=jobs, backend=backend)],
             lambda: [
                 e6_growth.run(
                     families=("cycle", "tree"), sizes=(8, 16), trials=5, seed=106,
-                    jobs=jobs,
+                    jobs=jobs, backend=backend,
                 )
             ],
         ),
@@ -166,11 +179,15 @@ def _registry(jobs: int = 1) -> Dict[str, Tuple[str, Runner, Runner]]:
         ),
         "E12": (
             "extension — id-assignment sensitivity of rounds/solutions",
-            lambda: [e12_id_sensitivity.run(relabelings=20, seed=130, jobs=jobs)],
+            lambda: [
+                e12_id_sensitivity.run(
+                    relabelings=20, seed=130, jobs=jobs, backend=backend
+                )
+            ],
             lambda: [
                 e12_id_sensitivity.run(
                     families=("cycle", "tree"), sizes=(16,),
-                    relabelings=6, seed=130, jobs=jobs,
+                    relabelings=6, seed=130, jobs=jobs, backend=backend,
                 )
             ],
         ),
@@ -190,8 +207,10 @@ def cmd_list() -> int:
     return 0
 
 
-def cmd_run(ids: List[str], quick: bool, jobs: int = 1) -> int:
-    registry = _registry(jobs)
+def cmd_run(
+    ids: List[str], quick: bool, jobs: int = 1, backend: str = "reference"
+) -> int:
+    registry = _registry(jobs, backend)
     if any(i.lower() == "all" for i in ids):
         ids = sorted(registry, key=_order_key)
     failures = 0
@@ -237,6 +256,14 @@ def main(argv: List[str] | None = None) -> int:
         help="worker processes for trial fan-out (0 = all cores); "
         "output is bit-identical for every value",
     )
+    runner.add_argument(
+        "--backend",
+        choices=("auto", "reference", "vectorized", "batch"),
+        default="reference",
+        help="execution engine backend (repro.engine); 'auto' picks the "
+        "fastest applicable kernel per run, every backend produces "
+        "identical tables",
+    )
     reporter = sub.add_parser(
         "report", help="run everything and write a markdown report"
     )
@@ -257,7 +284,7 @@ def main(argv: List[str] | None = None) -> int:
         text = write_report(args.output, quick=args.quick)
         print(f"wrote {args.output} ({len(text.splitlines())} lines)")
         return 0 if "✗ FAILED" not in text else 1
-    return cmd_run(args.ids, args.quick, jobs=args.jobs)
+    return cmd_run(args.ids, args.quick, jobs=args.jobs, backend=args.backend)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

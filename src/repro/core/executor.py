@@ -17,7 +17,6 @@ counts the rounds in which at least one move happened.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -25,7 +24,8 @@ import numpy as np
 from repro.core.configuration import Configuration
 from repro.core.daemons import CentralStrategy, make_strategy
 from repro.core.invariants import Monitor
-from repro.core.protocol import Protocol, Rule, View
+from repro.core.protocol import Protocol, View
+from repro.engine.result import RunResult
 from repro.errors import StabilizationTimeout
 from repro.graphs.graph import Graph
 from repro.rng import RngLike, ensure_rng
@@ -87,66 +87,21 @@ def enabled_nodes(
 # ----------------------------------------------------------------------
 # execution record
 # ----------------------------------------------------------------------
-@dataclass
-class Execution:
-    """Complete record of one protocol run.
+class Execution(RunResult):
+    """Complete record of one reference-engine run.
 
-    Attributes
-    ----------
-    protocol_name / daemon:
-        What ran and under which daemon ("synchronous", "central:<strategy>",
-        "distributed", "sync-central-refined:<priority>").
-    stabilized:
-        True iff a configuration with no privileged node was reached
-        within the budget.
-    rounds:
-        Synchronous/distributed daemons: number of rounds in which at
-        least one node moved.  Central daemon: equals ``moves``.
-    moves:
-        Total rule firings.
-    moves_by_rule:
-        Firing count per rule name.
-    initial / final:
-        First and last configurations.
-    move_log:
-        ``move_log[t]`` maps each node that moved in round/step ``t`` to
-        the rule name it fired.
-    history:
-        When recorded: ``history[0]`` is the initial configuration and
-        ``history[t]`` the configuration after round/step ``t`` (so
-        ``history[-1] == final``).
-    legitimate:
-        Whether the final configuration satisfies the protocol's global
-        predicate (evaluated once at the end).
+    .. deprecated::
+        ``Execution`` is now a thin alias of
+        :class:`repro.engine.result.RunResult` — the unified result
+        type all execution backends return — kept so existing code and
+        serialized artefacts keep working.  Type new code against
+        ``RunResult``; the fields and semantics are identical, plus a
+        ``backend`` attribute naming the producer.
+
+    The reference engine always records the full ``move_log`` (and
+    ``history`` when requested), so on instances built by the runners
+    in this module those fields are never ``None``.
     """
-
-    protocol_name: str
-    daemon: str
-    stabilized: bool
-    rounds: int
-    moves: int
-    moves_by_rule: Dict[str, int]
-    initial: Configuration
-    final: Configuration
-    move_log: List[Dict[NodeId, str]]
-    history: Optional[List[Configuration]]
-    legitimate: bool
-
-    def rounds_to_stabilize(self) -> int:
-        """Rounds actually needed (alias of :attr:`rounds`); raises if
-        the run did not stabilize."""
-        if not self.stabilized:
-            raise StabilizationTimeout(
-                f"{self.protocol_name} did not stabilize within budget", self
-            )
-        return self.rounds
-
-    def moved_nodes(self) -> frozenset[NodeId]:
-        """All nodes that fired at least one rule during the run."""
-        out: set[NodeId] = set()
-        for entry in self.move_log:
-            out.update(entry)
-        return frozenset(out)
 
 
 #: Default synchronous round budget: ``10 n + 100``.  Generous relative

@@ -1,0 +1,107 @@
+"""The one result type every execution backend returns.
+
+:class:`RunResult` is the unified record of a protocol run, whatever
+produced it — the reference view-based engine, a vectorized NumPy
+kernel, or a batch kernel.  The *summary* fields (stabilization flag,
+round/move accounting, initial/final configurations, legitimacy) are
+always populated; the *trace* fields (``move_log``, ``history``) are
+populated only when the backend can produce them (``None`` otherwise —
+the backend's registered capabilities say which, see
+:mod:`repro.engine.registry`).
+
+``legitimate`` is always ``protocol.is_legitimate(graph, final)``
+evaluated once by the backend adapter, so legitimacy means the same
+thing for every backend.
+
+:class:`repro.core.executor.Execution` is a thin deprecated subclass
+kept for backward compatibility; new code should type against
+:class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.errors import ExperimentError, StabilizationTimeout
+from repro.types import NodeId
+
+if TYPE_CHECKING:  # import-light on purpose: repro.core.executor
+    # imports this module, so importing repro.core here would cycle.
+    from repro.core.configuration import Configuration
+
+
+@dataclass
+class RunResult:
+    """Record of one protocol run, backend-independent.
+
+    Attributes
+    ----------
+    protocol_name / daemon:
+        What ran and under which daemon ("synchronous", "central:<strategy>",
+        "distributed", "sync-central-refined:<priority>").
+    stabilized:
+        True iff a configuration with no privileged node was reached
+        within the budget.
+    rounds:
+        Synchronous/distributed daemons: number of rounds in which at
+        least one node moved.  Central daemon: equals ``moves``.
+    moves:
+        Total rule firings.
+    moves_by_rule:
+        Firing count per rule name.
+    initial / final:
+        First and last configurations.
+    move_log:
+        ``move_log[t]`` maps each node that moved in round/step ``t`` to
+        the rule name it fired — or ``None`` when the backend does not
+        record per-move traces (the kernels).
+    history:
+        When recorded: ``history[0]`` is the initial configuration and
+        ``history[t]`` the configuration after round/step ``t`` (so
+        ``history[-1] == final``).  ``None`` when not recorded.
+    legitimate:
+        Whether the final configuration satisfies the protocol's global
+        predicate (evaluated once at the end, identically for every
+        backend).
+    backend:
+        Name of the backend that produced this result (``"reference"``,
+        ``"vectorized"``, ``"batch"``, ...).
+    """
+
+    protocol_name: str
+    daemon: str
+    stabilized: bool
+    rounds: int
+    moves: int
+    moves_by_rule: Dict[str, int]
+    initial: Configuration
+    final: Configuration
+    move_log: Optional[List[Dict[NodeId, str]]] = None
+    history: Optional[List[Configuration]] = None
+    legitimate: bool = False
+    backend: str = "reference"
+
+    def rounds_to_stabilize(self) -> int:
+        """Rounds actually needed (alias of :attr:`rounds`); raises if
+        the run did not stabilize."""
+        if not self.stabilized:
+            raise StabilizationTimeout(
+                f"{self.protocol_name} did not stabilize within budget", self
+            )
+        return self.rounds
+
+    def moved_nodes(self) -> frozenset[NodeId]:
+        """All nodes that fired at least one rule during the run.
+
+        Requires a backend that records the move log (capability
+        ``"move_log"``); kernel results raise."""
+        if self.move_log is None:
+            raise ExperimentError(
+                f"the {self.backend!r} backend recorded no move log for "
+                f"{self.protocol_name}; use backend='reference'"
+            )
+        out: set[NodeId] = set()
+        for entry in self.move_log:
+            out.update(entry)
+        return frozenset(out)

@@ -1,0 +1,178 @@
+"""Backend selection and the engine's single dispatch path.
+
+:func:`run` is the front door every caller — trial specs, the CLI, the
+experiments — goes through:
+
+* ``backend="auto"`` walks the registered backends of the protocol in
+  priority order and picks the first whose ``supports`` predicate
+  accepts the concrete run.  In practice: the vectorized kernel for
+  plain SMM/SIS/Luby runs with no monitors, no history recording and no
+  injected choosers; the reference engine otherwise.
+* ``backend="reference"`` / ``"vectorized"`` / ``"batch"`` force one
+  backend explicitly (benchmarks, equivalence tests); an explicit
+  backend that cannot honour the run's requirements raises rather than
+  silently degrading.
+
+Every backend returns the same :class:`~repro.engine.result.RunResult`
+type and identical summary semantics — cross-backend equivalence
+(byte-identical final configuration, round count and per-rule move
+counts) is pinned by ``tests/test_engine_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine import registry
+from repro.engine.result import RunResult
+from repro.errors import ExperimentError
+
+
+def _resolve_protocol(protocol) -> tuple[Optional[str], object]:
+    """``(registry key, instance)`` from a name or an instance."""
+    if isinstance(protocol, str):
+        return protocol, registry.make_protocol(protocol)
+    return registry.protocol_key(protocol), protocol
+
+
+def select_backend(
+    protocol: object,
+    graph,
+    config=None,
+    *,
+    key: Optional[str] = None,
+    daemon: str = "synchronous",
+    backend: str = "auto",
+    record_history: bool = False,
+    **options,
+) -> registry.Backend:
+    """The backend :func:`run` would dispatch this call to.
+
+    ``protocol`` is a protocol *instance* (use :func:`run` for names).
+    Raises :class:`ExperimentError` for an unknown explicit backend, or
+    an explicit backend whose ``supports`` predicate rejects the run.
+    """
+    if key is None:
+        key = registry.protocol_key(protocol)
+    query: dict = dict(options)
+    query["record_history"] = record_history
+    if backend == "auto":
+        if key is not None:
+            for candidate in registry.backends_for(key, daemon):
+                if candidate.supports(protocol, graph, config, query):
+                    return candidate
+        # unregistered protocol type: the reference engine runs anything
+        return registry.reference_backend(key or "?", daemon)
+    if key is None:
+        if backend == "reference":
+            return registry.reference_backend("?", daemon)
+        raise ExperimentError(
+            f"backend {backend!r} requires a registered protocol; "
+            f"register_protocol() the type of {type(protocol).__name__} first"
+        )
+    chosen = registry.get_backend(key, daemon, backend)
+    if not chosen.supports(protocol, graph, config, query):
+        wanted = sorted(k for k, v in query.items() if v)
+        raise ExperimentError(
+            f"backend {backend!r} does not support this run of {key!r}"
+            + (f" (requested: {wanted})" if wanted else "")
+            + "; use backend='reference' or backend='auto'"
+        )
+    return chosen
+
+
+def fallback_backend(
+    protocol: str,
+    daemon: str = "synchronous",
+    backend: str = "reference",
+    *,
+    record_history: bool = False,
+) -> str:
+    """Statically degrade a *requested* backend name to ``"reference"``
+    when it is not registered for ``(protocol, daemon)`` or lacks a
+    needed capability.
+
+    Experiments use this when building heterogeneous spec batches
+    (e.g. E5 mixes SMM with central-daemon Hsu–Huang): the user's
+    ``--backend vectorized`` applies where it exists and the rest run
+    on the reference engine instead of erroring.  ``"auto"`` and
+    ``"reference"`` pass through untouched — ``auto`` already degrades
+    per run, dynamically.
+    """
+    if backend in ("auto", "reference"):
+        return backend
+    found = registry.BACKENDS.get((protocol, daemon, backend))
+    if found is None:
+        return "reference"
+    if record_history and "history" not in found.capabilities:
+        return "reference"
+    return backend
+
+
+def run(
+    protocol,
+    graph,
+    config=None,
+    *,
+    daemon: str = "synchronous",
+    backend: str = "auto",
+    rng=None,
+    max_rounds: Optional[int] = None,
+    record_history: bool = False,
+    raise_on_timeout: bool = False,
+    **options,
+) -> RunResult:
+    """Run ``protocol`` on ``graph`` through the selected backend.
+
+    Parameters
+    ----------
+    protocol:
+        A registered protocol name (``"smm"``, ``"sis"``, ...) or a
+        protocol instance.
+    daemon:
+        One of :data:`repro.engine.registry.DAEMONS`.
+    backend:
+        ``"auto"`` (default; highest-priority applicable backend, the
+        reference engine as the universal fallback) or an explicit
+        registered backend name.
+    rng / max_rounds / record_history / raise_on_timeout / options:
+        Forwarded to the backend runner.  ``max_rounds`` is the budget
+        whatever the daemon calls it (moves for central, steps for
+        distributed); each backend applies the reference engine's
+        documented default when omitted.  Extra ``options`` (monitors,
+        daemon strategy, ``active_set``, ...) participate in backend
+        selection: a backend that cannot honour them is skipped by
+        ``auto`` and rejected when explicit.
+
+    Returns
+    -------
+    RunResult
+        With ``result.backend`` naming the backend that ran.
+    """
+    key, instance = _resolve_protocol(protocol)
+    if daemon not in registry.DAEMONS:
+        raise ExperimentError(
+            f"unknown daemon {daemon!r}; known: {list(registry.DAEMONS)}"
+        )
+    chosen = select_backend(
+        instance,
+        graph,
+        config,
+        key=key,
+        daemon=daemon,
+        backend=backend,
+        record_history=record_history,
+        **options,
+    )
+    result = chosen.runner(
+        instance,
+        graph,
+        config,
+        rng=rng,
+        max_rounds=max_rounds,
+        record_history=record_history,
+        raise_on_timeout=raise_on_timeout,
+        **options,
+    )
+    result.backend = chosen.name
+    return result

@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.configuration import Configuration
 from repro.core.protocol import Protocol
 from repro.core.faults import random_configuration
+from repro.engine import RunResult, fallback_backend
 from repro.errors import ExperimentError
 from repro.graphs.generators import family as graph_family
 from repro.graphs.graph import Graph
@@ -35,13 +36,17 @@ from repro.types import NodeId
 
 __all__ = [
     "ExperimentResult",
+    "RunResult",
+    "SpecCell",
     "TrialRunner",
     "TrialSpec",
     "detect_cycle",
     "exhaustive_configurations",
+    "fallback_backend",
     "graph_workloads",
     "initial_configurations",
     "local_state_space",
+    "run_spec_groups",
     "run_trials",
 ]
 
@@ -103,6 +108,46 @@ def graph_workloads(
                 cell_rng = parent.spawn(1)[0]
                 graph = make(n, cell_rng)
                 yield name, n, graph, cell_rng
+
+
+# ----------------------------------------------------------------------
+# spec batches
+# ----------------------------------------------------------------------
+#: ``(family, graph, label, lo, hi)`` — one group of specs inside the
+#: flat batch that :func:`run_spec_groups` executed: the group's results
+#: are ``executions[lo:hi]``.
+SpecCell = Tuple[str, Graph, object, int, int]
+
+
+def run_spec_groups(
+    families: Sequence[str],
+    sizes: Sequence[int],
+    seed: int,
+    groups_for,
+    *,
+    jobs: Optional[int] = 1,
+) -> Tuple[List["RunResult"], List[SpecCell]]:
+    """Sweep workloads, collect trial specs, run them as one batch.
+
+    The shape shared by E1/E2/E5/E6: walk :func:`graph_workloads`, build
+    every cell's trial specs up front (so all RNG draws happen here, in
+    the parent, in sweep order — the parallel fan-out stays bit-identical
+    to serial execution), then fan the flat batch across ``jobs``.
+
+    ``groups_for(family, graph, rng)`` yields ``(label, specs)`` pairs —
+    one per output row the caller wants to aggregate (e.g. one per
+    init mode).  Returns ``(executions, cells)`` where each cell
+    ``(family, graph, label, lo, hi)`` marks its group's slice of the
+    execution list.
+    """
+    specs: List[TrialSpec] = []
+    cells: List[SpecCell] = []
+    for family, _n, graph, rng in graph_workloads(families, sizes, seed):
+        for label, group in groups_for(family, graph, rng):
+            start = len(specs)
+            specs.extend(group)
+            cells.append((family, graph, label, start, len(specs)))
+    return run_trials(specs, jobs=jobs), cells
 
 
 # ----------------------------------------------------------------------

@@ -1,31 +1,38 @@
-"""E10 — engineering scaling: reference engine vs vectorized kernels.
+"""E10 — engineering scaling: reference engine vs registered kernels.
 
 Not a paper artefact — this experiment documents that the reproduction
 itself scales (per the HPC guides: vectorize the measured hot loop and
-verify equivalence).  For increasing n on sparse random graphs:
+verify equivalence).  For increasing n on sparse random graphs, every
+non-reference backend registered for the protocol in
+:mod:`repro.engine` runs the same initial configuration as the
+reference engine:
 
-* the reference executor and the NumPy kernel run the same initial
-  configuration; rounds must agree exactly and the final configurations
-  must be identical (equivalence is also pinned by unit tests);
-* wall-clock times for both give the speedup curve.
+* rounds, the final configuration, the per-rule move counts and the
+  legitimacy verdict must agree exactly (equivalence is also pinned by
+  ``tests/test_engine_equivalence.py``);
+* wall-clock times give the speedup curve per backend.
+
+The backend list comes from the engine registry, so a newly registered
+kernel joins this benchmark without touching this file.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from typing import Sequence
 
-from repro.core.executor import run_synchronous
 from repro.core.faults import random_configuration
+from repro.engine import backends_for, make_protocol, run as engine_run
 from repro.experiments.common import ExperimentResult
 from repro.graphs.generators import erdos_renyi_graph
-from repro.matching.smm import SynchronousMaximalMatching
-from repro.matching.smm_vectorized import VectorizedSMM
-from repro.mis.sis import SynchronousMaximalIndependentSet
-from repro.mis.sis_vectorized import VectorizedSIS
 from repro.rng import ensure_rng
 
 DEFAULT_SIZES = (64, 128, 256, 512)
+
+#: the scaling workload: registry keys of the paper's two synchronous
+#: protocols, with their display labels
+PROTOCOL_KEYS = (("smm", "SMM"), ("sis", "SIS"))
 
 
 def run(
@@ -34,18 +41,21 @@ def run(
     seed: int = 100,
     reference_cap: int = 512,
 ) -> ExperimentResult:
-    """Time reference vs vectorized SMM/SIS; see module docstring.
+    """Time the reference engine against every registered kernel.
 
-    Sizes above ``reference_cap`` run only the vectorized kernel (the
-    reference engine is O(rounds · m) Python and exists for clarity,
-    not scale).
+    Sizes above ``reference_cap`` run only the kernels (the reference
+    engine is O(rounds · m) Python and exists for clarity, not scale);
+    those rows report ``agree=None``.  Kernel timings include backend
+    dispatch and per-run kernel construction — the price any caller of
+    :func:`repro.engine.run` actually pays.
     """
     result = ExperimentResult(
         experiment="E10",
-        paper_artifact="engineering — vectorized kernels match and outpace the reference engine",
+        paper_artifact="engineering — registered kernels match and outpace the reference engine",
         columns=[
             "protocol",
             "n",
+            "backend",
             "rounds_ref",
             "rounds_vec",
             "agree",
@@ -57,71 +67,60 @@ def run(
     rng = ensure_rng(seed)
 
     for n in sizes:
-        import math
-
         # expected degree ~ 3 ln n: sparse but connected w.h.p., so the
         # generator's connectivity-repair loop never spins
         p = min(1.0, 3.0 * math.log(max(n, 2)) / n)
         graph = erdos_renyi_graph(n, p, rng)
 
-        # --- SMM ---
-        smm = SynchronousMaximalMatching()
-        config = random_configuration(smm, graph, rng)
-        vec = VectorizedSMM(graph)
-        t0 = time.perf_counter()
-        vres = vec.run(config)
-        t_vec = time.perf_counter() - t0
-        if n <= reference_cap:
-            t0 = time.perf_counter()
-            ref = run_synchronous(smm, graph, config)
-            t_ref = time.perf_counter() - t0
-            agree = (
-                ref.rounds == vres.rounds and vec.decode(vres.final_ptr) == ref.final
-            )
-            rounds_ref = ref.rounds
-        else:
-            t_ref, agree, rounds_ref = float("nan"), None, None
-        result.add(
-            protocol="SMM",
-            n=n,
-            rounds_ref=rounds_ref,
-            rounds_vec=vres.rounds,
-            agree=agree,
-            t_ref_ms=t_ref * 1e3,
-            t_vec_ms=t_vec * 1e3,
-            speedup=(t_ref / t_vec) if t_vec > 0 and t_ref == t_ref else None,
-        )
+        for key, label in PROTOCOL_KEYS:
+            protocol = make_protocol(key)
+            config = random_configuration(protocol, graph, rng)
 
-        # --- SIS ---
-        sis = SynchronousMaximalIndependentSet()
-        config = random_configuration(sis, graph, rng)
-        vecs = VectorizedSIS(graph)
-        t0 = time.perf_counter()
-        vres2 = vecs.run(config)
-        t_vec = time.perf_counter() - t0
-        if n <= reference_cap:
-            t0 = time.perf_counter()
-            ref = run_synchronous(sis, graph, config)
-            t_ref = time.perf_counter() - t0
-            agree = (
-                ref.rounds == vres2.rounds
-                and vecs.decode(vres2.final_x) == ref.final
-            )
-            rounds_ref = ref.rounds
-        else:
-            t_ref, agree, rounds_ref = float("nan"), None, None
-        result.add(
-            protocol="SIS",
-            n=n,
-            rounds_ref=rounds_ref,
-            rounds_vec=vres2.rounds,
-            agree=agree,
-            t_ref_ms=t_ref * 1e3,
-            t_vec_ms=t_vec * 1e3,
-            speedup=(t_ref / t_vec) if t_vec > 0 and t_ref == t_ref else None,
-        )
+            if n <= reference_cap:
+                t0 = time.perf_counter()
+                ref = engine_run(key, graph, config, backend="reference")
+                t_ref = time.perf_counter() - t0
+            else:
+                ref, t_ref = None, float("nan")
+
+            kernels = [
+                b
+                for b in backends_for(key, "synchronous")
+                if b.name != "reference"
+            ]
+            for backend in kernels:
+                t0 = time.perf_counter()
+                res = engine_run(key, graph, config, backend=backend.name)
+                t_vec = time.perf_counter() - t0
+                if ref is not None:
+                    agree = (
+                        res.rounds == ref.rounds
+                        and res.final == ref.final
+                        and res.moves_by_rule == ref.moves_by_rule
+                        and res.legitimate == ref.legitimate
+                    )
+                else:
+                    agree = None
+                result.add(
+                    protocol=label,
+                    n=n,
+                    backend=backend.name,
+                    rounds_ref=ref.rounds if ref is not None else None,
+                    rounds_vec=res.rounds,
+                    agree=agree,
+                    t_ref_ms=t_ref * 1e3,
+                    t_vec_ms=t_vec * 1e3,
+                    speedup=(t_ref / t_vec) if t_vec > 0 and t_ref == t_ref else None,
+                )
 
     result.note(
         "agree must be yes wherever both engines ran; speedups grow with n"
+    )
+    result.note(
+        "backends enumerated from the repro.engine registry: "
+        + ", ".join(
+            f"{key}: {[b.name for b in backends_for(key, 'synchronous')]}"
+            for key, _ in PROTOCOL_KEYS
+        )
     )
     return result

@@ -27,13 +27,14 @@ from repro.analysis.theory import sis_round_bound, smm_round_bound
 from repro.experiments.common import (
     ExperimentResult,
     TrialSpec,
+    fallback_backend,
     graph_workloads,
     run_trials,
 )
 from repro.matching.smm import SynchronousMaximalMatching
-from repro.matching.verify import matching_of, verify_execution as verify_matching
+from repro.matching.verify import verify_execution as verify_matching
 from repro.mis.sis import SynchronousMaximalIndependentSet
-from repro.mis.verify import independent_set_of, verify_execution as verify_mis
+from repro.mis.verify import verify_execution as verify_mis
 from repro.rng import ensure_rng
 
 DEFAULT_FAMILIES = ("cycle", "tree", "er-sparse", "udg")
@@ -47,11 +48,13 @@ def run(
     relabelings: int = 20,
     seed: int = 130,
     jobs: int = 1,
+    backend: str = "reference",
 ) -> ExperimentResult:
     """Sample id relabelings of each workload topology; see module doc.
 
     ``jobs`` fans the (independent, deterministic) relabeled runs across
-    worker processes; results are bit-identical to ``jobs=1``.
+    worker processes; results are bit-identical to ``jobs=1``, for any
+    ``backend`` (:mod:`repro.engine`).
     """
     result = ExperimentResult(
         experiment="E12",
@@ -88,7 +91,12 @@ def run(
         ):
             executions = run_trials(
                 [
-                    TrialSpec(name.lower(), g2, max_rounds=bound_fn(g2.n) + 2)
+                    TrialSpec(
+                        name.lower(),
+                        g2,
+                        max_rounds=bound_fn(g2.n) + 2,
+                        backend=fallback_backend(name.lower(), backend=backend),
+                    )
                     for g2 in relabeled
                 ],
                 jobs=jobs,

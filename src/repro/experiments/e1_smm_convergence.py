@@ -17,8 +17,10 @@ from repro.experiments.common import (
     ExperimentResult,
     TrialSpec,
     exhaustive_configurations,
+    fallback_backend,
     graph_workloads,
     initial_configurations,
+    run_spec_groups,
     run_trials,
 )
 from repro.matching.smm import SynchronousMaximalMatching
@@ -37,11 +39,14 @@ def run(
     exhaustive_max_n: int = 5,
     verify: bool = True,
     jobs: int = 1,
+    backend: str = "reference",
 ) -> ExperimentResult:
     """Sweep SMM convergence; see module docstring.
 
     ``jobs`` fans the (independent, deterministic) trials across worker
-    processes; results are bit-identical to ``jobs=1``.
+    processes; results are bit-identical to ``jobs=1``.  ``backend``
+    selects the execution engine (:mod:`repro.engine`) — every backend
+    produces identical rows, just at different speed.
     """
     result = ExperimentResult(
         experiment="E1",
@@ -58,28 +63,25 @@ def run(
         ],
     )
     protocol = SynchronousMaximalMatching()
+    backend = fallback_backend("smm", backend=backend)
 
-    # Collect every trial of the sweep into one spec batch (configs are
-    # drawn here, in the exact order of the serial implementation, so
-    # the RNG streams — and therefore the rows — are unchanged), then
-    # fan the batch out.
-    specs: list[TrialSpec] = []
-    cells = []
-    for family, n, graph, rng in graph_workloads(families, sizes, seed):
+    def groups(family, graph, rng):
         bound = smm_round_bound(graph.n)
         for mode in ("clean", "random"):
             mode_trials = 1 if mode == "clean" else trials
-            start = len(specs)
-            for config in initial_configurations(
-                protocol, graph, mode, mode_trials, rng
-            ):
-                specs.append(
-                    TrialSpec("smm", graph, config, max_rounds=bound + 4)
+            yield mode, [
+                TrialSpec(
+                    "smm", graph, config, max_rounds=bound + 4, backend=backend
                 )
-            cells.append((family, graph, mode, bound, start, len(specs)))
-    executions = run_trials(specs, jobs=jobs)
+                for config in initial_configurations(
+                    protocol, graph, mode, mode_trials, rng
+                )
+            ]
 
-    for family, graph, mode, bound, lo, hi in cells:
+    executions, cells = run_spec_groups(families, sizes, seed, groups, jobs=jobs)
+
+    for family, graph, mode, lo, hi in cells:
+        bound = smm_round_bound(graph.n)
         rounds = []
         for execution in executions[lo:hi]:
             if verify:
@@ -125,7 +127,9 @@ def run(
         bound = smm_round_bound(graph.n)
         executions = run_trials(
             [
-                TrialSpec("smm", graph, config, max_rounds=bound + 4)
+                TrialSpec(
+                    "smm", graph, config, max_rounds=bound + 4, backend=backend
+                )
                 for config in exhaustive_configurations(protocol, graph)
             ],
             jobs=jobs,

@@ -23,8 +23,10 @@ from repro.experiments.common import (
     ExperimentResult,
     TrialSpec,
     exhaustive_configurations,
+    fallback_backend,
     graph_workloads,
     initial_configurations,
+    run_spec_groups,
     run_trials,
 )
 from repro.graphs.generators import path_graph
@@ -44,11 +46,14 @@ def run(
     exhaustive_max_n: int = 8,
     verify: bool = True,
     jobs: int = 1,
+    backend: str = "reference",
 ) -> ExperimentResult:
     """Sweep SIS convergence; see module docstring.
 
     ``jobs`` fans the (independent, deterministic) trials across worker
-    processes; results are bit-identical to ``jobs=1``.
+    processes; results are bit-identical to ``jobs=1``.  ``backend``
+    selects the execution engine (:mod:`repro.engine`) — every backend
+    produces identical rows, just at different speed.
     """
     result = ExperimentResult(
         experiment="E2",
@@ -66,26 +71,25 @@ def run(
         ],
     )
     protocol = SynchronousMaximalIndependentSet()
+    backend = fallback_backend("sis", backend=backend)
 
-    # one spec batch for the whole sweep (configs drawn here, in the
-    # serial order, so RNG streams and rows are unchanged), fanned out
-    specs: list[TrialSpec] = []
-    cells = []
-    for family, n, graph, rng in graph_workloads(families, sizes, seed):
+    def groups(family, graph, rng):
         bound = sis_round_bound(graph.n)
         for mode in ("clean", "random"):
             mode_trials = 1 if mode == "clean" else trials
-            start = len(specs)
-            for config in initial_configurations(
-                protocol, graph, mode, mode_trials, rng
-            ):
-                specs.append(
-                    TrialSpec("sis", graph, config, max_rounds=bound + 4)
+            yield mode, [
+                TrialSpec(
+                    "sis", graph, config, max_rounds=bound + 4, backend=backend
                 )
-            cells.append((family, graph, mode, bound, start, len(specs)))
-    executions = run_trials(specs, jobs=jobs)
+                for config in initial_configurations(
+                    protocol, graph, mode, mode_trials, rng
+                )
+            ]
 
-    for family, graph, mode, bound, lo, hi in cells:
+    executions, cells = run_spec_groups(families, sizes, seed, groups, jobs=jobs)
+
+    for family, graph, mode, lo, hi in cells:
+        bound = sis_round_bound(graph.n)
         rounds = []
         all_greedy = True
         for execution in executions[lo:hi]:
@@ -116,7 +120,9 @@ def run(
         bound = sis_round_bound(graph.n)
         executions = run_trials(
             [
-                TrialSpec("sis", graph, config, max_rounds=bound + 4)
+                TrialSpec(
+                    "sis", graph, config, max_rounds=bound + 4, backend=backend
+                )
                 for config in exhaustive_configurations(protocol, graph)
             ],
             jobs=jobs,

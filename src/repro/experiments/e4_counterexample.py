@@ -12,22 +12,29 @@ Three protocols race on even cycles C_n from the all-null start:
 * **SMM-randomized** — stabilizes almost surely; the measured round
   counts show the cost of probabilistic symmetry breaking versus the
   deterministic id-based rule.
+
+All three run as registered engine protocols
+(``"smm-arbitrary-clockwise"``, ``"smm"``, ``"smm-randomized"`` —
+see :mod:`repro.engine.registry`) dispatched through trial specs, so
+the race fans across workers like any other sweep.  The clockwise
+adversary is :func:`repro.matching.variants.cyclic_successor_chooser`,
+which coincides with the paper's clockwise choice on every cycle.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
 from repro.analysis.stats import summarize
 from repro.analysis.theory import smm_round_bound
 from repro.core.configuration import Configuration
-from repro.core.executor import run_synchronous
-from repro.experiments.common import ExperimentResult, detect_cycle
+from repro.experiments.common import (
+    ExperimentResult,
+    TrialSpec,
+    detect_cycle,
+    run_trials,
+)
 from repro.graphs.generators import cycle_graph
-from repro.matching.smm import SynchronousMaximalMatching
-from repro.matching.variants import ArbitraryChoiceSMM, RandomizedSMM, clockwise_chooser
 from repro.matching.verify import verify_execution
 from repro.rng import ensure_rng
 
@@ -38,8 +45,14 @@ def run(
     livelock_rounds: int = 200,
     randomized_trials: int = 20,
     seed: int = 40,
+    jobs: int = 1,
 ) -> ExperimentResult:
-    """Race the three R2-choice policies on even cycles."""
+    """Race the three R2-choice policies on even cycles.
+
+    ``jobs`` fans the runs across worker processes; the randomized
+    trials draw from per-trial integer seeds derived up front in the
+    parent, so results are bit-identical to ``jobs=1``.
+    """
     result = ExperimentResult(
         experiment="E4",
         paper_artifact="Section 3 remark — arbitrary R2 choice livelocks on C_4",
@@ -54,53 +67,68 @@ def run(
     )
     rng = ensure_rng(seed)
 
+    specs: list[TrialSpec] = []
+    cells = []
     for n in cycle_sizes:
         if n % 2:
             raise ValueError("the counterexample needs even cycles")
         graph = cycle_graph(n)
         all_null = Configuration({i: None for i in graph.nodes})
         bound = smm_round_bound(n)
-
-        # 1. the paper's adversarial clockwise choice
-        adversary = ArbitraryChoiceSMM(clockwise_chooser(n))
-        execution = run_synchronous(
-            adversary,
-            graph,
-            all_null,
-            max_rounds=livelock_rounds,
-            record_history=True,
+        start = len(specs)
+        # 1. the paper's adversarial clockwise choice (history kept for
+        #    the livelock certificate)
+        specs.append(
+            TrialSpec(
+                "smm-arbitrary-clockwise",
+                graph,
+                all_null,
+                max_rounds=livelock_rounds,
+                record_history=True,
+            )
         )
-        assert execution.history is not None
-        cycle = detect_cycle(execution.history)
+        # 2. the published min-id rule
+        specs.append(TrialSpec("smm", graph, all_null, max_rounds=bound + 4))
+        # 3. randomized choice (almost-sure, unbounded worst case)
+        for _ in range(randomized_trials):
+            specs.append(
+                TrialSpec(
+                    "smm-randomized",
+                    graph,
+                    all_null,
+                    seed=int(rng.integers(2**63)),
+                    max_rounds=50 * n,
+                )
+            )
+        cells.append((n, graph, bound, start, len(specs)))
+    executions = run_trials(specs, jobs=jobs)
+
+    for n, graph, bound, lo, hi in cells:
+        adversary = executions[lo]
+        assert adversary.history is not None
+        cycle = detect_cycle(adversary.history)
         result.add(
             n=n,
             variant="arbitrary(clockwise)",
-            stabilized=execution.stabilized,
-            rounds=execution.rounds,
+            stabilized=adversary.stabilized,
+            rounds=adversary.rounds,
             livelock_period=cycle[1] if cycle else None,
             bound=bound,
         )
 
-        # 2. the published min-id rule
-        smm = SynchronousMaximalMatching()
-        execution = run_synchronous(smm, graph, all_null, max_rounds=bound + 4)
-        verify_execution(graph, execution)
+        min_id = executions[lo + 1]
+        verify_execution(graph, min_id)
         result.add(
             n=n,
             variant="min-id (SMM)",
-            stabilized=execution.stabilized,
-            rounds=execution.rounds,
+            stabilized=min_id.stabilized,
+            rounds=min_id.rounds,
             livelock_period=None,
             bound=bound,
         )
 
-        # 3. randomized choice (almost-sure, unbounded worst case)
-        randomized = RandomizedSMM()
         rounds = []
-        for _ in range(randomized_trials):
-            execution = run_synchronous(
-                randomized, graph, all_null, rng=rng, max_rounds=50 * n
-            )
+        for execution in executions[lo + 2 : hi]:
             if execution.stabilized:
                 verify_execution(graph, execution)
                 rounds.append(execution.rounds)

@@ -26,11 +26,10 @@ from repro.analysis.theory import hsu_huang_move_bound
 from repro.experiments.common import (
     ExperimentResult,
     TrialSpec,
-    graph_workloads,
+    fallback_backend,
     initial_configurations,
-    run_trials,
+    run_spec_groups,
 )
-from repro.matching.hsu_huang import HsuHuangMatching
 from repro.matching.smm import SynchronousMaximalMatching
 from repro.matching.verify import verify_execution
 
@@ -45,6 +44,7 @@ def run(
     trials: int = 10,
     seed: int = 50,
     jobs: int = 1,
+    backend: str = "reference",
 ) -> ExperimentResult:
     """Head-to-head SMM vs synchronized Hsu–Huang; see module doc.
 
@@ -52,6 +52,8 @@ def run(
     processes.  The randomized engines draw from per-trial integer
     seeds derived up front in the parent, so the schedule is a function
     of the spec and ``jobs=N`` output is bit-identical to ``jobs=1``.
+    ``backend`` applies where a matching kernel is registered (the SMM
+    runs); the Hsu–Huang refinements degrade to the reference engine.
     """
     result = ExperimentResult(
         experiment="E5",
@@ -69,11 +71,13 @@ def run(
         ],
     )
     smm = SynchronousMaximalMatching()
-    hh = HsuHuangMatching()
+    smm_backend = fallback_backend("smm", backend=backend)
+    hh_sync_backend = fallback_backend(
+        "hsu-huang", "synchronized-central", backend=backend
+    )
+    hh_central_backend = fallback_backend("hsu-huang", "central", backend=backend)
 
-    specs: list[TrialSpec] = []
-    cells = []
-    for family, n, graph, rng in graph_workloads(families, sizes, seed):
+    def groups(family, graph, rng):
         configs = list(initial_configurations(smm, graph, "random", trials, rng))
         # per-trial integer seeds for the randomized engines, drawn in
         # the parent so the randomized schedules are functions of the
@@ -82,9 +86,9 @@ def run(
             (int(rng.integers(2**63)), int(rng.integers(2**63)))
             for _ in configs
         ]
-        start = len(specs)
+        specs = []
         for config, (seed_rand, seed_central) in zip(configs, trial_seeds):
-            specs.append(TrialSpec("smm", graph, config))
+            specs.append(TrialSpec("smm", graph, config, backend=smm_backend))
             specs.append(
                 TrialSpec(
                     "hsu-huang",
@@ -92,6 +96,7 @@ def run(
                     config,
                     daemon="synchronized-central",
                     options=(("priority", "id"), ("count_beacon_rounds", True)),
+                    backend=hh_sync_backend,
                 )
             )
             specs.append(
@@ -102,6 +107,7 @@ def run(
                     daemon="synchronized-central",
                     seed=seed_rand,
                     options=(("priority", "random"), ("count_beacon_rounds", True)),
+                    backend=hh_sync_backend,
                 )
             )
             specs.append(
@@ -112,12 +118,14 @@ def run(
                     daemon="central",
                     seed=seed_central,
                     options=(("strategy", "random"),),
+                    backend=hh_central_backend,
                 )
             )
-        cells.append((family, graph, start, len(specs)))
-    executions = run_trials(specs, jobs=jobs)
+        yield None, specs
 
-    for family, graph, lo, hi in cells:
+    executions, cells = run_spec_groups(families, sizes, seed, groups, jobs=jobs)
+
+    for family, graph, _label, lo, hi in cells:
         smm_rounds, id_rounds, rand_rounds, central_moves = [], [], [], []
         for k in range(lo, hi, 4):
             ex_smm, ex_id, ex_rand, ex_central = executions[k : k + 4]

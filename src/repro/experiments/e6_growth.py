@@ -22,9 +22,9 @@ from typing import Sequence
 from repro.experiments.common import (
     ExperimentResult,
     TrialSpec,
-    graph_workloads,
+    fallback_backend,
     initial_configurations,
-    run_trials,
+    run_spec_groups,
 )
 from repro.matching.classification import NodeType, classify
 from repro.matching.smm import SynchronousMaximalMatching
@@ -49,11 +49,15 @@ def run(
     trials: int = 20,
     seed: int = 60,
     jobs: int = 1,
+    backend: str = "reference",
 ) -> ExperimentResult:
     """Check Lemmas 1/9/10 over the sweep; see module docstring.
 
     ``jobs`` fans the (independent, deterministic) history replays
     across worker processes; results are bit-identical to ``jobs=1``.
+    The lemma checks replay full histories, which only the reference
+    engine records — a ``backend`` without the ``history`` capability
+    degrades to ``"reference"``.
     """
     result = ExperimentResult(
         experiment="E6",
@@ -71,16 +75,19 @@ def run(
 
     from repro.matching.lemmas import check_lemma_1, check_lemma_10
 
-    specs: list[TrialSpec] = []
-    cells = []
-    for family, n, graph, rng in graph_workloads(families, sizes, seed):
-        start = len(specs)
-        for config in initial_configurations(protocol, graph, "random", trials, rng):
-            specs.append(TrialSpec("smm", graph, config, record_history=True))
-        cells.append((family, graph, start, len(specs)))
-    all_executions = run_trials(specs, jobs=jobs)
+    backend = fallback_backend("smm", backend=backend, record_history=True)
 
-    for family, graph, lo, hi in cells:
+    def groups(family, graph, rng):
+        yield None, [
+            TrialSpec("smm", graph, config, record_history=True, backend=backend)
+            for config in initial_configurations(protocol, graph, "random", trials, rng)
+        ]
+
+    all_executions, cells = run_spec_groups(
+        families, sizes, seed, groups, jobs=jobs
+    )
+
+    for family, graph, _label, lo, hi in cells:
         lemma1_bad = 0
         lemma10_bad = 0
         min_growth = None

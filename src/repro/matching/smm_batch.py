@@ -36,6 +36,10 @@ class BatchResult:
     stabilized: np.ndarray   #: (k,) bool — per-run stabilization flag
     rounds: np.ndarray       #: (k,) int — rounds used by each run
     final_ptr: np.ndarray    #: (k, n) final pointer matrix
+    #: per-rule firing counts, (k,) int array per rule name — populated
+    #: by :meth:`BatchSMM.run_batch` (kept optional for compatibility
+    #: with externally constructed results)
+    moves_by_rule: Optional[Dict[str, np.ndarray]] = None
 
     @property
     def all_stabilized(self) -> bool:
@@ -72,6 +76,14 @@ class BatchSMM:
         Returns ``(new_ptrs, moved)`` where ``moved`` is a (k,) bool
         array flagging rows in which at least one rule fired.
         """
+        new_ptrs, r1, r2, r3 = self._step_rules(ptrs)
+        return new_ptrs, (r1 | r2 | r3).any(axis=1)
+
+    def _step_rules(
+        self, ptrs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """One round, returning the per-rule firing masks as well —
+        ``(new_ptrs, r1, r2, r3)``, each mask (k, n) bool."""
         k, n = ptrs.shape
         assert n == self.n
         indices = self._indices
@@ -106,8 +118,7 @@ class BatchSMM:
         new_ptrs[r1] = min_proposer[r1]
         new_ptrs[r2] = min_null[r2]
         new_ptrs[r3] = -1
-        moved = (r1 | r2 | r3).any(axis=1)
-        return new_ptrs, moved
+        return new_ptrs, r1, r2, r3
 
     # ------------------------------------------------------------------
     def run_batch(
@@ -133,12 +144,20 @@ class BatchSMM:
 
         active = np.ones(k, dtype=bool)
         rounds = np.zeros(k, dtype=np.int64)
-        for _ in range(budget + 1):
-            new_ptrs, moved = self.step_batch(ptrs)
-            moved &= active
+        moves_by_rule = {
+            name: np.zeros(k, dtype=np.int64) for name in ("R1", "R2", "R3")
+        }
+        # at most `budget` rounds are applied — same cap as the
+        # single-run kernel and the reference engine, so round counts
+        # agree even on timeouts
+        for _ in range(budget):
+            new_ptrs, r1, r2, r3 = self._step_rules(ptrs)
+            moved = (r1 | r2 | r3).any(axis=1) & active
             if not moved.any():
                 active[:] = False
                 break
+            for name, mask in (("R1", r1), ("R2", r2), ("R3", r3)):
+                moves_by_rule[name][moved] += mask[moved].sum(axis=1)
             ptrs[moved] = new_ptrs[moved]
             rounds[moved] += 1
         else:  # budget exhausted: which rows are still moving?
@@ -146,7 +165,10 @@ class BatchSMM:
             active = moved
 
         result = BatchResult(
-            stabilized=~active, rounds=rounds, final_ptr=ptrs
+            stabilized=~active,
+            rounds=rounds,
+            final_ptr=ptrs,
+            moves_by_rule=moves_by_rule,
         )
         if raise_on_timeout and not result.all_stabilized:
             raise StabilizationTimeout(
@@ -154,3 +176,53 @@ class BatchSMM:
                 result,
             )
         return result
+
+
+# ----------------------------------------------------------------------
+# engine backend adapter
+# ----------------------------------------------------------------------
+def run_engine(
+    protocol,
+    graph: Graph,
+    config=None,
+    *,
+    rng=None,
+    max_rounds: Optional[int] = None,
+    record_history: bool = False,
+    raise_on_timeout: bool = False,
+):
+    """Registered ``("smm", "synchronous", "batch")`` backend.
+
+    Runs a batch of one — useful mainly so the batch kernel sits in the
+    same cross-backend equivalence harness as everything else (E10 and
+    ``tests/test_engine_equivalence.py``); sweeps that want the batch
+    throughput win call :meth:`BatchSMM.run_batch` directly.
+    """
+    from repro.core.executor import _default_round_budget, _resolve_config
+    from repro.engine.result import RunResult
+
+    initial = _resolve_config(protocol, graph, config)
+    kernel = BatchSMM(graph)
+    budget = max_rounds if max_rounds is not None else _default_round_budget(graph)
+    res = kernel.run_batch([initial], max_rounds=budget)
+    final = kernel.single.decode(res.final_ptr[0])
+    moves_by_rule = {
+        name: int(counts[0]) for name, counts in res.moves_by_rule.items()
+    }
+    result = RunResult(
+        protocol_name=protocol.name,
+        daemon="synchronous",
+        stabilized=bool(res.stabilized[0]),
+        rounds=int(res.rounds[0]),
+        moves=sum(moves_by_rule.values()),
+        moves_by_rule=moves_by_rule,
+        initial=initial,
+        final=final,
+        legitimate=protocol.is_legitimate(graph, final),
+        backend="batch",
+    )
+    if raise_on_timeout and not result.stabilized:
+        raise StabilizationTimeout(
+            f"{protocol.name} exceeded {budget} synchronous rounds", result
+        )
+    return result

@@ -315,3 +315,53 @@ class VectorizedSMM:
             if t >= 0 and int(targets[t]) == k and k < t:
                 out.add((int(self._ids[k]), int(self._ids[t])))
         return frozenset(out)
+
+
+# ----------------------------------------------------------------------
+# engine backend adapter
+# ----------------------------------------------------------------------
+def run_engine(
+    protocol,
+    graph: Graph,
+    config=None,
+    *,
+    rng=None,
+    max_rounds: Optional[int] = None,
+    record_history: bool = False,
+    raise_on_timeout: bool = False,
+    active_set: bool = True,
+):
+    """Registered ``("smm", "synchronous", "vectorized")`` backend.
+
+    Validates the initial configuration and applies the default round
+    budget exactly like the reference engine, runs the kernel, and
+    returns a :class:`~repro.engine.result.RunResult` with the summary
+    fields (``move_log``/``history`` stay ``None`` — this backend does
+    not trace; ``rng``/``record_history`` are accepted for the uniform
+    runner signature, and selection guarantees they are unused).
+    """
+    from repro.core.executor import _default_round_budget, _resolve_config
+    from repro.engine.result import RunResult
+
+    initial = _resolve_config(protocol, graph, config)
+    kernel = VectorizedSMM(graph)
+    budget = max_rounds if max_rounds is not None else _default_round_budget(graph)
+    res = kernel.run(initial, max_rounds=budget, active_set=active_set)
+    final = kernel.decode(res.final_ptr)
+    result = RunResult(
+        protocol_name=protocol.name,
+        daemon="synchronous",
+        stabilized=res.stabilized,
+        rounds=res.rounds,
+        moves=res.moves,
+        moves_by_rule=res.moves_by_rule,
+        initial=initial,
+        final=final,
+        legitimate=protocol.is_legitimate(graph, final),
+        backend="vectorized",
+    )
+    if raise_on_timeout and not result.stabilized:
+        raise StabilizationTimeout(
+            f"{protocol.name} exceeded {budget} synchronous rounds", result
+        )
+    return result

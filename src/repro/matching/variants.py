@@ -55,6 +55,27 @@ def clockwise_chooser(n: int) -> Chooser:
     return choose
 
 
+def cyclic_successor_chooser(
+    view: View, candidates: Tuple[NodeId, ...]
+) -> NodeId:
+    """Topology-free variant of :func:`clockwise_chooser`: prefer the
+    smallest candidate id *greater* than the node's own id, wrapping to
+    the smallest candidate overall.
+
+    On a cycle ``C_n`` with ids ``0..n-1`` around the ring, each node's
+    neighbours are ``i±1 (mod n)``, so this picks exactly the clockwise
+    neighbour whenever it is available — the two choosers induce
+    identical executions on cycles.  Unlike :func:`clockwise_chooser`
+    it needs no ``n`` up front, so the counterexample protocol can be
+    registered as a named factory in :mod:`repro.engine.registry`
+    (``"smm-arbitrary-clockwise"``) and fanned out via trial specs.
+    """
+    greater = [c for c in candidates if c > view.node]
+    if greater:
+        return min(greater)
+    return candidates[0]
+
+
 class ArbitraryChoiceSMM(MatchingProtocolBase):
     """SMM with R2's min-id requirement dropped.
 

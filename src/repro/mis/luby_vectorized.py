@@ -165,3 +165,50 @@ class VectorizedLuby:
 
     def independent_set(self, x: np.ndarray) -> frozenset[NodeId]:
         return frozenset(int(self._ids[k]) for k in range(self.n) if x[k] == 1)
+
+
+# ----------------------------------------------------------------------
+# engine backend adapter
+# ----------------------------------------------------------------------
+def run_engine(
+    protocol,
+    graph: Graph,
+    config=None,
+    *,
+    rng=None,
+    max_rounds: Optional[int] = None,
+    record_history: bool = False,
+    raise_on_timeout: bool = False,
+):
+    """Registered ``("luby", "synchronous", "vectorized")`` backend.
+
+    The kernel consumes the generator draw-for-draw like the reference
+    engine, so ``engine.run("luby", g, rng=seed, backend=b)`` is
+    trajectory-identical for both backends.  The reference engine's
+    randomized default budget (``10·n + 100``) applies here too.
+    """
+    from repro.core.executor import _default_round_budget, _resolve_config
+    from repro.engine.result import RunResult
+
+    initial = _resolve_config(protocol, graph, config)
+    kernel = VectorizedLuby(graph)
+    budget = max_rounds if max_rounds is not None else _default_round_budget(graph)
+    res = kernel.run(initial, rng=rng, max_rounds=budget)
+    final = kernel.decode(res.final_x)
+    result = RunResult(
+        protocol_name=protocol.name,
+        daemon="synchronous",
+        stabilized=res.stabilized,
+        rounds=res.rounds,
+        moves=res.moves,
+        moves_by_rule=res.moves_by_rule,
+        initial=initial,
+        final=final,
+        legitimate=protocol.is_legitimate(graph, final),
+        backend="vectorized",
+    )
+    if raise_on_timeout and not result.stabilized:
+        raise StabilizationTimeout(
+            f"{protocol.name} exceeded {budget} synchronous rounds", result
+        )
+    return result

@@ -9,7 +9,7 @@ with one logical-or scatter per round.  See
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -25,6 +25,9 @@ class BatchResult:
     stabilized: np.ndarray   #: (k,) bool
     rounds: np.ndarray       #: (k,) int
     final_x: np.ndarray      #: (k, n) final state matrix
+    #: per-rule firing counts, (k,) int array per rule name — populated
+    #: by :meth:`BatchSIS.run_batch`
+    moves_by_rule: Optional[Dict[str, np.ndarray]] = None
 
     @property
     def all_stabilized(self) -> bool:
@@ -79,22 +82,81 @@ class BatchSIS:
 
         active = np.ones(k, dtype=bool)
         rounds = np.zeros(k, dtype=np.int64)
-        for _ in range(budget + 1):
+        moves_by_rule = {
+            name: np.zeros(k, dtype=np.int64) for name in ("R1", "R2")
+        }
+        # at most `budget` rounds are applied — same cap as the
+        # single-run kernel and the reference engine, so round counts
+        # agree even on timeouts
+        for _ in range(budget):
             new_xs = self.step_batch(xs)
-            moved = (new_xs != xs).any(axis=1) & active
+            changed = new_xs != xs
+            moved = changed.any(axis=1) & active
             if not moved.any():
                 active[:] = False
                 break
+            moves_by_rule["R1"][moved] += (changed & (new_xs == 1))[moved].sum(axis=1)
+            moves_by_rule["R2"][moved] += (changed & (new_xs == 0))[moved].sum(axis=1)
             xs[moved] = new_xs[moved]
             rounds[moved] += 1
         else:
             new_xs = self.step_batch(xs)
             active = (new_xs != xs).any(axis=1)
 
-        result = BatchResult(stabilized=~active, rounds=rounds, final_x=xs)
+        result = BatchResult(
+            stabilized=~active,
+            rounds=rounds,
+            final_x=xs,
+            moves_by_rule=moves_by_rule,
+        )
         if raise_on_timeout and not result.all_stabilized:
             raise StabilizationTimeout(
                 f"batch SIS: {int(active.sum())} runs exceeded {budget} rounds",
                 result,
             )
         return result
+
+
+# ----------------------------------------------------------------------
+# engine backend adapter
+# ----------------------------------------------------------------------
+def run_engine(
+    protocol,
+    graph: Graph,
+    config=None,
+    *,
+    rng=None,
+    max_rounds: Optional[int] = None,
+    record_history: bool = False,
+    raise_on_timeout: bool = False,
+):
+    """Registered ``("sis", "synchronous", "batch")`` backend (batch of
+    one — see the SMM batch adapter for the rationale)."""
+    from repro.core.executor import _default_round_budget, _resolve_config
+    from repro.engine.result import RunResult
+
+    initial = _resolve_config(protocol, graph, config)
+    kernel = BatchSIS(graph)
+    budget = max_rounds if max_rounds is not None else _default_round_budget(graph)
+    res = kernel.run_batch([initial], max_rounds=budget)
+    final = kernel.single.decode(res.final_x[0])
+    moves_by_rule = {
+        name: int(counts[0]) for name, counts in res.moves_by_rule.items()
+    }
+    result = RunResult(
+        protocol_name=protocol.name,
+        daemon="synchronous",
+        stabilized=bool(res.stabilized[0]),
+        rounds=int(res.rounds[0]),
+        moves=sum(moves_by_rule.values()),
+        moves_by_rule=moves_by_rule,
+        initial=initial,
+        final=final,
+        legitimate=protocol.is_legitimate(graph, final),
+        backend="batch",
+    )
+    if raise_on_timeout and not result.stabilized:
+        raise StabilizationTimeout(
+            f"{protocol.name} exceeded {budget} synchronous rounds", result
+        )
+    return result

@@ -191,3 +191,51 @@ class VectorizedSIS:
     def independent_set(self, x: np.ndarray) -> frozenset[NodeId]:
         """In-set node ids of a dense state array."""
         return frozenset(int(self._ids[k]) for k in range(self.n) if x[k] == 1)
+
+
+# ----------------------------------------------------------------------
+# engine backend adapter
+# ----------------------------------------------------------------------
+def run_engine(
+    protocol,
+    graph: Graph,
+    config=None,
+    *,
+    rng=None,
+    max_rounds: Optional[int] = None,
+    record_history: bool = False,
+    raise_on_timeout: bool = False,
+    active_set: bool = True,
+):
+    """Registered ``("sis", "synchronous", "vectorized")`` backend.
+
+    Same contract as the SMM adapter: reference-identical config
+    validation and default budget, summary-only
+    :class:`~repro.engine.result.RunResult`, legitimacy evaluated once
+    through ``protocol.is_legitimate``.
+    """
+    from repro.core.executor import _default_round_budget, _resolve_config
+    from repro.engine.result import RunResult
+
+    initial = _resolve_config(protocol, graph, config)
+    kernel = VectorizedSIS(graph)
+    budget = max_rounds if max_rounds is not None else _default_round_budget(graph)
+    res = kernel.run(initial, max_rounds=budget, active_set=active_set)
+    final = kernel.decode(res.final_x)
+    result = RunResult(
+        protocol_name=protocol.name,
+        daemon="synchronous",
+        stabilized=res.stabilized,
+        rounds=res.rounds,
+        moves=res.moves,
+        moves_by_rule=res.moves_by_rule,
+        initial=initial,
+        final=final,
+        legitimate=protocol.is_legitimate(graph, final),
+        backend="vectorized",
+    )
+    if raise_on_timeout and not result.stabilized:
+        raise StabilizationTimeout(
+            f"{protocol.name} exceeded {budget} synchronous rounds", result
+        )
+    return result

@@ -17,36 +17,22 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.executor import Execution, run_central, run_synchronous
-from repro.core.protocol import Protocol
-from repro.errors import ExperimentError
+from repro.engine.registry import PROTOCOLS, register_protocol
+from repro.engine.result import RunResult
 from repro.graphs.graph import Graph
 from repro.types import NodeId
 
-#: Registered protocol factories, keyed by the names trial specs carry.
-#: Factories (not instances) because rule closures are not picklable —
-#: each worker rebuilds the protocol locally.
-PROTOCOLS: Dict[str, Callable[[], Protocol]] = {}
-
-
-def register_protocol(name: str, factory: Callable[[], Protocol]) -> None:
-    """Register a protocol factory for use in trial specs."""
-    PROTOCOLS[name] = factory
-
-
-def _builtin_protocols() -> None:
-    from repro.matching.hsu_huang import HsuHuangMatching
-    from repro.matching.smm import SynchronousMaximalMatching
-    from repro.mis.sis import SynchronousMaximalIndependentSet
-
-    register_protocol("smm", SynchronousMaximalMatching)
-    register_protocol("sis", SynchronousMaximalIndependentSet)
-    register_protocol("hsu-huang", HsuHuangMatching)
-
-
-_builtin_protocols()
+__all__ = [
+    "PROTOCOLS",
+    "TrialRunner",
+    "TrialSpec",
+    "execute_trial",
+    "register_protocol",
+    "resolve_jobs",
+    "run_trials",
+]
 
 
 @dataclass(frozen=True)
@@ -56,12 +42,14 @@ class TrialSpec:
     Attributes
     ----------
     protocol:
-        Key into :data:`PROTOCOLS` (``"smm"``, ``"sis"``, ...).
+        Key into :data:`repro.engine.PROTOCOLS` (``"smm"``, ``"sis"``,
+        ...).
     graph / config:
         The topology and initial configuration (``None`` = clean start).
     daemon:
-        ``"synchronous"`` (default), ``"central"``, or
-        ``"synchronized-central"`` (the E5 refinement).
+        ``"synchronous"`` (default), ``"central"``,
+        ``"synchronized-central"`` (the E5 refinement), or
+        ``"distributed"``.
     max_rounds:
         Budget, forwarded as ``max_rounds`` (``max_moves`` for the
         central daemon).  ``None`` = the runner's documented default.
@@ -74,6 +62,10 @@ class TrialSpec:
     options:
         Extra keyword arguments for the runner, as a sorted tuple of
         ``(name, value)`` pairs (kept hashable/picklable).
+    backend:
+        Execution backend (:mod:`repro.engine`): ``"reference"`` (the
+        default), ``"auto"``, or an explicit registered kernel such as
+        ``"vectorized"``/``"batch"``.
     """
 
     protocol: str
@@ -84,50 +76,28 @@ class TrialSpec:
     record_history: bool = False
     seed: Optional[int] = None
     options: Tuple[Tuple[str, object], ...] = ()
+    backend: str = "reference"
 
 
-def execute_trial(spec: TrialSpec) -> Execution:
-    """Run one trial — a pure function of the spec."""
-    try:
-        protocol = PROTOCOLS[spec.protocol]()
-    except KeyError:
-        raise ExperimentError(
-            f"unknown protocol {spec.protocol!r}; known: {sorted(PROTOCOLS)}"
-        ) from None
-    kwargs = dict(spec.options)
-    if spec.daemon == "synchronous":
-        return run_synchronous(
-            protocol,
-            spec.graph,
-            spec.config,
-            rng=spec.seed,
-            max_rounds=spec.max_rounds,
-            record_history=spec.record_history,
-            **kwargs,
-        )
-    if spec.daemon == "central":
-        return run_central(
-            protocol,
-            spec.graph,
-            spec.config,
-            rng=spec.seed,
-            max_moves=spec.max_rounds,
-            record_history=spec.record_history,
-            **kwargs,
-        )
-    if spec.daemon == "synchronized-central":
-        from repro.core.transform import run_synchronized_central
+def execute_trial(spec: TrialSpec) -> RunResult:
+    """Run one trial — a pure function of the spec.
 
-        return run_synchronized_central(
-            protocol,
-            spec.graph,
-            spec.config,
-            rng=spec.seed,
-            max_rounds=spec.max_rounds,
-            record_history=spec.record_history,
-            **kwargs,
-        )
-    raise ExperimentError(f"unknown daemon {spec.daemon!r}")
+    Dispatches through :func:`repro.engine.run`, the single engine
+    front door (protocol lookup, daemon routing and backend selection
+    all live there)."""
+    from repro.engine import run as engine_run
+
+    return engine_run(
+        spec.protocol,
+        spec.graph,
+        spec.config,
+        daemon=spec.daemon,
+        backend=spec.backend,
+        rng=spec.seed,
+        max_rounds=spec.max_rounds,
+        record_history=spec.record_history,
+        **dict(spec.options),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -183,8 +153,8 @@ class TrialRunner:
         self.jobs = resolve_jobs(jobs)
         self.chunksize = chunksize
 
-    def map(self, specs: Sequence[TrialSpec]) -> List[Execution]:
-        """Execute ``specs`` and return their executions, in order."""
+    def map(self, specs: Sequence[TrialSpec]) -> List[RunResult]:
+        """Execute ``specs`` and return their results, in order."""
         specs = list(specs)
         if self.jobs <= 1 or len(specs) <= 1:
             return [execute_trial(spec) for spec in specs]
@@ -214,6 +184,6 @@ def run_trials(
     *,
     jobs: Optional[int] = 1,
     chunksize: Optional[int] = None,
-) -> List[Execution]:
+) -> List[RunResult]:
     """Convenience wrapper: ``TrialRunner(jobs).map(specs)``."""
     return TrialRunner(jobs, chunksize=chunksize).map(specs)
