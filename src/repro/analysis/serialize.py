@@ -83,6 +83,11 @@ def execution_to_dict(execution: Execution) -> Dict[str, Any]:
             if execution.history is not None
             else None
         ),
+        "telemetry": (
+            execution.telemetry.to_dict()
+            if execution.telemetry is not None
+            else None
+        ),
     }
 
 
@@ -93,6 +98,8 @@ def execution_to_json(execution: Execution, *, indent: int | None = None) -> str
 def execution_from_dict(data: Mapping[str, Any]) -> Execution:
     """Rebuild an :class:`Execution` from :func:`execution_to_dict`
     output (states restored per the tuple/list convention)."""
+    from repro.observability import RunTelemetry
+
     return Execution(
         protocol_name=data["protocol"],
         daemon=data["daemon"],
@@ -117,6 +124,11 @@ def execution_from_dict(data: Mapping[str, Any]) -> Execution:
         ),
         legitimate=bool(data["legitimate"]),
         backend=str(data.get("backend", "reference")),
+        telemetry=(
+            RunTelemetry.from_dict(data["telemetry"])
+            if data.get("telemetry") is not None
+            else None
+        ),
     )
 
 

@@ -41,26 +41,29 @@ Runner = Callable[[], List[ExperimentResult]]
 
 
 def _registry(
-    jobs: int = 1, backend: str = "reference"
+    jobs: int = 1, backend: str = "reference", telemetry: str | None = None
 ) -> Dict[str, Tuple[str, Runner, Runner]]:
     """Experiment registry.  ``jobs`` is forwarded to the experiments
     that support parallel trial execution (E1/E2/E4/E5/E6/E12); their
     output is bit-identical for every value of ``jobs``.  ``backend``
     (:mod:`repro.engine`) is forwarded to the sweeps that dispatch
     through the engine (E1/E2/E5/E6/E12); experiments that need
-    capabilities a kernel lacks degrade to the reference engine."""
+    capabilities a kernel lacks degrade to the reference engine.
+    ``telemetry`` is a JSONL path forwarded to the main sweeps of
+    E1/E2/E5/E6, which append one per-trial telemetry record each."""
     return {
         "E1": (
             "Theorem 1 — SMM stabilizes in <= n+1 rounds",
             lambda: [
                 e1_smm_convergence.run(
-                    trials=15, seed=101, jobs=jobs, backend=backend
+                    trials=15, seed=101, jobs=jobs, backend=backend,
+                    telemetry=telemetry,
                 )
             ],
             lambda: [
                 e1_smm_convergence.run(
                     families=("cycle", "tree"), sizes=(4, 8, 16), trials=5, seed=101,
-                    jobs=jobs, backend=backend,
+                    jobs=jobs, backend=backend, telemetry=telemetry,
                 )
             ],
         ),
@@ -68,14 +71,15 @@ def _registry(
             "Theorem 2 — SIS stabilizes in O(n) rounds (unique fixpoint)",
             lambda: [
                 e2_sis_convergence.run(
-                    trials=15, seed=102, jobs=jobs, backend=backend
+                    trials=15, seed=102, jobs=jobs, backend=backend,
+                    telemetry=telemetry,
                 ),
                 e2_sis_convergence.run_worst_case_series(),
             ],
             lambda: [
                 e2_sis_convergence.run(
                     families=("cycle", "tree"), sizes=(4, 8, 16), trials=5, seed=102,
-                    jobs=jobs, backend=backend,
+                    jobs=jobs, backend=backend, telemetry=telemetry,
                 ),
                 e2_sis_convergence.run_worst_case_series(sizes=(8, 16, 32)),
             ],
@@ -101,22 +105,30 @@ def _registry(
         "E5": (
             "Section 3 — converted Hsu-Huang 'not as fast' than SMM",
             lambda: [
-                e5_baseline.run(trials=8, seed=105, jobs=jobs, backend=backend)
+                e5_baseline.run(
+                    trials=8, seed=105, jobs=jobs, backend=backend,
+                    telemetry=telemetry,
+                )
             ],
             lambda: [
                 e5_baseline.run(
                     families=("cycle", "tree"), sizes=(8, 16), trials=3, seed=105,
-                    jobs=jobs, backend=backend,
+                    jobs=jobs, backend=backend, telemetry=telemetry,
                 )
             ],
         ),
         "E6": (
             "Lemmas 1, 9, 10 — monotone matching growth",
-            lambda: [e6_growth.run(trials=20, seed=106, jobs=jobs, backend=backend)],
+            lambda: [
+                e6_growth.run(
+                    trials=20, seed=106, jobs=jobs, backend=backend,
+                    telemetry=telemetry,
+                )
+            ],
             lambda: [
                 e6_growth.run(
                     families=("cycle", "tree"), sizes=(8, 16), trials=5, seed=106,
-                    jobs=jobs, backend=backend,
+                    jobs=jobs, backend=backend, telemetry=telemetry,
                 )
             ],
         ),
@@ -208,9 +220,17 @@ def cmd_list() -> int:
 
 
 def cmd_run(
-    ids: List[str], quick: bool, jobs: int = 1, backend: str = "reference"
+    ids: List[str],
+    quick: bool,
+    jobs: int = 1,
+    backend: str = "reference",
+    telemetry: str | None = None,
 ) -> int:
-    registry = _registry(jobs, backend)
+    if telemetry is not None:
+        # truncate up front: the sinks append, so one `repro run`
+        # invocation produces one coherent file whatever experiments ran
+        open(telemetry, "w", encoding="utf-8").close()
+    registry = _registry(jobs, backend, telemetry)
     if any(i.lower() == "all" for i in ids):
         ids = sorted(registry, key=_order_key)
     failures = 0
@@ -264,6 +284,17 @@ def main(argv: List[str] | None = None) -> int:
         "fastest applicable kernel per run, every backend produces "
         "identical tables",
     )
+    runner.add_argument(
+        "--telemetry",
+        nargs="?",
+        const="telemetry.jsonl",
+        default=None,
+        metavar="PATH",
+        help="collect per-round run telemetry (moves by rule, Fig. 2 "
+        "node-type census, phase timings) for the E1/E2/E5/E6 sweeps "
+        "and append one JSON line per trial to PATH "
+        "(default: telemetry.jsonl); works with every --backend",
+    )
     reporter = sub.add_parser(
         "report", help="run everything and write a markdown report"
     )
@@ -284,7 +315,13 @@ def main(argv: List[str] | None = None) -> int:
         text = write_report(args.output, quick=args.quick)
         print(f"wrote {args.output} ({len(text.splitlines())} lines)")
         return 0 if "✗ FAILED" not in text else 1
-    return cmd_run(args.ids, args.quick, jobs=args.jobs, backend=args.backend)
+    return cmd_run(
+        args.ids,
+        args.quick,
+        jobs=args.jobs,
+        backend=args.backend,
+        telemetry=args.telemetry,
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

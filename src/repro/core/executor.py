@@ -12,7 +12,12 @@ Round semantics (synchronous daemon) follow the paper exactly: at round
 arrived on the latest beacons, all privileged nodes fire simultaneously,
 and the post-move configuration is ``S_{t+1}``.  The run has stabilized
 at the first round in which no node is privileged; ``Execution.rounds``
-counts the rounds in which at least one move happened.
+counts every round *elapsed* before that — for randomized protocols
+this includes rounds in which every node lost its draw and nobody moved
+(the beacons were still exchanged; such rounds appear as empty ``{}``
+entries in the move log).  The distributed daemon counts its steps the
+same way; the central daemon's ``rounds`` equals ``moves`` by
+definition of the model.
 """
 
 from __future__ import annotations
@@ -111,6 +116,46 @@ def _default_round_budget(graph: Graph) -> int:
     return 10 * graph.n + 100
 
 
+def _final_quiescence(
+    protocol: Protocol, graph: Graph, config: Mapping[NodeId, object]
+) -> bool:
+    """Randomness-free quiescence check for the budget-exhaustion path.
+
+    Works for every protocol: deterministic guards are evaluated as
+    usual (``rand_map=None``); randomized guards see zeroed variates —
+    no generator state is consumed, so the check cannot perturb the
+    trajectory.  ``protocol.is_quiescent`` has the final word, exactly
+    as on the in-loop detection path: protocols whose guards read the
+    variates (Luby) override it with a structural predicate, so a run
+    that reaches quiescence on its last budgeted round is reported
+    ``stabilized=True`` whether or not the protocol is randomized.
+    """
+    if not protocol.is_quiescent(graph, config):
+        return False
+    rand_map = (
+        {node: 0.0 for node in graph.nodes}
+        if protocol.uses_randomness
+        else None
+    )
+    return not enabled_nodes(protocol, graph, config, rand_map)
+
+
+def _make_recorder(protocol: Protocol, graph: Graph, daemon: str):
+    """``(recorder, census_fn)`` for a telemetry-collecting run (the
+    census only applies to pointer-matching protocols)."""
+    from repro.observability import TelemetryRecorder, census_of, wants_census
+
+    recorder = TelemetryRecorder(
+        protocol.name, daemon, "reference", protocol.rule_names()
+    )
+    census_fn = None
+    if wants_census(protocol):
+        def census_fn(config):
+            return census_of(graph, config)
+
+    return recorder, census_fn
+
+
 def _resolve_config(
     protocol: Protocol, graph: Graph, config: Optional[Mapping[NodeId, object]]
 ) -> Configuration:
@@ -135,6 +180,7 @@ def run_synchronous(
     monitors: Sequence[Monitor] = (),
     raise_on_timeout: bool = False,
     active_set: bool = True,
+    telemetry: bool = False,
 ) -> Execution:
     """Run under the synchronous daemon until no node is privileged.
 
@@ -149,8 +195,11 @@ def run_synchronous(
         Initial configuration; default is the protocol's clean start.
     max_rounds:
         Round budget (default ``10 n + 100``,
-        :func:`_default_round_budget`).  On exhaustion the run is
-        returned with ``stabilized=False`` — or raised as
+        :func:`_default_round_budget`).  On exhaustion a final
+        randomness-free quiescence check runs (so a protocol that
+        stabilizes exactly on its last budgeted round still reports
+        ``stabilized=True``); otherwise the run is returned with
+        ``stabilized=False`` — or raised as
         :class:`StabilizationTimeout` if ``raise_on_timeout``.
     record_history:
         Keep every intermediate configuration (memory ~ rounds × n).
@@ -161,6 +210,11 @@ def run_synchronous(
         Re-evaluate only "dirty" nodes each round (see below).  Purely
         a performance knob: the produced :class:`Execution` is
         identical either way (pinned by ``tests/test_active_set.py``).
+    telemetry:
+        Attach a :class:`~repro.observability.RunTelemetry` record
+        (per-round moves by rule, active-set sizes, the Fig. 2 node-type
+        census for pointer-matching protocols, phase wall-clocks) to the
+        returned execution.
 
     Notes
     -----
@@ -184,6 +238,12 @@ def run_synchronous(
     move_log: List[Dict[NodeId, str]] = []
     history: Optional[List[Configuration]] = [current] if record_history else None
 
+    recorder = census_fn = None
+    if telemetry:
+        recorder, census_fn = _make_recorder(protocol, graph, "synchronous")
+        if census_fn is not None:
+            recorder.record_census(census_fn(current))
+
     for monitor in monitors:
         monitor.on_start(graph, current)
 
@@ -195,7 +255,10 @@ def run_synchronous(
     # the set of nodes whose entry must be recomputed this round.
     decisions: Dict[NodeId, Tuple[str, object]] = {}
     dirty: Iterable[NodeId] = graph.nodes
+    if recorder is not None:
+        recorder.begin_rounds()
     while rounds < budget:
+        scanned = len(dirty) if recorder is not None else 0  # type: ignore[arg-type]
         rand_map = _rand_map(protocol, graph, gen)
         for node in dirty:
             view = build_view(protocol, graph, current, node, rand_map)
@@ -215,6 +278,12 @@ def run_synchronous(
             move_log.append({})
             if history is not None:
                 history.append(current)
+            if recorder is not None:
+                recorder.on_round(
+                    {},
+                    scanned,
+                    census_fn(current) if census_fn is not None else None,
+                )
             for monitor in monitors:
                 monitor.on_round(rounds, current)
             continue
@@ -238,12 +307,22 @@ def run_synchronous(
         move_log.append(fired)
         if history is not None:
             history.append(current)
+        if recorder is not None:
+            round_counts: Dict[str, int] = {}
+            for name in fired.values():
+                round_counts[name] = round_counts.get(name, 0) + 1
+            recorder.on_round(
+                round_counts,
+                scanned,
+                census_fn(current) if census_fn is not None else None,
+            )
         for monitor in monitors:
             monitor.on_round(rounds, current)
-    else:  # budget exhausted without break — one final privilege check
-        if not protocol.uses_randomness:
-            stabilized = not enabled_nodes(protocol, graph, current)
+    else:  # budget exhausted without break — one final quiescence check
+        stabilized = _final_quiescence(protocol, graph, current)
 
+    if recorder is not None:
+        recorder.begin_finalize()
     execution = Execution(
         protocol_name=protocol.name,
         daemon="synchronous",
@@ -257,6 +336,8 @@ def run_synchronous(
         history=history,
         legitimate=protocol.is_legitimate(graph, current),
     )
+    if recorder is not None:
+        execution.telemetry = recorder.finish()
     for monitor in monitors:
         monitor.on_finish(execution)
     if raise_on_timeout and not execution.stabilized:
@@ -280,13 +361,17 @@ def run_central(
     record_history: bool = False,
     monitors: Sequence[Monitor] = (),
     raise_on_timeout: bool = False,
+    telemetry: bool = False,
 ) -> Execution:
     """Run under the central daemon: one privileged node moves per step.
 
     This is the execution model of the Hsu–Huang baseline (and of most
     classical self-stabilization results).  ``strategy`` picks the
     mover; see :mod:`repro.core.daemons`.  ``rounds`` in the returned
-    execution equals ``moves`` (each step is one move).
+    execution equals ``moves`` (each step is one move; a randomized
+    protocol's unlucky zero-move draws consume budget but add no move).
+    On budget exhaustion a final randomness-free quiescence check runs,
+    as in :func:`run_synchronous`.
     """
     gen = ensure_rng(rng)
     chooser = make_strategy(strategy)
@@ -299,12 +384,22 @@ def run_central(
     move_log: List[Dict[NodeId, str]] = []
     history: Optional[List[Configuration]] = [current] if record_history else None
 
+    recorder = census_fn = None
+    if telemetry:
+        recorder, census_fn = _make_recorder(
+            protocol, graph, f"central:{type(chooser).__name__}"
+        )
+        if census_fn is not None:
+            recorder.record_census(census_fn(current))
+
     for monitor in monitors:
         monitor.on_start(graph, current)
 
     stabilized = False
     moves = 0
     ticks = 0
+    if recorder is not None:
+        recorder.begin_rounds()
     while ticks < budget:
         ticks += 1
         rand_map = _rand_map(protocol, graph, gen)
@@ -324,9 +419,19 @@ def run_central(
         move_log.append({node: rule.name})
         if history is not None:
             history.append(current)
+        if recorder is not None:
+            recorder.on_round(
+                {rule.name: 1},
+                graph.n,
+                census_fn(current) if census_fn is not None else None,
+            )
         for monitor in monitors:
             monitor.on_round(moves, current)
+    else:  # budget exhausted without break — one final quiescence check
+        stabilized = _final_quiescence(protocol, graph, current)
 
+    if recorder is not None:
+        recorder.begin_finalize()
     execution = Execution(
         protocol_name=protocol.name,
         daemon=f"central:{type(chooser).__name__}",
@@ -340,6 +445,8 @@ def run_central(
         history=history,
         legitimate=protocol.is_legitimate(graph, current),
     )
+    if recorder is not None:
+        execution.telemetry = recorder.finish()
     for monitor in monitors:
         monitor.on_finish(execution)
     if raise_on_timeout and not execution.stabilized:
@@ -363,6 +470,7 @@ def run_distributed(
     record_history: bool = False,
     monitors: Sequence[Monitor] = (),
     raise_on_timeout: bool = False,
+    telemetry: bool = False,
 ) -> Execution:
     """Run under a randomized distributed daemon.
 
@@ -371,6 +479,12 @@ def run_distributed(
     empty set, one privileged node is activated uniformly at random so
     that the daemon is live.  All activated nodes fire simultaneously
     against the pre-step configuration.
+
+    Steps are counted like synchronous rounds: every tick elapsed
+    counts, including ticks in which a randomized protocol's unlucky
+    draws privileged nobody (empty ``{}`` move-log entries).  On budget
+    exhaustion a final randomness-free quiescence check runs, as in
+    :func:`run_synchronous`.
 
     This daemon interpolates between the central daemon (p → 0) and the
     synchronous daemon (p = 1); tests use it to probe robustness of the
@@ -387,12 +501,20 @@ def run_distributed(
     move_log: List[Dict[NodeId, str]] = []
     history: Optional[List[Configuration]] = [current] if record_history else None
 
+    recorder = census_fn = None
+    if telemetry:
+        recorder, census_fn = _make_recorder(protocol, graph, "distributed")
+        if census_fn is not None:
+            recorder.record_census(census_fn(current))
+
     for monitor in monitors:
         monitor.on_start(graph, current)
 
     stabilized = False
     steps = 0
     ticks = 0
+    if recorder is not None:
+        recorder.begin_rounds()
     while ticks < budget:
         ticks += 1
         rand_map = _rand_map(protocol, graph, gen)
@@ -401,7 +523,21 @@ def run_distributed(
             if protocol.is_quiescent(graph, current):
                 stabilized = True
                 break
-            continue  # randomized protocol, unlucky draws: redraw
+            # Randomized protocol, unlucky draws: the tick still
+            # happened — count it, like the synchronous daemon does.
+            steps += 1
+            move_log.append({})
+            if history is not None:
+                history.append(current)
+            if recorder is not None:
+                recorder.on_round(
+                    {},
+                    graph.n,
+                    census_fn(current) if census_fn is not None else None,
+                )
+            for monitor in monitors:
+                monitor.on_round(steps, current)
+            continue
         mask = gen.random(len(enabled)) < activation_probability
         active = [node for node, m in zip(enabled, mask) if m]
         if not active:
@@ -421,9 +557,22 @@ def run_distributed(
         move_log.append(fired)
         if history is not None:
             history.append(current)
+        if recorder is not None:
+            round_counts: Dict[str, int] = {}
+            for name in fired.values():
+                round_counts[name] = round_counts.get(name, 0) + 1
+            recorder.on_round(
+                round_counts,
+                graph.n,
+                census_fn(current) if census_fn is not None else None,
+            )
         for monitor in monitors:
             monitor.on_round(steps, current)
+    else:  # budget exhausted without break — one final quiescence check
+        stabilized = _final_quiescence(protocol, graph, current)
 
+    if recorder is not None:
+        recorder.begin_finalize()
     execution = Execution(
         protocol_name=protocol.name,
         daemon="distributed",
@@ -437,6 +586,8 @@ def run_distributed(
         history=history,
         legitimate=protocol.is_legitimate(graph, current),
     )
+    if recorder is not None:
+        execution.telemetry = recorder.finish()
     for monitor in monitors:
         monitor.on_finish(execution)
     if raise_on_timeout and not execution.stabilized:

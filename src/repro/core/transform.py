@@ -41,6 +41,8 @@ import numpy as np
 from repro.core.configuration import Configuration
 from repro.core.executor import (
     Execution,
+    _final_quiescence,
+    _make_recorder,
     _resolve_config,
     build_view,
 )
@@ -82,6 +84,7 @@ def run_synchronized_central(
     monitors: Sequence[Monitor] = (),
     raise_on_timeout: bool = False,
     count_beacon_rounds: bool = False,
+    telemetry: bool = False,
 ) -> Execution:
     """Run a central-daemon protocol in the synchronous model via local
     mutual exclusion.
@@ -89,13 +92,19 @@ def run_synchronized_central(
     Per refinement round: evaluate every node's guard on the current
     configuration; fire exactly the privileged nodes whose priority
     beats every privileged closed-neighbour.  Stabilizes when no node
-    is privileged.
+    is privileged; on budget exhaustion a final randomness-free
+    quiescence check runs, as in
+    :func:`repro.core.executor.run_synchronous`.  Rounds count every
+    tick elapsed, including zero-move rounds of randomized protocols
+    (empty ``{}`` move-log entries).
 
     Parameters mirror :func:`repro.core.executor.run_synchronous`.
     ``priority`` selects the scheme (``"id"`` or ``"random"``); with
     ``count_beacon_rounds=True`` the returned execution reports rounds
     in beacon time (refinement rounds × :data:`BEACON_ROUNDS_PER_STEP`),
-    which is the honest unit for comparing against SMM in E5.
+    which is the honest unit for comparing against SMM in E5 — the
+    attached telemetry (``telemetry=True``) always counts refinement
+    rounds.
     """
     gen = ensure_rng(rng)
     current = _resolve_config(protocol, graph, config)
@@ -106,9 +115,19 @@ def run_synchronized_central(
     move_log = []
     history = [current] if record_history else None
 
+    recorder = census_fn = None
+    if telemetry:
+        recorder, census_fn = _make_recorder(
+            protocol, graph, f"sync-central-refined:{priority}"
+        )
+        if census_fn is not None:
+            recorder.record_census(census_fn(current))
+
     for monitor in monitors:
         monitor.on_start(graph, current)
 
+    if recorder is not None:
+        recorder.begin_rounds()
     stabilized = False
     rounds = 0
     while rounds < budget:
@@ -130,6 +149,17 @@ def run_synchronized_central(
                 stabilized = True
                 break
             rounds += 1  # randomized guards: nobody won; redraw
+            move_log.append({})
+            if history is not None:
+                history.append(current)
+            if recorder is not None:
+                recorder.on_round(
+                    {},
+                    graph.n,
+                    census_fn(current) if census_fn is not None else None,
+                )
+            for monitor in monitors:
+                monitor.on_round(rounds, current)
             continue
         prio = _priorities(priority, graph, gen)
         movers = [
@@ -159,9 +189,22 @@ def run_synchronized_central(
         move_log.append(fired)
         if history is not None:
             history.append(current)
+        if recorder is not None:
+            round_counts: Dict[str, int] = {}
+            for name in fired.values():
+                round_counts[name] = round_counts.get(name, 0) + 1
+            recorder.on_round(
+                round_counts,
+                graph.n,
+                census_fn(current) if census_fn is not None else None,
+            )
         for monitor in monitors:
             monitor.on_round(rounds, current)
+    else:
+        stabilized = _final_quiescence(protocol, graph, current)
 
+    if recorder is not None:
+        recorder.begin_finalize()
     reported_rounds = (
         rounds * BEACON_ROUNDS_PER_STEP if count_beacon_rounds else rounds
     )
@@ -178,6 +221,8 @@ def run_synchronized_central(
         history=history,
         legitimate=protocol.is_legitimate(graph, current),
     )
+    if recorder is not None:
+        execution.telemetry = recorder.finish()
     for monitor in monitors:
         monitor.on_finish(execution)
     if raise_on_timeout and not execution.stabilized:

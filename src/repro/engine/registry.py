@@ -43,7 +43,7 @@ PROTOCOLS: Dict[str, Callable[[], object]] = {}
 
 #: Capabilities of the reference engine: it can do everything.
 REFERENCE_CAPABILITIES = frozenset(
-    {"move_log", "history", "monitors", "rng", "active_set"}
+    {"move_log", "history", "monitors", "rng", "active_set", "telemetry"}
 )
 
 Runner = Callable[..., RunResult]
@@ -363,14 +363,18 @@ def _register_builtins() -> None:
     register_protocol("smm-arbitrary-clockwise", _make_arbitrary_clockwise)
     register_protocol("smm-max-accept", _make_smm_max_accept)
 
-    # kernel backends (runners are the kernel modules' engine adapters)
-    active = frozenset({"active_set"})
+    # kernel backends (runners are the kernel modules' engine adapters).
+    # every kernel implements cheap telemetry collection (it already
+    # computes the per-rule fire masks; summing them is nearly free), so
+    # requesting telemetry never disqualifies the fast path.
+    telemetry = frozenset({"telemetry"})
+    active = frozenset({"active_set"}) | telemetry
     register_backend(
         "smm",
         "synchronous",
         "vectorized",
         _lazy_runner("repro.matching.smm_vectorized", "run_engine"),
-        capabilities=frozenset({"active_set"}),
+        capabilities=active,
         priority=20,
         supports=_supports_plain_smm(active),
     )
@@ -379,15 +383,16 @@ def _register_builtins() -> None:
         "synchronous",
         "batch",
         _lazy_runner("repro.matching.smm_batch", "run_engine"),
+        capabilities=telemetry,
         priority=10,
-        supports=_supports_plain_smm(),
+        supports=_supports_plain_smm(telemetry),
     )
     register_backend(
         "sis",
         "synchronous",
         "vectorized",
         _lazy_runner("repro.mis.sis_vectorized", "run_engine"),
-        capabilities=frozenset({"active_set"}),
+        capabilities=active,
         priority=20,
         supports=_supports_kernel(
             "repro.mis.sis.SynchronousMaximalIndependentSet", active
@@ -398,9 +403,10 @@ def _register_builtins() -> None:
         "synchronous",
         "batch",
         _lazy_runner("repro.mis.sis_batch", "run_engine"),
+        capabilities=telemetry,
         priority=10,
         supports=_supports_kernel(
-            "repro.mis.sis.SynchronousMaximalIndependentSet"
+            "repro.mis.sis.SynchronousMaximalIndependentSet", telemetry
         ),
     )
     register_backend(
@@ -408,9 +414,9 @@ def _register_builtins() -> None:
         "synchronous",
         "vectorized",
         _lazy_runner("repro.mis.luby_vectorized", "run_engine"),
-        capabilities=frozenset({"rng"}),
+        capabilities=frozenset({"rng"}) | telemetry,
         priority=20,
-        supports=_supports_kernel("repro.mis.variants.LubyStyleMIS"),
+        supports=_supports_kernel("repro.mis.variants.LubyStyleMIS", telemetry),
     )
 
 

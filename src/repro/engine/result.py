@@ -29,6 +29,7 @@ from repro.types import NodeId
 if TYPE_CHECKING:  # import-light on purpose: repro.core.executor
     # imports this module, so importing repro.core here would cycle.
     from repro.core.configuration import Configuration
+    from repro.observability import RunTelemetry
 
 
 @dataclass
@@ -44,8 +45,14 @@ class RunResult:
         True iff a configuration with no privileged node was reached
         within the budget.
     rounds:
-        Synchronous/distributed daemons: number of rounds in which at
-        least one node moved.  Central daemon: equals ``moves``.
+        Daemon ticks *elapsed* before quiescence was detected (the
+        paper's round notion): under the synchronous, distributed and
+        synchronized-central daemons every round counts — including
+        rounds in which a randomized protocol moved no node (the
+        beacons were still exchanged; such rounds appear as ``{}``
+        entries in ``move_log``).  Central daemon: equals ``moves``
+        (one move per step by definition; a randomized protocol's
+        unlucky zero-move draws consume budget but are not counted).
     moves:
         Total rule firings.
     moves_by_rule:
@@ -67,6 +74,12 @@ class RunResult:
     backend:
         Name of the backend that produced this result (``"reference"``,
         ``"vectorized"``, ``"batch"``, ...).
+    telemetry:
+        :class:`~repro.observability.RunTelemetry` when the run was
+        made with ``telemetry=True`` (per-round moves by rule, node-type
+        census, phase wall-clocks); ``None`` otherwise.  Every built-in
+        backend advertises the ``"telemetry"`` capability, so requesting
+        it never forces a run off the fast path.
     """
 
     protocol_name: str
@@ -81,6 +94,7 @@ class RunResult:
     history: Optional[List[Configuration]] = None
     legitimate: bool = False
     backend: str = "reference"
+    telemetry: Optional[RunTelemetry] = None
 
     def rounds_to_stabilize(self) -> int:
         """Rounds actually needed (alias of :attr:`rounds`); raises if

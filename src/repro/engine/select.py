@@ -81,12 +81,23 @@ def select_backend(
     return chosen
 
 
+#: Option name → the registry capability it requires.  Options not
+#: listed here require a capability of their own name (``monitors`` →
+#: ``"monitors"``, ``telemetry`` → ``"telemetry"``, ``active_set`` →
+#: ``"active_set"``, an injected chooser or daemon strategy → itself),
+#: which only backends that implement them advertise.
+_OPTION_CAPABILITIES = {"record_history": "history"}
+
+
 def fallback_backend(
     protocol: str,
     daemon: str = "synchronous",
     backend: str = "reference",
     *,
     record_history: bool = False,
+    monitors: object = (),
+    telemetry: bool = False,
+    **options: object,
 ) -> str:
     """Statically degrade a *requested* backend name to ``"reference"``
     when it is not registered for ``(protocol, daemon)`` or lacks a
@@ -98,14 +109,29 @@ def fallback_backend(
     on the reference engine instead of erroring.  ``"auto"`` and
     ``"reference"`` pass through untouched — ``auto`` already degrades
     per run, dynamically.
+
+    *Every* truthy capability-bearing option degrades, not just
+    ``record_history``: ``monitors``, the ``telemetry`` flag, and any
+    extra runner option (mapped to a capability via
+    :data:`_OPTION_CAPABILITIES`, or to a capability of its own name).
+    Since every built-in backend advertises ``"telemetry"``,
+    ``telemetry=True`` alone never degrades.
     """
     if backend in ("auto", "reference"):
         return backend
     found = registry.BACKENDS.get((protocol, daemon, backend))
     if found is None:
         return "reference"
-    if record_history and "history" not in found.capabilities:
-        return "reference"
+    requested = dict(options)
+    requested["record_history"] = record_history
+    requested["monitors"] = monitors
+    requested["telemetry"] = telemetry
+    for option, value in requested.items():
+        if not value:
+            continue
+        capability = _OPTION_CAPABILITIES.get(option, option)
+        if capability not in found.capabilities:
+            return "reference"
     return backend
 
 
@@ -140,9 +166,11 @@ def run(
         whatever the daemon calls it (moves for central, steps for
         distributed); each backend applies the reference engine's
         documented default when omitted.  Extra ``options`` (monitors,
-        daemon strategy, ``active_set``, ...) participate in backend
-        selection: a backend that cannot honour them is skipped by
-        ``auto`` and rejected when explicit.
+        daemon strategy, ``active_set``, ``telemetry=True``, ...)
+        participate in backend selection: a backend that cannot honour
+        them is skipped by ``auto`` and rejected when explicit.  Every
+        built-in backend implements ``telemetry``, so requesting it
+        keeps plain SMM/SIS runs on the vectorized kernel.
 
     Returns
     -------

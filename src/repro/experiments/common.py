@@ -126,6 +126,7 @@ def run_spec_groups(
     groups_for,
     *,
     jobs: Optional[int] = 1,
+    telemetry: Optional[str] = None,
 ) -> Tuple[List["RunResult"], List[SpecCell]]:
     """Sweep workloads, collect trial specs, run them as one batch.
 
@@ -139,7 +140,14 @@ def run_spec_groups(
     init mode).  Returns ``(executions, cells)`` where each cell
     ``(family, graph, label, lo, hi)`` marks its group's slice of the
     execution list.
+
+    ``telemetry`` is a JSONL path: every spec is run with per-round
+    telemetry collection (workers send it back inside their pickled
+    results) and one record per trial is appended to the file, in spec
+    order — deterministic whatever ``jobs`` is.
     """
+    import dataclasses
+
     specs: List[TrialSpec] = []
     cells: List[SpecCell] = []
     for family, _n, graph, rng in graph_workloads(families, sizes, seed):
@@ -147,7 +155,32 @@ def run_spec_groups(
             start = len(specs)
             specs.extend(group)
             cells.append((family, graph, label, start, len(specs)))
-    return run_trials(specs, jobs=jobs), cells
+    if telemetry is not None:
+        specs = [dataclasses.replace(spec, telemetry=True) for spec in specs]
+    executions = run_trials(specs, jobs=jobs)
+    if telemetry is not None:
+        from repro.observability import TelemetrySink
+
+        sink = TelemetrySink(telemetry)
+        records = []
+        for family, graph, label, lo, hi in cells:
+            for idx in range(lo, hi):
+                result = executions[idx]
+                records.append(
+                    {
+                        "family": family,
+                        "n": graph.n,
+                        "label": str(label),
+                        "trial": idx - lo,
+                        "telemetry": (
+                            result.telemetry.to_dict()
+                            if result.telemetry is not None
+                            else None
+                        ),
+                    }
+                )
+        sink.write_many(records)
+    return executions, cells
 
 
 # ----------------------------------------------------------------------

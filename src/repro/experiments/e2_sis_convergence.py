@@ -47,13 +47,16 @@ def run(
     verify: bool = True,
     jobs: int = 1,
     backend: str = "reference",
+    telemetry: str | None = None,
 ) -> ExperimentResult:
     """Sweep SIS convergence; see module docstring.
 
     ``jobs`` fans the (independent, deterministic) trials across worker
     processes; results are bit-identical to ``jobs=1``.  ``backend``
     selects the execution engine (:mod:`repro.engine`) — every backend
-    produces identical rows, just at different speed.
+    produces identical rows, just at different speed.  ``telemetry``
+    (a JSONL path) streams one per-trial telemetry record for the main
+    sweep through :class:`repro.observability.TelemetrySink`.
     """
     result = ExperimentResult(
         experiment="E2",
@@ -86,7 +89,9 @@ def run(
                 )
             ]
 
-    executions, cells = run_spec_groups(families, sizes, seed, groups, jobs=jobs)
+    executions, cells = run_spec_groups(
+        families, sizes, seed, groups, jobs=jobs, telemetry=telemetry
+    )
 
     for family, graph, mode, lo, hi in cells:
         bound = sis_round_bound(graph.n)

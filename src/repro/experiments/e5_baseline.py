@@ -45,6 +45,7 @@ def run(
     seed: int = 50,
     jobs: int = 1,
     backend: str = "reference",
+    telemetry: str | None = None,
 ) -> ExperimentResult:
     """Head-to-head SMM vs synchronized Hsu–Huang; see module doc.
 
@@ -54,6 +55,9 @@ def run(
     of the spec and ``jobs=N`` output is bit-identical to ``jobs=1``.
     ``backend`` applies where a matching kernel is registered (the SMM
     runs); the Hsu–Huang refinements degrade to the reference engine.
+    ``telemetry`` (a JSONL path) streams one per-trial telemetry record
+    through :class:`repro.observability.TelemetrySink` — all four
+    engines support collection, the refinements on the reference path.
     """
     result = ExperimentResult(
         experiment="E5",
@@ -123,7 +127,9 @@ def run(
             )
         yield None, specs
 
-    executions, cells = run_spec_groups(families, sizes, seed, groups, jobs=jobs)
+    executions, cells = run_spec_groups(
+        families, sizes, seed, groups, jobs=jobs, telemetry=telemetry
+    )
 
     for family, graph, _label, lo, hi in cells:
         smm_rounds, id_rounds, rand_rounds, central_moves = [], [], [], []

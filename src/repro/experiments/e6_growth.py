@@ -50,6 +50,7 @@ def run(
     seed: int = 60,
     jobs: int = 1,
     backend: str = "reference",
+    telemetry: str | None = None,
 ) -> ExperimentResult:
     """Check Lemmas 1/9/10 over the sweep; see module docstring.
 
@@ -57,7 +58,9 @@ def run(
     across worker processes; results are bit-identical to ``jobs=1``.
     The lemma checks replay full histories, which only the reference
     engine records — a ``backend`` without the ``history`` capability
-    degrades to ``"reference"``.
+    degrades to ``"reference"``.  ``telemetry`` (a JSONL path) streams
+    one per-trial telemetry record through
+    :class:`repro.observability.TelemetrySink`.
     """
     result = ExperimentResult(
         experiment="E6",
@@ -84,7 +87,7 @@ def run(
         ]
 
     all_executions, cells = run_spec_groups(
-        families, sizes, seed, groups, jobs=jobs
+        families, sizes, seed, groups, jobs=jobs, telemetry=telemetry
     )
 
     for family, graph, _label, lo, hi in cells:

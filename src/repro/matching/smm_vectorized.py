@@ -305,6 +305,34 @@ class VectorizedSMM:
             )
         return result
 
+    def census(self, ptr: np.ndarray) -> Dict[str, int]:
+        """Fig. 2 node-type histogram of a dense pointer array.
+
+        Keys are the string values of
+        :class:`repro.matching.classification.NodeType` in enum order;
+        counts equal ``type_counts`` on the decoded configuration
+        (pinned by the telemetry equivalence tests).
+        """
+        n = self.n
+        is_null = ptr < 0
+        safe = np.where(is_null, 0, ptr)  # masked below
+        matched = (~is_null) & (ptr[safe] == np.arange(n))
+        has_suitor = np.zeros(n, dtype=bool)
+        np.logical_or.at(
+            has_suitor, self._row, ptr[self._indices] == self._row
+        )
+        pointing = (~is_null) & ~matched
+        return {
+            "M": int(matched.sum()),
+            "A0": int((is_null & ~has_suitor).sum()),
+            "A1": int((is_null & has_suitor).sum()),
+            "PA": int((pointing & is_null[safe]).sum()),
+            "PM": int((pointing & matched[safe]).sum()),
+            "PP": int(
+                (pointing & ~matched[safe] & ~is_null[safe]).sum()
+            ),
+        }
+
     def matching(self, ptr: np.ndarray) -> frozenset[tuple[NodeId, NodeId]]:
         """Extract matched edges (reciprocated pointers) from a dense
         pointer array, in node ids."""
@@ -320,6 +348,55 @@ class VectorizedSMM:
 # ----------------------------------------------------------------------
 # engine backend adapter
 # ----------------------------------------------------------------------
+def telemetry_run(protocol, kernel: VectorizedSMM, ptr: np.ndarray,
+                  budget: int, backend: str):
+    """Full-scan SMM run with per-round counter and census recording.
+
+    Mirrors the reference loop structure exactly (step → zero-fire
+    stabilized break → budget break → apply and count), so rounds,
+    total moves and the per-round telemetry counters are byte-identical
+    with the reference engine.  The active-set fast path is bypassed:
+    telemetry wants the per-round census anyway, which is a full-array
+    pass.  Returns ``(VectorResult, recorder)`` with the recorder left
+    in its finalize phase (caller calls ``finish()`` after decoding).
+    """
+    from repro.observability import TelemetryRecorder
+
+    recorder = TelemetryRecorder(
+        protocol.name, "synchronous", backend, protocol.rule_names()
+    )
+    recorder.record_census(kernel.census(ptr))
+    recorder.begin_rounds()
+    moves_by_rule = {"R1": 0, "R2": 0, "R3": 0}
+    rounds = 0
+    stabilized = False
+    while True:
+        new_ptr, r1, r2, r3 = kernel.step(ptr)
+        c1, c2, c3 = int(r1.sum()), int(r2.sum()), int(r3.sum())
+        if c1 + c2 + c3 == 0:
+            stabilized = True
+            break
+        if rounds >= budget:
+            break
+        ptr = new_ptr
+        rounds += 1
+        moves_by_rule["R1"] += c1
+        moves_by_rule["R2"] += c2
+        moves_by_rule["R3"] += c3
+        recorder.on_round(
+            {"R1": c1, "R2": c2, "R3": c3}, kernel.n, kernel.census(ptr)
+        )
+    recorder.begin_finalize()
+    res = VectorResult(
+        stabilized=stabilized,
+        rounds=rounds,
+        moves=sum(moves_by_rule.values()),
+        moves_by_rule=moves_by_rule,
+        final_ptr=ptr,
+    )
+    return res, recorder
+
+
 def run_engine(
     protocol,
     graph: Graph,
@@ -330,6 +407,7 @@ def run_engine(
     record_history: bool = False,
     raise_on_timeout: bool = False,
     active_set: bool = True,
+    telemetry: bool = False,
 ):
     """Registered ``("smm", "synchronous", "vectorized")`` backend.
 
@@ -338,7 +416,9 @@ def run_engine(
     returns a :class:`~repro.engine.result.RunResult` with the summary
     fields (``move_log``/``history`` stay ``None`` — this backend does
     not trace; ``rng``/``record_history`` are accepted for the uniform
-    runner signature, and selection guarantees they are unused).
+    runner signature, and selection guarantees they are unused).  With
+    ``telemetry=True`` the run collects per-round rule counters and the
+    Fig. 2 node-type census into ``result.telemetry``.
     """
     from repro.core.executor import _default_round_budget, _resolve_config
     from repro.engine.result import RunResult
@@ -346,7 +426,13 @@ def run_engine(
     initial = _resolve_config(protocol, graph, config)
     kernel = VectorizedSMM(graph)
     budget = max_rounds if max_rounds is not None else _default_round_budget(graph)
-    res = kernel.run(initial, max_rounds=budget, active_set=active_set)
+    recorder = None
+    if telemetry:
+        res, recorder = telemetry_run(
+            protocol, kernel, kernel.encode(initial), budget, "vectorized"
+        )
+    else:
+        res = kernel.run(initial, max_rounds=budget, active_set=active_set)
     final = kernel.decode(res.final_ptr)
     result = RunResult(
         protocol_name=protocol.name,
@@ -360,6 +446,8 @@ def run_engine(
         legitimate=protocol.is_legitimate(graph, final),
         backend="vectorized",
     )
+    if recorder is not None:
+        result.telemetry = recorder.finish()
     if raise_on_timeout and not result.stabilized:
         raise StabilizationTimeout(
             f"{protocol.name} exceeded {budget} synchronous rounds", result

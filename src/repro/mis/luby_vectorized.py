@@ -170,6 +170,54 @@ class VectorizedLuby:
 # ----------------------------------------------------------------------
 # engine backend adapter
 # ----------------------------------------------------------------------
+def _telemetry_run(protocol, kernel: VectorizedLuby, x: np.ndarray,
+                   budget: int, rng):
+    """Luby run with per-round counter recording.
+
+    Consumes the generator draw-for-draw like :meth:`VectorizedLuby.run`
+    (quiescence check *before* drawing, one ``random(n)`` per round), so
+    trajectories — and hence the per-round counters — are bit-identical
+    with both the plain kernel path and the reference engine.  Returns
+    ``(VectorResult, recorder)`` with the recorder in its finalize
+    phase.
+    """
+    from repro.observability import TelemetryRecorder
+
+    recorder = TelemetryRecorder(
+        protocol.name, "synchronous", "vectorized", protocol.rule_names()
+    )
+    recorder.begin_rounds()
+    gen = ensure_rng(rng)
+    moves_by_rule = {"R1": 0, "R2": 0}
+    rounds = 0
+    stabilized = False
+    while rounds < budget:
+        if kernel.is_quiescent(x):
+            stabilized = True
+            break
+        draws = gen.random(kernel.n)
+        new_x = kernel.step(x, draws)
+        changed = new_x != x
+        c1 = int((changed & (new_x == 1)).sum())
+        c2 = int((changed & (new_x == 0)).sum())
+        x = new_x
+        rounds += 1
+        moves_by_rule["R1"] += c1
+        moves_by_rule["R2"] += c2
+        recorder.on_round({"R1": c1, "R2": c2}, kernel.n)
+    else:
+        stabilized = kernel.is_quiescent(x)
+    recorder.begin_finalize()
+    res = VectorResult(
+        stabilized=stabilized,
+        rounds=rounds,
+        moves=sum(moves_by_rule.values()),
+        moves_by_rule=moves_by_rule,
+        final_x=x,
+    )
+    return res, recorder
+
+
 def run_engine(
     protocol,
     graph: Graph,
@@ -179,13 +227,16 @@ def run_engine(
     max_rounds: Optional[int] = None,
     record_history: bool = False,
     raise_on_timeout: bool = False,
+    telemetry: bool = False,
 ):
     """Registered ``("luby", "synchronous", "vectorized")`` backend.
 
     The kernel consumes the generator draw-for-draw like the reference
     engine, so ``engine.run("luby", g, rng=seed, backend=b)`` is
     trajectory-identical for both backends.  The reference engine's
-    randomized default budget (``10·n + 100``) applies here too.
+    randomized default budget (``10·n + 100``) applies here too.  With
+    ``telemetry=True`` the run collects per-round rule counters into
+    ``result.telemetry``.
     """
     from repro.core.executor import _default_round_budget, _resolve_config
     from repro.engine.result import RunResult
@@ -193,7 +244,13 @@ def run_engine(
     initial = _resolve_config(protocol, graph, config)
     kernel = VectorizedLuby(graph)
     budget = max_rounds if max_rounds is not None else _default_round_budget(graph)
-    res = kernel.run(initial, rng=rng, max_rounds=budget)
+    recorder = None
+    if telemetry:
+        res, recorder = _telemetry_run(
+            protocol, kernel, kernel.encode(initial), budget, rng
+        )
+    else:
+        res = kernel.run(initial, rng=rng, max_rounds=budget)
     final = kernel.decode(res.final_x)
     result = RunResult(
         protocol_name=protocol.name,
@@ -207,6 +264,8 @@ def run_engine(
         legitimate=protocol.is_legitimate(graph, final),
         backend="vectorized",
     )
+    if recorder is not None:
+        result.telemetry = recorder.finish()
     if raise_on_timeout and not result.stabilized:
         raise StabilizationTimeout(
             f"{protocol.name} exceeded {budget} synchronous rounds", result

@@ -196,6 +196,51 @@ class VectorizedSIS:
 # ----------------------------------------------------------------------
 # engine backend adapter
 # ----------------------------------------------------------------------
+def telemetry_run(protocol, kernel: VectorizedSIS, x: np.ndarray,
+                  budget: int, backend: str):
+    """Full-scan SIS run with per-round counter recording.
+
+    Mirrors the reference loop structure exactly, so rounds, moves and
+    the per-round telemetry counters are byte-identical with the
+    reference engine.  No node-type census — the Fig. 2 taxonomy is a
+    matching notion.  Returns ``(VectorResult, recorder)`` with the
+    recorder in its finalize phase.
+    """
+    from repro.observability import TelemetryRecorder
+
+    recorder = TelemetryRecorder(
+        protocol.name, "synchronous", backend, protocol.rule_names()
+    )
+    recorder.begin_rounds()
+    moves_by_rule = {"R1": 0, "R2": 0}
+    rounds = 0
+    stabilized = False
+    while True:
+        new_x = kernel.step(x)
+        changed = new_x != x
+        c1 = int((changed & (new_x == 1)).sum())
+        c2 = int((changed & (new_x == 0)).sum())
+        if c1 + c2 == 0:
+            stabilized = True
+            break
+        if rounds >= budget:
+            break
+        x = new_x
+        rounds += 1
+        moves_by_rule["R1"] += c1
+        moves_by_rule["R2"] += c2
+        recorder.on_round({"R1": c1, "R2": c2}, kernel.n)
+    recorder.begin_finalize()
+    res = VectorResult(
+        stabilized=stabilized,
+        rounds=rounds,
+        moves=sum(moves_by_rule.values()),
+        moves_by_rule=moves_by_rule,
+        final_x=x,
+    )
+    return res, recorder
+
+
 def run_engine(
     protocol,
     graph: Graph,
@@ -206,13 +251,15 @@ def run_engine(
     record_history: bool = False,
     raise_on_timeout: bool = False,
     active_set: bool = True,
+    telemetry: bool = False,
 ):
     """Registered ``("sis", "synchronous", "vectorized")`` backend.
 
     Same contract as the SMM adapter: reference-identical config
     validation and default budget, summary-only
     :class:`~repro.engine.result.RunResult`, legitimacy evaluated once
-    through ``protocol.is_legitimate``.
+    through ``protocol.is_legitimate``.  With ``telemetry=True`` the run
+    collects per-round rule counters into ``result.telemetry``.
     """
     from repro.core.executor import _default_round_budget, _resolve_config
     from repro.engine.result import RunResult
@@ -220,7 +267,13 @@ def run_engine(
     initial = _resolve_config(protocol, graph, config)
     kernel = VectorizedSIS(graph)
     budget = max_rounds if max_rounds is not None else _default_round_budget(graph)
-    res = kernel.run(initial, max_rounds=budget, active_set=active_set)
+    recorder = None
+    if telemetry:
+        res, recorder = telemetry_run(
+            protocol, kernel, kernel.encode(initial), budget, "vectorized"
+        )
+    else:
+        res = kernel.run(initial, max_rounds=budget, active_set=active_set)
     final = kernel.decode(res.final_x)
     result = RunResult(
         protocol_name=protocol.name,
@@ -234,6 +287,8 @@ def run_engine(
         legitimate=protocol.is_legitimate(graph, final),
         backend="vectorized",
     )
+    if recorder is not None:
+        result.telemetry = recorder.finish()
     if raise_on_timeout and not result.stabilized:
         raise StabilizationTimeout(
             f"{protocol.name} exceeded {budget} synchronous rounds", result

@@ -66,6 +66,13 @@ class TrialSpec:
         Execution backend (:mod:`repro.engine`): ``"reference"`` (the
         default), ``"auto"``, or an explicit registered kernel such as
         ``"vectorized"``/``"batch"``.
+    telemetry:
+        Attach a :class:`~repro.observability.RunTelemetry` record to
+        the trial's result.  Telemetry rides back through the ordinary
+        pickled :class:`RunResult`, so per-worker collection needs no
+        extra plumbing; aggregate with
+        :func:`repro.observability.merge_telemetry` or write records out
+        with :class:`repro.observability.TelemetrySink`.
     """
 
     protocol: str
@@ -77,6 +84,7 @@ class TrialSpec:
     seed: Optional[int] = None
     options: Tuple[Tuple[str, object], ...] = ()
     backend: str = "reference"
+    telemetry: bool = False
 
 
 def execute_trial(spec: TrialSpec) -> RunResult:
@@ -87,6 +95,11 @@ def execute_trial(spec: TrialSpec) -> RunResult:
     all live there)."""
     from repro.engine import run as engine_run
 
+    options = dict(spec.options)
+    if spec.telemetry:
+        # only forwarded when requested, so runners without the keyword
+        # (externally registered backends) keep working untouched
+        options["telemetry"] = True
     return engine_run(
         spec.protocol,
         spec.graph,
@@ -96,8 +109,30 @@ def execute_trial(spec: TrialSpec) -> RunResult:
         rng=spec.seed,
         max_rounds=spec.max_rounds,
         record_history=spec.record_history,
-        **dict(spec.options),
+        **options,
     )
+
+
+class _TrialFailure:
+    """Picklable wrapper tagging an exception as *raised by a trial*,
+    as opposed to by the pool machinery.  Without the tag, a trial's
+    own ``OSError``/``RuntimeError`` escaping ``pool.map`` is
+    indistinguishable from pool death — and was silently swallowed by
+    the inline-fallback path, re-running every trial (including the
+    failing one, now raising from a misleading inline stack)."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+
+
+def _execute_trial_tagged(spec: TrialSpec):
+    """Worker entry point: run the trial, tagging its own exceptions."""
+    try:
+        return execute_trial(spec)
+    except Exception as exc:
+        return _TrialFailure(exc)
 
 
 # ----------------------------------------------------------------------
@@ -164,7 +199,13 @@ class TrialRunner:
                 max_workers=min(self.jobs, len(specs)),
                 initializer=_pin_worker_threads,
             ) as pool:
-                return list(pool.map(execute_trial, specs, chunksize=chunk))
+                # trial exceptions come back tagged as _TrialFailure, so
+                # an exception reaching the except clause below really is
+                # pool machinery failing — a trial's own OSError or
+                # RuntimeError must propagate, not trigger the fallback
+                outcomes = list(
+                    pool.map(_execute_trial_tagged, specs, chunksize=chunk)
+                )
         except (BrokenProcessPool, OSError, RuntimeError) as exc:
             # Pool died (OOM kill, fork failure, interpreter without
             # multiprocessing support...): the trials are side-effect
@@ -177,6 +218,10 @@ class TrialRunner:
                 stacklevel=2,
             )
             return [execute_trial(spec) for spec in specs]
+        for outcome in outcomes:
+            if isinstance(outcome, _TrialFailure):
+                raise outcome.error
+        return outcomes
 
 
 def run_trials(

@@ -174,6 +174,51 @@ class TestFallbackBackend:
             == "reference"
         )
 
+    def test_monitors_degrade(self):
+        from repro.core.invariants import HistoryMonitor
+
+        # regression: only record_history used to be checked here, so a
+        # batch planned with monitors kept the kernel name and raised at
+        # run time; monitors must degrade like any capability gap
+        assert (
+            fallback_backend(
+                "smm", backend="vectorized", monitors=(HistoryMonitor(),)
+            )
+            == "reference"
+        )
+        assert (
+            fallback_backend("smm", backend="vectorized", monitors=())
+            == "vectorized"
+        )
+
+    def test_telemetry_stays_on_kernel(self):
+        # every built-in backend advertises the telemetry capability,
+        # so requesting it alone never pushes a run off the fast path
+        assert (
+            fallback_backend("smm", backend="vectorized", telemetry=True)
+            == "vectorized"
+        )
+        assert fallback_backend("sis", backend="batch", telemetry=True) == "batch"
+        assert (
+            fallback_backend(
+                "smm", backend="vectorized", telemetry=True, record_history=True
+            )
+            == "reference"
+        )
+
+    def test_unknown_truthy_option_degrades(self):
+        # options with no capability mapping require a capability of
+        # their own name, which no kernel advertises
+        assert (
+            fallback_backend("smm", backend="vectorized", accept_chooser=max)
+            == "reference"
+        )
+        # falsy options never disqualify
+        assert (
+            fallback_backend("smm", backend="vectorized", accept_chooser=None)
+            == "vectorized"
+        )
+
 
 class TestRunResult:
     def test_execution_is_runresult_alias(self):

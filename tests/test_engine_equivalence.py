@@ -92,6 +92,47 @@ class TestKernelEquivalence:
         assert_equivalent(reference, result)
 
 
+class TestTelemetryEquivalence:
+    """Telemetry *counters* are byte-identical across backends.
+
+    The diagnostic fields (``active_set_sizes``, ``timings``) describe
+    the producing backend and are deliberately excluded.
+    """
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("key,backend", KERNEL_CASES)
+    def test_telemetry_counters_match_reference(self, key, backend, family, seed):
+        graph = make_graph(family, seed)
+        protocol = make_protocol(key)
+        config = random_configuration(protocol, graph, ensure_rng(seed))
+        reference = run(
+            key, graph, config, backend="reference", rng=seed, telemetry=True
+        )
+        result = run(
+            key, graph, config, backend=backend, rng=seed, telemetry=True
+        )
+        ref_t, res_t = reference.telemetry, result.telemetry
+        assert ref_t is not None and res_t is not None
+        assert res_t.backend == backend
+        assert res_t.rounds == ref_t.rounds == result.rounds
+        assert res_t.moves == ref_t.moves
+        assert res_t.moves_by_rule == ref_t.moves_by_rule
+        assert res_t.per_round_moves == ref_t.per_round_moves
+        assert res_t.node_type_census == ref_t.node_type_census
+        assert_equivalent(reference, result)
+
+    @pytest.mark.parametrize("key", ("smm", "sis"))
+    def test_auto_with_telemetry_selects_vectorized(self, key):
+        # telemetry is a capability every kernel implements, so asking
+        # for it must not push a plain run off the fast path
+        graph = cycle_graph(10)
+        result = run(key, graph, backend="auto", telemetry=True)
+        assert result.backend == "vectorized"
+        assert result.telemetry is not None
+        assert result.telemetry.backend == "vectorized"
+
+
 class TestDegenerateGraphs:
     @pytest.mark.parametrize("key,backend", KERNEL_CASES)
     def test_empty_graph(self, key, backend):

@@ -12,12 +12,52 @@ from repro.core.executor import (
 )
 from repro.core.invariants import HistoryMonitor
 from repro.errors import InvalidConfigurationError, StabilizationTimeout
+from repro.core.protocol import Protocol, Rule
 from repro.graphs.generators import cycle_graph, path_graph
 from repro.matching.smm import SynchronousMaximalMatching
 from repro.mis.sis import SynchronousMaximalIndependentSet
+from repro.mis.variants import LubyStyleMIS
 
 SIS = SynchronousMaximalIndependentSet()
 SMM = SynchronousMaximalMatching()
+
+
+class CoinFlipBit(Protocol):
+    """Randomized one-bit protocol with genuine zero-move rounds.
+
+    A 0-node flips to 1 only when its per-round variate exceeds 1/2, so
+    a synchronous round in which every pending node draws tails fires
+    nothing — yet a round of communication has still elapsed.  Used to
+    pin the rounds-are-elapsed-ticks accounting.
+    """
+
+    name = "coin-flip-bit"
+    uses_randomness = True
+
+    def rules(self):
+        return (
+            Rule(
+                "FLIP",
+                guard=lambda v: v.state == 0 and v.rand > 0.5,
+                action=lambda v: 1,
+            ),
+        )
+
+    def initial_state(self, node, graph):
+        return 0
+
+    def random_state(self, node, graph, rng):
+        return int(rng.integers(2))
+
+    def is_legitimate(self, graph, config):
+        return all(s == 1 for s in config.values())
+
+    def is_quiescent(self, graph, config):
+        # losing every coin toss proves nothing about the next round
+        return all(s == 1 for s in config.values())
+
+
+COIN = CoinFlipBit()
 
 
 class TestBuildView:
@@ -139,6 +179,76 @@ class TestRunSynchronous:
 
     def test_daemon_label(self):
         assert run_synchronous(SIS, path_graph(3)).daemon == "synchronous"
+
+
+class TestRoundsAreElapsedTicks:
+    """Regression: ``rounds`` counts elapsed ticks, not active rounds.
+
+    An unlucky synchronous round of a randomized protocol (every guard
+    lost its draw) used to vanish from the accounting entirely; it now
+    consumes a round and logs an empty move entry.
+    """
+
+    def test_zero_move_rounds_counted_and_logged(self):
+        unlucky_seen = False
+        for seed in range(12):
+            ex = run_synchronous(COIN, path_graph(4), rng=seed)
+            assert ex.stabilized and ex.legitimate
+            assert ex.rounds == len(ex.move_log)
+            assert ex.moves == sum(len(entry) for entry in ex.move_log) == 4
+            unlucky_seen = unlucky_seen or any(
+                not entry for entry in ex.move_log
+            )
+        # with 12 seeds of 4 fair coins some round comes up all-tails
+        assert unlucky_seen
+
+    def test_history_spans_zero_move_rounds(self):
+        for seed in range(12):
+            ex = run_synchronous(COIN, path_graph(4), rng=seed, record_history=True)
+            assert len(ex.history) == ex.rounds + 1
+
+    def test_distributed_counts_every_step(self):
+        for seed in range(8):
+            ex = run_distributed(
+                COIN, path_graph(4), rng=seed, activation_probability=0.7
+            )
+            assert ex.stabilized
+            assert ex.rounds == len(ex.move_log)
+
+
+class TestExactBudgetStabilization:
+    """Regression: a run that stabilizes exactly on its last budgeted
+    round must report ``stabilized=True`` — the budget-exhaustion path
+    now performs the same (randomness-free) quiescence check for every
+    protocol, not just deterministic ones.
+    """
+
+    def test_deterministic_exact_budget(self):
+        g = path_graph(6)
+        free = run_synchronous(SIS, g)
+        assert free.stabilized and free.rounds > 0
+        pinned = run_synchronous(SIS, g, max_rounds=free.rounds)
+        assert pinned.stabilized
+        assert pinned.rounds == free.rounds
+        assert pinned.final == free.final
+
+    def test_randomized_exact_budget(self):
+        luby = LubyStyleMIS()
+        g = cycle_graph(9)
+        free = run_synchronous(luby, g, rng=7)
+        assert free.stabilized and free.rounds > 0
+        pinned = run_synchronous(luby, g, rng=7, max_rounds=free.rounds)
+        assert pinned.stabilized
+        assert pinned.rounds == free.rounds
+        assert pinned.final == free.final
+
+    def test_one_round_short_still_times_out(self):
+        luby = LubyStyleMIS()
+        g = cycle_graph(9)
+        free = run_synchronous(luby, g, rng=7)
+        short = run_synchronous(luby, g, rng=7, max_rounds=free.rounds - 1)
+        assert not short.stabilized
+        assert short.rounds == free.rounds - 1
 
 
 class TestRunCentral:

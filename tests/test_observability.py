@@ -1,0 +1,197 @@
+"""Tests for :mod:`repro.observability` — backend-independent telemetry.
+
+The contract: ``telemetry=True`` anywhere a run is configured attaches
+one :class:`RunTelemetry` record whose counter fields agree exactly with
+the owning result, whose census (for pointer-matching protocols) starts
+at the initial configuration, and which survives JSON round-trips.
+Cross-backend counter identity lives in ``test_engine_equivalence.py``;
+this file pins the reference semantics and the plumbing around them
+(sinks, aggregation, serialization, the CLI flag).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.serialize import execution_from_json, execution_to_json
+from repro.core.executor import run_central, run_distributed, run_synchronous
+from repro.core.transform import run_synchronized_central
+from repro.graphs.generators import cycle_graph, erdos_renyi_graph, path_graph
+from repro.matching.hsu_huang import HsuHuangMatching
+from repro.matching.smm import SynchronousMaximalMatching
+from repro.mis.sis import SynchronousMaximalIndependentSet
+from repro.observability import (
+    CENSUS_KEYS,
+    RunTelemetry,
+    TelemetrySink,
+    census_of,
+    merge_telemetry,
+    wants_census,
+)
+
+SMM = SynchronousMaximalMatching()
+SIS = SynchronousMaximalIndependentSet()
+
+
+class TestRunTelemetryRecord:
+    def _sample(self):
+        ex = run_synchronous(SMM, erdos_renyi_graph(10, 0.3, rng=2), telemetry=True)
+        assert ex.telemetry is not None
+        return ex
+
+    def test_counters_agree_with_result(self):
+        ex = self._sample()
+        t = ex.telemetry
+        assert t.protocol == SMM.name
+        assert t.daemon == "synchronous"
+        assert t.backend == "reference"
+        assert t.rounds == ex.rounds == len(t.per_round_moves)
+        assert t.moves == ex.moves
+        assert t.moves_by_rule == dict(ex.moves_by_rule)
+        per_round_totals = {name: 0 for name in SMM.rule_names()}
+        for entry in t.per_round_moves:
+            assert set(entry) == set(SMM.rule_names())
+            for name, count in entry.items():
+                per_round_totals[name] += count
+        assert per_round_totals == t.moves_by_rule
+
+    def test_census_spans_run_from_initial(self):
+        graph = erdos_renyi_graph(10, 0.3, rng=2)
+        ex = run_synchronous(SMM, graph, telemetry=True)
+        census = ex.telemetry.node_type_census
+        assert census is not None
+        assert len(census) == ex.rounds + 1
+        assert census[0] == census_of(graph, ex.initial)
+        assert census[-1] == census_of(graph, ex.final)
+        for entry in census:
+            assert tuple(entry) == CENSUS_KEYS
+            assert sum(entry.values()) == graph.n
+
+    def test_non_matching_protocol_has_no_census(self):
+        ex = run_synchronous(SIS, cycle_graph(8), telemetry=True)
+        assert not wants_census(SIS) and wants_census(SMM)
+        assert ex.telemetry.node_type_census is None
+
+    def test_off_by_default(self):
+        assert run_synchronous(SMM, cycle_graph(6)).telemetry is None
+
+    def test_timings_cover_all_phases(self):
+        t = self._sample().telemetry
+        assert set(t.timings) == {"setup", "rounds", "finalize"}
+        assert all(v >= 0.0 for v in t.timings.values())
+
+    def test_json_roundtrip(self):
+        t = self._sample().telemetry
+        clone = RunTelemetry.from_json(t.to_json())
+        assert clone == t
+        assert RunTelemetry.from_dict(json.loads(json.dumps(t.to_dict()))) == t
+
+
+class TestOtherDaemons:
+    def test_central_rounds_equal_moves(self):
+        ex = run_central(SMM, cycle_graph(7), strategy="random", rng=4, telemetry=True)
+        t = ex.telemetry
+        assert t.daemon == ex.daemon
+        assert t.rounds == ex.rounds == ex.moves
+        assert all(sum(entry.values()) == 1 for entry in t.per_round_moves)
+        assert len(t.node_type_census) == ex.rounds + 1
+
+    def test_distributed(self):
+        ex = run_distributed(
+            SIS, cycle_graph(9), rng=3, activation_probability=0.5, telemetry=True
+        )
+        t = ex.telemetry
+        assert t.rounds == ex.rounds == len(t.per_round_moves)
+        assert t.moves == ex.moves
+
+    def test_synchronized_central(self):
+        hh = HsuHuangMatching()
+        ex = run_synchronized_central(hh, path_graph(6), priority="id", telemetry=True)
+        t = ex.telemetry
+        assert ex.stabilized
+        assert t.rounds == len(t.per_round_moves)
+        assert t.moves == ex.moves
+        # Hsu-Huang keeps pointer states, so the Fig. 2 census applies
+        assert t.node_type_census is not None
+        assert len(t.node_type_census) == t.rounds + 1
+
+
+class TestSink:
+    def test_write_and_read(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = TelemetrySink(path)
+        sink.write({"a": 1})
+        sink.write_many([{"b": 2}, {"c": 3}])
+        assert TelemetrySink.read(path) == [{"a": 1}, {"b": 2}, {"c": 3}]
+
+    def test_telemetry_record_through_sink(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        ex = run_synchronous(SMM, cycle_graph(8), telemetry=True)
+        TelemetrySink(path).write(ex.telemetry.to_dict())
+        [record] = TelemetrySink.read(path)
+        assert RunTelemetry.from_dict(record) == ex.telemetry
+
+
+class TestMerge:
+    def test_merge_totals(self):
+        runs = [
+            run_synchronous(SMM, cycle_graph(n), telemetry=True) for n in (6, 8, 10)
+        ]
+        merged = merge_telemetry([ex.telemetry for ex in runs] + [None])
+        assert merged["runs"] == 3
+        assert merged["rounds_total"] == sum(ex.rounds for ex in runs)
+        assert merged["rounds_max"] == max(ex.rounds for ex in runs)
+        assert merged["moves"] == sum(ex.moves for ex in runs)
+        for name in SMM.rule_names():
+            assert merged["moves_by_rule"][name] == sum(
+                ex.moves_by_rule[name] for ex in runs
+            )
+
+    def test_merge_empty(self):
+        assert merge_telemetry([]) == {
+            "runs": 0,
+            "rounds_total": 0,
+            "rounds_max": 0,
+            "moves": 0,
+            "moves_by_rule": {},
+            "timings": {},
+        }
+
+
+class TestSerialization:
+    def test_execution_json_roundtrip_keeps_telemetry(self):
+        ex = run_synchronous(SMM, erdos_renyi_graph(9, 0.3, rng=5), telemetry=True)
+        clone = execution_from_json(execution_to_json(ex))
+        assert clone.telemetry == ex.telemetry
+        assert clone.final == ex.final
+
+    def test_absent_telemetry_roundtrips_as_none(self):
+        ex = run_synchronous(SMM, cycle_graph(6))
+        assert execution_from_json(execution_to_json(ex)).telemetry is None
+
+
+class TestCLI:
+    def test_run_with_telemetry_writes_jsonl(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "telemetry.jsonl"
+        code = main(["run", "E1", "--quick", f"--telemetry={path}"])
+        capsys.readouterr()
+        assert code == 0
+        records = TelemetrySink.read(path)
+        assert records  # one line per trial of the E1 quick sweep
+        for record in records:
+            assert {"family", "n", "trial", "telemetry"} <= set(record)
+            telemetry = RunTelemetry.from_dict(record["telemetry"])
+            assert telemetry.rounds == len(telemetry.per_round_moves)
+
+    def test_telemetry_file_truncated_per_invocation(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "telemetry.jsonl"
+        path.write_text('{"stale": true}\n', encoding="utf-8")
+        code = main(["run", "E3", "--quick", f"--telemetry={path}"])
+        capsys.readouterr()
+        assert code == 0
+        # E3 does not stream telemetry, so the truncated file stays empty
+        assert path.read_text(encoding="utf-8") == ""

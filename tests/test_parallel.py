@@ -8,6 +8,7 @@ dispatch, so no test here needs statistical tolerance: everything is
 compared for exact equality.
 """
 
+import dataclasses
 import warnings
 
 import pytest
@@ -28,6 +29,15 @@ from repro.parallel import (
 from repro.parallel.trial_runner import register_protocol
 
 SMM = SynchronousMaximalMatching()
+
+
+# module-level so forked workers can rebuild the "protocol" by name
+def _raise_trial_oserror():
+    raise OSError("trial-scoped I/O failure")
+
+
+def _raise_trial_runtimeerror():
+    raise RuntimeError("trial-scoped runtime failure")
 
 
 def executions_equal(a, b):
@@ -140,6 +150,47 @@ class TestTrialRunner:
             with warnings.catch_warnings():
                 warnings.simplefilter("ignore", RuntimeWarning)
                 TrialRunner(jobs=2).map(specs)
+
+    @pytest.mark.parametrize(
+        "key,factory,exc_type",
+        [
+            ("boom-os", _raise_trial_oserror, OSError),
+            ("boom-rt", _raise_trial_runtimeerror, RuntimeError),
+        ],
+    )
+    def test_trial_exception_not_mistaken_for_pool_death(
+        self, key, factory, exc_type
+    ):
+        # regression: a trial raising OSError/RuntimeError used to be
+        # indistinguishable from pool death — the runner warned and
+        # silently re-ran every spec inline.  The original error must
+        # propagate from the pool path with no degradation warning.
+        register_protocol(key, factory)
+        try:
+            specs = [
+                TrialSpec("smm", cycle_graph(4)),
+                TrialSpec(key, cycle_graph(4)),
+            ]
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", RuntimeWarning)
+                with pytest.raises(exc_type, match="trial-scoped"):
+                    TrialRunner(jobs=2).map(specs)
+        finally:
+            del PROTOCOLS[key]
+
+    def test_telemetry_identical_across_jobs(self):
+        specs = [
+            dataclasses.replace(spec, telemetry=True)
+            for spec in self._specs(count=3)
+        ]
+        inline = TrialRunner(jobs=1).map(specs)
+        pooled = TrialRunner(jobs=2).map(specs)
+        for a, b in zip(inline, pooled):
+            assert a.telemetry is not None and b.telemetry is not None
+            assert a.telemetry.moves == b.telemetry.moves
+            assert a.telemetry.moves_by_rule == b.telemetry.moves_by_rule
+            assert a.telemetry.per_round_moves == b.telemetry.per_round_moves
+            assert a.telemetry.node_type_census == b.telemetry.node_type_census
 
 
 class TestResolveJobs:
