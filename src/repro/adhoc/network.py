@@ -94,8 +94,11 @@ class AdHocNetwork:
             raise SimulationError("beacon interval must be positive")
         if not 0.0 <= jitter < 1.0:
             raise SimulationError("jitter must lie in [0, 1)")
-        if not 0.0 <= loss < 1.0:
-            raise SimulationError("loss must lie in [0, 1)")
+        if not 0.0 <= loss <= 1.0:
+            # loss=1.0 is a legal extreme: no beacon is ever delivered,
+            # so no node ever hears a neighbour and no rule ever fires —
+            # the availability experiments probe exactly this boundary
+            raise SimulationError("loss must lie in [0, 1]")
         if timeout_factor <= 1.0:
             raise SimulationError(
                 "timeout_factor must exceed 1 beacon interval"
@@ -118,6 +121,9 @@ class AdHocNetwork:
         # per-receiver timestamp of the last successful reception, for
         # the optional contention model (see _transmit)
         self._last_rx: Dict[NodeId, float] = {}
+        # fail-stopped hosts: they neither beacon nor receive; their
+        # neighbours notice only through beacon-timeout eviction
+        self.crashed: set = set()
 
         n = mobility.n
         self.nodes: Dict[NodeId, SimNode] = {}
@@ -158,8 +164,17 @@ class AdHocNetwork:
 
     def is_legitimate(self) -> bool:
         """Does the true configuration satisfy the protocol's global
-        predicate on the true topology?"""
-        return self.protocol.is_legitimate(self.true_graph(), self.configuration())
+        predicate on the true topology?
+
+        Crashed hosts are not part of the network: the predicate is
+        evaluated on the alive subgraph and the alive states."""
+        graph = self.true_graph()
+        config = self.configuration()
+        if self.crashed:
+            alive = [i for i in self.nodes if i not in self.crashed]
+            graph = graph.subgraph(alive)
+            config = Configuration({i: self.nodes[i].state for i in alive})
+        return self.protocol.is_legitimate(graph, config)
 
     def total_beacons(self) -> int:
         return sum(nd.beacons_sent for nd in self.nodes.values())
@@ -235,7 +250,7 @@ class AdHocNetwork:
         me = positions[sender.node_id]
         r2 = self.radius * self.radius
         for i, sim in self.nodes.items():
-            if i == sender.node_id:
+            if i == sender.node_id or i in self.crashed:
                 continue
             d = positions[i] - me
             if float(d @ d) > r2:
@@ -261,6 +276,40 @@ class AdHocNetwork:
                 self._record("link-up", i, f"heard {sender.node_id}")
             sim.heard.add(sender.node_id)
             self._maybe_step(sim)
+
+    # ------------------------------------------------------------------
+    # fail-stop faults (the paper's crash/recovery model)
+    # ------------------------------------------------------------------
+    def crash(self, node_id: NodeId) -> None:
+        """Fail-stop ``node_id``: it stops beaconing and receiving.
+
+        Nothing is announced — neighbours discover the crash the same
+        way they discover mobility, by evicting the silent node after
+        the beacon timeout and sanitizing any state that referenced it.
+        """
+        if node_id not in self.nodes:
+            raise SimulationError(f"unknown node {node_id!r}")
+        if node_id in self.crashed:
+            raise SimulationError(f"node {node_id!r} is already crashed")
+        self.crashed.add(node_id)
+        self._record("crash", node_id)
+
+    def revive(self, node_id: NodeId) -> None:
+        """Reboot a crashed node into its initial protocol state.
+
+        The node returns with an empty neighbour table (its old beliefs
+        died with it) and resumes beaconing on its existing schedule;
+        self-stabilization is what re-integrates it.
+        """
+        if node_id not in self.crashed:
+            raise SimulationError(f"node {node_id!r} is not crashed")
+        self.crashed.discard(node_id)
+        sim = self.nodes[node_id]
+        sim.state = self.protocol.initial_state(node_id, self.true_graph())
+        sim.table = NeighborTable(node_id, self.timeout)
+        sim.heard.clear()
+        sim.rand = float(self.rng.random())
+        self._record("revive", node_id)
 
     def _next_beacon_delay(self) -> float:
         if self.jitter == 0:
@@ -299,6 +348,18 @@ class AdHocNetwork:
                 callback(self)  # type: ignore[misc]
                 next_cb += callback_interval  # type: ignore[operator]
             self.now = t
+            if node_id in self.crashed:
+                # a crashed host does nothing, but its beacon schedule
+                # keeps ticking so a later revive() resumes seamlessly
+                heapq.heappush(
+                    self._queue,
+                    (
+                        t + self._next_beacon_delay(),
+                        next(self._counter),
+                        node_id,
+                    ),
+                )
+                continue
             sender = self.nodes[node_id]
             self._purge_and_sanitize(sender)
             self._transmit(sender)

@@ -33,6 +33,7 @@ from repro.experiments import (
     e10_scaling,
     e11_ablations,
     e12_id_sensitivity,
+    e13_fault_recovery,
 )
 from repro.experiments.common import ExperimentResult
 
@@ -41,16 +42,32 @@ Runner = Callable[[], List[ExperimentResult]]
 
 
 def _registry(
-    jobs: int = 1, backend: str = "reference", telemetry: str | None = None
+    jobs: int = 1,
+    backend: str = "reference",
+    telemetry: str | None = None,
+    fault_plan: str | None = None,
+    trial_timeout: float | None = None,
+    retries: int = 0,
+    resume: str | None = None,
 ) -> Dict[str, Tuple[str, Runner, Runner]]:
     """Experiment registry.  ``jobs`` is forwarded to the experiments
-    that support parallel trial execution (E1/E2/E4/E5/E6/E12); their
-    output is bit-identical for every value of ``jobs``.  ``backend``
-    (:mod:`repro.engine`) is forwarded to the sweeps that dispatch
-    through the engine (E1/E2/E5/E6/E12); experiments that need
-    capabilities a kernel lacks degrade to the reference engine.
-    ``telemetry`` is a JSONL path forwarded to the main sweeps of
-    E1/E2/E5/E6, which append one per-trial telemetry record each."""
+    that support parallel trial execution (E1/E2/E4/E5/E6/E7/E12/E13);
+    their output is bit-identical for every value of ``jobs``.
+    ``backend`` (:mod:`repro.engine`) is forwarded to the sweeps that
+    dispatch through the engine (E1/E2/E5/E6/E7/E12/E13); experiments
+    that need capabilities a kernel lacks degrade to the reference
+    engine.  ``telemetry`` is a JSONL path forwarded to the main sweeps
+    of E1/E2/E5/E6, which append one per-trial telemetry record each.
+    The resilience knobs go to the fault-campaign sweeps (E7/E13):
+    ``fault_plan`` is a FaultPlan JSON path overriding E13's default
+    campaign, and ``trial_timeout``/``retries``/``resume`` configure
+    the resilient trial runner (per-trial wall-clock timeouts, bounded
+    retry, JSONL checkpoint/resume)."""
+    resilience = {
+        "trial_timeout": trial_timeout,
+        "retries": retries,
+        "resume": resume,
+    }
     return {
         "E1": (
             "Theorem 1 — SMM stabilizes in <= n+1 rounds",
@@ -134,11 +151,17 @@ def _registry(
         ),
         "E7": (
             "Sections 1-2 — re-stabilization after link churn",
-            lambda: [e7_churn.run(trials=8, seed=107)],
+            lambda: [
+                e7_churn.run(
+                    trials=8, seed=107, jobs=jobs, backend=backend,
+                    **resilience,
+                )
+            ],
             lambda: [
                 e7_churn.run(
                     families=("tree",), sizes=(16,), churn_levels=(1, 4),
-                    trials=3, seed=107,
+                    trials=3, seed=107, jobs=jobs, backend=backend,
+                    **resilience,
                 )
             ],
         ),
@@ -203,6 +226,22 @@ def _registry(
                 )
             ],
         ),
+        "E13": (
+            "Sections 1-2 — in-run fault campaigns (full fault model)",
+            lambda: [
+                e13_fault_recovery.run(
+                    trials=5, seed=140, fault_plan=fault_plan,
+                    jobs=jobs, backend=backend, **resilience,
+                )
+            ],
+            lambda: [
+                e13_fault_recovery.run(
+                    families=("tree",), sizes=(12,), trials=2, seed=140,
+                    fault_plan=fault_plan, jobs=jobs, backend=backend,
+                    **resilience,
+                )
+            ],
+        ),
     }
 
 
@@ -225,12 +264,18 @@ def cmd_run(
     jobs: int = 1,
     backend: str = "reference",
     telemetry: str | None = None,
+    fault_plan: str | None = None,
+    trial_timeout: float | None = None,
+    retries: int = 0,
+    resume: str | None = None,
 ) -> int:
     if telemetry is not None:
         # truncate up front: the sinks append, so one `repro run`
         # invocation produces one coherent file whatever experiments ran
         open(telemetry, "w", encoding="utf-8").close()
-    registry = _registry(jobs, backend, telemetry)
+    registry = _registry(
+        jobs, backend, telemetry, fault_plan, trial_timeout, retries, resume
+    )
     if any(i.lower() == "all" for i in ids):
         ids = sorted(registry, key=_order_key)
     failures = 0
@@ -264,7 +309,7 @@ def main(argv: List[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list the experiments")
     runner = sub.add_parser("run", help="run experiments and print tables")
-    runner.add_argument("ids", nargs="+", help="experiment ids (E1..E11) or 'all'")
+    runner.add_argument("ids", nargs="+", help="experiment ids (E1..E13) or 'all'")
     runner.add_argument(
         "--quick", action="store_true", help="reduced-scale parameters"
     )
@@ -295,6 +340,38 @@ def main(argv: List[str] | None = None) -> int:
         "and append one JSON line per trial to PATH "
         "(default: telemetry.jsonl); works with every --backend",
     )
+    runner.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PATH",
+        help="FaultPlan JSON file (repro.resilience) overriding E13's "
+        "default in-run fault campaign; applied to every E13 cell",
+    )
+    runner.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-trial wall-clock timeout in seconds for the "
+        "fault-campaign sweeps (E7/E13); a trial that exceeds it is "
+        "retried --retries times, then recorded as failed without "
+        "aborting the sweep",
+    )
+    runner.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry budget for timed-out or crashed trials (E7/E13)",
+    )
+    runner.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="JSONL checkpoint for the fault-campaign sweeps (E7/E13): "
+        "completed trials are appended as they finish and skipped on "
+        "the next run with the same parameters",
+    )
     reporter = sub.add_parser(
         "report", help="run everything and write a markdown report"
     )
@@ -307,6 +384,11 @@ def main(argv: List[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "jobs", 0) < 0:
         parser.error(f"argument --jobs: must be >= 0, got {args.jobs}")
+    if getattr(args, "retries", 0) < 0:
+        parser.error(f"argument --retries: must be >= 0, got {args.retries}")
+    timeout = getattr(args, "trial_timeout", None)
+    if timeout is not None and timeout <= 0:
+        parser.error(f"argument --trial-timeout: must be > 0, got {timeout}")
     if args.command == "list":
         return cmd_list()
     if args.command == "report":
@@ -321,6 +403,10 @@ def main(argv: List[str] | None = None) -> int:
         jobs=args.jobs,
         backend=args.backend,
         telemetry=args.telemetry,
+        fault_plan=args.fault_plan,
+        trial_timeout=args.trial_timeout,
+        retries=args.retries,
+        resume=args.resume,
     )
 
 

@@ -31,7 +31,7 @@ from repro.core.daemons import CentralStrategy, make_strategy
 from repro.core.invariants import Monitor
 from repro.core.protocol import Protocol, View
 from repro.engine.result import RunResult
-from repro.errors import StabilizationTimeout
+from repro.errors import ExperimentError, StabilizationTimeout
 from repro.graphs.graph import Graph
 from repro.rng import RngLike, ensure_rng
 from repro.types import NodeId
@@ -181,6 +181,7 @@ def run_synchronous(
     raise_on_timeout: bool = False,
     active_set: bool = True,
     telemetry: bool = False,
+    fault_plan=None,
 ) -> Execution:
     """Run under the synchronous daemon until no node is privileged.
 
@@ -215,6 +216,12 @@ def run_synchronous(
         (per-round moves by rule, active-set sizes, the Fig. 2 node-type
         census for pointer-matching protocols, phase wall-clocks) to the
         returned execution.
+    fault_plan:
+        A :class:`~repro.resilience.FaultPlan` of scheduled mid-run
+        fault events.  The run is then executed as a segmented fault
+        campaign (:mod:`repro.resilience.campaign`): telemetry is always
+        collected, per-event recovery metrics land in
+        ``telemetry.fault_events``, and monitors are rejected.
 
     Notes
     -----
@@ -229,6 +236,22 @@ def run_synchronous(
     protocols draw fresh variates every round, which invalidates every
     cached decision: they always run the full scan.
     """
+    if fault_plan is not None:
+        from repro.resilience.campaign import run_reference_campaign
+
+        return run_reference_campaign(
+            protocol,
+            graph,
+            config,
+            fault_plan=fault_plan,
+            rng=rng,
+            max_rounds=max_rounds,
+            record_history=record_history,
+            monitors=monitors,
+            raise_on_timeout=raise_on_timeout,
+            active_set=active_set,
+            telemetry=telemetry,
+        )
     gen = ensure_rng(rng)
     current = _resolve_config(protocol, graph, config)
     initial = current
@@ -362,6 +385,7 @@ def run_central(
     monitors: Sequence[Monitor] = (),
     raise_on_timeout: bool = False,
     telemetry: bool = False,
+    fault_plan=None,
 ) -> Execution:
     """Run under the central daemon: one privileged node moves per step.
 
@@ -373,6 +397,11 @@ def run_central(
     On budget exhaustion a final randomness-free quiescence check runs,
     as in :func:`run_synchronous`.
     """
+    if fault_plan is not None:
+        raise ExperimentError(
+            "fault campaigns run under the synchronous daemon only; "
+            "the plan's round schedule has no meaning for central steps"
+        )
     gen = ensure_rng(rng)
     chooser = make_strategy(strategy)
     chooser.reset()
@@ -471,6 +500,7 @@ def run_distributed(
     monitors: Sequence[Monitor] = (),
     raise_on_timeout: bool = False,
     telemetry: bool = False,
+    fault_plan=None,
 ) -> Execution:
     """Run under a randomized distributed daemon.
 
@@ -490,6 +520,11 @@ def run_distributed(
     synchronous daemon (p = 1); tests use it to probe robustness of the
     protocols outside the paper's model.
     """
+    if fault_plan is not None:
+        raise ExperimentError(
+            "fault campaigns run under the synchronous daemon only; "
+            "the plan's round schedule has no meaning for distributed steps"
+        )
     if not 0.0 <= activation_probability <= 1.0:
         raise ValueError("activation_probability must lie in [0, 1]")
     gen = ensure_rng(rng)

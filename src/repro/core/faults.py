@@ -18,12 +18,11 @@ use:
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
-
-import numpy as np
+from typing import Mapping, Optional, Tuple
 
 from repro.core.configuration import Configuration
 from repro.core.protocol import Protocol
+from repro.errors import ProtocolError
 from repro.graphs.graph import Graph
 from repro.rng import RngLike, ensure_rng
 from repro.types import NodeId
@@ -41,6 +40,27 @@ def random_configuration(
     )
     protocol.validate_configuration(graph, cfg)
     return cfg
+
+
+def perturb_victims(
+    graph: Graph, count: int, rng: RngLike = None
+) -> Tuple[NodeId, ...]:
+    """Draw ``count`` distinct victim nodes, in draw order.
+
+    The draw goes through *dense indices* (``gen.choice`` over
+    ``range(graph.n)``) and maps back via the graph's node tuple, so the
+    returned ids keep their original Python types — ``gen.choice`` over
+    the ids themselves would hand back ``numpy.int64`` (or ``str_``)
+    values, and a blanket ``int(node)`` coercion breaks on string ids.
+    Exactly one generator call, so callers that mirror the draw on a
+    dense array (the vectorized fault campaigns) stay in lockstep.
+    """
+    if count < 0 or count > graph.n:
+        raise ValueError(f"count {count} outside 0..{graph.n}")
+    gen = ensure_rng(rng)
+    picks = gen.choice(graph.n, size=count, replace=False)
+    nodes = graph.nodes
+    return tuple(nodes[int(k)] for k in picks)
 
 
 def perturb_configuration(
@@ -66,13 +86,11 @@ def perturb_configuration(
         count = int(round(fraction * graph.n))
         if fraction > 0 and count == 0:
             count = 1
-    if count < 0 or count > graph.n:
-        raise ValueError(f"count {count} outside 0..{graph.n}")
     gen = ensure_rng(rng)
-    victims = gen.choice(np.asarray(graph.nodes), size=count, replace=False)
+    victims = perturb_victims(graph, count, gen)
     cfg = config if isinstance(config, Configuration) else Configuration(config)
     changes = {
-        int(node): protocol.random_state(int(node), graph, gen) for node in victims
+        node: protocol.random_state(node, graph, gen) for node in victims
     }
     out = cfg.updated(changes)
     protocol.validate_configuration(graph, out)
@@ -103,9 +121,13 @@ def migrate_configuration(
         if sanitize is not None:
             state = sanitize(node, new_graph, state)
         else:
+            # only the library's own "state does not type-check" errors
+            # mean "reset"; anything else (a TypeError from a buggy
+            # validate_state, a KeyError, ...) is a protocol bug and
+            # must propagate instead of masquerading as sanitization
             try:
                 protocol.validate_state(node, new_graph, state)
-            except Exception:
+            except ProtocolError:
                 state = protocol.initial_state(node, new_graph)
         out[node] = state
     cfg = Configuration(out)

@@ -85,6 +85,7 @@ def run_synchronized_central(
     raise_on_timeout: bool = False,
     count_beacon_rounds: bool = False,
     telemetry: bool = False,
+    fault_plan=None,
 ) -> Execution:
     """Run a central-daemon protocol in the synchronous model via local
     mutual exclusion.
@@ -106,6 +107,13 @@ def run_synchronized_central(
     attached telemetry (``telemetry=True``) always counts refinement
     rounds.
     """
+    if fault_plan is not None:
+        from repro.errors import ExperimentError
+
+        raise ExperimentError(
+            "fault campaigns are not supported under the refined "
+            "synchronized-central daemon; use the synchronous daemon"
+        )
     gen = ensure_rng(rng)
     current = _resolve_config(protocol, graph, config)
     initial = current

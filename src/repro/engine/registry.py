@@ -43,7 +43,8 @@ PROTOCOLS: Dict[str, Callable[[], object]] = {}
 
 #: Capabilities of the reference engine: it can do everything.
 REFERENCE_CAPABILITIES = frozenset(
-    {"move_log", "history", "monitors", "rng", "active_set", "telemetry"}
+    {"move_log", "history", "monitors", "rng", "active_set", "telemetry",
+     "faults"}
 )
 
 Runner = Callable[..., RunResult]
@@ -369,14 +370,19 @@ def _register_builtins() -> None:
     # requesting telemetry never disqualifies the fast path.
     telemetry = frozenset({"telemetry"})
     active = frozenset({"active_set"}) | telemetry
+    # the vectorized SMM/SIS kernels also run fault campaigns on the
+    # dense arrays; "faults" is the capability, "fault_plan" the option
+    # name their supports-predicates must whitelist
+    faulty = active | frozenset({"faults"})
+    faulty_options = active | frozenset({"fault_plan"})
     register_backend(
         "smm",
         "synchronous",
         "vectorized",
         _lazy_runner("repro.matching.smm_vectorized", "run_engine"),
-        capabilities=active,
+        capabilities=faulty,
         priority=20,
-        supports=_supports_plain_smm(active),
+        supports=_supports_plain_smm(faulty_options),
     )
     register_backend(
         "smm",
@@ -392,10 +398,10 @@ def _register_builtins() -> None:
         "synchronous",
         "vectorized",
         _lazy_runner("repro.mis.sis_vectorized", "run_engine"),
-        capabilities=active,
+        capabilities=faulty,
         priority=20,
         supports=_supports_kernel(
-            "repro.mis.sis.SynchronousMaximalIndependentSet", active
+            "repro.mis.sis.SynchronousMaximalIndependentSet", faulty_options
         ),
     )
     register_backend(

@@ -86,7 +86,7 @@ def select_backend(
 #: ``"monitors"``, ``telemetry`` → ``"telemetry"``, ``active_set`` →
 #: ``"active_set"``, an injected chooser or daemon strategy → itself),
 #: which only backends that implement them advertise.
-_OPTION_CAPABILITIES = {"record_history": "history"}
+_OPTION_CAPABILITIES = {"record_history": "history", "fault_plan": "faults"}
 
 
 def fallback_backend(

@@ -25,6 +25,7 @@ from repro.experiments import (
     e10_scaling,
     e11_ablations,
     e12_id_sensitivity,
+    e13_fault_recovery,
 )
 
 __all__ = [
@@ -44,4 +45,5 @@ __all__ = [
     "e10_scaling",
     "e11_ablations",
     "e12_id_sensitivity",
+    "e13_fault_recovery",
 ]

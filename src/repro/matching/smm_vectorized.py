@@ -408,6 +408,7 @@ def run_engine(
     raise_on_timeout: bool = False,
     active_set: bool = True,
     telemetry: bool = False,
+    fault_plan=None,
 ):
     """Registered ``("smm", "synchronous", "vectorized")`` backend.
 
@@ -418,8 +419,27 @@ def run_engine(
     not trace; ``rng``/``record_history`` are accepted for the uniform
     runner signature, and selection guarantees they are unused).  With
     ``telemetry=True`` the run collects per-round rule counters and the
-    Fig. 2 node-type census into ``result.telemetry``.
+    Fig. 2 node-type census into ``result.telemetry``.  With a
+    ``fault_plan`` the run executes as a segmented fault campaign on the
+    dense arrays (:mod:`repro.resilience.vector`), byte-identical in its
+    counters with the reference campaign.
     """
+    if fault_plan is not None:
+        from repro.resilience.vector import run_vector_campaign
+
+        return run_vector_campaign(
+            protocol,
+            graph,
+            config,
+            fault_plan=fault_plan,
+            family="smm",
+            rng=rng,
+            max_rounds=max_rounds,
+            record_history=record_history,
+            raise_on_timeout=raise_on_timeout,
+            active_set=active_set,
+            telemetry=telemetry,
+        )
     from repro.core.executor import _default_round_budget, _resolve_config
     from repro.engine.result import RunResult
 

@@ -252,6 +252,7 @@ def run_engine(
     raise_on_timeout: bool = False,
     active_set: bool = True,
     telemetry: bool = False,
+    fault_plan=None,
 ):
     """Registered ``("sis", "synchronous", "vectorized")`` backend.
 
@@ -259,8 +260,27 @@ def run_engine(
     validation and default budget, summary-only
     :class:`~repro.engine.result.RunResult`, legitimacy evaluated once
     through ``protocol.is_legitimate``.  With ``telemetry=True`` the run
-    collects per-round rule counters into ``result.telemetry``.
+    collects per-round rule counters into ``result.telemetry``.  With a
+    ``fault_plan`` the run executes as a segmented fault campaign on the
+    dense arrays (:mod:`repro.resilience.vector`), byte-identical in its
+    counters with the reference campaign.
     """
+    if fault_plan is not None:
+        from repro.resilience.vector import run_vector_campaign
+
+        return run_vector_campaign(
+            protocol,
+            graph,
+            config,
+            fault_plan=fault_plan,
+            family="sis",
+            rng=rng,
+            max_rounds=max_rounds,
+            record_history=record_history,
+            raise_on_timeout=raise_on_timeout,
+            active_set=active_set,
+            telemetry=telemetry,
+        )
     from repro.core.executor import _default_round_budget, _resolve_config
     from repro.engine.result import RunResult
 

@@ -91,6 +91,15 @@ class RunTelemetry:
         resolution, kernel construction), ``"rounds"`` (the stepping
         loop) and ``"finalize"`` (decode, legitimacy check).
         Non-deterministic by nature; never compared.
+    fault_events:
+        For fault-campaign runs (:mod:`repro.resilience`): one record
+        per applied :class:`~repro.resilience.FaultEvent`, with the
+        event's kind, the round it fired at, its fault sites, and the
+        recovery metrics measured over the window up to the next event
+        (``recovered``, ``recovery_rounds``, ``moves``,
+        ``moves_by_rule``, ``touched``, ``radius``).  ``None`` for
+        ordinary runs.  Counter fields are byte-identical across
+        backends (pinned alongside the other counters).
     """
 
     protocol: str
@@ -103,6 +112,7 @@ class RunTelemetry:
     active_set_sizes: List[int]
     node_type_census: Optional[List[Dict[str, int]]] = None
     timings: Dict[str, float] = field(default_factory=dict)
+    fault_events: Optional[List[Dict[str, Any]]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-safe dictionary (round-trips through
@@ -122,6 +132,11 @@ class RunTelemetry:
                 else None
             ),
             "timings": dict(self.timings),
+            "fault_events": (
+                [dict(e) for e in self.fault_events]
+                if self.fault_events is not None
+                else None
+            ),
         }
 
     @classmethod
@@ -151,6 +166,11 @@ class RunTelemetry:
             timings={
                 str(k): float(v) for k, v in data.get("timings", {}).items()
             },
+            fault_events=(
+                [dict(e) for e in data["fault_events"]]
+                if data.get("fault_events") is not None
+                else None
+            ),
         )
 
     def to_json(self) -> str:

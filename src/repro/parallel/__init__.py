@@ -15,25 +15,33 @@ bit-identical to serial execution (pinned by ``tests/test_parallel.py``):
 * ``jobs=1`` (the default everywhere) runs inline — no pool, no pickling;
 * a broken pool degrades gracefully to inline execution;
 * workers pin BLAS/OMP to one thread each so ``jobs`` processes never
-  oversubscribe the machine.
+  oversubscribe the machine;
+* the resilient mode (``timeout``/``retries``/``checkpoint``) gives
+  sweeps per-trial wall-clock timeouts, bounded retry with exponential
+  backoff, :class:`FailedTrial` records instead of batch aborts, and
+  JSONL checkpoint/resume keyed by :func:`spec_fingerprint`.
 
 See docs/performance.md for usage and measured numbers.
 """
 
 from repro.parallel.trial_runner import (
     PROTOCOLS,
+    FailedTrial,
     TrialRunner,
     TrialSpec,
     execute_trial,
     resolve_jobs,
     run_trials,
+    spec_fingerprint,
 )
 
 __all__ = [
     "PROTOCOLS",
+    "FailedTrial",
     "TrialRunner",
     "TrialSpec",
     "execute_trial",
     "resolve_jobs",
     "run_trials",
+    "spec_fingerprint",
 ]

@@ -9,15 +9,42 @@ bit-identical whether it runs inline, in this process, or in any worker
 of any pool.  That property is what lets the experiments keep their
 "reproducible from one seed" contract while scaling across cores; it is
 pinned by ``tests/test_parallel.py``.
+
+Resilient execution
+-------------------
+Long sweeps die to one hung trial or one OOM-killed worker; the runner
+therefore has a second, *resilient* mode, selected by any of the
+``timeout`` / ``retries`` / ``checkpoint`` knobs:
+
+* each trial attempt runs in its own worker process with a wall-clock
+  ``timeout``; an expired attempt is terminated;
+* timed-out and transiently-dead attempts are retried up to ``retries``
+  times with exponential backoff (``backoff * 2**attempt`` seconds);
+  a trial's *own* exception is deterministic and is never retried;
+* a trial that exhausts its attempts becomes a :class:`FailedTrial`
+  record in the result list instead of aborting the batch;
+* with ``checkpoint=PATH``, every completed trial is appended to a
+  JSONL file keyed by ``(index, spec fingerprint)``; re-running with
+  the same path resumes a killed sweep, executing only the missing
+  trials (stale or corrupt lines are ignored and re-run).
+
+Without any of those knobs, :meth:`TrialRunner.map` is the original
+pool path, byte-for-byte.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import multiprocessing
 import os
+import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import List, Mapping, Optional, Sequence, Tuple
+from multiprocessing.connection import wait as _connection_wait
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.engine.registry import PROTOCOLS, register_protocol
 from repro.engine.result import RunResult
@@ -26,12 +53,14 @@ from repro.types import NodeId
 
 __all__ = [
     "PROTOCOLS",
+    "FailedTrial",
     "TrialRunner",
     "TrialSpec",
     "execute_trial",
     "register_protocol",
     "resolve_jobs",
     "run_trials",
+    "spec_fingerprint",
 ]
 
 
@@ -113,6 +142,80 @@ def execute_trial(spec: TrialSpec) -> RunResult:
     )
 
 
+@dataclass(frozen=True)
+class FailedTrial:
+    """A trial that could not produce a result in resilient mode.
+
+    Takes the trial's slot in the result list (so indices still line up
+    with the spec list) instead of aborting the whole batch.
+
+    ``error_type``/``error`` name the last failure: the exception type
+    raised *by the trial* (never retried — a pure function of the spec
+    fails deterministically), ``"Timeout"`` for a wall-clock expiry, or
+    ``"WorkerDeath"`` when the worker process vanished (signal, OOM
+    kill).  ``attempts`` counts attempts actually made; ``timed_out``
+    flags that the last attempt hit the timeout.
+    """
+
+    index: int
+    fingerprint: str
+    error_type: str
+    error: str
+    attempts: int
+    timed_out: bool = False
+
+
+def _fingerprint_canon(value):
+    """JSON-serializable stand-in for arbitrary spec option values."""
+    if hasattr(value, "to_dict"):
+        return value.to_dict()
+    if isinstance(value, tuple):
+        return [_fingerprint_canon(v) for v in value]
+    try:
+        import numpy as np
+
+        if isinstance(value, np.integer):
+            return int(value)
+        if isinstance(value, np.floating):
+            return float(value)
+    except Exception:  # pragma: no cover - numpy always present in repo
+        pass
+    return repr(value)
+
+
+def spec_fingerprint(spec: TrialSpec) -> str:
+    """A short stable hash of everything that determines the trial's
+    result — the checkpoint key that guards resumes against spec-list
+    drift.  Graphs hash by node/edge lists, configurations by sorted
+    items, option values through ``to_dict`` when they have one
+    (:class:`~repro.resilience.FaultPlan` does) and ``repr`` otherwise.
+    """
+    payload = {
+        "protocol": spec.protocol,
+        "nodes": [repr(n) for n in spec.graph.nodes],
+        "edges": sorted(sorted(repr(x) for x in e) for e in spec.graph.edges),
+        "config": (
+            None
+            if spec.config is None
+            else sorted(
+                (repr(k), _fingerprint_canon(v))
+                for k, v in dict(spec.config).items()
+            )
+        ),
+        "daemon": spec.daemon,
+        "max_rounds": spec.max_rounds,
+        "record_history": spec.record_history,
+        "seed": None if spec.seed is None else int(spec.seed),
+        "options": [
+            [name, _fingerprint_canon(value)] for name, value in spec.options
+        ],
+        "backend": spec.backend,
+        "telemetry": spec.telemetry,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=_fingerprint_canon)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
 class _TrialFailure:
     """Picklable wrapper tagging an exception as *raised by a trial*,
     as opposed to by the pool machinery.  Without the tag, a trial's
@@ -133,6 +236,29 @@ def _execute_trial_tagged(spec: TrialSpec):
         return execute_trial(spec)
     except Exception as exc:
         return _TrialFailure(exc)
+
+
+def _resilient_worker(conn, spec: TrialSpec) -> None:
+    """Worker entry point of the resilient mode: one attempt, one
+    process.  Exceptions travel as ``(type name, message)`` strings —
+    never pickled, so an unpicklable exception cannot kill the
+    transport and masquerade as worker death."""
+    _pin_worker_threads()
+    try:
+        payload = ("ok", execute_trial(spec))
+    except Exception as exc:
+        payload = ("error", type(exc).__name__, str(exc))
+    try:
+        conn.send(payload)
+    except Exception:
+        try:
+            conn.send(
+                ("error", "SerializationError", "result could not be pickled")
+            )
+        except Exception:  # pragma: no cover - pipe gone: parent sees EOF
+            pass
+    finally:
+        conn.close()
 
 
 # ----------------------------------------------------------------------
@@ -175,6 +301,83 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+# ----------------------------------------------------------------------
+# resilient-mode plumbing
+# ----------------------------------------------------------------------
+@dataclass
+class _Attempt:
+    """One in-flight worker process of the resilient scheduler."""
+
+    index: int
+    attempt: int  # 0-based attempt number
+    process: object
+    deadline: Optional[float]  # monotonic seconds, None = no timeout
+
+
+def _checkpoint_record(index: int, fingerprint: str, outcome) -> Dict[str, object]:
+    if isinstance(outcome, FailedTrial):
+        return {
+            "index": index,
+            "fingerprint": fingerprint,
+            "status": "failed",
+            "error_type": outcome.error_type,
+            "error": outcome.error,
+            "attempts": outcome.attempts,
+            "timed_out": outcome.timed_out,
+        }
+    from repro.analysis.serialize import execution_to_dict
+
+    return {
+        "index": index,
+        "fingerprint": fingerprint,
+        "status": "ok",
+        "result": execution_to_dict(outcome),
+    }
+
+
+def _load_checkpoint(
+    path: str, fingerprints: Sequence[str]
+) -> Dict[int, Union[RunResult, FailedTrial]]:
+    """Completed trials from a checkpoint file, keyed by spec index.
+
+    A line counts only when it parses, its index is in range, and its
+    fingerprint matches the current spec at that index — anything else
+    (truncated write from a kill, a spec list that changed since) is
+    ignored and the trial simply re-runs.
+    """
+    from repro.analysis.serialize import execution_from_dict
+
+    out: Dict[int, Union[RunResult, FailedTrial]] = {}
+    if not os.path.exists(path):
+        return out
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                index = int(record["index"])
+                if not 0 <= index < len(fingerprints):
+                    continue
+                if record.get("fingerprint") != fingerprints[index]:
+                    continue
+                if record.get("status") == "ok":
+                    out[index] = execution_from_dict(record["result"])
+                elif record.get("status") == "failed":
+                    out[index] = FailedTrial(
+                        index=index,
+                        fingerprint=fingerprints[index],
+                        error_type=str(record.get("error_type", "Unknown")),
+                        error=str(record.get("error", "")),
+                        attempts=int(record.get("attempts", 1)),
+                        timed_out=bool(record.get("timed_out", False)),
+                    )
+            except Exception:
+                continue  # corrupt line: re-run that trial
+    return out
+
+
 class TrialRunner:
     """Run trial specs, fanning across processes when ``jobs > 1``.
 
@@ -182,15 +385,52 @@ class TrialRunner:
     inline execution (each trial is a pure function of its spec).  When
     the pool cannot be used — ``jobs=1``, pickling trouble, or the pool
     dying mid-flight — execution degrades gracefully to inline.
+
+    Setting any of ``timeout`` (per-trial wall-clock seconds),
+    ``retries`` (bounded retry of timed-out / transiently-dead
+    attempts, with ``backoff * 2**attempt`` seconds between them) or
+    ``checkpoint`` (JSONL resume file) switches :meth:`map` to the
+    resilient mode documented in the module docstring; the result list
+    may then contain :class:`FailedTrial` records in the failed trials'
+    slots.
     """
 
-    def __init__(self, jobs: Optional[int] = 1, *, chunksize: Optional[int] = None):
+    def __init__(
+        self,
+        jobs: Optional[int] = 1,
+        *,
+        chunksize: Optional[int] = None,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        backoff: float = 0.1,
+        checkpoint: Optional[str] = None,
+    ):
         self.jobs = resolve_jobs(jobs)
         self.chunksize = chunksize
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.checkpoint = None if checkpoint is None else str(checkpoint)
 
-    def map(self, specs: Sequence[TrialSpec]) -> List[RunResult]:
+    @property
+    def resilient(self) -> bool:
+        return (
+            self.timeout is not None
+            or self.retries > 0
+            or self.checkpoint is not None
+        )
+
+    def map(
+        self, specs: Sequence[TrialSpec]
+    ) -> List[Union[RunResult, FailedTrial]]:
         """Execute ``specs`` and return their results, in order."""
         specs = list(specs)
+        if self.resilient:
+            return self._map_resilient(specs)
         if self.jobs <= 1 or len(specs) <= 1:
             return [execute_trial(spec) for spec in specs]
         chunk = self.chunksize or max(1, len(specs) // (self.jobs * 4))
@@ -223,12 +463,164 @@ class TrialRunner:
                 raise outcome.error
         return outcomes
 
+    # ------------------------------------------------------------------
+    # resilient mode
+    # ------------------------------------------------------------------
+    def _map_resilient(
+        self, specs: List[TrialSpec]
+    ) -> List[Union[RunResult, FailedTrial]]:
+        fingerprints = [spec_fingerprint(spec) for spec in specs]
+        results: Dict[int, Union[RunResult, FailedTrial]] = {}
+        writer = None
+        if self.checkpoint is not None:
+            results.update(_load_checkpoint(self.checkpoint, fingerprints))
+            writer = open(self.checkpoint, "a", encoding="utf-8")
+        try:
+            self._run_scheduler(specs, fingerprints, results, writer)
+        finally:
+            if writer is not None:
+                writer.close()
+        return [results[i] for i in range(len(specs))]
+
+    def _run_scheduler(self, specs, fingerprints, results, writer) -> None:
+        ctx = multiprocessing.get_context()
+        pending = deque(
+            (i, 0) for i in range(len(specs)) if i not in results
+        )
+        backing_off: List[Tuple[float, int, int]] = []  # (ready_at, idx, att)
+        running: Dict[object, _Attempt] = {}  # parent conn -> attempt
+
+        def record(index: int, outcome) -> None:
+            results[index] = outcome
+            if writer is not None:
+                json.dump(
+                    _checkpoint_record(index, fingerprints[index], outcome),
+                    writer,
+                )
+                writer.write("\n")
+                writer.flush()
+
+        def retry_or_fail(att: _Attempt, error_type: str, message: str) -> None:
+            timed_out = error_type == "Timeout"
+            if att.attempt < self.retries:
+                ready_at = time.monotonic() + self.backoff * (2**att.attempt)
+                backing_off.append((ready_at, att.index, att.attempt + 1))
+                backing_off.sort()
+            else:
+                record(
+                    att.index,
+                    FailedTrial(
+                        index=att.index,
+                        fingerprint=fingerprints[att.index],
+                        error_type=error_type,
+                        error=message,
+                        attempts=att.attempt + 1,
+                        timed_out=timed_out,
+                    ),
+                )
+
+        def reap(att: _Attempt, kill: bool = False) -> None:
+            if kill:
+                att.process.terminate()
+                att.process.join(1.0)
+                if att.process.is_alive():  # pragma: no cover - stubborn
+                    att.process.kill()
+            att.process.join()
+
+        while pending or backing_off or running:
+            now = time.monotonic()
+            while backing_off and backing_off[0][0] <= now:
+                _, index, attempt = backing_off.pop(0)
+                pending.append((index, attempt))
+            while pending and len(running) < self.jobs:
+                index, attempt = pending.popleft()
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                process = ctx.Process(
+                    target=_resilient_worker,
+                    args=(child_conn, specs[index]),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                started = time.monotonic()
+                running[parent_conn] = _Attempt(
+                    index=index,
+                    attempt=attempt,
+                    process=process,
+                    deadline=(
+                        None if self.timeout is None else started + self.timeout
+                    ),
+                )
+            if not running:
+                # everything is backing off: sleep to the earliest retry
+                time.sleep(max(0.0, backing_off[0][0] - time.monotonic()))
+                continue
+            wake_points = [
+                att.deadline for att in running.values() if att.deadline is not None
+            ]
+            if backing_off:
+                wake_points.append(backing_off[0][0])
+            wait_for = (
+                None
+                if not wake_points
+                else max(0.0, min(wake_points) - time.monotonic())
+            )
+            ready = _connection_wait(list(running), timeout=wait_for)
+            for conn in ready:
+                att = running.pop(conn)
+                try:
+                    payload = conn.recv()
+                except (EOFError, OSError):
+                    payload = None  # worker died before sending
+                conn.close()
+                reap(att)
+                if payload is None:
+                    retry_or_fail(att, "WorkerDeath", "worker process died")
+                elif payload[0] == "ok":
+                    record(att.index, payload[1])
+                else:
+                    # the trial's own exception: deterministic, no retry
+                    record(
+                        att.index,
+                        FailedTrial(
+                            index=att.index,
+                            fingerprint=fingerprints[att.index],
+                            error_type=payload[1],
+                            error=payload[2],
+                            attempts=att.attempt + 1,
+                        ),
+                    )
+            now = time.monotonic()
+            for conn, att in list(running.items()):
+                if att.deadline is not None and att.deadline <= now:
+                    del running[conn]
+                    reap(att, kill=True)
+                    conn.close()
+                    retry_or_fail(
+                        att,
+                        "Timeout",
+                        f"trial exceeded {self.timeout}s wall clock",
+                    )
+
 
 def run_trials(
     specs: Sequence[TrialSpec],
     *,
     jobs: Optional[int] = 1,
     chunksize: Optional[int] = None,
-) -> List[RunResult]:
-    """Convenience wrapper: ``TrialRunner(jobs).map(specs)``."""
-    return TrialRunner(jobs, chunksize=chunksize).map(specs)
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.1,
+    checkpoint: Optional[str] = None,
+) -> List[Union[RunResult, FailedTrial]]:
+    """Convenience wrapper: ``TrialRunner(...).map(specs)``.  The
+    ``timeout``/``retries``/``backoff``/``checkpoint`` knobs select the
+    resilient mode (see :class:`TrialRunner`)."""
+    return TrialRunner(
+        jobs,
+        chunksize=chunksize,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+        checkpoint=checkpoint,
+    ).map(specs)

@@ -1,0 +1,45 @@
+"""In-run fault injection and resilient sweep execution.
+
+Two halves:
+
+* **Fault campaigns** (:mod:`repro.resilience.plan`,
+  :mod:`repro.resilience.campaign`, :mod:`repro.resilience.vector`):
+  a :class:`FaultPlan` of scheduled :class:`FaultEvent` records applied
+  *mid-run* at round boundaries — the paper's "occasional link failures
+  and host crashes" dropped into a live run — on the reference engine
+  and the vectorized SMM/SIS kernels alike (engine capability
+  ``"faults"``), with per-event recovery metrics in
+  ``result.telemetry.fault_events`` and byte-identical counters across
+  backends for the same plan + seed.
+
+* **Resilient sweeps** (:mod:`repro.parallel.trial_runner`): the trial
+  runner's per-trial timeouts, bounded retries and JSONL checkpointing
+  live with the runner itself; this package only defines the fault
+  model.
+
+Entry points::
+
+    from repro.resilience import FaultEvent, FaultPlan
+    plan = FaultPlan(events=(FaultEvent(round=8, kind="perturb"),), seed=3)
+    result = engine.run("smm", graph, cfg, backend="vectorized",
+                        fault_plan=plan)
+    result.telemetry.fault_events[0]["recovery_rounds"]
+"""
+
+from repro.resilience.campaign import (
+    CampaignRuntime,
+    run_reference_campaign,
+    select_victims,
+)
+from repro.resilience.plan import EVENT_KINDS, FaultEvent, FaultPlan
+from repro.resilience.vector import run_vector_campaign
+
+__all__ = [
+    "CampaignRuntime",
+    "EVENT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "run_reference_campaign",
+    "run_vector_campaign",
+    "select_victims",
+]

@@ -1,0 +1,266 @@
+"""Fault plans: scheduled in-run fault bursts, as plain data.
+
+The paper's system model (Section 2) promises recovery from
+"occasional link failures and/or new link creations" and host crashes;
+:mod:`repro.core.faults` can only inject such faults *between* runs.  A
+:class:`FaultPlan` schedules them *inside* one run: a sequence of
+:class:`FaultEvent` records, each pinned to a global round number, that
+the campaign driver (:mod:`repro.resilience.campaign`) applies at round
+boundaries on whichever backend executes the run.
+
+Event kinds
+-----------
+``perturb``
+    Redraw the state of the victim nodes through
+    ``protocol.random_state`` — a burst of memory corruption.
+``message_dup``
+    A replayed stale beacon re-imposes an arbitrary earlier state on
+    each victim.  In the shared-state abstraction the adversary controls
+    the stale value, so mechanically this equals ``perturb``; it is kept
+    as its own kind so recovery metrics attribute it separately.
+``message_loss``
+    The victims' beacons are lost for long enough that their neighbours
+    evict them: every *other* node's state is sanitized against a
+    phantom topology without the victims' links.  The true topology is
+    unchanged (for bit protocols like SIS, whose states reference no
+    neighbour, this is a no-op by construction).
+``churn``
+    Link failures/creations: either ``churn`` random changes (drawn via
+    :func:`repro.graphs.mutations.apply_churn`) or the explicit
+    ``add_edges``/``remove_edges``, followed by
+    :func:`~repro.core.faults.migrate_configuration` sanitization.
+``crash``
+    Fail-stop: the victims lose every incident link and reboot into
+    their initial state; surviving neighbours sanitize as under churn.
+``rejoin``
+    Crashed nodes come back: links downed by their crash are restored
+    (links to still-crashed peers wait for *their* rejoin).  With no
+    ``nodes``, every currently-crashed node rejoins.
+
+Determinism
+-----------
+Each event draws randomness from its own generator, seeded by
+``SeedSequence([plan.seed, event_index])`` (or the event's explicit
+``seed``) — independent of the daemon's stream.  Same plan + same seed
+therefore produces byte-identical victim choices and redraws on every
+backend; the cross-backend identity is pinned in
+``tests/test_engine_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+__all__ = ["EVENT_KINDS", "FaultEvent", "FaultPlan"]
+
+#: The event kinds the campaign driver implements.
+EVENT_KINDS = (
+    "perturb",
+    "message_dup",
+    "message_loss",
+    "churn",
+    "crash",
+    "rejoin",
+)
+
+_Edge = Tuple[int, int]
+
+
+def _edge_tuple(edges) -> Tuple[_Edge, ...]:
+    return tuple((int(u), int(v)) for u, v in edges)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault burst.
+
+    Attributes
+    ----------
+    round:
+        Global round number the event fires at: the fault hits after
+        round ``round`` completes and before round ``round + 1`` starts.
+        If the run stabilizes earlier, quiescent rounds are counted up
+        to the event (beacons keep being exchanged in a stable system).
+    kind:
+        One of :data:`EVENT_KINDS`.
+    nodes:
+        Explicit victims.  Empty = draw them randomly (``count`` /
+        ``fraction``); for ``rejoin``, empty = every crashed node.
+    count / fraction:
+        Random victim selection: ``count`` nodes, or
+        ``round(fraction * n)`` (at least one when ``fraction > 0``).
+        Defaults to ``fraction=0.25`` when neither is given, matching
+        :func:`repro.core.faults.perturb_configuration`.
+    churn:
+        Number of random link changes (``kind="churn"`` only, ignored
+        when explicit edges are given).
+    add_edges / remove_edges:
+        Explicit link changes (``kind="churn"`` only).
+    seed:
+        Override for this event's generator seed (default: derived from
+        the plan seed and the event's index).
+    """
+
+    round: int
+    kind: str
+    nodes: Tuple[int, ...] = ()
+    count: Optional[int] = None
+    fraction: Optional[float] = None
+    churn: int = 1
+    add_edges: Tuple[_Edge, ...] = ()
+    remove_edges: Tuple[_Edge, ...] = ()
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ExperimentError(
+                f"unknown fault kind {self.kind!r}; known: {list(EVENT_KINDS)}"
+            )
+        if self.round < 0:
+            raise ExperimentError(f"event round must be >= 0, got {self.round}")
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        object.__setattr__(self, "add_edges", _edge_tuple(self.add_edges))
+        object.__setattr__(self, "remove_edges", _edge_tuple(self.remove_edges))
+        if self.fraction is not None and not 0.0 <= self.fraction <= 1.0:
+            raise ExperimentError("fraction must lie in [0, 1]")
+        if self.count is not None and self.count < 0:
+            raise ExperimentError("count must be >= 0")
+
+    def victim_count(self, n: int) -> int:
+        """How many random victims this event draws on an ``n``-node
+        graph (same rounding as ``perturb_configuration``)."""
+        if self.count is not None:
+            return min(self.count, n)
+        fraction = 0.25 if self.fraction is None else self.fraction
+        count = int(round(fraction * n))
+        if fraction > 0 and count == 0 and n > 0:
+            count = 1
+        return min(count, n)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"round": self.round, "kind": self.kind}
+        if self.nodes:
+            out["nodes"] = [int(v) for v in self.nodes]
+        if self.count is not None:
+            out["count"] = self.count
+        if self.fraction is not None:
+            out["fraction"] = self.fraction
+        if self.kind == "churn":
+            out["churn"] = self.churn
+            if self.add_edges:
+                out["add_edges"] = [list(e) for e in self.add_edges]
+            if self.remove_edges:
+                out["remove_edges"] = [list(e) for e in self.remove_edges]
+        if self.seed is not None:
+            out["seed"] = self.seed
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultEvent":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ExperimentError(
+                f"unknown fault-event fields {sorted(unknown)}; known: "
+                f"{sorted(known)}"
+            )
+        if "round" not in data or "kind" not in data:
+            raise ExperimentError("a fault event needs 'round' and 'kind'")
+        return cls(
+            round=int(data["round"]),
+            kind=str(data["kind"]),
+            nodes=tuple(int(v) for v in data.get("nodes", ())),
+            count=None if data.get("count") is None else int(data["count"]),
+            fraction=(
+                None if data.get("fraction") is None else float(data["fraction"])
+            ),
+            churn=int(data.get("churn", 1)),
+            add_edges=_edge_tuple(data.get("add_edges", ())),
+            remove_edges=_edge_tuple(data.get("remove_edges", ())),
+            seed=None if data.get("seed") is None else int(data["seed"]),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered campaign of fault events plus its base seed.
+
+    Events are kept sorted by ``(round, original position)``; several
+    events may share a round (they apply in order, with a zero-round
+    recovery window between them).  Hashable and picklable, so a plan
+    rides inside a frozen :class:`~repro.parallel.TrialSpec` through
+    worker pickling and spec fingerprints.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            ev
+            for _, ev in sorted(
+                enumerate(self.events), key=lambda item: (item[1].round, item[0])
+            )
+        )
+        object.__setattr__(self, "events", ordered)
+
+    def __bool__(self) -> bool:
+        # a plan participates in backend selection as a truthy option;
+        # an empty plan behaves like no plan but still exercises the
+        # campaign path, so keep it truthy
+        return True
+
+    def event_rng(self, index: int) -> np.random.Generator:
+        """The dedicated generator of event ``index`` — independent of
+        the daemon's stream, identical on every backend."""
+        event = self.events[index]
+        if event.seed is not None:
+            return np.random.default_rng(event.seed)
+        return np.random.default_rng(
+            np.random.SeedSequence([int(self.seed), int(index)])
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": int(self.seed),
+            "events": [ev.to_dict() for ev in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        events = data.get("events", ())
+        if not isinstance(events, Sequence) or isinstance(events, (str, bytes)):
+            raise ExperimentError("'events' must be a list of event objects")
+        return cls(
+            events=tuple(FaultEvent.from_dict(ev) for ev in events),
+            seed=int(data.get("seed", 0)),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ExperimentError(f"fault plan is not valid JSON: {exc}") from exc
+        if not isinstance(data, Mapping):
+            raise ExperimentError("fault plan JSON must be an object")
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path) -> "FaultPlan":
+        """Read a plan from a JSON file (the CLI's ``--fault-plan``)."""
+        with open(str(path), "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def save(self, path) -> None:
+        with open(str(path), "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")

@@ -1,0 +1,253 @@
+"""Fault campaigns on the vectorized SMM/SIS kernels.
+
+The campaign driver (:mod:`repro.resilience.campaign`) is backend
+agnostic; this module supplies the adapter that keeps campaign segments
+on the NumPy fast path.  Segments run the same full-scan loop as the
+kernels' ``telemetry_run`` (step → zero-fire stabilized break → budget
+break → apply and count), so every counter is byte-identical with the
+reference engine.
+
+Fault events apply at the array level where possible: ``perturb`` and
+``message_dup`` redraw victim states directly on the dense array,
+mirroring the reference path draw for draw — victims come from the same
+``gen.choice`` over dense indices (:func:`~repro.core.faults.perturb_victims`
+maps them to ids; here they *are* the array positions), and each
+victim's redraw consumes the identical generator calls
+(``integers(deg + 1)`` against the CSR row for SMM — CSR rows and
+``Graph.neighbors`` share their ascending order — and ``integers(2)``
+for SIS).  Topology-changing events (``churn``/``crash``/``rejoin``)
+and ``message_loss`` decode to a configuration, go through the shared
+:class:`~repro.resilience.campaign.CampaignRuntime`, and re-encode
+(rebuilding the kernel when the graph changed); they are rare
+round-boundary operations, so the O(n) decode does not matter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.resilience.campaign import (
+    CampaignRuntime,
+    Segment,
+    drive_campaign,
+    select_victims,
+)
+from repro.resilience.plan import FaultEvent, FaultPlan
+
+__all__ = ["run_vector_campaign"]
+
+
+class _SMMFamily:
+    """VectorizedSMM hooks for the campaign adapter."""
+
+    has_census = True
+
+    @staticmethod
+    def make(graph: Graph):
+        from repro.matching.smm_vectorized import VectorizedSMM
+
+        return VectorizedSMM(graph)
+
+    @staticmethod
+    def encode(kernel, config):
+        return kernel.encode(config)
+
+    @staticmethod
+    def decode(kernel, state):
+        return kernel.decode(state)
+
+    @staticmethod
+    def step_stats(kernel, ptr):
+        new_ptr, r1, r2, r3 = kernel.step(ptr)
+        counts = {"R1": int(r1.sum()), "R2": int(r2.sum()), "R3": int(r3.sum())}
+        return new_ptr, counts, r1 | r2 | r3
+
+    @staticmethod
+    def census(kernel, ptr):
+        return kernel.census(ptr)
+
+    @staticmethod
+    def perturb_one(kernel, ptr, k: int, gen) -> None:
+        # mirrors SynchronousMaximalMatching.random_state: the option
+        # list is [None, *neighbors] and one integers(deg + 1) draw
+        # picks from it; CSR rows share the neighbour order
+        start, stop = int(kernel._indptr[k]), int(kernel._indptr[k + 1])
+        j = int(gen.integers(stop - start + 1))
+        ptr[k] = -1 if j == 0 else int(kernel._indices[start + j - 1])
+
+
+class _SISFamily:
+    """VectorizedSIS hooks for the campaign adapter."""
+
+    has_census = False
+
+    @staticmethod
+    def make(graph: Graph):
+        from repro.mis.sis_vectorized import VectorizedSIS
+
+        return VectorizedSIS(graph)
+
+    @staticmethod
+    def encode(kernel, config):
+        return kernel.encode(config)
+
+    @staticmethod
+    def decode(kernel, state):
+        return kernel.decode(state)
+
+    @staticmethod
+    def step_stats(kernel, x):
+        new_x = kernel.step(x)
+        changed = new_x != x
+        counts = {
+            "R1": int((changed & (new_x == 1)).sum()),
+            "R2": int((changed & (new_x == 0)).sum()),
+        }
+        return new_x, counts, changed
+
+    @staticmethod
+    def census(kernel, x):
+        return None
+
+    @staticmethod
+    def perturb_one(kernel, x, k: int, gen) -> None:
+        # mirrors SynchronousMaximalIndependentSet.random_state
+        x[k] = int(gen.integers(2))
+
+
+_FAMILIES = {"smm": _SMMFamily, "sis": _SISFamily}
+
+
+class _VectorAdapter:
+    traces = False
+
+    def __init__(self, protocol, graph: Graph, initial, family) -> None:
+        self.protocol = protocol
+        self.graph = graph
+        self.family = family
+        self.kernel = family.make(graph)
+        self.state = family.encode(self.kernel, initial)
+        self.runtime = CampaignRuntime()
+
+    def initial_census(self):
+        if not self.family.has_census:
+            return None
+        return self.family.census(self.kernel, self.state)
+
+    def config(self):
+        return self.family.decode(self.kernel, self.state)
+
+    def run_segment(self, budget: int) -> Segment:
+        family, kernel = self.family, self.kernel
+        state = self.state
+        per_round = []
+        active_sizes = []
+        census = [] if family.has_census else None
+        touched = np.zeros(kernel.n, dtype=bool)
+        rounds = 0
+        stabilized = False
+        while True:
+            new_state, counts, fired = family.step_stats(kernel, state)
+            if sum(counts.values()) == 0:
+                stabilized = True
+                break
+            if rounds >= budget:
+                break
+            state = new_state
+            rounds += 1
+            touched |= fired
+            per_round.append(counts)
+            active_sizes.append(kernel.n)
+            if census is not None:
+                census.append(family.census(kernel, state))
+        self.state = state
+        ids = kernel._ids
+        touched_ids = frozenset(
+            int(ids[k]) for k in np.nonzero(touched)[0]
+        )
+        return Segment(
+            rounds=rounds,
+            stabilized=stabilized,
+            per_round=per_round,
+            active_sizes=active_sizes,
+            census=census,
+            touched=touched_ids,
+        )
+
+    def apply(self, event: FaultEvent, gen):
+        if event.kind in ("perturb", "message_dup"):
+            # array fast path, draw-for-draw identical to the dict path
+            victims = select_victims(self.graph, event, gen)
+            index = self.graph.dense_index()
+            for node in victims:
+                self.family.perturb_one(self.kernel, self.state, index[node], gen)
+            return victims
+        config = self.family.decode(self.kernel, self.state)
+        graph, config, sites = self.runtime.apply(
+            self.protocol, self.graph, config, event, gen
+        )
+        if graph is not self.graph:
+            self.graph = graph
+            self.kernel = self.family.make(graph)
+        self.state = self.family.encode(self.kernel, config)
+        return sites
+
+
+def run_vector_campaign(
+    protocol,
+    graph: Graph,
+    config=None,
+    *,
+    fault_plan: FaultPlan,
+    family: str,
+    rng=None,
+    max_rounds: Optional[int] = None,
+    record_history: bool = False,
+    raise_on_timeout: bool = False,
+    active_set: bool = True,
+    telemetry: bool = False,
+):
+    """Run a fault campaign on a vectorized kernel family.
+
+    The kernels' ``run_engine`` adapters delegate here when
+    ``fault_plan`` is given.  ``rng`` / ``record_history`` /
+    ``active_set`` / ``telemetry`` are accepted for the uniform runner
+    signature: SMM/SIS consume no daemon randomness, selection degrades
+    history requests to the reference backend, segments are full scans
+    (telemetry wants per-round counters anyway), and campaigns always
+    collect telemetry.
+    """
+    del rng, record_history, active_set, telemetry
+    from repro.core.executor import _default_round_budget, _resolve_config
+    from repro.engine.result import RunResult
+    from repro.errors import StabilizationTimeout
+
+    initial = _resolve_config(protocol, graph, config)
+    budget = max_rounds if max_rounds is not None else _default_round_budget(graph)
+    adapter = _VectorAdapter(protocol, graph, initial, _FAMILIES[family])
+    summary, tele = drive_campaign(
+        protocol, adapter, fault_plan, budget=budget, backend="vectorized"
+    )
+    result = RunResult(
+        protocol_name=protocol.name,
+        daemon="synchronous",
+        stabilized=summary["stabilized"],
+        rounds=summary["rounds"],
+        moves=summary["moves"],
+        moves_by_rule=summary["moves_by_rule"],
+        initial=initial,
+        final=summary["final"],
+        legitimate=summary["legitimate"],
+        backend="vectorized",
+        telemetry=tele,
+    )
+    if raise_on_timeout and not result.stabilized:
+        raise StabilizationTimeout(
+            f"{protocol.name} exceeded {budget} synchronous rounds "
+            f"(fault campaign)",
+            result,
+        )
+    return result

@@ -30,7 +30,8 @@ class TestConstruction:
             {"radius": 0.0},
             {"t_b": 0.0},
             {"jitter": 1.0},
-            {"loss": 1.0},
+            {"loss": 1.5},
+            {"loss": -0.1},
             {"timeout_factor": 1.0},
         ],
     )
@@ -222,3 +223,96 @@ class TestBelievedGraph:
         assert bg.neighbors(0) == (1, 2)
         with pytest.raises(SimulationError):
             bg.neighbors(1)
+
+
+class TestFaultExtremes:
+    """The boundary cases of the fault model: total beacon loss and the
+    fail-stop crash of an already-matched node mid-episode."""
+
+    def line_placement(self, n=6):
+        pos = np.array([[float(i), 0.0] for i in range(n)])
+        return StaticPlacement(pos)
+
+    def test_total_loss_terminates_illegitimate(self):
+        # loss=1.0 means no beacon is ever delivered: no node hears a
+        # neighbour, no rule ever fires, and the run must *terminate*
+        # with legitimate=False rather than hang waiting for quiescence
+        from repro.adhoc.runner import run_until_stable
+
+        pl = self.line_placement()
+        bad = {i: (i + 1) % 6 for i in range(6)}  # an illegitimate ring
+        result = run_until_stable(
+            SynchronousMaximalMatching(),
+            pl,
+            radius=1.1,
+            loss=1.0,
+            rng=5,
+            initial_states=bad,
+            max_time=30.0,
+        )
+        assert not result.stabilized
+        assert result.steps == 0
+        assert result.time == 30.0
+
+    def test_total_loss_network_never_steps(self):
+        pl = self.line_placement()
+        net = AdHocNetwork(
+            SynchronousMaximalMatching(), pl, radius=1.1, loss=1.0, rng=5
+        )
+        net.run_until(40.0)
+        assert net.total_beacons() > 0       # senders keep beaconing...
+        assert net.total_steps() == 0        # ...but nobody ever hears
+        assert all(not nd.heard for nd in net.nodes.values())
+
+    def test_crash_of_matched_node_mid_episode(self):
+        # stabilize, crash one endpoint of a matched edge: the surviving
+        # partner must evict it after the beacon timeout and re-match /
+        # go aloof, restoring legitimacy on the alive subnetwork
+        pl = self.line_placement()
+        net = AdHocNetwork(SynchronousMaximalMatching(), pl, radius=1.1, rng=2)
+        net.run_until(80.0)
+        assert net.is_legitimate()
+        cfg = net.configuration()
+        matched = next(
+            i for i in range(6) if cfg[i] is not None and cfg[cfg[i]] == i
+        )
+        partner = cfg[matched]
+        net.crash(matched)
+        net.run_until(net.now + 40.0)
+        assert net.nodes[partner].state != matched
+        assert net.is_legitimate()           # evaluated on the alive subgraph
+
+    def test_crashed_node_is_silent_and_deaf(self):
+        pl = self.line_placement()
+        net = AdHocNetwork(SynchronousMaximalMatching(), pl, radius=1.1, rng=2)
+        net.run_until(10.0)
+        sent_before = net.nodes[2].beacons_sent
+        net.crash(2)
+        net.run_until(net.now + 20.0)
+        assert net.nodes[2].beacons_sent == sent_before
+        # every alive neighbour evicted the silent node from its table
+        for i in (1, 3):
+            assert 2 not in net.nodes[i].table.neighbors()
+
+    def test_revive_reintegrates(self):
+        pl = self.line_placement()
+        net = AdHocNetwork(SynchronousMaximalMatching(), pl, radius=1.1, rng=2)
+        net.run_until(80.0)
+        victim = 0
+        net.crash(victim)
+        net.run_until(net.now + 40.0)
+        net.revive(victim)
+        net.run_until(net.now + 60.0)
+        assert not net.crashed
+        assert net.is_legitimate()
+
+    def test_crash_bookkeeping_errors(self):
+        pl = self.line_placement()
+        net = AdHocNetwork(SynchronousMaximalMatching(), pl, radius=1.1, rng=2)
+        net.crash(1)
+        with pytest.raises(SimulationError):
+            net.crash(1)                      # already down
+        with pytest.raises(SimulationError):
+            net.crash(99)                     # unknown node
+        with pytest.raises(SimulationError):
+            net.revive(2)                     # not crashed

@@ -6,9 +6,9 @@ from repro.cli import _registry, main
 
 
 class TestRegistry:
-    def test_twelve_experiments(self):
+    def test_thirteen_experiments(self):
         reg = _registry()
-        assert set(reg) == {f"E{i}" for i in range(1, 13)}
+        assert set(reg) == {f"E{i}" for i in range(1, 14)}
 
     def test_every_entry_well_formed(self):
         for eid, (description, full, quick) in _registry().items():
@@ -20,7 +20,7 @@ class TestList:
     def test_list_prints_all(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        for i in range(1, 13):
+        for i in range(1, 14):
             assert f"E{i}" in out
 
 

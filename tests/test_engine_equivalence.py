@@ -15,8 +15,9 @@ from __future__ import annotations
 import pytest
 
 from repro.core.faults import random_configuration
-from repro.engine import backends_for, make_protocol, run
-from repro.errors import InvalidConfigurationError
+from repro.engine import backends_for, fallback_backend, make_protocol, run
+from repro.errors import ExperimentError, InvalidConfigurationError
+from repro.resilience import FaultEvent, FaultPlan
 from repro.graphs.generators import (
     cycle_graph,
     erdos_renyi_graph,
@@ -162,6 +163,89 @@ class TestDegenerateGraphs:
         reference = run(key, graph, config, backend="reference", rng=seed)
         result = run(key, graph, config, backend=backend, rng=seed)
         assert_equivalent(reference, result)
+
+
+class TestFaultCampaignEquivalence:
+    """Same FaultPlan + seed → byte-identical campaigns on every backend.
+
+    The plan's per-event RNG is seeded from ``(plan.seed, event index)``
+    independently of the daemon stream, so victim choices, redraws and
+    random churn must agree exactly between the reference driver and the
+    vectorized kernels — counters, final configuration AND the recorded
+    recovery metrics.
+    """
+
+    #: a campaign touching every event kind, timed for 12-node graphs
+    def make_plan(self, seed: int) -> FaultPlan:
+        return FaultPlan(
+            events=(
+                FaultEvent(round=4, kind="perturb", fraction=0.3),
+                FaultEvent(round=9, kind="churn", churn=2),
+                FaultEvent(round=14, kind="crash", count=2),
+                FaultEvent(round=19, kind="message_loss", count=1),
+                FaultEvent(round=24, kind="rejoin"),
+                FaultEvent(round=24, kind="message_dup", count=3),
+            ),
+            seed=seed,
+        )
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("key", ("smm", "sis"))
+    def test_campaign_matches_reference(self, key, family, seed):
+        graph = make_graph(family, seed)
+        protocol = make_protocol(key)
+        config = random_configuration(protocol, graph, ensure_rng(seed))
+        plan = self.make_plan(seed)
+        reference = run(
+            key, graph, config, backend="reference", rng=seed, fault_plan=plan
+        )
+        result = run(
+            key, graph, config, backend="vectorized", rng=seed, fault_plan=plan
+        )
+        assert result.backend == "vectorized"
+        assert_equivalent(reference, result)
+        ref_t, res_t = reference.telemetry, result.telemetry
+        assert ref_t is not None and res_t is not None
+        assert res_t.per_round_moves == ref_t.per_round_moves
+        assert res_t.node_type_census == ref_t.node_type_census
+        # the recovery records must agree field-for-field, radius included
+        assert res_t.fault_events == ref_t.fault_events
+        assert len(res_t.fault_events) == len(plan.events)
+
+    @pytest.mark.parametrize("key", ("smm", "sis"))
+    def test_auto_with_fault_plan_stays_vectorized(self, key):
+        # "faults" is a capability of the vectorized kernels, so a
+        # campaign must not push a plain run off the fast path
+        graph = cycle_graph(10)
+        plan = FaultPlan(events=(FaultEvent(round=3, kind="perturb"),))
+        result = run(key, graph, backend="auto", rng=0, fault_plan=plan)
+        assert result.backend == "vectorized"
+        assert result.telemetry.fault_events is not None
+
+    def test_fault_plan_degrades_unsupporting_backend(self):
+        # the batch kernel does not implement fault campaigns: the
+        # static helper degrades it, the explicit request raises
+        plan = FaultPlan(events=(FaultEvent(round=3, kind="perturb"),))
+        assert fallback_backend("smm", backend="batch", fault_plan=plan) == (
+            "reference"
+        )
+        with pytest.raises(ExperimentError):
+            run("smm", cycle_graph(8), backend="batch", rng=0, fault_plan=plan)
+
+    def test_empty_plan_matches_plain_run(self):
+        # an event-free campaign is still a campaign (telemetry, the
+        # campaign driver), but its counters equal the plain run's
+        graph = cycle_graph(12)
+        protocol = make_protocol("smm")
+        config = random_configuration(protocol, graph, ensure_rng(3))
+        plain = run("smm", graph, config, backend="reference", rng=3)
+        campaign = run(
+            "smm", graph, config, backend="reference", rng=3,
+            fault_plan=FaultPlan(),
+        )
+        assert_equivalent(plain, campaign)
+        assert campaign.telemetry.fault_events == []
 
 
 class TestInvalidConfigurations:

@@ -69,6 +69,12 @@ class TestCoreClaims:
         )
         assert _core_claim_holds(r)
 
+    def test_e13(self):
+        good = make_result("E13", [{"recovered_frac": 1.0}])
+        bad = make_result("E13", [{"recovered_frac": 0.8}])
+        assert _core_claim_holds(good) and not _core_claim_holds(bad)
+        assert not _core_claim_holds(make_result("E13", []))
+
     def test_unknown_experiment_passes(self):
         assert _core_claim_holds(make_result("E99", []))
 
@@ -95,11 +101,11 @@ class TestBuildReport:
         return build_report(quick=True)
 
     def test_all_sections_present(self, report_text):
-        for i in range(1, 13):
+        for i in range(1, 14):
             assert f"## E{i} —" in report_text
 
     def test_summary_line(self, report_text):
-        assert "**Summary: 12/12 experiments reproduced.**" in report_text
+        assert "**Summary: 13/13 experiments reproduced.**" in report_text
 
     def test_no_failures(self, report_text):
         assert "✗ FAILED" not in report_text
