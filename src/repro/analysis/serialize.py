@@ -88,6 +88,8 @@ def execution_to_dict(execution: Execution) -> Dict[str, Any]:
             if execution.telemetry is not None
             else None
         ),
+        # span fragments are already plain JSON-safe dicts
+        "trace": execution.trace,
     }
 
 
@@ -129,6 +131,7 @@ def execution_from_dict(data: Mapping[str, Any]) -> Execution:
             if data.get("telemetry") is not None
             else None
         ),
+        trace=data.get("trace"),
     )
 
 

@@ -268,7 +268,11 @@ def cmd_run(
     trial_timeout: float | None = None,
     retries: int = 0,
     resume: str | None = None,
+    trace: str | None = None,
+    metrics: str | None = None,
 ) -> int:
+    import contextlib
+
     if telemetry is not None:
         # truncate up front: the sinks append, so one `repro run`
         # invocation produces one coherent file whatever experiments ran
@@ -278,27 +282,80 @@ def cmd_run(
     )
     if any(i.lower() == "all" for i in ids):
         ids = sorted(registry, key=_order_key)
-    failures = 0
-    for eid in ids:
-        key = eid.upper()
-        if key not in registry:
-            print(f"unknown experiment {eid!r}; try 'list'", file=sys.stderr)
-            return 2
-        description, full, fast = registry[key]
-        print(f"=== {key}: {description} ===")
-        started = time.perf_counter()
-        try:
-            results = (fast if quick else full)()
-        except AssertionError as exc:
-            failures += 1
-            print(f"FAILED: {exc}", file=sys.stderr)
-            continue
-        elapsed = time.perf_counter() - started
-        for result in results:
-            print(result.table())
-            print()
-        print(f"({elapsed:.1f}s)\n")
+    tracer = None
+    metrics_registry = None
+    with contextlib.ExitStack() as stack:
+        if trace is not None:
+            from repro.observability import Tracer, use_tracer
+
+            tracer = Tracer()
+            stack.enter_context(use_tracer(tracer))
+        if metrics is not None:
+            from repro.observability import MetricsRegistry, use_registry
+
+            metrics_registry = MetricsRegistry()
+            stack.enter_context(use_registry(metrics_registry))
+        failures = 0
+        for eid in ids:
+            key = eid.upper()
+            if key not in registry:
+                print(f"unknown experiment {eid!r}; try 'list'", file=sys.stderr)
+                return 2
+            description, full, fast = registry[key]
+            print(f"=== {key}: {description} ===")
+            started = time.perf_counter()
+            span = None
+            if tracer is not None:
+                span = tracer.begin(f"experiment:{key}", quick=quick)
+            try:
+                results = (fast if quick else full)()
+            except AssertionError as exc:
+                failures += 1
+                print(f"FAILED: {exc}", file=sys.stderr)
+                continue
+            finally:
+                if span is not None:
+                    tracer.end(span)
+            elapsed = time.perf_counter() - started
+            for result in results:
+                print(result.table())
+                print()
+            print(f"({elapsed:.1f}s)\n")
+    if tracer is not None:
+        from repro.observability import write_chrome_trace
+
+        write_chrome_trace(trace, tracer.export())
+        print(f"wrote trace to {trace} (chrome://tracing, Perfetto)")
+    if metrics_registry is not None:
+        _write_metrics(metrics_registry, metrics)
     return 1 if failures else 0
+
+
+def _write_metrics(registry, path: str) -> None:
+    """Prometheus text exposition to ``path`` plus a JSON sibling
+    (same name, ``.json`` extension)."""
+    import os
+
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(registry.exposition())
+    sibling = os.path.splitext(path)[0] + ".json"
+    with open(sibling, "w", encoding="utf-8") as handle:
+        handle.write(registry.to_json())
+        handle.write("\n")
+    print(f"wrote metrics to {path} and {sibling}")
+
+
+def cmd_dash(telemetry: str, output: str, title: str | None = None) -> int:
+    from repro.observability.dash import write_report
+
+    try:
+        summary = write_report(telemetry, output, title=title)
+    except (OSError, ValueError) as exc:
+        print(f"dash: {exc}", file=sys.stderr)
+        return 2
+    print(summary)
+    print(f"wrote {output}")
+    return 0
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -372,6 +429,43 @@ def main(argv: List[str] | None = None) -> int:
         "completed trials are appended as they finish and skipped on "
         "the next run with the same parameters",
     )
+    runner.add_argument(
+        "--trace",
+        nargs="?",
+        const="trace.json",
+        default=None,
+        metavar="PATH",
+        help="record a span trace of the whole invocation (experiment > "
+        "run > phase, fault-event recovery windows) and write it as "
+        "Chrome trace_event JSON to PATH (default: trace.json); load "
+        "it in chrome://tracing or Perfetto",
+    )
+    runner.add_argument(
+        "--metrics",
+        nargs="?",
+        const="metrics.prom",
+        default=None,
+        metavar="PATH",
+        help="collect sweep metrics (runs/rounds/moves counters, trial "
+        "latency histograms, retry/timeout/fallback counters) and "
+        "write Prometheus text exposition to PATH plus a JSON sibling "
+        "(default: metrics.prom + metrics.json); counter values are "
+        "identical for every --jobs and --backend",
+    )
+    dash = sub.add_parser(
+        "dash", help="render a telemetry JSONL file into an HTML report"
+    )
+    dash.add_argument(
+        "telemetry",
+        help="telemetry JSONL written by 'repro run ... --telemetry'",
+    )
+    dash.add_argument(
+        "-o",
+        "--output",
+        default="report.html",
+        help="output HTML path (default: report.html)",
+    )
+    dash.add_argument("--title", default=None, help="report title")
     reporter = sub.add_parser(
         "report", help="run everything and write a markdown report"
     )
@@ -391,6 +485,8 @@ def main(argv: List[str] | None = None) -> int:
         parser.error(f"argument --trial-timeout: must be > 0, got {timeout}")
     if args.command == "list":
         return cmd_list()
+    if args.command == "dash":
+        return cmd_dash(args.telemetry, args.output, title=args.title)
     if args.command == "report":
         from repro.experiments.report import write_report
 
@@ -407,6 +503,8 @@ def main(argv: List[str] | None = None) -> int:
         trial_timeout=args.trial_timeout,
         retries=args.retries,
         resume=args.resume,
+        trace=args.trace,
+        metrics=args.metrics,
     )
 
 

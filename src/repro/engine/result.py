@@ -80,6 +80,21 @@ class RunResult:
         census, phase wall-clocks); ``None`` otherwise.  Every built-in
         backend advertises the ``"telemetry"`` capability, so requesting
         it never forces a run off the fast path.
+    trace:
+        Exported span dicts (:mod:`repro.observability.tracing`) when
+        the run was traced in a worker process — the fragment rides the
+        pickled result back to the parent, which grafts it into the
+        sweep's trace; ``None`` otherwise (in-process traced runs
+        record into the ambient tracer directly).
+    elapsed:
+        Wall-clock seconds of the backend call, stamped by
+        :func:`repro.engine.run` in the executing process (two
+        ``perf_counter`` reads — free).  The metrics layer's
+        ``repro_trial_latency_seconds`` histogram observes this, so
+        latency needs no telemetry collection.  ``None`` for results
+        built outside the engine front door (deserialized checkpoints,
+        hand-constructed records).  Non-deterministic by nature; never
+        compared, never serialized.
     """
 
     protocol_name: str
@@ -95,6 +110,8 @@ class RunResult:
     legitimate: bool = False
     backend: str = "reference"
     telemetry: Optional[RunTelemetry] = None
+    trace: Optional[List[dict]] = None
+    elapsed: Optional[float] = None
 
     def rounds_to_stabilize(self) -> int:
         """Rounds actually needed (alias of :attr:`rounds`); raises if

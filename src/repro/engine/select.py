@@ -21,6 +21,7 @@ counts) is pinned by ``tests/test_engine_equivalence.py``.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from repro.engine import registry
@@ -116,23 +117,39 @@ def fallback_backend(
     :data:`_OPTION_CAPABILITIES`, or to a capability of its own name).
     Since every built-in backend advertises ``"telemetry"``,
     ``telemetry=True`` alone never degrades.
+
+    A degradation increments ``repro_backend_fallbacks_total`` in the
+    ambient metrics registry (when one is installed) — fallbacks are
+    visible, never silent.
     """
     if backend in ("auto", "reference"):
         return backend
     found = registry.BACKENDS.get((protocol, daemon, backend))
-    if found is None:
-        return "reference"
     requested = dict(options)
     requested["record_history"] = record_history
     requested["monitors"] = monitors
     requested["telemetry"] = telemetry
-    for option, value in requested.items():
-        if not value:
-            continue
-        capability = _OPTION_CAPABILITIES.get(option, option)
-        if capability not in found.capabilities:
-            return "reference"
-    return backend
+    degraded = found is None
+    if not degraded:
+        for option, value in requested.items():
+            if not value:
+                continue
+            capability = _OPTION_CAPABILITIES.get(option, option)
+            if capability not in found.capabilities:
+                degraded = True
+                break
+    if not degraded:
+        return backend
+    from repro.observability import metrics as _metrics
+
+    registry_now = _metrics.current_registry()
+    if registry_now is not None:
+        registry_now.counter(
+            "repro_backend_fallbacks_total",
+            "Requested backends statically degraded to the reference "
+            "engine (missing registration or capability)",
+        ).inc(protocol=protocol, requested=backend)
+    return "reference"
 
 
 def run(
@@ -176,6 +193,25 @@ def run(
     -------
     RunResult
         With ``result.backend`` naming the backend that ran.
+
+    Notes
+    -----
+    When a tracer is ambiently installed
+    (:func:`repro.observability.use_tracer` — the CLI's ``--trace``),
+    the call is wrapped in a ``run:<protocol>`` span.  Runs that carry
+    telemetry — ``telemetry=True``, or a fault campaign (which always
+    attaches it) — additionally get ``setup`` / ``rounds`` /
+    ``finalize`` phase children synthesized from the telemetry
+    wall-clocks.  Tracing never asks the backend for anything: a plain
+    traced run stays on the exact code path of an untraced one (span
+    bookkeeping is two clock reads around the call), which is what
+    keeps the observability overhead inside the benchmark pin
+    (``benchmarks/test_bench_observability.py``).
+
+    Every result is stamped with ``elapsed`` — the wall-clock of the
+    backend call — which the metrics layer turns into the
+    ``repro_trial_latency_seconds`` histogram without collecting
+    telemetry.
     """
     key, instance = _resolve_protocol(protocol)
     if daemon not in registry.DAEMONS:
@@ -192,15 +228,66 @@ def run(
         record_history=record_history,
         **options,
     )
-    result = chosen.runner(
-        instance,
-        graph,
-        config,
-        rng=rng,
-        max_rounds=max_rounds,
-        record_history=record_history,
-        raise_on_timeout=raise_on_timeout,
-        **options,
-    )
+    from repro.observability import tracing
+
+    tracer = tracing.current_tracer()
+    span = None
+    if tracer is not None:
+        span = tracer.begin(
+            f"run:{key or type(instance).__name__}",
+            protocol=key or type(instance).__name__,
+            daemon=daemon,
+            backend=chosen.name,
+        )
+    start = time.perf_counter()
+    try:
+        result = chosen.runner(
+            instance,
+            graph,
+            config,
+            rng=rng,
+            max_rounds=max_rounds,
+            record_history=record_history,
+            raise_on_timeout=raise_on_timeout,
+            **options,
+        )
+    finally:
+        if span is not None:
+            tracer.end(span)
+    result.elapsed = time.perf_counter() - start
+    if span is not None:
+        span.attrs.update(
+            rounds=result.rounds,
+            moves=result.moves,
+            stabilized=result.stabilized,
+            n=getattr(graph, "n", None),
+        )
+        _add_phase_spans(span, result.telemetry)
     result.backend = chosen.name
     return result
+
+
+def _add_phase_spans(span, telemetry) -> None:
+    """Synthesize ``setup``/``rounds``/``finalize`` children of a run
+    span from the telemetry phase wall-clocks.
+
+    The recorder's phases are sequential, so the children tile the run
+    span: setup from the start, finalize up to the end, rounds the
+    stretch between — which by construction contains any fault-event
+    spans the campaign driver recorded live during stepping.
+    """
+    if telemetry is None or not telemetry.timings:
+        return
+    start, end = span.ts, span.ts + span.dur
+    setup = float(telemetry.timings.get("setup", 0.0))
+    finalize = float(telemetry.timings.get("finalize", 0.0))
+    rounds_start = min(start + setup, end)
+    rounds_end = max(end - finalize, rounds_start)
+    span.child("phase:setup", start, rounds_start - start)
+    span.child(
+        "phase:rounds",
+        rounds_start,
+        rounds_end - rounds_start,
+        rounds=telemetry.rounds,
+    )
+    span.child("phase:finalize", rounds_end, end - rounds_end)

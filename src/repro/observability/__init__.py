@@ -1,0 +1,88 @@
+"""Observability for protocol runs: telemetry, tracing, metrics, dashboards.
+
+Four modules, all stdlib-only and all capability-gated so kernel
+backends stay on their fast paths:
+
+* :mod:`repro.observability.telemetry` — the per-run
+  :class:`RunTelemetry` record every backend fills in (per-round moves
+  by rule, Fig. 2 node-type census, phase wall-clocks, fault-recovery
+  windows), its JSONL sink and the deterministic sweep aggregate
+  :func:`merge_telemetry`;
+* :mod:`repro.observability.tracing` — a zero-dependency span tree
+  (:class:`Tracer`/:class:`Span`) threaded through the engine, the
+  trial runner and the fault-campaign driver, exportable as Chrome
+  ``trace_event`` JSON (``repro run --trace``, ``chrome://tracing`` /
+  Perfetto);
+* :mod:`repro.observability.metrics` — a process-local registry of
+  counters/gauges/fixed-bucket histograms with Prometheus text
+  exposition and JSON export, recorded deterministically in the parent
+  from the results workers send back (``repro run --metrics``);
+* :mod:`repro.observability.dash` — renders a telemetry JSONL file
+  into a terminal summary and a self-contained static HTML report
+  (``repro dash``).
+
+Everything the old ``repro.observability`` module exported is
+re-exported here unchanged; see docs/observability.md for the
+walkthrough.
+"""
+
+from repro.observability.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_registry,
+    exponential_buckets,
+    record_failed_trial,
+    record_run_result,
+    use_registry,
+)
+from repro.observability.telemetry import (
+    CENSUS_KEYS,
+    RunTelemetry,
+    TelemetryRecorder,
+    TelemetrySink,
+    census_of,
+    merge_telemetry,
+    wants_census,
+)
+from repro.observability.tracing import (
+    Span,
+    Tracer,
+    chrome_trace,
+    current_tracer,
+    use_tracer,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    # telemetry
+    "CENSUS_KEYS",
+    "RunTelemetry",
+    "TelemetryRecorder",
+    "TelemetrySink",
+    "census_of",
+    "merge_telemetry",
+    "wants_census",
+    # tracing
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "current_tracer",
+    "use_tracer",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    # metrics
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "current_registry",
+    "exponential_buckets",
+    "record_failed_trial",
+    "record_run_result",
+    "use_registry",
+]

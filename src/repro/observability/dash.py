@@ -1,0 +1,530 @@
+"""Render a telemetry JSONL file into a terminal summary and a
+self-contained static HTML report (``repro dash``).
+
+Input is whatever :class:`~repro.observability.TelemetrySink` wrote:
+one JSON object per line, either a raw
+:class:`~repro.observability.RunTelemetry` dict or the CLI's wrapper
+``{"family": ..., "n": ..., "trial": ..., "telemetry": {...}}``.
+
+The HTML report is one file with no external assets — inline CSS
+(light and dark from ``prefers-color-scheme``), inline SVG charts and
+a few lines of vanilla JS for hover tooltips — so it can be attached
+to a CI run or mailed around.  It shows:
+
+* the paper's Fig. 2 view — a stacked node-type census area chart per
+  round, for the longest run that recorded a census;
+* moves by rule per round, summed across runs;
+* the per-phase wall-clock breakdown (setup / rounds / finalize);
+* a fault-event recovery table for campaign runs.
+
+Chart colors are the skill-validated categorical palette (adjacent-pair
+CVD ΔE >= 8 in both modes); every chart also ships its data as a table,
+so nothing is color-alone.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.observability.telemetry import (
+    CENSUS_KEYS,
+    RunTelemetry,
+    TelemetrySink,
+    merge_telemetry,
+)
+
+__all__ = ["load_telemetry", "render_html", "summarize", "write_report"]
+
+
+# validated categorical palette (see docs/observability.md); slot order
+# is the CVD-safety mechanism — assign by fixed position, never cycle
+_LIGHT = ("#2a78d6", "#eb6834", "#1baf7a", "#eda100", "#e87ba4", "#008300")
+_DARK = ("#3987e5", "#d95926", "#199e70", "#c98500", "#d55181", "#008300")
+
+
+def load_telemetry(path) -> List[Tuple[str, RunTelemetry]]:
+    """``(label, telemetry)`` per record of a telemetry JSONL file.
+
+    Unparseable lines are skipped (a killed run may truncate its last
+    line); a file with no valid records raises ``ValueError``.
+    """
+    out: List[Tuple[str, RunTelemetry]] = []
+    for i, record in enumerate(TelemetrySink.read(path)):
+        try:
+            if "telemetry" in record:
+                telemetry = RunTelemetry.from_dict(record["telemetry"])
+                parts = [
+                    f"{key}={record[key]}"
+                    for key in ("family", "n", "trial")
+                    if key in record
+                ]
+                label = " ".join(parts) or f"run {i}"
+            else:
+                telemetry = RunTelemetry.from_dict(record)
+                label = f"run {i}"
+        except Exception:
+            continue
+        out.append((label, telemetry))
+    if not out:
+        raise ValueError(f"no telemetry records in {path}")
+    return out
+
+
+# ----------------------------------------------------------------------
+# terminal summary
+# ----------------------------------------------------------------------
+def summarize(records: Sequence[Tuple[str, RunTelemetry]]) -> str:
+    """Plain-text sweep summary for the terminal."""
+    merged = merge_telemetry([t for _, t in records])
+    protocols = sorted({t.protocol for _, t in records})
+    backends = sorted({t.backend for _, t in records})
+    lines = [
+        f"runs: {merged['runs']}   protocols: {', '.join(protocols)}   "
+        f"backends: {', '.join(backends)}",
+        f"rounds: {merged['rounds_total']} total, {merged['rounds_max']} max"
+        f"   moves: {merged['moves']}",
+    ]
+    if merged["moves_by_rule"]:
+        by_rule = "  ".join(
+            f"{rule}={count}"
+            for rule, count in sorted(merged["moves_by_rule"].items())
+        )
+        lines.append(f"moves by rule: {by_rule}")
+    if merged["timings"]:
+        timing = "  ".join(
+            f"{phase}={seconds * 1000.0:.1f}ms"
+            for phase, seconds in sorted(merged["timings"].items())
+        )
+        lines.append(f"phase wall-clock (summed): {timing}")
+    for kind, agg in sorted(merged["fault_events"].items()):
+        radius = "-" if agg["radius_max"] is None else agg["radius_max"]
+        lines.append(
+            f"faults[{kind}]: {agg['recovered']}/{agg['events']} recovered, "
+            f"{agg['recovery_rounds_total']} recovery rounds "
+            f"(max {agg['recovery_rounds_max']}), max radius {radius}"
+        )
+    if merged["final_census"]:
+        census = "  ".join(
+            f"{key}={merged['final_census'][key]}"
+            for key in CENSUS_KEYS
+            if key in merged["final_census"]
+        )
+        lines.append(f"final census (summed): {census}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# SVG helpers
+# ----------------------------------------------------------------------
+_W, _H = 760, 240
+_PAD_L, _PAD_R, _PAD_T, _PAD_B = 46, 10, 8, 26
+
+
+def _axis(max_y: float, rounds: int, y_label: str) -> List[str]:
+    parts = []
+    plot_h = _H - _PAD_T - _PAD_B
+    plot_w = _W - _PAD_L - _PAD_R
+    for frac in (0.0, 0.5, 1.0):
+        y = _PAD_T + plot_h * (1.0 - frac)
+        value = max_y * frac
+        text = f"{value:g}" if value < 1000 else f"{value / 1000.0:g}k"
+        parts.append(
+            f'<line class="grid" x1="{_PAD_L}" y1="{y:.1f}" '
+            f'x2="{_W - _PAD_R}" y2="{y:.1f}"/>'
+            f'<text class="tick" x="{_PAD_L - 6}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{text}</text>'
+        )
+    last = max(rounds - 1, 1)
+    for r in range(0, rounds, max(1, rounds // 8 or 1)):
+        x = _PAD_L + plot_w * (r / last)
+        parts.append(
+            f'<text class="tick" x="{x:.1f}" y="{_H - 8}" '
+            f'text-anchor="middle">{r}</text>'
+        )
+    parts.append(
+        f'<text class="tick" x="{_PAD_L}" y="{_H - 8}">&#8203;</text>'
+        f'<text class="axis-label" x="{_W / 2:.0f}" y="{_H - 8}" '
+        f'text-anchor="middle" dy="8">round</text>'
+        f'<text class="axis-label" transform="rotate(-90)" '
+        f'x="{-(_H / 2):.0f}" y="12" text-anchor="middle">{y_label}</text>'
+    )
+    return parts
+
+
+def _stacked_chart(
+    chart_id: str,
+    series: Dict[str, List[float]],
+    *,
+    y_label: str,
+    area: bool,
+) -> str:
+    """Stacked area (``area=True``) or stacked per-round bars, with a
+    hover tooltip fed by the embedded JSON payload."""
+    names = list(series)
+    rounds = max((len(v) for v in series.values()), default=0)
+    totals = [
+        sum(series[name][t] if t < len(series[name]) else 0 for name in names)
+        for t in range(rounds)
+    ]
+    max_y = max(totals, default=0) or 1
+    plot_h = _H - _PAD_T - _PAD_B
+    plot_w = _W - _PAD_L - _PAD_R
+
+    def x_of(t: int) -> float:
+        return _PAD_L + plot_w * (t / max(rounds - 1, 1))
+
+    def y_of(v: float) -> float:
+        return _PAD_T + plot_h * (1.0 - v / max_y)
+
+    parts = _axis(max_y, rounds, y_label)
+    cumulative = [0.0] * rounds
+    if area:
+        for k, name in enumerate(names):
+            lower = list(cumulative)
+            for t in range(rounds):
+                cumulative[t] += (
+                    series[name][t] if t < len(series[name]) else 0
+                )
+            top = " ".join(
+                f"{x_of(t):.1f},{y_of(cumulative[t]):.1f}"
+                for t in range(rounds)
+            )
+            bottom = " ".join(
+                f"{x_of(t):.1f},{y_of(lower[t]):.1f}"
+                for t in reversed(range(rounds))
+            )
+            # the 2px surface-colored stroke is the spacer between bands
+            parts.append(
+                f'<polygon class="s{k} band" points="{top} {bottom}"/>'
+            )
+    else:
+        bar_w = max(2.0, plot_w / max(rounds, 1) - 2.0)
+        for k, name in enumerate(names):
+            for t in range(rounds):
+                v = series[name][t] if t < len(series[name]) else 0
+                if not v:
+                    continue
+                y1 = y_of(cumulative[t] + v)
+                h = y_of(cumulative[t]) - y1
+                cumulative[t] += v
+                x = x_of(t) - bar_w / 2 if rounds > 1 else _PAD_L
+                parts.append(
+                    f'<rect class="s{k} band" x="{x:.1f}" y="{y1:.1f}" '
+                    f'width="{bar_w:.1f}" height="{max(h, 0.5):.1f}" rx="1"/>'
+                )
+    payload = html.escape(
+        json.dumps(
+            {"names": names, "series": [series[n] for n in names]},
+            separators=(",", ":"),
+        ),
+        quote=True,
+    )
+    legend = "".join(
+        f'<span class="key"><span class="swatch s{k}"></span>'
+        f"{html.escape(name)}</span>"
+        for k, name in enumerate(names)
+    )
+    body = "".join(parts)
+    return (
+        f'<div class="legend">{legend}</div>'
+        f'<div class="plot" data-chart="{chart_id}" data-series="{payload}">'
+        f'<svg viewBox="0 0 {_W} {_H}" role="img" '
+        f'aria-label="{html.escape(y_label)} per round">{body}'
+        f'<line class="crosshair" y1="{_PAD_T}" y2="{_H - _PAD_B}" '
+        f'x1="-10" x2="-10"/></svg>'
+        f'<div class="tooltip" hidden></div></div>'
+    )
+
+
+def _series_table(series: Dict[str, List[float]]) -> str:
+    names = list(series)
+    rounds = max((len(v) for v in series.values()), default=0)
+    head = "".join(f"<th>{html.escape(n)}</th>" for n in names)
+    rows = []
+    for t in range(rounds):
+        cells = "".join(
+            f"<td>{series[n][t] if t < len(series[n]) else ''}</td>"
+            for n in names
+        )
+        rows.append(f"<tr><th>{t}</th>{cells}</tr>")
+    return (
+        "<details><summary>data table</summary>"
+        f'<table><thead><tr><th>round</th>{head}</tr></thead>'
+        f"<tbody>{''.join(rows)}</tbody></table></details>"
+    )
+
+
+def _timing_chart(timings: Dict[str, float]) -> str:
+    """Horizontal single-hue bars — one measure (seconds), so one hue
+    with direct value labels, no legend."""
+    phases = [p for p in ("setup", "rounds", "finalize") if p in timings]
+    phases += sorted(set(timings) - set(phases))
+    max_v = max(timings.values(), default=0.0) or 1.0
+    row_h, gap, label_w = 26, 8, 70
+    width = 560
+    height = len(phases) * (row_h + gap)
+    parts = []
+    for i, phase in enumerate(phases):
+        v = timings[phase]
+        y = i * (row_h + gap)
+        w = max(2.0, (width - label_w - 90) * (v / max_v))
+        parts.append(
+            f'<text class="tick" x="{label_w - 8}" y="{y + row_h - 8}" '
+            f'text-anchor="end">{html.escape(phase)}</text>'
+            f'<rect class="timing" x="{label_w}" y="{y}" width="{w:.1f}" '
+            f'height="{row_h}" rx="4"/>'
+            f'<text class="value" x="{label_w + w + 6:.1f}" '
+            f'y="{y + row_h - 8}">{v * 1000.0:.1f} ms</text>'
+        )
+    return (
+        f'<svg viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="phase wall-clock">{"".join(parts)}</svg>'
+    )
+
+
+def _fault_table(records: Sequence[Tuple[str, RunTelemetry]]) -> str:
+    rows = []
+    for label, telemetry in records:
+        for event in telemetry.fault_events or ():
+            radius = event.get("radius")
+            rows.append(
+                "<tr>"
+                + "".join(
+                    f"<td>{html.escape(str(v))}</td>"
+                    for v in (
+                        label,
+                        event.get("kind"),
+                        event.get("round"),
+                        len(event.get("sites", ())),
+                        "yes" if event.get("recovered") else "no",
+                        event.get("recovery_rounds"),
+                        event.get("moves"),
+                        event.get("touched"),
+                        "-" if radius is None else radius,
+                    )
+                )
+                + "</tr>"
+            )
+    if not rows:
+        return ""
+    head = "".join(
+        f"<th>{h}</th>"
+        for h in (
+            "run",
+            "kind",
+            "round",
+            "sites",
+            "recovered",
+            "recovery rounds",
+            "moves",
+            "touched",
+            "radius",
+        )
+    )
+    return (
+        "<section><h2>Fault recovery</h2>"
+        f"<table><thead><tr>{head}</tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table></section>"
+    )
+
+
+_STYLE = """
+:root { color-scheme: light dark; }
+body {
+  margin: 2rem auto; max-width: 860px; padding: 0 1rem;
+  background: #fcfcfb; color: #0b0b0b;
+  font: 14px/1.5 system-ui, sans-serif;
+}
+h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin: 1.6rem 0 .4rem; }
+.meta, .tick, .axis-label { color: #52514e; }
+.tiles { display: flex; flex-wrap: wrap; gap: 10px; margin: 1rem 0; }
+.tile { border: 1px solid #e4e3df; border-radius: 8px; padding: 8px 14px; }
+.tile b { display: block; font-size: 1.25rem; }
+.tile span { color: #52514e; font-size: .82rem; }
+svg { width: 100%; height: auto; display: block; }
+.grid { stroke: #e4e3df; stroke-width: 1; }
+.tick { font-size: 11px; fill: #52514e; }
+.axis-label { font-size: 11px; fill: #52514e; }
+.value { font-size: 11px; fill: #0b0b0b; }
+.band { stroke: #fcfcfb; stroke-width: 2; }
+.timing { fill: #2a78d6; }
+.s0 { fill: #2a78d6; } .s1 { fill: #eb6834; } .s2 { fill: #1baf7a; }
+.s3 { fill: #eda100; } .s4 { fill: #e87ba4; } .s5 { fill: #008300; }
+.legend { display: flex; flex-wrap: wrap; gap: 12px; margin: .3rem 0; }
+.key { display: inline-flex; align-items: center; gap: 5px; font-size: .82rem; }
+.swatch { width: 10px; height: 10px; border-radius: 3px; display: inline-block; }
+.plot { position: relative; }
+.crosshair { stroke: #52514e; stroke-width: 1; stroke-dasharray: 3 3; }
+.tooltip {
+  position: absolute; pointer-events: none; background: #0b0b0b; color: #fff;
+  border-radius: 6px; padding: 6px 9px; font-size: .78rem; line-height: 1.45;
+  transform: translate(-50%, -100%); white-space: nowrap; z-index: 2;
+}
+table { border-collapse: collapse; margin: .4rem 0; font-size: .85rem; }
+th, td { border: 1px solid #e4e3df; padding: 3px 9px; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+details summary { cursor: pointer; color: #52514e; font-size: .85rem; }
+@media (prefers-color-scheme: dark) {
+  body { background: #1a1a19; color: #ffffff; }
+  .meta, .tick, .axis-label { color: #c3c2b7; }
+  .tick, .axis-label { fill: #c3c2b7; }
+  .value { fill: #ffffff; }
+  .tile, th, td { border-color: #383835; }
+  .tile span { color: #c3c2b7; }
+  .grid { stroke: #383835; }
+  .band { stroke: #1a1a19; }
+  .timing { fill: #3987e5; }
+  .s0 { fill: #3987e5; } .s1 { fill: #d95926; } .s2 { fill: #199e70; }
+  .s3 { fill: #c98500; } .s4 { fill: #d55181; } .s5 { fill: #008300; }
+  .crosshair { stroke: #c3c2b7; }
+  .tooltip { background: #fcfcfb; color: #0b0b0b; }
+  details summary { color: #c3c2b7; }
+}
+"""
+
+# nearest-round crosshair + tooltip for the per-round charts; the
+# geometry constants mirror the Python SVG builder
+_SCRIPT = """
+(function () {
+  var PAD_L = %(pad_l)d, PAD_R = %(pad_r)d, W = %(w)d;
+  document.querySelectorAll('.plot').forEach(function (plot) {
+    var data = JSON.parse(plot.dataset.series);
+    var rounds = Math.max.apply(null, data.series.map(function (s) {
+      return s.length;
+    }).concat([0]));
+    if (!rounds) return;
+    var svg = plot.querySelector('svg');
+    var cross = plot.querySelector('.crosshair');
+    var tip = plot.querySelector('.tooltip');
+    svg.addEventListener('mousemove', function (ev) {
+      var box = svg.getBoundingClientRect();
+      var fx = (ev.clientX - box.left) / box.width * W;
+      var frac = (fx - PAD_L) / (W - PAD_L - PAD_R);
+      var t = Math.round(frac * (rounds - 1));
+      if (t < 0 || t >= rounds) { tip.hidden = true; return; }
+      var x = PAD_L + (W - PAD_L - PAD_R) * (t / Math.max(rounds - 1, 1));
+      cross.setAttribute('x1', x); cross.setAttribute('x2', x);
+      var lines = ['round ' + t];
+      data.names.forEach(function (name, k) {
+        var v = data.series[k][t];
+        if (v !== undefined) lines.push(name + ': ' + v);
+      });
+      tip.innerHTML = lines.join('<br>');
+      tip.style.left = (x / W * box.width) + 'px';
+      tip.style.top = '0px';
+      tip.hidden = false;
+    });
+    svg.addEventListener('mouseleave', function () {
+      tip.hidden = true;
+      cross.setAttribute('x1', -10); cross.setAttribute('x2', -10);
+    });
+  });
+})();
+""" % {"pad_l": _PAD_L, "pad_r": _PAD_R, "w": _W}
+
+
+def render_html(
+    records: Sequence[Tuple[str, RunTelemetry]],
+    *,
+    title: str = "repro dash",
+    source: Optional[str] = None,
+) -> str:
+    """The full self-contained HTML report."""
+    merged = merge_telemetry([t for _, t in records])
+    sections: List[str] = []
+
+    tiles = [
+        ("runs", merged["runs"]),
+        ("rounds (max)", merged["rounds_max"]),
+        ("rounds (total)", merged["rounds_total"]),
+        ("moves", merged["moves"]),
+    ]
+    fault_total = sum(a["events"] for a in merged["fault_events"].values())
+    if fault_total:
+        tiles.append(("fault events", fault_total))
+    sections.append(
+        '<div class="tiles">'
+        + "".join(
+            f'<div class="tile"><b>{value}</b><span>{name}</span></div>'
+            for name, value in tiles
+        )
+        + "</div>"
+    )
+
+    census_runs = [
+        (label, t) for label, t in records if t.node_type_census
+    ]
+    if census_runs:
+        label, telemetry = max(census_runs, key=lambda lt: lt[1].rounds)
+        census = telemetry.node_type_census
+        series = {
+            key: [entry.get(key, 0) for entry in census]
+            for key in CENSUS_KEYS
+            if any(entry.get(key, 0) for entry in census)
+        }
+        sections.append(
+            "<section><h2>Node-type census per round (Fig. 2)</h2>"
+            f'<p class="meta">longest censused run: {html.escape(label)}, '
+            f"{telemetry.rounds} rounds</p>"
+            + _stacked_chart("census", series, y_label="nodes", area=True)
+            + _series_table(series)
+            + "</section>"
+        )
+
+    rules = sorted(merged["moves_by_rule"])
+    if rules:
+        rounds_max = merged["rounds_max"]
+        moves_series: Dict[str, List[float]] = {
+            rule: [0.0] * rounds_max for rule in rules
+        }
+        for _, telemetry in records:
+            for t, entry in enumerate(telemetry.per_round_moves):
+                for rule, count in entry.items():
+                    if count and rule in moves_series:
+                        moves_series[rule][t] += count
+        sections.append(
+            "<section><h2>Moves by rule per round (all runs)</h2>"
+            + _stacked_chart("moves", moves_series, y_label="moves", area=False)
+            + _series_table(moves_series)
+            + "</section>"
+        )
+
+    if merged["timings"]:
+        sections.append(
+            "<section><h2>Phase wall-clock (summed across runs)</h2>"
+            + _timing_chart(merged["timings"])
+            + "</section>"
+        )
+
+    sections.append(_fault_table(records))
+
+    meta = "" if source is None else (
+        f'<p class="meta">source: {html.escape(str(source))}</p>'
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">'
+        f"<title>{html.escape(title)}</title>"
+        f"<style>{_STYLE}</style></head><body>"
+        f"<h1>{html.escape(title)}</h1>{meta}"
+        + "".join(sections)
+        + f"<script>{_SCRIPT}</script></body></html>"
+    )
+
+
+def write_report(
+    telemetry_path, output_path, *, title: Optional[str] = None
+) -> str:
+    """Load ``telemetry_path``, write the HTML report to
+    ``output_path`` and return the terminal summary text."""
+    records = load_telemetry(telemetry_path)
+    text = render_html(
+        records,
+        title=title or f"repro dash — {telemetry_path}",
+        source=telemetry_path,
+    )
+    with open(str(output_path), "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return summarize(records)

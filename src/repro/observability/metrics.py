@@ -1,0 +1,403 @@
+"""Process-local metrics registry with deterministic merges.
+
+Counters, gauges and histograms keyed by ``(family name, sorted label
+pairs)``, exportable as Prometheus text exposition and as JSON.
+Histograms use *fixed* exponential buckets, so merging two registries
+(or re-running a sweep at a different ``--jobs``) is deterministic:
+every aggregate is an order-independent sum or maximum.
+
+The sweep metrics are recorded **in the parent process**, in spec
+order, from the results the workers send back — the counts ride the
+existing trial pickling path (``RunResult`` summary fields and
+telemetry), so worker registries never need to be shipped or merged
+and the counter-valued families are byte-identical for every ``jobs``
+value.  The protocol-accounting families (``repro_rounds_total``,
+``repro_moves_total``, the fault-recovery counters) deliberately carry
+no ``backend`` label: they are byte-identical across backends as well,
+pinned in ``tests/test_engine_equivalence.py``.  Wall-clock families
+(the latency histogram) and the operational counters (retries,
+timeouts, worker deaths) describe how the sweep actually ran and are
+excluded from those pins.
+
+Install a registry ambiently with :func:`use_registry`; the trial
+runner records into :func:`current_registry` and is a no-op when none
+is installed.  The CLI's ``repro run --metrics[=PATH]`` wraps an
+invocation and writes both exports.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+from contextvars import ContextVar
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "current_registry",
+    "exponential_buckets",
+    "record_failed_trial",
+    "record_run_result",
+    "use_registry",
+]
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def exponential_buckets(
+    start: float, factor: float, count: int
+) -> Tuple[float, ...]:
+    """``count`` exponentially growing upper bounds starting at
+    ``start`` — fixed at family creation so merges are deterministic."""
+    if start <= 0 or factor <= 1 or count < 1:
+        raise ValueError("need start > 0, factor > 1, count >= 1")
+    out = []
+    value = start
+    for _ in range(count):
+        out.append(value)
+        value *= factor
+    return tuple(out)
+
+
+#: Default latency buckets: 0.5 ms .. ~16 s, doubling.
+DEFAULT_BUCKETS = exponential_buckets(0.0005, 2.0, 16)
+
+
+def _label_key(labels: Mapping[str, Any]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Family:
+    """One metric family: a kind, help text, and labelled samples."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.buckets: Tuple[float, ...] = (
+            tuple(float(b) for b in buckets) if buckets is not None else ()
+        )
+        # counter/gauge: key -> float; histogram: key -> {count,sum,buckets}
+        self.samples: Dict[LabelKey, Any] = {}
+
+
+class Counter:
+    """Monotonically increasing sum."""
+
+    def __init__(self, family: _Family) -> None:
+        self._family = family
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(labels)
+        self._family.samples[key] = self._family.samples.get(key, 0) + amount
+
+
+class Gauge:
+    """Last-written value; merges take the maximum (deterministic)."""
+
+    def __init__(self, family: _Family) -> None:
+        self._family = family
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._family.samples[_label_key(labels)] = value
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative counts at export time)."""
+
+    def __init__(self, family: _Family) -> None:
+        self._family = family
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        sample = self._family.samples.get(key)
+        if sample is None:
+            sample = {
+                "count": 0,
+                "sum": 0.0,
+                "buckets": [0] * len(self._family.buckets),
+            }
+            self._family.samples[key] = sample
+        sample["count"] += 1
+        sample["sum"] += float(value)
+        for i, bound in enumerate(self._family.buckets):
+            if value <= bound:
+                sample["buckets"][i] += 1
+                break  # non-cumulative in storage; cumulated on export
+
+
+class MetricsRegistry:
+    """A set of metric families; see the module docstring."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> _Family:
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, help, buckets)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}"
+            )
+        return family
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return Counter(self._family(name, "counter", help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return Gauge(self._family(name, "gauge", help))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return Histogram(self._family(name, "histogram", help, buckets))
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def _selected(self, kinds: Optional[Sequence[str]]) -> Iterator[_Family]:
+        for name in sorted(self._families):
+            family = self._families[name]
+            if kinds is None or family.kind in kinds:
+                yield family
+
+    def to_dict(
+        self, kinds: Optional[Sequence[str]] = None
+    ) -> Dict[str, Any]:
+        """Deterministic JSON-safe export: families sorted by name,
+        samples by label pairs.  ``kinds=("counter",)`` restricts to
+        the deterministic counter families."""
+        out: Dict[str, Any] = {}
+        for family in self._selected(kinds):
+            samples = []
+            for key in sorted(family.samples):
+                value = family.samples[key]
+                entry: Dict[str, Any] = {"labels": dict(key)}
+                if family.kind == "histogram":
+                    entry["count"] = value["count"]
+                    entry["sum"] = value["sum"]
+                    entry["buckets"] = list(value["buckets"])
+                else:
+                    entry["value"] = value
+                samples.append(entry)
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                **(
+                    {"bucket_bounds": list(family.buckets)}
+                    if family.kind == "histogram"
+                    else {}
+                ),
+                "samples": samples,
+            }
+        return out
+
+    def to_json(self, kinds: Optional[Sequence[str]] = None) -> str:
+        return json.dumps(self.to_dict(kinds), separators=(",", ":"))
+
+    def exposition(self, kinds: Optional[Sequence[str]] = None) -> str:
+        """Prometheus text exposition format (v0.0.4), deterministic:
+        families sorted by name, samples by label pairs."""
+        lines: List[str] = []
+        for family in self._selected(kinds):
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for key in sorted(family.samples):
+                labels = ",".join(
+                    f'{name}="{_escape(value)}"' for name, value in key
+                )
+                value = family.samples[key]
+                if family.kind != "histogram":
+                    suffix = f"{{{labels}}}" if labels else ""
+                    lines.append(f"{family.name}{suffix} {_fmt(value)}")
+                    continue
+                cumulative = 0
+                for bound, count in zip(family.buckets, value["buckets"]):
+                    cumulative += count
+                    le = ",".join(filter(None, [labels, f'le="{_fmt(bound)}"']))
+                    lines.append(
+                        f"{family.name}_bucket{{{le}}} {cumulative}"
+                    )
+                le = ",".join(filter(None, [labels, 'le="+Inf"']))
+                lines.append(f"{family.name}_bucket{{{le}}} {value['count']}")
+                suffix = f"{{{labels}}}" if labels else ""
+                lines.append(
+                    f"{family.name}_sum{suffix} {_fmt(value['sum'])}"
+                )
+                lines.append(
+                    f"{family.name}_count{suffix} {value['count']}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    # ------------------------------------------------------------------
+    # merge
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry, deterministically:
+        counters and histograms add (bucket bounds must agree), gauges
+        take the maximum.  Returns ``self``."""
+        for name, theirs in sorted(other._families.items()):
+            mine = self._family(name, theirs.kind, theirs.help, theirs.buckets)
+            if theirs.kind == "histogram" and mine.buckets != theirs.buckets:
+                raise ValueError(
+                    f"histogram {name!r} bucket bounds differ; "
+                    "merges require identical fixed buckets"
+                )
+            for key, value in theirs.samples.items():
+                if theirs.kind == "histogram":
+                    sample = mine.samples.setdefault(
+                        key,
+                        {
+                            "count": 0,
+                            "sum": 0.0,
+                            "buckets": [0] * len(mine.buckets),
+                        },
+                    )
+                    sample["count"] += value["count"]
+                    sample["sum"] += value["sum"]
+                    for i, count in enumerate(value["buckets"]):
+                        sample["buckets"][i] += count
+                elif theirs.kind == "gauge":
+                    mine.samples[key] = max(
+                        mine.samples.get(key, value), value
+                    )
+                else:
+                    mine.samples[key] = mine.samples.get(key, 0) + value
+        return self
+
+
+# ----------------------------------------------------------------------
+# the ambient registry
+# ----------------------------------------------------------------------
+_CURRENT: ContextVar[Optional[MetricsRegistry]] = ContextVar(
+    "repro_metrics", default=None
+)
+
+
+def current_registry() -> Optional[MetricsRegistry]:
+    """The ambiently installed registry, or ``None`` (metrics off)."""
+    return _CURRENT.get()
+
+
+@contextlib.contextmanager
+def use_registry(
+    registry: Optional[MetricsRegistry],
+) -> Iterator[Optional[MetricsRegistry]]:
+    """Install ``registry`` as the ambient registry for the block."""
+    token = _CURRENT.set(registry)
+    try:
+        yield registry
+    finally:
+        _CURRENT.reset(token)
+
+
+# ----------------------------------------------------------------------
+# the built-in sweep instrumentation
+# ----------------------------------------------------------------------
+def record_run_result(registry: MetricsRegistry, result) -> None:
+    """Fold one completed run into the sweep metrics.
+
+    Called by the trial runner in the parent, in spec order, over the
+    :class:`~repro.engine.result.RunResult` records the workers send
+    back — the deterministic half of the instrumentation.
+    """
+    protocol = result.protocol_name
+    labels = dict(
+        protocol=protocol, daemon=result.daemon, backend=result.backend
+    )
+    registry.counter(
+        "repro_runs_total", "Protocol runs completed, per backend"
+    ).inc(**labels)
+    if result.stabilized:
+        registry.counter(
+            "repro_runs_stabilized_total",
+            "Runs that reached a legitimate fixpoint within budget",
+        ).inc(**labels)
+    registry.counter(
+        "repro_rounds_total",
+        "Daemon rounds elapsed (backend-independent accounting)",
+    ).inc(result.rounds, protocol=protocol, daemon=result.daemon)
+    moves = registry.counter(
+        "repro_moves_total",
+        "Rule firings by rule (backend-independent accounting)",
+    )
+    for rule, count in sorted(result.moves_by_rule.items()):
+        if count:
+            moves.inc(count, protocol=protocol, rule=rule)
+    telemetry = result.telemetry
+    for event in (telemetry.fault_events if telemetry else None) or ():
+        kind = str(event["kind"])
+        registry.counter(
+            "repro_fault_events_total", "Fault events applied, by kind"
+        ).inc(protocol=protocol, kind=kind)
+        if event["recovered"]:
+            registry.counter(
+                "repro_fault_recovered_total",
+                "Fault events whose recovery window re-stabilized",
+            ).inc(protocol=protocol, kind=kind)
+        registry.counter(
+            "repro_fault_recovery_rounds_total",
+            "Rounds spent in fault recovery windows, by kind",
+        ).inc(int(event["recovery_rounds"]), protocol=protocol, kind=kind)
+    if result.elapsed is not None:
+        registry.histogram(
+            "repro_trial_latency_seconds",
+            "Per-trial wall clock of the backend call, as stamped by "
+            "the engine in the executing process",
+        ).observe(
+            result.elapsed,
+            protocol=protocol,
+            backend=result.backend,
+        )
+
+
+def record_failed_trial(registry: MetricsRegistry, failed) -> None:
+    """Fold one :class:`~repro.parallel.FailedTrial` into the sweep
+    metrics (the operational, non-deterministic half)."""
+    registry.counter(
+        "repro_trial_failures_total",
+        "Trials that exhausted their attempts, by final error type",
+    ).inc(error_type=failed.error_type)
+    if failed.timed_out:
+        registry.counter(
+            "repro_trial_timeouts_total",
+            "Trials whose final attempt hit the wall-clock timeout",
+        ).inc()
+    if failed.attempts > 1:
+        registry.counter(
+            "repro_trial_retries_total", "Extra attempts made for trials"
+        ).inc(failed.attempts - 1)

@@ -295,20 +295,53 @@ class TelemetrySink:
 
     The CLI's ``--telemetry[=PATH]`` streams one record per trial
     through this; records are written in spec order, so the file is
-    deterministic for any ``--jobs`` value.
+    deterministic for any ``--jobs`` value.  (Truncation happens once
+    per CLI invocation, up front — the sink itself only appends.)
+
+    The sink holds one buffered handle, opened lazily on the first
+    write and kept until :meth:`close` — re-opening per record made
+    ``open()`` calls O(trials) and dominated small sweeps.  Each
+    ``write``/``write_many`` call flushes, so records written so far
+    are always readable; use the sink as a context manager (or call
+    :meth:`close`) to release the handle deterministically.
     """
 
     def __init__(self, path) -> None:
         self.path = str(path)
+        self._handle = None
+
+    def _ensure_open(self):
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
 
     def write(self, record: Mapping[str, Any]) -> None:
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        handle = self._ensure_open()
+        handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        handle.flush()
 
     def write_many(self, records: Iterable[Mapping[str, Any]]) -> None:
-        with open(self.path, "a", encoding="utf-8") as handle:
-            for record in records:
-                handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        handle = self._ensure_open()
+        for record in records:
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TelemetrySink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort: close() is the contract
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
 
     @staticmethod
     def read(path) -> List[Dict[str, Any]]:
@@ -331,12 +364,21 @@ def merge_telemetry(
     from a parallel sweep gives the same answer for every ``jobs``
     value and every completion order.  ``None`` entries (runs without
     telemetry) are skipped.
+
+    Fault-campaign runs contribute a per-kind ``fault_events``
+    aggregate (event/recovered counts, recovery-round totals and
+    maxima, moves, worst containment radius); runs with a node-type
+    census contribute their *final* census to ``final_census`` (the
+    summed Fig. 2 histogram of the end states — ``None`` when no run
+    kept a census).
     """
     runs = 0
     rounds_total = 0
     rounds_max = 0
     moves_by_rule: Dict[str, int] = {}
     timings: Dict[str, float] = {}
+    fault_kinds: Dict[str, Dict[str, Any]] = {}
+    final_census: Optional[Dict[str, int]] = None
     for t in telemetries:
         if t is None:
             continue
@@ -347,6 +389,38 @@ def merge_telemetry(
             moves_by_rule[name] = moves_by_rule.get(name, 0) + count
         for phase, seconds in t.timings.items():
             timings[phase] = timings.get(phase, 0.0) + seconds
+        if t.node_type_census:
+            if final_census is None:
+                final_census = {k: 0 for k in CENSUS_KEYS}
+            for key, count in t.node_type_census[-1].items():
+                final_census[key] = final_census.get(key, 0) + int(count)
+        for event in t.fault_events or ():
+            agg = fault_kinds.setdefault(
+                str(event["kind"]),
+                {
+                    "events": 0,
+                    "recovered": 0,
+                    "recovery_rounds_total": 0,
+                    "recovery_rounds_max": 0,
+                    "moves": 0,
+                    "touched": 0,
+                    "radius_max": None,
+                },
+            )
+            agg["events"] += 1
+            agg["recovered"] += int(bool(event["recovered"]))
+            agg["recovery_rounds_total"] += int(event["recovery_rounds"])
+            agg["recovery_rounds_max"] = max(
+                agg["recovery_rounds_max"], int(event["recovery_rounds"])
+            )
+            agg["moves"] += int(event["moves"])
+            agg["touched"] += int(event["touched"])
+            radius = event.get("radius")
+            if radius is not None:
+                agg["radius_max"] = max(
+                    int(radius),
+                    -1 if agg["radius_max"] is None else agg["radius_max"],
+                )
     return {
         "runs": runs,
         "rounds_total": rounds_total,
@@ -354,4 +428,6 @@ def merge_telemetry(
         "moves": sum(moves_by_rule.values()),
         "moves_by_rule": dict(sorted(moves_by_rule.items())),
         "timings": dict(sorted(timings.items())),
+        "fault_events": dict(sorted(fault_kinds.items())),
+        "final_census": final_census,
     }

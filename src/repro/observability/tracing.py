@@ -1,0 +1,317 @@
+"""Zero-dependency span tracing with Chrome ``trace_event`` export.
+
+A :class:`Span` is a named, timed interval with attributes and nested
+children; a :class:`Tracer` builds a tree of them.  The engine opens
+one span per :func:`repro.engine.run` call (with ``setup`` / ``rounds``
+/ ``finalize`` phase children synthesized from the run's telemetry
+wall-clocks), the trial runner one span per trial (annotated with
+attempt/timeout/resume outcomes in resilient mode), and the fault-
+campaign driver one span per :class:`~repro.resilience.FaultEvent`
+covering its recovery window — so a whole sweep renders as one
+timeline.
+
+Timestamps are wall-anchored monotonic: each tracer snapshots
+``(time.time(), time.perf_counter())`` once and reports
+``perf_counter`` deltas rebased onto the wall clock, giving
+sub-microsecond resolution *and* comparability across the worker
+processes of a parallel sweep (each worker's span fragment rides back
+inside its pickled result, exactly like telemetry).
+
+Install a tracer ambiently with :func:`use_tracer`; everything that
+traces checks :func:`current_tracer` and is a no-op when none is
+installed — runs without a tracer pay nothing.  Export with
+:meth:`Tracer.export` (plain dicts) and :func:`chrome_trace` /
+:func:`write_chrome_trace` (the Chrome ``trace_event`` JSON object
+format, loadable in ``chrome://tracing`` and Perfetto; workers map to
+trace threads so parallel trials land on separate tracks).
+
+Span *structure* (names, nesting, counter-valued attributes) is
+deterministic for a given sweep whatever ``--jobs`` is; timestamps and
+durations are wall-clock and of course are not.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "current_tracer",
+    "use_tracer",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+
+@dataclass
+class Span:
+    """One named interval: ``[ts, ts + dur]`` seconds (wall-anchored),
+    with free-form JSON-safe ``attrs`` and nested ``children``."""
+
+    name: str
+    ts: float
+    dur: float = 0.0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+    pid: Optional[int] = None  # producing process; inherited when None
+
+    def child(self, name: str, ts: float, dur: float, **attrs: Any) -> "Span":
+        """Attach (and return) an already-timed child span — used to
+        synthesize phase spans from telemetry wall-clocks."""
+        span = Span(name=name, ts=ts, dur=dur, attrs=dict(attrs))
+        self.children.append(span)
+        return span
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "ts": self.ts,
+            "dur": self.dur,
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+        if self.pid is not None:
+            out["pid"] = self.pid
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Span":
+        return cls(
+            name=str(data["name"]),
+            ts=float(data["ts"]),
+            dur=float(data["dur"]),
+            attrs=dict(data.get("attrs", {})),
+            children=[cls.from_dict(c) for c in data.get("children", ())],
+            pid=data.get("pid"),
+        )
+
+
+class Tracer:
+    """Builds a span tree with an explicit open-span stack.
+
+    Use :meth:`span` (context manager) for well-nested work,
+    :meth:`begin`/:meth:`end` when the interval crosses loop
+    iterations (the campaign driver's recovery windows), and
+    :meth:`record` for an interval that was timed externally.
+    """
+
+    def __init__(self) -> None:
+        self.pid = os.getpid()
+        self._wall0 = time.time()
+        self._pc0 = time.perf_counter()
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    def now(self) -> float:
+        """Wall-anchored monotonic timestamp in seconds."""
+        return self._wall0 + (time.perf_counter() - self._pc0)
+
+    def _attach(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+
+    def begin(self, name: str, **attrs: Any) -> Span:
+        """Open a span; it nests under the currently open span."""
+        span = Span(name=name, ts=self.now(), attrs=dict(attrs))
+        self._attach(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span, **attrs: Any) -> Span:
+        """Close ``span`` (and anything left open beneath it)."""
+        span.attrs.update(attrs)
+        span.dur = max(0.0, self.now() - span.ts)
+        while self._stack:
+            if self._stack.pop() is span:
+                break
+        return span
+
+    @contextlib.contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        opened = self.begin(name, **attrs)
+        try:
+            yield opened
+        finally:
+            self.end(opened)
+
+    def record(
+        self, name: str, start: float, end: Optional[float] = None, **attrs: Any
+    ) -> Span:
+        """Attach a closed span timed by the caller (``start``/``end``
+        from :meth:`now`) under the currently open span."""
+        stop = self.now() if end is None else end
+        span = Span(
+            name=name, ts=start, dur=max(0.0, stop - start), attrs=dict(attrs)
+        )
+        self._attach(span)
+        return span
+
+    def graft(self, fragment: Mapping[str, Any], **attrs: Any) -> Span:
+        """Attach a span exported by another tracer (typically from a
+        worker process, carried back on ``result.trace``), merging
+        ``attrs`` into its root."""
+        span = Span.from_dict(fragment)
+        span.attrs.update(attrs)
+        self._attach(span)
+        return span
+
+    def export(self) -> List[Dict[str, Any]]:
+        """The root spans as JSON-safe dicts, stamped with this
+        tracer's process id (grafted fragments keep their own)."""
+        out = []
+        for root in self.roots:
+            data = root.to_dict()
+            data.setdefault("pid", self.pid)
+            out.append(data)
+        return out
+
+
+# ----------------------------------------------------------------------
+# the ambient tracer
+# ----------------------------------------------------------------------
+_CURRENT: ContextVar[Optional[Tracer]] = ContextVar(
+    "repro_tracer", default=None
+)
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The ambiently installed tracer, or ``None`` (tracing off)."""
+    return _CURRENT.get()
+
+
+@contextlib.contextmanager
+def use_tracer(tracer: Optional[Tracer]) -> Iterator[Optional[Tracer]]:
+    """Install ``tracer`` as the ambient tracer for the block."""
+    token = _CURRENT.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _CURRENT.reset(token)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event export
+# ----------------------------------------------------------------------
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_json_safe(v) for v in value]
+    return repr(value)
+
+
+def chrome_trace(spans: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Render exported span dicts as a Chrome ``trace_event`` JSON
+    object (the format ``chrome://tracing`` and Perfetto load).
+
+    Every span becomes one complete (``"ph": "X"``) event with
+    microsecond ``ts``/``dur`` rebased to the earliest span; each
+    producing process becomes a trace *thread*, so the trials of a
+    parallel sweep render as parallel tracks.
+    """
+    spans = [dict(s) for s in spans]
+    if spans:
+        origin = min(float(s["ts"]) for s in spans)
+    else:
+        origin = 0.0
+    events: List[Dict[str, Any]] = []
+    tids: Dict[int, int] = {}  # producing pid -> stable small tid
+
+    def tid_of(pid: Optional[int], inherited: int) -> int:
+        if pid is None:
+            return inherited
+        if pid not in tids:
+            tids[pid] = len(tids) + 1
+        return tids[pid]
+
+    def emit(span: Mapping[str, Any], inherited: int) -> None:
+        tid = tid_of(span.get("pid"), inherited)
+        events.append(
+            {
+                "name": str(span["name"]),
+                "cat": "repro",
+                "ph": "X",
+                "ts": round((float(span["ts"]) - origin) * 1e6, 3),
+                "dur": round(float(span["dur"]) * 1e6, 3),
+                "pid": 1,
+                "tid": tid,
+                "args": _json_safe(span.get("attrs", {})),
+            }
+        )
+        for child in span.get("children", ()):
+            emit(child, tid)
+
+    for span in spans:
+        emit(span, 0)
+    meta: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "repro"},
+        }
+    ]
+    for pid, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": f"worker pid={pid}"},
+            }
+        )
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, spans: Iterable[Mapping[str, Any]]) -> None:
+    """Write :func:`chrome_trace` output as JSON to ``path``."""
+    with open(str(path), "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(spans), handle, separators=(",", ":"))
+
+
+def validate_chrome_trace(data: Mapping[str, Any]) -> int:
+    """Validate the ``trace_event`` JSON object format; returns the
+    number of non-metadata events.  Raises ``ValueError`` on schema
+    violations — used by the CI smoke step and the test suite."""
+    if not isinstance(data, Mapping) or "traceEvents" not in data:
+        raise ValueError("missing traceEvents array")
+    events = data["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    counted = 0
+    for event in events:
+        if not isinstance(event, Mapping):
+            raise ValueError(f"event is not an object: {event!r}")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"event missing {key!r}: {event!r}")
+        if event["ph"] == "M":
+            continue
+        if event["ph"] != "X":
+            raise ValueError(f"unexpected phase {event['ph']!r}")
+        for key in ("ts", "dur"):
+            value = event.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(f"event {key} invalid: {event!r}")
+        counted += 1
+    return counted

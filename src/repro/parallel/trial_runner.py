@@ -42,7 +42,7 @@ import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from multiprocessing.connection import wait as _connection_wait
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -102,6 +102,21 @@ class TrialSpec:
         extra plumbing; aggregate with
         :func:`repro.observability.merge_telemetry` or write records out
         with :class:`repro.observability.TelemetrySink`.
+    trace:
+        Collect a span fragment for this trial
+        (:mod:`repro.observability.tracing`) when no tracer is ambient
+        — how worker processes trace: the fragment rides back on
+        ``result.trace`` and the parent grafts it into the sweep's
+        tracer.  :meth:`TrialRunner.map` sets this itself whenever a
+        tracer is installed; callers normally never do.  Excluded from
+        :func:`spec_fingerprint` (tracing does not change the result),
+        so toggling ``--trace`` never invalidates resume checkpoints.
+
+        Metrics need no spec flag at all: the registry's counters come
+        from the :class:`RunResult` summary fields and its latency
+        histogram from the ``elapsed`` wall-clock the engine stamps on
+        every result, so the parent records everything after the sweep
+        without asking workers for extra collection.
     """
 
     protocol: str
@@ -114,6 +129,7 @@ class TrialSpec:
     options: Tuple[Tuple[str, object], ...] = ()
     backend: str = "reference"
     telemetry: bool = False
+    trace: bool = False
 
 
 def execute_trial(spec: TrialSpec) -> RunResult:
@@ -121,7 +137,22 @@ def execute_trial(spec: TrialSpec) -> RunResult:
 
     Dispatches through :func:`repro.engine.run`, the single engine
     front door (protocol lookup, daemon routing and backend selection
-    all live there)."""
+    all live there).  ``spec.trace`` builds a local tracer when none is
+    ambient (the worker-process case) and attaches its export to
+    ``result.trace``."""
+    if spec.trace:
+        from repro.observability import tracing as _tracing
+
+        if _tracing.current_tracer() is None:
+            tracer = _tracing.Tracer()
+            with _tracing.use_tracer(tracer):
+                result = _dispatch_trial(spec)
+            result.trace = tracer.export()
+            return result
+    return _dispatch_trial(spec)
+
+
+def _dispatch_trial(spec: TrialSpec) -> RunResult:
     from repro.engine import run as engine_run
 
     options = dict(spec.options)
@@ -281,7 +312,18 @@ def _pin_worker_threads() -> None:
     pure Python + small NumPy element-wise ops, so one thread per worker
     is optimal.  Env vars cover libraries loaded after the fork;
     ``threadpoolctl`` (if present) repins ones already loaded.
+
+    Also clears observation context the fork start method copies from
+    the parent: the parent's tracer / metrics registry objects are
+    unreachable from a worker, and a worker that still *sees* them
+    would record spans into a dead copy instead of building the local
+    fragment that rides back on the result (``spec.trace``).
     """
+    from repro.observability import metrics as _metrics
+    from repro.observability import tracing as _tracing
+
+    _tracing._CURRENT.set(None)
+    _metrics._CURRENT.set(None)
     for var in _THREAD_ENV_VARS:
         os.environ[var] = "1"
     try:  # pragma: no cover - optional dependency
@@ -427,12 +469,46 @@ class TrialRunner:
     def map(
         self, specs: Sequence[TrialSpec]
     ) -> List[Union[RunResult, FailedTrial]]:
-        """Execute ``specs`` and return their results, in order."""
+        """Execute ``specs`` and return their results, in order.
+
+        When a tracer / metrics registry is ambiently installed
+        (:func:`repro.observability.use_tracer` /
+        :func:`~repro.observability.use_registry` — the CLI's
+        ``--trace`` / ``--metrics``), traced trials collect span
+        fragments in their workers and the runner grafts them into the
+        tracer here in the parent; metrics are recorded entirely
+        parent-side from the results (counters from the summary
+        fields, latency from the engine-stamped ``elapsed``).  Both
+        happen *in spec order*, so traces and counter exports are
+        deterministic for any ``jobs``.  Results themselves stay
+        bit-identical to an unobserved run.
+        """
+        from repro.observability import metrics as _metrics
+        from repro.observability import tracing as _tracing
+
         specs = list(specs)
+        tracer = _tracing.current_tracer()
+        registry = _metrics.current_registry()
+        traced = tracer is not None
         if self.resilient:
-            return self._map_resilient(specs)
+            outcomes, attempts, resumed = self._map_resilient(
+                specs, traced=traced
+            )
+        else:
+            outcomes = self._map_plain(specs, traced=traced)
+            attempts, resumed = {}, frozenset()
+        if traced:
+            _graft_trial_spans(tracer, outcomes, attempts, resumed)
+        if registry is not None:
+            _record_trial_metrics(registry, outcomes, attempts, resumed)
+        return outcomes
+
+    def _map_plain(
+        self, specs: List[TrialSpec], *, traced: bool
+    ) -> List[Union[RunResult, FailedTrial]]:
+        specs = _prepare_specs(specs, traced=traced)
         if self.jobs <= 1 or len(specs) <= 1:
-            return [execute_trial(spec) for spec in specs]
+            return [_execute_local(spec) for spec in specs]
         chunk = self.chunksize or max(1, len(specs) // (self.jobs * 4))
         try:
             with ProcessPoolExecutor(
@@ -457,7 +533,7 @@ class TrialRunner:
                 RuntimeWarning,
                 stacklevel=2,
             )
-            return [execute_trial(spec) for spec in specs]
+            return [_execute_local(spec) for spec in specs]
         for outcome in outcomes:
             if isinstance(outcome, _TrialFailure):
                 raise outcome.error
@@ -467,22 +543,35 @@ class TrialRunner:
     # resilient mode
     # ------------------------------------------------------------------
     def _map_resilient(
-        self, specs: List[TrialSpec]
-    ) -> List[Union[RunResult, FailedTrial]]:
+        self, specs: List[TrialSpec], *, traced: bool = False
+    ) -> Tuple[
+        List[Union[RunResult, FailedTrial]], Dict[int, int], frozenset
+    ]:
+        """Returns ``(outcomes, attempts made per executed index,
+        checkpoint-resumed indices)``.  Fingerprints come from the
+        *original* specs — the trace flag is observation-only and must
+        not invalidate resumes."""
         fingerprints = [spec_fingerprint(spec) for spec in specs]
+        run_specs = _prepare_specs(specs, traced=traced)
         results: Dict[int, Union[RunResult, FailedTrial]] = {}
+        attempts: Dict[int, int] = {}
+        resumed: frozenset = frozenset()
         writer = None
         if self.checkpoint is not None:
-            results.update(_load_checkpoint(self.checkpoint, fingerprints))
+            loaded = _load_checkpoint(self.checkpoint, fingerprints)
+            results.update(loaded)
+            resumed = frozenset(loaded)
             writer = open(self.checkpoint, "a", encoding="utf-8")
         try:
-            self._run_scheduler(specs, fingerprints, results, writer)
+            self._run_scheduler(run_specs, fingerprints, results, writer, attempts)
         finally:
             if writer is not None:
                 writer.close()
-        return [results[i] for i in range(len(specs))]
+        return [results[i] for i in range(len(specs))], attempts, resumed
 
-    def _run_scheduler(self, specs, fingerprints, results, writer) -> None:
+    def _run_scheduler(
+        self, specs, fingerprints, results, writer, attempts=None
+    ) -> None:
         ctx = multiprocessing.get_context()
         pending = deque(
             (i, 0) for i in range(len(specs)) if i not in results
@@ -490,8 +579,10 @@ class TrialRunner:
         backing_off: List[Tuple[float, int, int]] = []  # (ready_at, idx, att)
         running: Dict[object, _Attempt] = {}  # parent conn -> attempt
 
-        def record(index: int, outcome) -> None:
+        def record(index: int, outcome, made: int = 1) -> None:
             results[index] = outcome
+            if attempts is not None:
+                attempts[index] = made
             if writer is not None:
                 json.dump(
                     _checkpoint_record(index, fingerprints[index], outcome),
@@ -517,6 +608,7 @@ class TrialRunner:
                         attempts=att.attempt + 1,
                         timed_out=timed_out,
                     ),
+                    made=att.attempt + 1,
                 )
 
         def reap(att: _Attempt, kill: bool = False) -> None:
@@ -577,7 +669,7 @@ class TrialRunner:
                 if payload is None:
                     retry_or_fail(att, "WorkerDeath", "worker process died")
                 elif payload[0] == "ok":
-                    record(att.index, payload[1])
+                    record(att.index, payload[1], made=att.attempt + 1)
                 else:
                     # the trial's own exception: deterministic, no retry
                     record(
@@ -589,6 +681,7 @@ class TrialRunner:
                             error=payload[2],
                             attempts=att.attempt + 1,
                         ),
+                        made=att.attempt + 1,
                     )
             now = time.monotonic()
             for conn, att in list(running.items()):
@@ -601,6 +694,106 @@ class TrialRunner:
                         "Timeout",
                         f"trial exceeded {self.timeout}s wall clock",
                     )
+
+
+# ----------------------------------------------------------------------
+# observation plumbing (tracing + metrics; no-ops when neither is on)
+# ----------------------------------------------------------------------
+def _prepare_specs(
+    specs: List[TrialSpec], *, traced: bool
+) -> List[TrialSpec]:
+    """Stamp the trace flag onto the specs actually dispatched.  The
+    originals stay untouched — fingerprints, and therefore resume
+    checkpoints, are computed from them."""
+    if not traced:
+        return specs
+    return [replace(spec, trace=True) for spec in specs]
+
+
+def _execute_local(spec: TrialSpec) -> RunResult:
+    """Inline execution of a (possibly observation-stamped) spec.
+
+    Suppresses the ambient tracer for traced specs so the trial builds
+    a local fragment exactly as a worker process would — ``jobs=1`` and
+    ``jobs=N`` then produce identical span structure, grafted by the
+    same code path."""
+    if spec.trace:
+        from repro.observability import tracing as _tracing
+
+        if _tracing.current_tracer() is not None:
+            with _tracing.use_tracer(None):
+                return execute_trial(spec)
+    return execute_trial(spec)
+
+
+def _graft_trial_spans(tracer, outcomes, attempts, resumed) -> None:
+    """Attach each trial's span to the sweep tracer, in spec order.
+
+    Executed trials contribute the fragment their worker recorded
+    (annotated with the attempt count when the resilient scheduler ran
+    them more than once); failed and checkpoint-resumed trials get a
+    point span so the timeline still accounts for every slot."""
+    for index, outcome in enumerate(outcomes):
+        attrs: Dict[str, object] = {"trial": index}
+        made = attempts.get(index)
+        if made is not None and made > 1:
+            attrs["attempts"] = made
+        if isinstance(outcome, FailedTrial):
+            now = tracer.now()
+            tracer.record(
+                f"trial:{index}",
+                now,
+                now,
+                failed=outcome.error_type,
+                attempts=outcome.attempts,
+                timed_out=outcome.timed_out,
+                **attrs,
+            )
+            continue
+        if index in resumed:
+            # the checkpointed fragment (if any) was recorded by an
+            # earlier invocation — its wall-clock belongs to that run's
+            # timeline, so note the resume instead of grafting it
+            outcome.trace = None
+            now = tracer.now()
+            tracer.record(f"trial:{index}", now, now, resumed=True, **attrs)
+            continue
+        if outcome.trace:
+            for fragment in outcome.trace:
+                tracer.graft(fragment, **attrs)
+            outcome.trace = None
+
+
+def _record_trial_metrics(registry, outcomes, attempts, resumed) -> None:
+    """Fold the batch into the ambient metrics registry, in spec order
+    (deterministic for any ``jobs``)."""
+    from repro.observability.metrics import (
+        record_failed_trial,
+        record_run_result,
+    )
+
+    executed = len(outcomes) - len(resumed)
+    if executed:
+        registry.counter(
+            "repro_trials_started_total",
+            "Trials dispatched for execution (checkpoint-resumed "
+            "trials excluded)",
+        ).inc(executed)
+    if resumed:
+        registry.counter(
+            "repro_trials_resumed_total",
+            "Trials restored from a resume checkpoint instead of re-running",
+        ).inc(len(resumed))
+    for index, outcome in enumerate(outcomes):
+        if isinstance(outcome, FailedTrial):
+            record_failed_trial(registry, outcome)
+            continue
+        record_run_result(registry, outcome)
+        extra = attempts.get(index, 1) - 1
+        if extra > 0:
+            registry.counter(
+                "repro_trial_retries_total", "Extra attempts made for trials"
+            ).inc(extra)
 
 
 def run_trials(

@@ -290,7 +290,9 @@ def drive_campaign(
     backend's result type.
     """
     from repro.observability import TelemetryRecorder
+    from repro.observability import tracing as _tracing
 
+    tracer = _tracing.current_tracer()
     recorder = TelemetryRecorder(
         protocol.name, "synchronous", backend, protocol.rule_names()
     )
@@ -310,6 +312,7 @@ def drive_campaign(
     elapsed = 0
     stabilized = False
     pending: Optional[Tuple[int, FaultEvent, tuple]] = None
+    pending_start: Optional[float] = None
     i = 0
     while True:
         target = events[i].round if i < len(events) else None
@@ -328,9 +331,25 @@ def drive_campaign(
             history.extend(seg.history[1:])
         elapsed += seg.rounds
         if pending is not None:
-            fault_records.append(
-                _recovery_record(adapter.graph, *pending, seg)
-            )
+            rec = _recovery_record(adapter.graph, *pending, seg)
+            fault_records.append(rec)
+            if tracer is not None:
+                # one span per fault event, covering its recovery
+                # window (application through re-stabilization — or
+                # budget/next-event cutoff), nested in the run span
+                tracer.record(
+                    f"fault:{rec['kind']}",
+                    pending_start,
+                    tracer.now(),
+                    index=rec["index"],
+                    round=rec["round"],
+                    sites=len(rec["sites"]),
+                    recovered=rec["recovered"],
+                    recovery_rounds=rec["recovery_rounds"],
+                    moves=rec["moves"],
+                    touched=rec["touched"],
+                    radius=rec["radius"],
+                )
             pending = None
         if target is None:
             stabilized = seg.stabilized
@@ -344,6 +363,7 @@ def drive_campaign(
             if history is not None:
                 history.append(history[-1])
         elapsed = target
+        pending_start = None if tracer is None else tracer.now()
         sites = adapter.apply(events[i], plan.event_rng(i))
         if history is not None:
             history.append(adapter.config())

@@ -1,0 +1,145 @@
+"""Tests for :mod:`repro.observability.dash` — telemetry JSONL in,
+terminal summary and self-contained HTML report out (``repro dash``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.executor import run_synchronous
+from repro.engine import run as engine_run
+from repro.graphs.generators import cycle_graph
+from repro.matching.smm import SynchronousMaximalMatching
+from repro.observability import TelemetrySink
+from repro.observability.dash import (
+    load_telemetry,
+    render_html,
+    summarize,
+    write_report,
+)
+from repro.resilience import FaultEvent, FaultPlan
+
+
+def _telemetry_file(tmp_path, with_faults=False):
+    path = tmp_path / "telemetry.jsonl"
+    with TelemetrySink(path) as sink:
+        for i, n in enumerate((6, 8, 10)):
+            ex = run_synchronous(
+                SynchronousMaximalMatching(), cycle_graph(n), telemetry=True
+            )
+            sink.write(
+                {"family": "cycle", "n": n, "trial": i,
+                 "telemetry": ex.telemetry.to_dict()}
+            )
+        if with_faults:
+            plan = FaultPlan(
+                events=(FaultEvent(kind="perturb", round=2, fraction=0.3),),
+                seed=3,
+            )
+            ex = engine_run(
+                "smm", cycle_graph(12), backend="reference", rng=1,
+                fault_plan=plan,
+            )
+            sink.write(ex.telemetry.to_dict())  # raw RunTelemetry record
+    return path
+
+
+class TestLoad:
+    def test_both_record_shapes(self, tmp_path):
+        path = _telemetry_file(tmp_path, with_faults=True)
+        records = load_telemetry(path)
+        assert len(records) == 4
+        labels = [label for label, _ in records]
+        assert labels[0] == "family=cycle n=6 trial=0"
+        assert labels[3] == "run 3"  # raw record gets an index label
+
+    def test_corrupt_lines_skipped(self, tmp_path):
+        path = _telemetry_file(tmp_path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"telemetry": {"bogus": 1}}\n')
+        assert len(load_telemetry(path)) == 3
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_telemetry(path)
+
+
+class TestSummarize:
+    def test_mentions_totals_and_faults(self, tmp_path):
+        records = load_telemetry(_telemetry_file(tmp_path, with_faults=True))
+        text = summarize(records)
+        assert "runs: 4" in text
+        assert "moves by rule:" in text
+        assert "faults[perturb]:" in text
+        assert "final census" in text
+
+
+class TestRenderHtml:
+    def test_self_contained_report(self, tmp_path):
+        records = load_telemetry(_telemetry_file(tmp_path, with_faults=True))
+        html_text = render_html(records, title="t")
+        assert html_text.startswith("<!DOCTYPE html>")
+        # self-contained: no external fetches of any kind
+        assert "http://" not in html_text and "https://" not in html_text
+        assert 'src="' not in html_text
+        # the four report sections
+        assert "Node-type census per round" in html_text
+        assert "Moves by rule per round" in html_text
+        assert "Phase wall-clock" in html_text
+        assert "Fault recovery" in html_text
+        assert html_text.count("<svg") == 3
+        # relief rule: charts ship their data as tables too
+        assert html_text.count("<details>") == 2
+
+    def test_no_fault_section_without_faults(self, tmp_path):
+        records = load_telemetry(_telemetry_file(tmp_path))
+        assert "Fault recovery" not in render_html(records)
+
+    def test_chart_payload_is_valid_json(self, tmp_path):
+        import html as html_mod
+        import re
+
+        records = load_telemetry(_telemetry_file(tmp_path))
+        html_text = render_html(records)
+        payloads = re.findall(r'data-series="([^"]+)"', html_text)
+        assert payloads
+        for payload in payloads:
+            data = json.loads(html_mod.unescape(payload))
+            assert list(data) == ["names", "series"]
+            assert len(data["names"]) == len(data["series"])
+
+
+class TestWriteReport:
+    def test_writes_file_and_returns_summary(self, tmp_path):
+        source = _telemetry_file(tmp_path)
+        out = tmp_path / "report.html"
+        summary = write_report(source, out)
+        assert "runs: 3" in summary
+        assert out.read_text(encoding="utf-8").startswith("<!DOCTYPE html>")
+
+
+class TestCLIDash:
+    def test_end_to_end_from_e1_telemetry(self, tmp_path, capsys):
+        from repro.cli import main
+
+        telemetry = tmp_path / "t.jsonl"
+        assert main(["run", "E1", "--quick", f"--telemetry={telemetry}"]) == 0
+        out_path = tmp_path / "report.html"
+        code = main(["dash", str(telemetry), "-o", str(out_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"wrote {out_path}" in out
+        assert "runs:" in out
+        text = out_path.read_text(encoding="utf-8")
+        assert "Node-type census per round" in text
+
+    def test_missing_file_is_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["dash", str(tmp_path / "missing.jsonl")])
+        capsys.readouterr()
+        assert code == 2

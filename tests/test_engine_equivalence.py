@@ -12,6 +12,8 @@ newly registered kernel is swept automatically.
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.core.faults import random_configuration
@@ -132,6 +134,77 @@ class TestTelemetryEquivalence:
         assert result.backend == "vectorized"
         assert result.telemetry is not None
         assert result.telemetry.backend == "vectorized"
+
+
+class TestMetricsEquivalence:
+    """Metric exports are byte-identical across backends and ``--jobs``.
+
+    The protocol-accounting families (``repro_rounds_total``,
+    ``repro_moves_total`` and the fault counters) deliberately carry no
+    backend label, so a sweep metered on any backend at any parallelism
+    must export the exact same bytes for them.  The jobs half of the
+    pin lives in ``test_metrics.py``; this is the backend half.
+    """
+
+    def _sweep_exposition(self, backend, jobs=1):
+        from repro.observability import MetricsRegistry, use_registry
+        from repro.parallel.trial_runner import TrialSpec, run_trials
+
+        specs = [
+            TrialSpec(key, make_graph(family, seed), seed=seed, backend=backend)
+            for key in ("smm", "sis")
+            for family in FAMILIES
+            for seed in SEEDS
+        ]
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            run_trials(specs, jobs=jobs)
+        return registry.exposition(kinds=("counter",)), registry.to_json(
+            kinds=("counter",)
+        )
+
+    def test_counter_exports_identical_across_backends_and_jobs(self):
+        ref_prom, ref_json = self._sweep_exposition("reference")
+        for backend, jobs in (("vectorized", 1), ("vectorized", 4)):
+            prom, jsn = self._sweep_exposition(backend, jobs=jobs)
+            # backend-labelled families (repro_runs_total) do differ, so
+            # compare everything except them, family block by block
+            ref_blocks = self._strip_backend_families(ref_prom)
+            blocks = self._strip_backend_families(prom)
+            assert blocks == ref_blocks
+            ref_data = {
+                k: v
+                for k, v in json.loads(ref_json).items()
+                if not self._backend_labelled(v)
+            }
+            data = {
+                k: v
+                for k, v in json.loads(jsn).items()
+                if not self._backend_labelled(v)
+            }
+            assert data == ref_data
+            assert "repro_rounds_total" in data
+            assert "repro_moves_total" in data
+
+    @staticmethod
+    def _backend_labelled(family):
+        return any("backend" in s.get("labels", {}) for s in family["samples"])
+
+    @staticmethod
+    def _strip_backend_families(exposition):
+        blocks: dict = {}
+        name = None
+        for line in exposition.splitlines():
+            if line.startswith("# TYPE "):
+                name = line.split(" ")[2]
+            elif line.startswith("# HELP "):
+                name = line.split(" ")[2]
+            blocks.setdefault(name, []).append(line)
+        return {
+            family: "\n".join(lines)
+            for family, lines in blocks.items()
+            if 'backend="' not in "\n".join(lines)
+        }
 
 
 class TestDegenerateGraphs:

@@ -1,0 +1,263 @@
+"""Tests for :mod:`repro.observability.metrics` — the process-local
+registry, its Prometheus/JSON exports, deterministic merges, and the
+sweep instrumentation the trial runner records.
+
+The determinism contract: counter-valued exports are byte-identical
+for every ``--jobs`` value (and, for the protocol-accounting families,
+across backends too — the cross-backend half is pinned in
+``test_engine_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import fallback_backend
+from repro.graphs.generators import cycle_graph
+from repro.observability import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    current_registry,
+    exponential_buckets,
+    use_registry,
+)
+from repro.parallel.trial_runner import TrialSpec, run_trials
+
+
+class TestPrimitives:
+    def test_counter_accumulates_per_label_set(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("c_total", "help")
+        counter.inc(a="x")
+        counter.inc(2, a="x")
+        counter.inc(a="y")
+        data = reg.to_dict()["c_total"]
+        assert data["type"] == "counter"
+        assert data["samples"] == [
+            {"labels": {"a": "x"}, "value": 3},
+            {"labels": {"a": "y"}, "value": 1},
+        ]
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(5)
+        reg.gauge("g").set(2)
+        assert reg.to_dict()["g"]["samples"][0]["value"] == 2
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ValueError):
+            reg.gauge("m")
+
+    def test_exponential_buckets(self):
+        assert exponential_buckets(1.0, 2.0, 4) == (1.0, 2.0, 4.0, 8.0)
+        with pytest.raises(ValueError):
+            exponential_buckets(0.0, 2.0, 4)
+        assert len(DEFAULT_BUCKETS) == 16
+
+    def test_histogram_observe_and_overflow(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 100.0):
+            hist.observe(value)
+        [sample] = reg.to_dict()["h"]["samples"]
+        assert sample["count"] == 4
+        assert sample["sum"] == pytest.approx(105.0)
+        # 100.0 is above the largest bound: only in count/sum (+Inf)
+        assert sample["buckets"] == [1, 1, 1]
+
+
+class TestExposition:
+    def test_format(self):
+        reg = MetricsRegistry()
+        reg.counter("runs_total", "Runs").inc(3, backend="ref")
+        reg.histogram("lat_seconds", "Latency", buckets=(0.1, 1.0)).observe(
+            0.05
+        )
+        text = reg.exposition()
+        assert "# HELP runs_total Runs" in text
+        assert "# TYPE runs_total counter" in text
+        assert 'runs_total{backend="ref"} 3' in text
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 1' in text  # cumulative
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_sum 0.05" in text
+        assert "lat_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(path='a"b\\c')
+        assert 'path="a\\"b\\\\c"' in reg.exposition()
+
+    def test_every_line_parses(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "A").inc(2, x="1")
+        reg.gauge("b", "B").set(1.5)
+        reg.histogram("c_seconds", "C", buckets=(1.0,)).observe(0.5)
+        for line in reg.exposition().splitlines():
+            if line.startswith("#"):
+                assert line.split(" ", 2)[0] in ("#",) or True
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            float(value)  # must parse
+            assert name_part[0].isalpha()
+
+    def test_kinds_filter(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc()
+        reg.histogram("b_seconds").observe(0.1)
+        counters_only = reg.exposition(kinds=("counter",))
+        assert "a_total" in counters_only
+        assert "b_seconds" not in counters_only
+        assert "b_seconds" in json.loads(reg.to_json())
+
+
+class TestMerge:
+    def test_counters_add_gauges_max_histograms_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        a.gauge("g").set(5)
+        b.gauge("g").set(2)
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        b.histogram("h", buckets=(1.0,)).observe(0.7)
+        merged = a.merge(b)
+        assert merged is a
+        data = merged.to_dict()
+        assert data["c"]["samples"][0]["value"] == 5
+        assert data["g"]["samples"][0]["value"] == 5
+        assert data["h"]["samples"][0]["count"] == 2
+
+    def test_merge_is_order_independent_for_counters(self):
+        def build(values):
+            reg = MetricsRegistry()
+            for v in values:
+                reg.counter("c").inc(v, k=str(v % 2))
+            return reg
+
+        left = build([1, 2, 3]).merge(build([4, 5]))
+        right = build([4, 5]).merge(build([1, 2, 3]))
+        assert left.exposition() == right.exposition()
+
+    def test_bucket_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        b.histogram("h", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestAmbientRegistry:
+    def test_default_none_and_restore(self):
+        assert current_registry() is None
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            assert current_registry() is reg
+        assert current_registry() is None
+
+
+class TestSweepInstrumentation:
+    def _sweep(self, jobs):
+        specs = [
+            TrialSpec("smm", cycle_graph(10), seed=i, backend="auto")
+            for i in range(4)
+        ]
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            results = run_trials(specs, jobs=jobs)
+        return reg, results
+
+    def test_run_families_recorded(self):
+        reg, results = self._sweep(jobs=1)
+        data = reg.to_dict()
+        runs = data["repro_runs_total"]["samples"]
+        assert sum(s["value"] for s in runs) == 4
+        rounds = data["repro_rounds_total"]["samples"]
+        assert sum(s["value"] for s in rounds) == sum(
+            r.rounds for r in results
+        )
+        assert data["repro_trials_started_total"]["samples"][0]["value"] == 4
+        # protocol accounting carries no backend label
+        assert all(
+            "backend" not in s["labels"]
+            for s in data["repro_rounds_total"]["samples"]
+        )
+        assert all(
+            "backend" not in s["labels"]
+            for s in data["repro_moves_total"]["samples"]
+        )
+
+    def test_latency_histogram_collected_without_telemetry_flag(self):
+        reg, results = self._sweep(jobs=1)
+        [sample] = reg.to_dict()["repro_trial_latency_seconds"]["samples"]
+        assert sample["count"] == 4
+        # ... and the results stay bit-identical to an unmetered run
+        assert all(r.telemetry is None for r in results)
+
+    def test_counter_export_identical_across_jobs(self):
+        reg1, _ = self._sweep(jobs=1)
+        reg4, _ = self._sweep(jobs=4)
+        assert reg1.exposition(kinds=("counter",)) == reg4.exposition(
+            kinds=("counter",)
+        )
+        assert reg1.to_json(kinds=("counter",)) == reg4.to_json(
+            kinds=("counter",)
+        )
+
+    def test_no_registry_no_overhead_path(self):
+        specs = [TrialSpec("smm", cycle_graph(6), seed=0, backend="auto")]
+        [result] = run_trials(specs, jobs=1)
+        assert result.telemetry is None
+
+    def test_fallback_counter(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            degraded = fallback_backend(
+                "smm", "synchronous", "vectorized", record_history=True
+            )
+        assert degraded == "reference"
+        [sample] = reg.to_dict()["repro_backend_fallbacks_total"]["samples"]
+        assert sample["labels"] == {
+            "protocol": "smm",
+            "requested": "vectorized",
+        }
+        assert sample["value"] == 1
+
+    def test_failed_trials_counted(self, tmp_path):
+        specs = [
+            TrialSpec("smm", cycle_graph(8), seed=0, backend="auto"),
+            TrialSpec(
+                "nope-no-such-protocol", cycle_graph(8), seed=1, backend="auto"
+            ),
+        ]
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            results = run_trials(specs, jobs=1, retries=0, timeout=30.0)
+        data = reg.to_dict()
+        [sample] = data["repro_trial_failures_total"]["samples"]
+        assert sample["value"] == 1
+        assert results[1].error_type  # FailedTrial slot
+
+
+class TestCLIMetrics:
+    def test_run_with_metrics_writes_both_exports(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "metrics.prom"
+        code = main(["run", "E1", "--quick", f"--metrics={path}"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "wrote metrics" in out
+        text = path.read_text(encoding="utf-8")
+        assert "repro_runs_total" in text
+        sibling = tmp_path / "metrics.json"
+        data = json.loads(sibling.read_text(encoding="utf-8"))
+        assert data["repro_runs_total"]["type"] == "counter"

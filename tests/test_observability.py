@@ -131,6 +131,44 @@ class TestSink:
         [record] = TelemetrySink.read(path)
         assert RunTelemetry.from_dict(record) == ex.telemetry
 
+    def test_single_handle_held_across_writes(self, tmp_path, monkeypatch):
+        import builtins
+
+        path = tmp_path / "t.jsonl"
+        sink = TelemetrySink(path)
+        opens = []
+        real_open = builtins.open
+
+        def counting_open(file, *args, **kwargs):
+            if str(file) == str(path):
+                opens.append(file)
+            return real_open(file, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", counting_open)
+        for i in range(5):
+            sink.write({"i": i})
+        sink.write_many([{"j": 0}, {"j": 1}])
+        assert len(opens) == 1  # one buffered handle, not one per write
+        sink.close()
+        assert len(TelemetrySink.read(path)) == 7
+
+    def test_writes_visible_before_close(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = TelemetrySink(path)
+        sink.write({"a": 1})
+        # flushed per write call: readable while the sink is still open
+        assert TelemetrySink.read(path) == [{"a": 1}]
+        sink.close()
+
+    def test_context_manager_closes_and_reopens_append(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with TelemetrySink(path) as sink:
+            sink.write({"a": 1})
+        # a write after close reopens in append mode
+        sink.write({"b": 2})
+        sink.close()
+        assert TelemetrySink.read(path) == [{"a": 1}, {"b": 2}]
+
 
 class TestMerge:
     def test_merge_totals(self):
@@ -155,7 +193,76 @@ class TestMerge:
             "moves": 0,
             "moves_by_rule": {},
             "timings": {},
+            "fault_events": {},
+            "final_census": None,
         }
+
+    def _campaign_telemetry(self, n, seed):
+        from repro.engine import run as engine_run
+        from repro.resilience import FaultEvent, FaultPlan
+
+        plan = FaultPlan(
+            events=(
+                FaultEvent(kind="perturb", round=2, fraction=0.3),
+                FaultEvent(kind="crash", round=8, count=1),
+            ),
+            seed=seed,
+        )
+        return engine_run(
+            "smm", cycle_graph(n), backend="reference", rng=seed,
+            fault_plan=plan,
+        ).telemetry
+
+    def test_merge_aggregates_fault_events(self):
+        telemetries = [
+            self._campaign_telemetry(10, 1),
+            self._campaign_telemetry(12, 2),
+        ]
+        merged = merge_telemetry(telemetries)
+        events = [e for t in telemetries for e in t.fault_events]
+        by_kind = merged["fault_events"]
+        assert set(by_kind) == {e["kind"] for e in events}
+        for kind, agg in by_kind.items():
+            ours = [e for e in events if e["kind"] == kind]
+            assert agg["events"] == len(ours)
+            assert agg["recovered"] == sum(e["recovered"] for e in ours)
+            assert agg["recovery_rounds_total"] == sum(
+                e["recovery_rounds"] for e in ours
+            )
+            assert agg["recovery_rounds_max"] == max(
+                e["recovery_rounds"] for e in ours
+            )
+            radii = [e["radius"] for e in ours if e["radius"] is not None]
+            expected = max(radii) if radii else None
+            assert agg["radius_max"] == expected
+
+    def test_merge_sums_final_census(self):
+        runs = [
+            run_synchronous(SMM, cycle_graph(n), telemetry=True)
+            for n in (6, 8)
+        ]
+        merged = merge_telemetry([ex.telemetry for ex in runs])
+        census = merged["final_census"]
+        assert census is not None
+        for key in CENSUS_KEYS:
+            assert census[key] == sum(
+                ex.telemetry.node_type_census[-1][key] for ex in runs
+            )
+        assert sum(census.values()) == 6 + 8
+
+    def test_merge_order_independent_with_mixed_none(self):
+        telemetries = [
+            run_synchronous(SMM, cycle_graph(6), telemetry=True).telemetry,
+            None,
+            self._campaign_telemetry(10, 3),
+            run_synchronous(SIS, cycle_graph(8), telemetry=True).telemetry,
+            None,
+        ]
+        forward = merge_telemetry(telemetries)
+        backward = merge_telemetry(list(reversed(telemetries)))
+        # timings are float sums whose order can perturb the last ulp
+        assert forward.pop("timings").keys() == backward.pop("timings").keys()
+        assert forward == backward
 
 
 class TestSerialization:

@@ -1,0 +1,301 @@
+"""Tests for :mod:`repro.observability.tracing` — the span tree, its
+ambient installation, the engine/trial-runner/campaign threading, and
+the Chrome ``trace_event`` export.
+
+The structural contract: span *names, nesting and counter-valued
+attributes* are deterministic for a given sweep whatever ``--jobs`` is
+(timestamps of course are not), runs without a tracer pay nothing, and
+tracing never changes a run's result.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import run as engine_run
+from repro.graphs.generators import cycle_graph, erdos_renyi_graph
+from repro.observability import (
+    Span,
+    Tracer,
+    chrome_trace,
+    current_tracer,
+    use_tracer,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.parallel.trial_runner import TrialSpec, execute_trial, run_trials
+from repro.resilience import FaultEvent, FaultPlan
+
+
+def span_shape(exported):
+    """``(name, sorted attr names)`` tuples, depth-first — the
+    deterministic part of an exported span tree."""
+
+    def walk(node):
+        yield node["name"], node.get("attrs", {})
+        for child in node.get("children", ()):
+            yield from walk(child)
+
+    return [
+        (name, attrs) for root in exported for name, attrs in walk(root)
+    ]
+
+
+class TestSpanTree:
+    def test_begin_end_nesting(self):
+        tracer = Tracer()
+        outer = tracer.begin("outer", a=1)
+        inner = tracer.begin("inner")
+        tracer.end(inner)
+        tracer.end(outer, b=2)
+        assert [s.name for s in tracer.roots] == ["outer"]
+        assert [s.name for s in tracer.roots[0].children] == ["inner"]
+        assert tracer.roots[0].attrs == {"a": 1, "b": 2}
+        assert tracer.roots[0].dur >= tracer.roots[0].children[0].dur >= 0
+
+    def test_end_closes_dangling_children(self):
+        tracer = Tracer()
+        outer = tracer.begin("outer")
+        tracer.begin("left-open")
+        tracer.end(outer)
+        # the stack is drained down to the ended span
+        assert tracer.begin("next") in tracer.roots
+
+    def test_span_contextmanager_and_record(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            start = tracer.now()
+            tracer.record("timed", start, tracer.now(), detail="x")
+        assert [c.name for c in span.children] == ["timed"]
+        assert span.children[0].attrs == {"detail": "x"}
+
+    def test_walk_and_dict_roundtrip(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        [root] = tracer.roots
+        assert [s.name for s in root.walk()] == ["a", "b", "c"]
+        clone = Span.from_dict(json.loads(json.dumps(root.to_dict())))
+        assert [s.name for s in clone.walk()] == ["a", "b", "c"]
+
+    def test_graft_keeps_producer_pid(self):
+        worker = Tracer()
+        with worker.span("remote"):
+            pass
+        fragment = worker.export()[0]
+        parent = Tracer()
+        grafted = parent.graft(fragment, trial=3)
+        assert grafted.attrs["trial"] == 3
+        assert parent.export()[0]["pid"] == worker.pid
+
+
+class TestAmbientTracer:
+    def test_default_is_none(self):
+        assert current_tracer() is None
+
+    def test_use_tracer_installs_and_restores(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+            with use_tracer(None):
+                assert current_tracer() is None
+            assert current_tracer() is tracer
+        assert current_tracer() is None
+
+
+class TestEngineSpans:
+    def test_run_span_with_phases(self):
+        # phases come from the telemetry wall-clocks, so they appear on
+        # runs that carry telemetry (explicitly requested or campaign)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            result = engine_run(
+                "smm", cycle_graph(8), backend="reference", telemetry=True
+            )
+        [root] = tracer.export()
+        assert root["name"] == "run:smm"
+        assert root["attrs"]["backend"] == "reference"
+        assert root["attrs"]["rounds"] == result.rounds
+        assert [c["name"] for c in root["children"]] == [
+            "phase:setup",
+            "phase:rounds",
+            "phase:finalize",
+        ]
+        # phases tile the run span exactly
+        start, dur = root["ts"], root["dur"]
+        children = root["children"]
+        assert children[0]["ts"] == pytest.approx(start)
+        assert sum(c["dur"] for c in children) == pytest.approx(dur)
+
+    def test_plain_traced_run_has_span_without_phases(self):
+        # a plain run collects no telemetry, traced or not — the span
+        # is pure parent-side bookkeeping (the ≤5% overhead pin), so it
+        # has no phase children
+        tracer = Tracer()
+        with use_tracer(tracer):
+            result = engine_run("smm", cycle_graph(8), backend="reference")
+        [root] = tracer.export()
+        assert root["name"] == "run:smm"
+        assert root["attrs"]["rounds"] == result.rounds
+        assert root["children"] == []
+
+    def test_tracing_does_not_change_result(self):
+        graph = erdos_renyi_graph(12, 0.3, rng=7)
+        plain = engine_run("smm", graph, backend="vectorized", rng=1)
+        with use_tracer(Tracer()):
+            traced = engine_run("smm", graph, backend="vectorized", rng=1)
+        assert traced.final == plain.final
+        assert traced.rounds == plain.rounds
+        assert traced.telemetry is None  # tracing collects no telemetry
+
+    def test_elapsed_stamped_on_every_result(self):
+        result = engine_run("smm", cycle_graph(8), backend="reference")
+        assert result.elapsed is not None and result.elapsed >= 0.0
+
+    def test_untraced_run_has_no_trace(self):
+        result = engine_run("smm", cycle_graph(6))
+        assert result.trace is None
+
+
+class TestTrialRunnerSpans:
+    def _specs(self, k=3):
+        return [
+            TrialSpec("smm", cycle_graph(10), seed=i, backend="auto")
+            for i in range(k)
+        ]
+
+    def test_worker_fragment_on_traced_spec(self):
+        spec = TrialSpec(
+            "smm", cycle_graph(8), seed=0, backend="auto", trace=True
+        )
+        result = execute_trial(spec)
+        assert result.trace is not None
+        assert result.trace[0]["name"] == "run:smm"
+
+    def test_span_structure_identical_across_jobs(self):
+        shapes = {}
+        for jobs in (1, 3):
+            tracer = Tracer()
+            with use_tracer(tracer):
+                run_trials(self._specs(), jobs=jobs)
+            shapes[jobs] = span_shape(tracer.export())
+        assert shapes[1] == shapes[3]
+        names = [name for name, _ in shapes[1]]
+        assert names.count("run:smm") == 3
+        trials = [
+            attrs["trial"]
+            for name, attrs in shapes[1]
+            if name == "run:smm"
+        ]
+        assert trials == [0, 1, 2]  # grafted in spec order
+
+    def test_resilient_annotations(self, tmp_path):
+        ckpt = tmp_path / "ckpt.jsonl"
+        specs = self._specs(2)
+        with use_tracer(Tracer()):
+            run_trials(specs, jobs=2, checkpoint=str(ckpt))
+        tracer = Tracer()
+        with use_tracer(tracer):
+            results = run_trials(specs, jobs=2, checkpoint=str(ckpt))
+        assert all(r.trace is None for r in results)
+        shape = span_shape(tracer.export())
+        resumed = [a for n, a in shape if n.startswith("trial:")]
+        assert len(resumed) == 2
+        assert all(a["resumed"] is True for a in resumed)
+
+    def test_campaign_fault_event_spans(self):
+        plan = FaultPlan(
+            events=(FaultEvent(kind="perturb", round=3, fraction=0.25),),
+            seed=5,
+        )
+        tracer = Tracer()
+        with use_tracer(tracer):
+            result = engine_run(
+                "smm",
+                cycle_graph(12),
+                backend="reference",
+                rng=2,
+                fault_plan=plan,
+            )
+        [root] = tracer.export()
+        fault_spans = [
+            c for c in root["children"] if c["name"].startswith("fault:")
+        ]
+        assert len(fault_spans) == len(result.telemetry.fault_events)
+        [span] = fault_spans
+        event = result.telemetry.fault_events[0]
+        assert span["name"] == "fault:perturb"
+        assert span["attrs"]["recovered"] == event["recovered"]
+        assert span["attrs"]["recovery_rounds"] == event["recovery_rounds"]
+        # the recovery window sits inside the run span
+        assert span["ts"] >= root["ts"]
+        assert span["ts"] + span["dur"] <= root["ts"] + root["dur"] + 1e-6
+
+
+class TestChromeExport:
+    def _exported(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            run_trials(
+                [
+                    TrialSpec("smm", cycle_graph(8), seed=i, backend="auto")
+                    for i in range(2)
+                ],
+                jobs=2,
+            )
+        return tracer.export()
+
+    def test_schema_validates(self):
+        data = chrome_trace(self._exported())
+        count = validate_chrome_trace(data)
+        assert count > 0
+        assert data["displayTimeUnit"] == "ms"
+
+    def test_events_rebased_to_microseconds(self):
+        data = chrome_trace(self._exported())
+        events = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert min(e["ts"] for e in events) == pytest.approx(0.0, abs=1.0)
+        assert all(e["dur"] >= 0 for e in events)
+
+    def test_worker_pids_become_thread_lanes(self):
+        data = chrome_trace(self._exported())
+        names = {
+            e["args"]["name"]
+            for e in data["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names  # one lane per producing process
+        assert all(n.startswith("worker pid=") for n in names)
+
+    def test_write_and_validate_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, self._exported())
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert validate_chrome_trace(data) > 0
+
+    def test_validator_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"nope": []})
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [{"ph": "X"}]})
+
+
+class TestCLITrace:
+    def test_run_with_trace_writes_chrome_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "trace.json"
+        code = main(["run", "E1", "--quick", f"--trace={path}"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "wrote trace" in out
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert validate_chrome_trace(data) > 0
+        names = {e["name"] for e in data["traceEvents"] if e["ph"] == "X"}
+        assert "experiment:E1" in names
+        assert "run:smm" in names
