@@ -60,18 +60,24 @@ def test_bench_parallel(results_dir):
     serial, serial_s = _timed(lambda: e1_smm_convergence.run(jobs=1, **E1_SCALE))
     fanned, fanned_s = _timed(lambda: e1_smm_convergence.run(jobs=4, **E1_SCALE))
     assert serial.rows == fanned.rows  # bit-identical output
-    report["process_fanout"] = {
+    fanout = {
         "experiment": "E1",
         "scale": {k: list(v) if isinstance(v, tuple) else v for k, v in E1_SCALE.items()},
         "serial_seconds": round(serial_s, 3),
         "jobs4_seconds": round(fanned_s, 3),
-        "speedup": round(serial_s / fanned_s, 2),
         "rows_identical": True,
         "note": (
             "fan-out speedup is bounded by cpu_count; on a single-core "
             "host the pool only adds dispatch overhead"
         ),
     }
+    if (os.cpu_count() or 1) > 1:
+        fanout["speedup"] = round(serial_s / fanned_s, 2)
+    else:
+        # a sub-1.0 "speedup" on a 1-CPU host would misread as a
+        # regression; record *why* there is nothing to measure instead
+        fanout["cpu_bound"] = True
+    report["process_fanout"] = fanout
 
     # --- active-set: reference executor on E1-style workloads --------
     rng = ensure_rng(77)

@@ -16,6 +16,8 @@ from repro.analysis.convergence import (
     fit_power_law,
 )
 from repro.analysis.serialize import (
+    batch_result_from_json,
+    batch_result_to_json,
     execution_from_json,
     execution_to_json,
     result_to_csv,
@@ -43,6 +45,8 @@ __all__ = [
     "empirical_exponent",
     "execution_to_json",
     "execution_from_json",
+    "batch_result_to_json",
+    "batch_result_from_json",
     "result_to_json",
     "result_to_csv",
 ]

@@ -140,6 +140,64 @@ def execution_from_json(text: str) -> Execution:
 
 
 # ----------------------------------------------------------------------
+# batch kernel results
+# ----------------------------------------------------------------------
+def batch_result_to_dict(result: Any) -> Dict[str, Any]:
+    """JSON-safe dictionary for a batch kernel result.
+
+    Accepts either :class:`repro.matching.smm_batch.BatchResult`
+    (``final_ptr``) or :class:`repro.mis.sis_batch.BatchResult`
+    (``final_x``); arrays become nested lists and ``moves_by_rule``
+    serializes per rule as a per-row count list, mirroring the
+    single-run telemetry counter convention.
+    """
+    final_key = "final_ptr" if hasattr(result, "final_ptr") else "final_x"
+    return {
+        "stabilized": [bool(v) for v in result.stabilized],
+        "rounds": [int(v) for v in result.rounds],
+        final_key: getattr(result, final_key).tolist(),
+        "moves_by_rule": {
+            str(rule): [int(v) for v in counts]
+            for rule, counts in sorted(result.moves_by_rule.items())
+        },
+    }
+
+
+def batch_result_to_json(result: Any, *, indent: int | None = None) -> str:
+    return json.dumps(batch_result_to_dict(result), indent=indent)
+
+
+def batch_result_from_dict(data: Mapping[str, Any]):
+    """Rebuild a batch result from :func:`batch_result_to_dict` output.
+
+    The final-matrix key selects the family: ``final_ptr`` rebuilds the
+    SMM variant, ``final_x`` the SIS one.
+    """
+    import numpy as np
+
+    moves_by_rule = {
+        str(rule): np.asarray(counts, dtype=np.int64)
+        for rule, counts in data["moves_by_rule"].items()
+    }
+    common = {
+        "stabilized": np.asarray(data["stabilized"], dtype=bool),
+        "rounds": np.asarray(data["rounds"], dtype=np.int64),
+        "moves_by_rule": moves_by_rule,
+    }
+    if "final_ptr" in data:
+        from repro.matching.smm_batch import BatchResult
+
+        return BatchResult(final_ptr=np.asarray(data["final_ptr"]), **common)
+    from repro.mis.sis_batch import BatchResult
+
+    return BatchResult(final_x=np.asarray(data["final_x"]), **common)
+
+
+def batch_result_from_json(text: str):
+    return batch_result_from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
 # experiment results
 # ----------------------------------------------------------------------
 def result_to_dict(result: "ExperimentResult") -> Dict[str, Any]:

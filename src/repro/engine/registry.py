@@ -370,6 +370,10 @@ def _register_builtins() -> None:
     # requesting telemetry never disqualifies the fast path.
     telemetry = frozenset({"telemetry"})
     active = frozenset({"active_set"}) | telemetry
+    # the batch kernels additionally execute whole groups of
+    # same-(graph, protocol) trial specs as one (k, n) stepping op; the
+    # trial runner's batch-sweep planner looks for this capability
+    batch_sweep = frozenset({"batch_sweep"})
     # the vectorized SMM/SIS kernels also run fault campaigns on the
     # dense arrays; "faults" is the capability, "fault_plan" the option
     # name their supports-predicates must whitelist
@@ -389,7 +393,7 @@ def _register_builtins() -> None:
         "synchronous",
         "batch",
         _lazy_runner("repro.matching.smm_batch", "run_engine"),
-        capabilities=telemetry,
+        capabilities=telemetry | batch_sweep,
         priority=10,
         supports=_supports_plain_smm(telemetry),
     )
@@ -409,7 +413,7 @@ def _register_builtins() -> None:
         "synchronous",
         "batch",
         _lazy_runner("repro.mis.sis_batch", "run_engine"),
-        capabilities=telemetry,
+        capabilities=telemetry | batch_sweep,
         priority=10,
         supports=_supports_kernel(
             "repro.mis.sis.SynchronousMaximalIndependentSet", telemetry

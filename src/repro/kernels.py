@@ -1,15 +1,43 @@
-"""Shared CSR helpers for the vectorized active-set kernels.
+"""Shared CSR and packed-state helpers for the vectorized kernels.
 
 Both NumPy round kernels (:mod:`repro.matching.smm_vectorized` and
 :mod:`repro.mis.sis_vectorized`) step a *frontier* of dirty nodes: after
 each round only the nodes whose closed neighbourhood changed need their
 decision recomputed.  The helpers here turn a set of dirty rows of a CSR
-adjacency into flat entry positions without any per-row Python loop.
+adjacency into flat entry positions without any per-row Python loop, and
+provide the packed state layout primitives shared by the single-run and
+batch kernels:
+
+* :func:`state_dtype` — the narrowest signed integer dtype that can hold
+  a dense pointer value plus the ``n`` "+inf" sentinel used by segmented
+  minima (int32 up to ~2**31 nodes, int64 beyond).
+* :func:`segment_min` / :func:`segment_any` — per-CSR-row reductions via
+  ``ufunc.reduceat`` (contiguous segments), replacing the buffered
+  ``ufunc.at`` scatter which is an order of magnitude slower.
+* :func:`pack_bits` / :func:`unpack_bits` — bitset packing for the SIS
+  0/1 membership arrays (8 nodes per byte, little bit order, so node
+  ``k`` is bit ``k % 8`` of byte ``k // 8``).
+
+See docs/performance.md ("State layout & memory") for the layout rules.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+#: Explicit NULL-pointer sentinel of the packed SMM layout (dense pointer
+#: arrays hold values in ``{SMM_NULL} ∪ {0..n-1}``).
+SMM_NULL = -1
+
+
+def state_dtype(n: int) -> np.dtype:
+    """Narrowest signed dtype for dense pointer/index state over ``n`` nodes.
+
+    Segmented minima use ``n`` itself as a "+inf" sentinel, so ``n`` (not
+    just ``n - 1``) must be representable; int32 therefore covers
+    ``n <= 2**31 - 2`` and anything larger falls back to int64.
+    """
+    return np.dtype(np.int32) if n <= 2**31 - 2 else np.dtype(np.int64)
 
 
 def csr_entry_positions(indptr: np.ndarray, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -38,3 +66,52 @@ def closed_neighborhood(
     (``N[rows]`` — the next round's dirty set)."""
     positions, _ = csr_entry_positions(indptr, rows)
     return np.unique(np.concatenate((rows, indices[positions])))
+
+
+def segment_min(vals: np.ndarray, indptr: np.ndarray, sentinel: int) -> np.ndarray:
+    """Per-segment minimum of contiguous segments of ``vals``.
+
+    ``indptr`` delimits ``len(indptr) - 1`` segments exactly like a CSR
+    row pointer.  Empty segments yield ``sentinel``.  ``reduceat`` on an
+    empty segment returns the *next* segment's first element (documented
+    NumPy behaviour), so empty segments are masked explicitly, and start
+    offsets are clipped into range for trailing empty segments.
+    """
+    nseg = indptr.size - 1
+    if vals.size == 0:
+        return np.full(nseg, sentinel, dtype=vals.dtype)
+    empty = indptr[:-1] == indptr[1:]
+    starts = np.minimum(indptr[:-1], vals.size - 1)
+    out = np.minimum.reduceat(vals, starts)
+    out[empty] = sentinel
+    return out
+
+
+def segment_any(mask: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Per-segment logical OR of contiguous segments of a boolean ``mask``.
+
+    Same segment convention and empty-segment handling as
+    :func:`segment_min`; empty segments yield ``False``.
+    """
+    nseg = indptr.size - 1
+    if mask.size == 0:
+        return np.zeros(nseg, dtype=bool)
+    empty = indptr[:-1] == indptr[1:]
+    starts = np.minimum(indptr[:-1], mask.size - 1)
+    out = np.logical_or.reduceat(mask, starts)
+    out[empty] = False
+    return out
+
+
+def pack_bits(x: np.ndarray) -> np.ndarray:
+    """Pack a 0/1 membership array into a bitset (uint8, 8 nodes/byte).
+
+    Little bit order: node ``k`` is bit ``k % 8`` of byte ``k // 8``.
+    """
+    return np.packbits(np.asarray(x, dtype=np.uint8), bitorder="little")
+
+
+def unpack_bits(bits: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: the first ``n`` bits as a uint8 0/1
+    array."""
+    return np.unpackbits(bits, count=n, bitorder="little")

@@ -13,8 +13,10 @@ Equivalence with the single-run kernel (hence, transitively, with the
 reference engine) is pinned by ``tests/test_batch_kernels.py``.
 
 Implementation note (per the HPC guides' broadcasting advice): the
-segmented minima use ``np.minimum.at`` with flat indices computed once,
-so the hot loop allocates only the per-round value matrices.
+segmented minima run as ``np.minimum.reduceat`` along the entry axis —
+CSR rows are contiguous segments, so one reduceat per rule replaces the
+buffered flat ``ufunc.at`` scatter, and the pointer matrix is packed to
+:func:`repro.kernels.state_dtype` (int32 for every practical graph).
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ import numpy as np
 
 from repro.errors import StabilizationTimeout
 from repro.graphs.graph import Graph
+from repro.kernels import SMM_NULL, state_dtype
 from repro.matching.smm_vectorized import VectorizedSMM
 
 
@@ -36,10 +39,9 @@ class BatchResult:
     stabilized: np.ndarray   #: (k,) bool — per-run stabilization flag
     rounds: np.ndarray       #: (k,) int — rounds used by each run
     final_ptr: np.ndarray    #: (k, n) final pointer matrix
-    #: per-rule firing counts, (k,) int array per rule name — populated
-    #: by :meth:`BatchSMM.run_batch` (kept optional for compatibility
-    #: with externally constructed results)
-    moves_by_rule: Optional[Dict[str, np.ndarray]] = None
+    #: per-rule firing counts, (k,) int array per rule name — always
+    #: populated by :meth:`BatchSMM.run_batch`
+    moves_by_rule: Dict[str, np.ndarray]
 
     @property
     def all_stabilized(self) -> bool:
@@ -57,9 +59,17 @@ class BatchSMM:
         self.single = VectorizedSMM(graph)  # reused for encode/decode
         indptr, indices, ids = graph.adjacency_arrays()
         self.n = graph.n
-        self._indices = indices
-        self._row = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(indptr))
-        self._arange_n = np.arange(self.n, dtype=np.int64)
+        self._dtype = state_dtype(self.n)
+        self._indices = self.single._indices  # already packed
+        self._row = self.single._row
+        self._arange_n = self.single._arange
+        # reduceat segment boundaries (CSR rows are contiguous along the
+        # entry axis); empty rows are masked explicitly — reduceat on an
+        # empty segment would return the next segment's first element
+        self._seg_empty = indptr[:-1] == indptr[1:]
+        self._seg_starts = (
+            np.minimum(indptr[:-1], indices.size - 1) if indices.size else None
+        )
 
     # ------------------------------------------------------------------
     def encode_batch(self, configs: Sequence) -> np.ndarray:
@@ -90,21 +100,22 @@ class BatchSMM:
         row = self._row
         sentinel = n
 
-        neighbor_ptr = ptrs[:, indices]            # (k, E)
         is_null = ptrs < 0                          # (k, n)
+        if self._seg_starts is None:  # edgeless graph: nothing proposes
+            min_proposer = np.full((k, n), sentinel, dtype=ptrs.dtype)
+            min_null = min_proposer
+        else:
+            neighbor_ptr = ptrs[:, indices]         # (k, E)
+            proposer_entry = neighbor_ptr == row    # (k, E) broadcast row
+            vals = np.where(proposer_entry, indices, sentinel)
+            min_proposer = np.minimum.reduceat(vals, self._seg_starts, axis=1)
+            min_proposer[:, self._seg_empty] = sentinel
 
-        proposer_entry = neighbor_ptr == row        # (k, E) broadcast row
-        vals = np.where(proposer_entry, indices, sentinel)
-        min_proposer = np.full((k, n), sentinel, dtype=np.int64)
-        # flat scatter-min: row index within batch * n + owner
-        flat_owner = (np.arange(k)[:, None] * n + row).ravel()
-        np.minimum.at(min_proposer.reshape(-1), flat_owner, vals.ravel())
+            null_entry = neighbor_ptr < 0
+            vals2 = np.where(null_entry, indices, sentinel)
+            min_null = np.minimum.reduceat(vals2, self._seg_starts, axis=1)
+            min_null[:, self._seg_empty] = sentinel
         has_proposer = min_proposer < sentinel
-
-        null_entry = neighbor_ptr < 0
-        vals2 = np.where(null_entry, indices, sentinel)
-        min_null = np.full((k, n), sentinel, dtype=np.int64)
-        np.minimum.at(min_null.reshape(-1), flat_owner, vals2.ravel())
         has_null = min_null < sentinel
 
         r1 = is_null & has_proposer
@@ -117,7 +128,7 @@ class BatchSMM:
         new_ptrs = ptrs.copy()
         new_ptrs[r1] = min_proposer[r1]
         new_ptrs[r2] = min_null[r2]
-        new_ptrs[r3] = -1
+        new_ptrs[r3] = SMM_NULL
         return new_ptrs, r1, r2, r3
 
     # ------------------------------------------------------------------
@@ -136,33 +147,43 @@ class BatchSMM:
         the slowest member.
         """
         if isinstance(configs, np.ndarray):
-            ptrs = configs.astype(np.int64, copy=True)
+            ptrs = configs.astype(self._dtype, copy=True)
         else:
             ptrs = self.encode_batch(configs)
         k = ptrs.shape[0]
         budget = max_rounds if max_rounds is not None else self.n + 8
 
-        active = np.ones(k, dtype=bool)
         rounds = np.zeros(k, dtype=np.int64)
         moves_by_rule = {
             name: np.zeros(k, dtype=np.int64) for name in ("R1", "R2", "R3")
         }
-        # at most `budget` rounds are applied — same cap as the
-        # single-run kernel and the reference engine, so round counts
-        # agree even on timeouts
+        # Row compaction: each round steps only the rows still moving.
+        # A quiescent row is at its fixpoint (no rule can fire again
+        # under the synchronous daemon), so dropping it changes nothing
+        # observable — counts, rounds and finals stay byte-identical —
+        # while the per-round cost shrinks from k·n to |live|·n.  At
+        # most `budget` rounds are applied — same cap as the single-run
+        # kernel and the reference engine, so round counts agree even
+        # on timeouts.
+        live = np.arange(k)
         for _ in range(budget):
-            new_ptrs, r1, r2, r3 = self._step_rules(ptrs)
-            moved = (r1 | r2 | r3).any(axis=1) & active
-            if not moved.any():
-                active[:] = False
+            new_sub, r1, r2, r3 = self._step_rules(ptrs[live])
+            moved_sub = (r1 | r2 | r3).any(axis=1)
+            if not moved_sub.any():
+                live = live[:0]
                 break
+            moved_idx = live[moved_sub]
             for name, mask in (("R1", r1), ("R2", r2), ("R3", r3)):
-                moves_by_rule[name][moved] += mask[moved].sum(axis=1)
-            ptrs[moved] = new_ptrs[moved]
-            rounds[moved] += 1
-        else:  # budget exhausted: which rows are still moving?
-            _, moved = self.step_batch(ptrs)
-            active = moved
+                moves_by_rule[name][moved_idx] += mask[moved_sub].sum(axis=1)
+            ptrs[moved_idx] = new_sub[moved_sub]
+            rounds[moved_idx] += 1
+            live = moved_idx
+        else:  # budget exhausted: which live rows are still moving?
+            if live.size:
+                _, moved_sub = self.step_batch(ptrs[live])
+                live = live[moved_sub]
+        active = np.zeros(k, dtype=bool)
+        active[live] = True
 
         result = BatchResult(
             stabilized=~active,

@@ -8,10 +8,20 @@ loop), this module re-implements exactly one thing — the SMM
 synchronous round with min-id choosers — as array operations over a
 CSR adjacency, for the large-``n`` scaling benchmarks (experiment E10).
 
-Pointer encoding: ``ptr[k] ∈ {-1} ∪ {0..n-1}`` over *dense* node
-indices (``-1`` is null).  :func:`repro.graphs.graph.Graph.adjacency_arrays`
-guarantees dense index order equals id order, so "minimum dense index"
-below is "minimum id", matching rules R1/R2 of the reference protocol.
+Pointer encoding: ``ptr[k] ∈ {SMM_NULL} ∪ {0..n-1}`` over *dense* node
+indices (``SMM_NULL = -1`` is the explicit null sentinel).
+:func:`repro.graphs.graph.Graph.adjacency_arrays` guarantees dense index
+order equals id order, so "minimum dense index" below is "minimum id",
+matching rules R1/R2 of the reference protocol.
+
+State layout: pointer arrays are packed to the narrowest dtype that fits
+``n`` plus the segmented-minimum sentinel (int32 for every practical
+graph — see :func:`repro.kernels.state_dtype`), per-row reductions run
+on ``ufunc.reduceat`` over contiguous CSR segments instead of the slow
+buffered ``ufunc.at`` scatter, and tiny frontiers (at most
+``_SCALAR_MAX`` dirty nodes) step through a pure-Python decision loop —
+a couple of list lookups beat ~20 NumPy calls of fixed per-call overhead
+when only two or three nodes can move.
 
 Equivalence with the reference engine is pinned by
 ``tests/test_smm_vectorized.py`` on random graphs and random initial
@@ -21,15 +31,25 @@ configurations, round by round.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.core.configuration import Configuration
 from repro.errors import InvalidConfigurationError, StabilizationTimeout
 from repro.graphs.graph import Graph
-from repro.kernels import closed_neighborhood, csr_entry_positions
+from repro.kernels import (
+    SMM_NULL,
+    closed_neighborhood,
+    csr_entry_positions,
+    segment_any,
+    segment_min,
+    state_dtype,
+)
 from repro.types import NodeId, Pointer
+
+#: Frontier size at or below which the pure-Python scalar step runs.
+_SCALAR_MAX = 32
 
 
 @dataclass
@@ -41,7 +61,7 @@ class VectorResult:
     rounds: int
     moves: int
     moves_by_rule: Dict[str, int]
-    final_ptr: np.ndarray  # dense pointer array, -1 = null
+    final_ptr: np.ndarray  # dense pointer array, SMM_NULL = null
 
 
 class VectorizedSMM:
@@ -53,23 +73,32 @@ class VectorizedSMM:
         # constructing many kernels over one graph — the E10 sweep
         # inner loop — is O(1) after the first.
         indptr, indices, ids = graph.adjacency_arrays()
+        self.n = graph.n
+        self._dtype = state_dtype(self.n)
         self._indptr = indptr
-        self._indices = indices
+        self._indices = (
+            indices if indices.dtype == self._dtype else indices.astype(self._dtype)
+        )
         self._ids = ids
         self._id_to_dense = graph.dense_index()
-        self.n = graph.n
         # row owner of each CSR entry, precomputed once (no per-round
         # allocation for it)
         self._row = np.repeat(
-            np.arange(self.n, dtype=np.int64), np.diff(indptr)
+            np.arange(self.n, dtype=self._dtype), np.diff(indptr)
         )
+        self._arange = np.arange(self.n, dtype=self._dtype)
+        # plain-list CSR mirror for the scalar frontier path, built
+        # lazily on first use (unboxed int lookups beat ndarray access
+        # ~3x for the handful of reads per tiny round)
+        self._indptr_list: Optional[List[int]] = None
+        self._indices_list: Optional[List[int]] = None
 
     # ------------------------------------------------------------------
     # encoding helpers
     # ------------------------------------------------------------------
     def encode(self, config) -> np.ndarray:
         """Dense pointer array from a ``{node: Pointer}`` mapping."""
-        ptr = np.full(self.n, -1, dtype=np.int64)
+        ptr = np.full(self.n, SMM_NULL, dtype=self._dtype)
         for node, p in dict(config).items():
             k = self._id_to_dense[int(node)]
             if p is not None:
@@ -89,6 +118,12 @@ class VectorizedSMM:
             states[int(self._ids[k])] = None if target < 0 else int(self._ids[target])
         return Configuration(states)
 
+    def _scalar_csr(self) -> tuple[List[int], List[int]]:
+        if self._indices_list is None:
+            self._indptr_list = self._indptr.tolist()
+            self._indices_list = self._indices.tolist()
+        return self._indptr_list, self._indices_list
+
     # ------------------------------------------------------------------
     # the round kernel
     # ------------------------------------------------------------------
@@ -98,26 +133,22 @@ class VectorizedSMM:
         Returns ``(new_ptr, r1_mask, r2_mask, r3_mask)`` where the masks
         flag the nodes that fired each rule.
         """
-        n = self.n
         indices = self._indices
-        row = self._row
-        sentinel = n  # acts as +inf for segmented minima
+        sentinel = self.n  # acts as +inf for segmented minima
 
         neighbor_ptr = ptr[indices]  # pointer of each CSR neighbour entry
         is_null = ptr < 0
 
         # min proposer per node: neighbours j with ptr[j] == me
-        proposer_entry = neighbor_ptr == row
+        proposer_entry = neighbor_ptr == self._row
         vals = np.where(proposer_entry, indices, sentinel)
-        min_proposer = np.full(n, sentinel, dtype=np.int64)
-        np.minimum.at(min_proposer, row, vals)
+        min_proposer = segment_min(vals, self._indptr, sentinel)
         has_proposer = min_proposer < sentinel
 
         # min null neighbour per node
         null_entry = neighbor_ptr < 0
         vals2 = np.where(null_entry, indices, sentinel)
-        min_null = np.full(n, sentinel, dtype=np.int64)
-        np.minimum.at(min_null, row, vals2)
+        min_null = segment_min(vals2, self._indptr, sentinel)
         has_null_neighbor = min_null < sentinel
 
         r1 = is_null & has_proposer
@@ -126,12 +157,12 @@ class VectorizedSMM:
         # R3: i -> j, j -> k with k not in {null, i}
         target = np.where(is_null, 0, ptr)  # safe index; masked below
         target_ptr = ptr[target]
-        r3 = (~is_null) & (target_ptr >= 0) & (target_ptr != np.arange(n))
+        r3 = (~is_null) & (target_ptr >= 0) & (target_ptr != self._arange)
 
         new_ptr = ptr.copy()
         new_ptr[r1] = min_proposer[r1]
         new_ptr[r2] = min_null[r2]
-        new_ptr[r3] = -1
+        new_ptr[r3] = SMM_NULL
         return new_ptr, r1, r2, r3
 
     # ------------------------------------------------------------------
@@ -151,9 +182,8 @@ class VectorizedSMM:
             return True
         positions, counts = csr_entry_positions(self._indptr, owners)
         hit = self._indices[positions] == np.repeat(ptr[owners], counts)
-        ok = np.zeros(owners.size, dtype=bool)
-        np.logical_or.at(ok, np.repeat(np.arange(owners.size), counts), hit)
-        return bool(ok.all())
+        seg = np.concatenate(([0], np.cumsum(counts)))
+        return bool(segment_any(hit, seg).all())
 
     def _decide(
         self, ptr: np.ndarray, rows: np.ndarray
@@ -166,25 +196,22 @@ class VectorizedSMM:
         not looked at — their neighbourhood is unchanged, so their
         previous (idle) decision still holds.
         """
-        n = self.n
-        sentinel = n
+        sentinel = self.n
         positions, counts = csr_entry_positions(self._indptr, rows)
         cols = self._indices[positions]
-        local = np.repeat(np.arange(rows.size, dtype=np.int64), counts)
         owner = np.repeat(rows, counts)
+        seg = np.concatenate(([0], np.cumsum(counts)))
 
         ptr_rows = ptr[rows]
         is_null = ptr_rows < 0
         neighbor_ptr = ptr[cols]
 
         vals = np.where(neighbor_ptr == owner, cols, sentinel)
-        min_proposer = np.full(rows.size, sentinel, dtype=np.int64)
-        np.minimum.at(min_proposer, local, vals)
+        min_proposer = segment_min(vals, seg, sentinel)
         has_proposer = min_proposer < sentinel
 
         vals2 = np.where(neighbor_ptr < 0, cols, sentinel)
-        min_null = np.full(rows.size, sentinel, dtype=np.int64)
-        np.minimum.at(min_null, local, vals2)
+        min_null = segment_min(vals2, seg, sentinel)
         has_null_neighbor = min_null < sentinel
 
         r1 = is_null & has_proposer
@@ -194,8 +221,51 @@ class VectorizedSMM:
         r3 = (~is_null) & (target_ptr >= 0) & (target_ptr != rows)
 
         rule = np.select([r1, r2, r3], [1, 2, 3], default=0).astype(np.int8)
-        val = np.where(r1, min_proposer, np.where(r2, min_null, -1))
+        val = np.where(r1, min_proposer, np.where(r2, min_null, SMM_NULL))
         return rule, val
+
+    def _decide_scalar(
+        self, ptr: np.ndarray, rows: List[int]
+    ) -> tuple[List[int], List[int], int, int, int]:
+        """Pure-Python decisions for a tiny frontier.
+
+        Semantically identical to :meth:`_decide` restricted to the
+        enabled nodes: returns ``(movers, vals, c1, c2, c3)``.  CSR rows
+        ascend, so the first proposer / null neighbour found scanning a
+        row is the minimum-id one.
+        """
+        indptr, indices = self._scalar_csr()
+        movers: List[int] = []
+        vals: List[int] = []
+        c1 = c2 = c3 = 0
+        for i in rows:
+            p = int(ptr[i])
+            if p < 0:
+                proposer = -1
+                null_nbr = -1
+                for e in range(indptr[i], indptr[i + 1]):
+                    j = indices[e]
+                    q = int(ptr[j])
+                    if q == i:
+                        proposer = j
+                        break
+                    if q < 0 and null_nbr < 0:
+                        null_nbr = j
+                if proposer >= 0:
+                    movers.append(i)
+                    vals.append(proposer)
+                    c1 += 1
+                elif null_nbr >= 0:
+                    movers.append(i)
+                    vals.append(null_nbr)
+                    c2 += 1
+            else:
+                q = int(ptr[p])
+                if q >= 0 and q != i:
+                    movers.append(i)
+                    vals.append(SMM_NULL)
+                    c3 += 1
+        return movers, vals, c1, c2, c3
 
     def _run_active(
         self, ptr: np.ndarray, budget: int, moves_by_rule: Dict[str, int]
@@ -208,12 +278,16 @@ class VectorizedSMM:
         # work is proportional to the frontier; dense rounds (dirty set
         # above n/16) use the cheaper flat full scan instead — a dirty
         # superset is always sound, so they just mark everything dirty.
+        # Tiny frontiers step through the scalar loop (the dirty set may
+        # be an ndarray or a sorted list depending on the branch that
+        # produced it; decisions and dirty contents are identical).
         dense = max(1, self.n // 16)
+        scalar_max = min(_SCALAR_MAX, dense - 1)
         dirty = np.arange(self.n, dtype=np.int64)
         rounds = 0
         stabilized = False
         while True:
-            if dirty.size >= dense:
+            if len(dirty) >= dense:
                 new_ptr, r1, r2, r3 = self.step(ptr)
                 fired = r1 | r2 | r3
                 if not fired.any():
@@ -226,7 +300,24 @@ class VectorizedSMM:
                 moves_by_rule["R3"] += int(r3.sum())
                 movers = np.nonzero(fired)[0]
                 ptr[movers] = new_ptr[movers]
+                n_moved = movers.size
+            elif len(dirty) <= scalar_max:
+                rows = dirty if isinstance(dirty, list) else dirty.tolist()
+                movers, vals, c1, c2, c3 = self._decide_scalar(ptr, rows)
+                if not movers:
+                    stabilized = True
+                    break
+                if rounds >= budget:
+                    break
+                moves_by_rule["R1"] += c1
+                moves_by_rule["R2"] += c2
+                moves_by_rule["R3"] += c3
+                for i, v in zip(movers, vals):
+                    ptr[i] = v
+                n_moved = len(movers)
             else:
+                if isinstance(dirty, list):
+                    dirty = np.asarray(dirty, dtype=np.int64)
                 rule, val = self._decide(ptr, dirty)
                 enabled = rule != 0
                 if not enabled.any():
@@ -240,9 +331,16 @@ class VectorizedSMM:
                 moves_by_rule["R3"] += int((moved_rules == 3).sum())
                 movers = dirty[enabled]
                 ptr[movers] = val[enabled]
+                n_moved = movers.size
             rounds += 1
-            if movers.size >= dense:
+            if n_moved >= dense:
                 dirty = np.arange(self.n, dtype=np.int64)
+            elif isinstance(movers, list):
+                indptr, indices = self._scalar_csr()
+                nxt = set(movers)
+                for i in movers:
+                    nxt.update(indices[indptr[i]:indptr[i + 1]])
+                dirty = sorted(nxt)
             else:
                 dirty = closed_neighborhood(self._indptr, self._indices, movers)
         return stabilized, rounds, ptr
@@ -266,9 +364,9 @@ class VectorizedSMM:
         non-neighbour pointers (possible only via raw dense input).
         """
         if config is None:
-            ptr = np.full(self.n, -1, dtype=np.int64)
+            ptr = np.full(self.n, SMM_NULL, dtype=self._dtype)
         elif isinstance(config, np.ndarray):
-            ptr = config.astype(np.int64, copy=True)
+            ptr = config.astype(self._dtype, copy=True)
         else:
             ptr = self.encode(config)
 
@@ -313,13 +411,11 @@ class VectorizedSMM:
         counts equal ``type_counts`` on the decoded configuration
         (pinned by the telemetry equivalence tests).
         """
-        n = self.n
         is_null = ptr < 0
         safe = np.where(is_null, 0, ptr)  # masked below
-        matched = (~is_null) & (ptr[safe] == np.arange(n))
-        has_suitor = np.zeros(n, dtype=bool)
-        np.logical_or.at(
-            has_suitor, self._row, ptr[self._indices] == self._row
+        matched = (~is_null) & (ptr[safe] == self._arange)
+        has_suitor = segment_any(
+            ptr[self._indices] == self._row, self._indptr
         )
         pointing = (~is_null) & ~matched
         return {

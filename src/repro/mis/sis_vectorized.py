@@ -17,6 +17,16 @@ i.e. ``x' = ¬blocked`` — the new state is independent of the old one.
 Stabilization is detected as ``x' == x``; moves split into R1
 (``0 -> 1``) and R2 (``1 -> 0``).
 
+State layout: membership is a dense uint8 0/1 array (one byte per
+node); :meth:`VectorizedSIS.pack` / :meth:`VectorizedSIS.unpack` /
+:meth:`VectorizedSIS.step_packed` provide the bitset form (8 nodes per
+byte via :func:`repro.kernels.pack_bits`) for memory-lean storage of
+many configurations.  Per-row reductions run on ``logical_or.reduceat``
+over contiguous CSR segments, and tiny frontiers step through a
+pure-Python loop that exploits CSR row order: dense index order equals
+id order, so the larger-id neighbours of row ``i`` are exactly the
+suffix of entries ``> i``.
+
 Equivalence with the reference engine is pinned by
 ``tests/test_sis_vectorized.py``.
 """
@@ -24,15 +34,24 @@ Equivalence with the reference engine is pinned by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.core.configuration import Configuration
 from repro.errors import StabilizationTimeout
 from repro.graphs.graph import Graph
-from repro.kernels import closed_neighborhood, csr_entry_positions
+from repro.kernels import (
+    closed_neighborhood,
+    csr_entry_positions,
+    pack_bits,
+    segment_any,
+    unpack_bits,
+)
 from repro.types import NodeId
+
+#: Frontier size at or below which the pure-Python scalar step runs.
+_SCALAR_MAX = 32
 
 
 @dataclass
@@ -65,9 +84,12 @@ class VectorizedSIS:
         # entry mask: neighbour id greater than owner id (precomputable —
         # it depends only on the topology, not the configuration)
         self._bigger_entry = ids[indices] > ids[self._row]
+        # plain-list CSR mirror for the scalar frontier path, lazy
+        self._indptr_list: Optional[List[int]] = None
+        self._indices_list: Optional[List[int]] = None
 
     def encode(self, config) -> np.ndarray:
-        x = np.zeros(self.n, dtype=np.int8)
+        x = np.zeros(self.n, dtype=np.uint8)
         for node, value in dict(config).items():
             x[self._id_to_dense[int(node)]] = int(value)
         return x
@@ -77,12 +99,37 @@ class VectorizedSIS:
             {int(self._ids[k]): int(x[k]) for k in range(self.n)}
         )
 
+    # ------------------------------------------------------------------
+    # packed-bit representation
+    # ------------------------------------------------------------------
+    def pack(self, x: np.ndarray) -> np.ndarray:
+        """Bitset form of a dense 0/1 membership array (8 nodes/byte)."""
+        return pack_bits(x)
+
+    def unpack(self, bits: np.ndarray) -> np.ndarray:
+        """Dense uint8 0/1 array from a bitset produced by :meth:`pack`."""
+        return unpack_bits(bits, self.n)
+
+    def step_packed(self, bits: np.ndarray) -> np.ndarray:
+        """One synchronous round on the packed-bit representation.
+
+        Unpacks, steps the flat kernel, re-packs: byte-identical with
+        ``pack(step(unpack(bits)))`` by construction, pinned against the
+        flat kernel by the equivalence suite.
+        """
+        return pack_bits(self.step(unpack_bits(bits, self.n)))
+
+    def _scalar_csr(self) -> tuple[List[int], List[int]]:
+        if self._indices_list is None:
+            self._indptr_list = self._indptr.tolist()
+            self._indices_list = self._indices.tolist()
+        return self._indptr_list, self._indices_list
+
     def step(self, x: np.ndarray) -> np.ndarray:
         """One synchronous round: ``x' = ¬(∃ bigger in-set neighbour)``."""
         in_set_entry = (x[self._indices] == 1) & self._bigger_entry
-        blocked = np.zeros(self.n, dtype=bool)
-        np.logical_or.at(blocked, self._row, in_set_entry)
-        return (~blocked).astype(np.int8)
+        blocked = segment_any(in_set_entry, self._indptr)
+        return (~blocked).astype(np.uint8)
 
     def _step_at(self, x: np.ndarray, rows: np.ndarray) -> np.ndarray:
         """Recompute ``x' = ¬blocked`` at ``rows`` only.
@@ -93,11 +140,114 @@ class VectorizedSIS:
         """
         positions, counts = csr_entry_positions(self._indptr, rows)
         in_set_entry = (x[self._indices[positions]] == 1) & self._bigger_entry[positions]
-        blocked = np.zeros(rows.size, dtype=bool)
-        np.logical_or.at(
-            blocked, np.repeat(np.arange(rows.size, dtype=np.int64), counts), in_set_entry
-        )
-        return (~blocked).astype(np.int8)
+        seg = np.concatenate(([0], np.cumsum(counts)))
+        blocked = segment_any(in_set_entry, seg)
+        return (~blocked).astype(np.uint8)
+
+    def _step_scalar(
+        self, x: np.ndarray, rows: List[int]
+    ) -> tuple[List[int], List[int], int, int]:
+        """Pure-Python step for a tiny frontier.
+
+        Returns ``(movers, vals, c1, c2)``.  Dense index order equals id
+        order, so a row's larger-id neighbours are the CSR entries
+        ``> i`` — scanned back to front so the first hit decides.
+        """
+        indptr, indices = self._scalar_csr()
+        movers: List[int] = []
+        vals: List[int] = []
+        c1 = c2 = 0
+        for i in rows:
+            blocked = False
+            for e in range(indptr[i + 1] - 1, indptr[i] - 1, -1):
+                j = indices[e]
+                if j <= i:
+                    break
+                if x[j] == 1:
+                    blocked = True
+                    break
+            new = 0 if blocked else 1
+            if new != int(x[i]):
+                movers.append(i)
+                vals.append(new)
+                if new == 1:
+                    c1 += 1
+                else:
+                    c2 += 1
+        return movers, vals, c1, c2
+
+    def _run_active(
+        self, x: np.ndarray, budget: int, moves_by_rule: Dict[str, int]
+    ) -> tuple[bool, int, np.ndarray]:
+        # frontier stepping: identical round semantics, but per-round
+        # work proportional to the dirty set — nodes outside it cannot
+        # change, by locality of the guard.  The gather-based frontier
+        # step costs several times more per node than the flat full
+        # scan, so dense rounds (a dirty set above n/16) fall back to
+        # the full scan; a dirty superset is always sound, so dense
+        # rounds simply mark every node dirty.  Tiny frontiers (at most
+        # ``_SCALAR_MAX`` nodes) use the scalar loop; the dirty set may
+        # be an ndarray or a sorted list, with identical contents.
+        dense = max(1, self.n // 16)
+        scalar_max = min(_SCALAR_MAX, dense - 1)
+        dirty = np.arange(self.n, dtype=np.int64)
+        rounds = 0
+        stabilized = False
+        while True:
+            if len(dirty) >= dense:
+                new_x = self.step(x)
+                movers = np.nonzero(new_x != x)[0]
+                vals = new_x[movers]
+                if movers.size == 0:
+                    stabilized = True
+                    break
+                if rounds >= budget:
+                    break
+                moves_by_rule["R1"] += int((vals == 1).sum())
+                moves_by_rule["R2"] += int((vals == 0).sum())
+                x[movers] = vals
+                n_moved = movers.size
+            elif len(dirty) <= scalar_max:
+                rows = dirty if isinstance(dirty, list) else dirty.tolist()
+                movers, vals, c1, c2 = self._step_scalar(x, rows)
+                if not movers:
+                    stabilized = True
+                    break
+                if rounds >= budget:
+                    break
+                moves_by_rule["R1"] += c1
+                moves_by_rule["R2"] += c2
+                for i, v in zip(movers, vals):
+                    x[i] = v
+                n_moved = len(movers)
+            else:
+                if isinstance(dirty, list):
+                    dirty = np.asarray(dirty, dtype=np.int64)
+                new_vals = self._step_at(x, dirty)
+                changed = new_vals != x[dirty]
+                movers = dirty[changed]
+                vals = new_vals[changed]
+                if movers.size == 0:
+                    stabilized = True
+                    break
+                if rounds >= budget:
+                    break
+                moves_by_rule["R1"] += int((vals == 1).sum())
+                moves_by_rule["R2"] += int((vals == 0).sum())
+                x[movers] = vals
+                n_moved = movers.size
+            rounds += 1
+            if n_moved >= dense:
+                dirty = np.arange(self.n, dtype=np.int64)
+            elif isinstance(movers, list):
+                indptr, indices = self._scalar_csr()
+                nxt = set(movers)
+                for i in movers:
+                    nxt.update(indices[indptr[i]:indptr[i + 1]])
+                dirty = sorted(nxt)
+            else:
+                dirty = closed_neighborhood(self._indptr, self._indices, movers)
+        return stabilized, rounds, x
 
     def run(
         self,
@@ -108,9 +258,9 @@ class VectorizedSIS:
         active_set: bool = True,
     ) -> VectorResult:
         if config is None:
-            x = np.zeros(self.n, dtype=np.int8)
+            x = np.zeros(self.n, dtype=np.uint8)
         elif isinstance(config, np.ndarray):
-            x = config.astype(np.int8, copy=True)
+            x = config.astype(np.uint8, copy=True)
         else:
             x = self.encode(config)
 
@@ -119,62 +269,20 @@ class VectorizedSIS:
         rounds = 0
         stabilized = False
         if active_set:
-            # frontier stepping: identical round semantics, but per-round
-            # work proportional to the dirty set — nodes outside it
-            # cannot change, by locality of the guard.  The gather-based
-            # frontier step costs several times more per node than the
-            # flat full scan, so dense rounds (a dirty set above n/16)
-            # fall back to the full scan; a dirty superset is always
-            # sound, so dense rounds simply mark every node dirty.
-            dense = max(1, self.n // 16)
-            dirty = np.arange(self.n, dtype=np.int64)
+            stabilized, rounds, x = self._run_active(x, budget, moves_by_rule)
+        else:
             while True:
-                if dirty.size >= dense:
-                    new_x = self.step(x)
-                    movers = np.nonzero(new_x != x)[0]
-                    vals = new_x[movers]
-                else:
-                    new_vals = self._step_at(x, dirty)
-                    changed = new_vals != x[dirty]
-                    movers = dirty[changed]
-                    vals = new_vals[changed]
-                if movers.size == 0:
+                new_x = self.step(x)
+                changed = new_x != x
+                if not changed.any():
                     stabilized = True
                     break
                 if rounds >= budget:
                     break
-                moves_by_rule["R1"] += int((vals == 1).sum())
-                moves_by_rule["R2"] += int((vals == 0).sum())
-                x[movers] = vals
+                moves_by_rule["R1"] += int((changed & (new_x == 1)).sum())
+                moves_by_rule["R2"] += int((changed & (new_x == 0)).sum())
+                x = new_x
                 rounds += 1
-                if movers.size >= dense:
-                    dirty = np.arange(self.n, dtype=np.int64)
-                else:
-                    dirty = closed_neighborhood(self._indptr, self._indices, movers)
-            result = VectorResult(
-                stabilized=stabilized,
-                rounds=rounds,
-                moves=sum(moves_by_rule.values()),
-                moves_by_rule=moves_by_rule,
-                final_x=x,
-            )
-            if raise_on_timeout and not stabilized:
-                raise StabilizationTimeout(
-                    f"vectorized SIS exceeded {budget} rounds", result
-                )
-            return result
-        while True:
-            new_x = self.step(x)
-            changed = new_x != x
-            if not changed.any():
-                stabilized = True
-                break
-            if rounds >= budget:
-                break
-            moves_by_rule["R1"] += int((changed & (new_x == 1)).sum())
-            moves_by_rule["R2"] += int((changed & (new_x == 0)).sum())
-            x = new_x
-            rounds += 1
         result = VectorResult(
             stabilized=stabilized,
             rounds=rounds,

@@ -383,6 +383,21 @@ def record_run_result(registry: MetricsRegistry, result) -> None:
             protocol=protocol,
             backend=result.backend,
         )
+    if result.backend != "reference":
+        # kernel throughput accounting (backend-labelled on purpose:
+        # wall-clock derived, so excluded from the cross-jobs metrics
+        # determinism pins like every other backend-labelled family)
+        kernel_labels = dict(protocol=protocol, backend=result.backend)
+        registry.counter(
+            "repro_kernel_rounds_total",
+            "Daemon rounds stepped by kernel backends",
+        ).inc(result.rounds, **kernel_labels)
+        if result.elapsed:
+            registry.gauge(
+                "repro_kernel_rounds_per_second",
+                "Most recent kernel round throughput (rounds / elapsed "
+                "wall clock of the backend call)",
+            ).set(result.rounds / result.elapsed, **kernel_labels)
 
 
 def record_failed_trial(registry: MetricsRegistry, failed) -> None:

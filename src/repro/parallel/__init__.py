@@ -19,11 +19,24 @@ bit-identical to serial execution (pinned by ``tests/test_parallel.py``):
 * the resilient mode (``timeout``/``retries``/``checkpoint``) gives
   sweeps per-trial wall-clock timeouts, bounded retry with exponential
   backoff, :class:`FailedTrial` records instead of batch aborts, and
-  JSONL checkpoint/resume keyed by :func:`spec_fingerprint`.
+  JSONL checkpoint/resume keyed by :func:`spec_fingerprint`;
+* two result-preserving fast paths sit in front of both modes:
+  batch-sweep dispatch (:mod:`repro.parallel.batch_sweep` — groups of
+  same-graph synchronous specs run as one ``(k, n)`` batch-kernel
+  call) and zero-copy graph handoff
+  (:mod:`repro.parallel.shared_graph` — each distinct graph ships to
+  workers once, as shared-memory CSR buffers or a memoized pickle).
 
 See docs/performance.md for usage and measured numbers.
 """
 
+from repro.parallel.batch_sweep import dispatch_groups, sweep_eligible
+from repro.parallel.shared_graph import (
+    MemoGraph,
+    SharedGraph,
+    SharedGraphStore,
+    leaked_shared_segments,
+)
 from repro.parallel.trial_runner import (
     PROTOCOLS,
     FailedTrial,
@@ -38,10 +51,16 @@ from repro.parallel.trial_runner import (
 __all__ = [
     "PROTOCOLS",
     "FailedTrial",
+    "MemoGraph",
+    "SharedGraph",
+    "SharedGraphStore",
     "TrialRunner",
     "TrialSpec",
+    "dispatch_groups",
     "execute_trial",
+    "leaked_shared_segments",
     "resolve_jobs",
     "run_trials",
     "spec_fingerprint",
+    "sweep_eligible",
 ]

@@ -30,6 +30,24 @@ therefore has a second, *resilient* mode, selected by any of the
 
 Without any of those knobs, :meth:`TrialRunner.map` is the original
 pool path, byte-for-byte.
+
+Sweep fast paths
+----------------
+Two transparent optimisations sit in front of both modes, each
+preserving bit-identical results (pinned by
+``tests/test_engine_equivalence.py``):
+
+* **batch-sweep dispatch** (:mod:`repro.parallel.batch_sweep`): groups
+  of same-(protocol, graph, budget) synchronous specs with no
+  per-trial observation execute as one ``(k, n)`` batch-kernel call in
+  the parent instead of ``k`` separate runs.  Disabled wholesale under
+  tracing and in resilient mode (both need per-trial execution), and
+  visibly so — see ``repro_batch_sweep_fallbacks_total``.
+* **zero-copy graph handoff** (:mod:`repro.parallel.shared_graph`):
+  when trials do cross a process boundary, each distinct graph ships
+  once — large graphs as CSR buffers in shared memory that workers
+  attach to, small ones as a memoized pickle payload deserialized once
+  per worker — instead of being re-pickled into every spec.
 """
 
 from __future__ import annotations
@@ -53,6 +71,8 @@ from repro.types import NodeId
 
 __all__ = [
     "PROTOCOLS",
+    "BATCH_SWEEP_DEFAULT",
+    "SHARED_GRAPHS_DEFAULT",
     "FailedTrial",
     "TrialRunner",
     "TrialSpec",
@@ -62,6 +82,16 @@ __all__ = [
     "run_trials",
     "spec_fingerprint",
 ]
+
+#: Process-wide defaults for the sweep fast paths, read by
+#: :class:`TrialRunner` when the corresponding keyword is omitted.  The
+#: CLI's ``--no-batch-sweep`` / ``--shared-graphs`` flags set these so
+#: every runner built downstream (experiments construct their own)
+#: honours them.
+BATCH_SWEEP_DEFAULT: bool = True
+SHARED_GRAPHS_DEFAULT: str = "auto"
+
+_SHARED_GRAPH_POLICIES = {"auto": None, "always": True, "never": False}
 
 
 @dataclass(frozen=True)
@@ -435,6 +465,14 @@ class TrialRunner:
     resilient mode documented in the module docstring; the result list
     may then contain :class:`FailedTrial` records in the failed trials'
     slots.
+
+    ``batch_sweep`` (default :data:`BATCH_SWEEP_DEFAULT`) toggles
+    batch-sweep dispatch; ``shared_graphs`` — ``"auto"``, ``"always"``
+    or ``"never"`` (default :data:`SHARED_GRAPHS_DEFAULT`) — selects
+    how graphs ship to worker processes (shared-memory CSR vs memoized
+    pickle; see :mod:`repro.parallel.shared_graph`).  Both fast paths
+    are result-preserving; the knobs exist for benchmarking and for
+    environments without a usable shared-memory filesystem.
     """
 
     def __init__(
@@ -446,6 +484,8 @@ class TrialRunner:
         retries: int = 0,
         backoff: float = 0.1,
         checkpoint: Optional[str] = None,
+        batch_sweep: Optional[bool] = None,
+        shared_graphs: Optional[str] = None,
     ):
         self.jobs = resolve_jobs(jobs)
         self.chunksize = chunksize
@@ -457,6 +497,17 @@ class TrialRunner:
         self.retries = retries
         self.backoff = backoff
         self.checkpoint = None if checkpoint is None else str(checkpoint)
+        self.batch_sweep = (
+            BATCH_SWEEP_DEFAULT if batch_sweep is None else bool(batch_sweep)
+        )
+        if shared_graphs is None:
+            shared_graphs = SHARED_GRAPHS_DEFAULT
+        if shared_graphs not in _SHARED_GRAPH_POLICIES:
+            raise ValueError(
+                f"shared_graphs must be one of "
+                f"{sorted(_SHARED_GRAPH_POLICIES)}, got {shared_graphs!r}"
+            )
+        self.shared_graphs = shared_graphs
 
     @property
     def resilient(self) -> bool:
@@ -490,13 +541,60 @@ class TrialRunner:
         tracer = _tracing.current_tracer()
         registry = _metrics.current_registry()
         traced = tracer is not None
-        if self.resilient:
-            outcomes, attempts, resumed = self._map_resilient(
-                specs, traced=traced
-            )
+
+        # ------------------------------------------------------------
+        # fast path 1: batch-sweep dispatch (parent-side, result-
+        # preserving; per-trial observation modes bypass it visibly)
+        # ------------------------------------------------------------
+        batched: Dict[int, RunResult] = {}
+        if self.batch_sweep and len(specs) > 1:
+            from repro.parallel import batch_sweep as _batch_sweep
+
+            if self.resilient or traced:
+                _batch_sweep.record_fallback(
+                    "resilient" if self.resilient else "traced"
+                )
+            else:
+                batched = _batch_sweep.dispatch_groups(specs)
+        if batched:
+            rest = [spec for i, spec in enumerate(specs) if i not in batched]
         else:
-            outcomes = self._map_plain(specs, traced=traced)
-            attempts, resumed = {}, frozenset()
+            rest = specs
+
+        # ------------------------------------------------------------
+        # fast path 2: per-sweep graph handoff for everything that will
+        # cross a process boundary (resilient mode forks per attempt)
+        # ------------------------------------------------------------
+        store = None
+        try:
+            if rest and (
+                self.resilient or (self.jobs > 1 and len(rest) > 1)
+            ):
+                from repro.parallel.shared_graph import SharedGraphStore
+
+                store = SharedGraphStore(
+                    _SHARED_GRAPH_POLICIES[self.shared_graphs]
+                )
+                rest = store.pack_specs(rest)
+            if self.resilient:
+                # batching never applies here, so indices line up
+                outcomes, attempts, resumed = self._map_resilient(
+                    rest, traced=traced
+                )
+            else:
+                rest_outcomes = self._map_plain(rest, traced=traced)
+                attempts, resumed = {}, frozenset()
+                if batched:
+                    rest_iter = iter(rest_outcomes)
+                    outcomes = [
+                        batched[i] if i in batched else next(rest_iter)
+                        for i in range(len(specs))
+                    ]
+                else:
+                    outcomes = rest_outcomes
+        finally:
+            if store is not None:
+                store.close()
         if traced:
             _graft_trial_spans(tracer, outcomes, attempts, resumed)
         if registry is not None:
@@ -805,10 +903,13 @@ def run_trials(
     retries: int = 0,
     backoff: float = 0.1,
     checkpoint: Optional[str] = None,
+    batch_sweep: Optional[bool] = None,
+    shared_graphs: Optional[str] = None,
 ) -> List[Union[RunResult, FailedTrial]]:
     """Convenience wrapper: ``TrialRunner(...).map(specs)``.  The
     ``timeout``/``retries``/``backoff``/``checkpoint`` knobs select the
-    resilient mode (see :class:`TrialRunner`)."""
+    resilient mode; ``batch_sweep``/``shared_graphs`` tune the sweep
+    fast paths (see :class:`TrialRunner`)."""
     return TrialRunner(
         jobs,
         chunksize=chunksize,
@@ -816,4 +917,6 @@ def run_trials(
         retries=retries,
         backoff=backoff,
         checkpoint=checkpoint,
+        batch_sweep=batch_sweep,
+        shared_graphs=shared_graphs,
     ).map(specs)

@@ -344,3 +344,189 @@ class TestInvalidConfigurations:
         bad[0] = 7  # not a 0/1 state
         with pytest.raises(InvalidConfigurationError):
             run("sis", graph, bad, backend=backend)
+
+
+class TestPackedStateLayout:
+    """The packed layouts (int32 pointers, uint8/bitset membership) are
+    an internal representation change only: encode/decode round-trips,
+    dtype selection at the int32 boundary, and the packed-bit SIS
+    stepping path must all agree byte-for-byte with the flat kernel."""
+
+    def test_state_dtype_boundary(self):
+        import numpy as np
+
+        from repro.kernels import state_dtype
+
+        # the NULL sentinel is stored as -1 but the *encoded* proposal
+        # sentinel is n itself, so n must fit the signed dtype with one
+        # value to spare
+        assert state_dtype(0) == np.dtype(np.int32)
+        assert state_dtype(2**31 - 2) == np.dtype(np.int32)
+        assert state_dtype(2**31 - 1) == np.dtype(np.int64)
+        assert state_dtype(2**40) == np.dtype(np.int64)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_int32_null_round_trips(self, family, seed):
+        import numpy as np
+
+        from repro.kernels import SMM_NULL
+        from repro.matching.smm_vectorized import VectorizedSMM
+
+        graph = make_graph(family, seed)
+        kernel = VectorizedSMM(graph)
+        protocol = make_protocol("smm")
+        config = random_configuration(protocol, graph, ensure_rng(seed))
+        ptr = kernel.encode(config)
+        assert ptr.dtype == np.dtype(np.int32)
+        nulls = sum(1 for v in config.values() if v is None)
+        assert int((ptr == SMM_NULL).sum()) == nulls
+        assert dict(kernel.decode(ptr)) == dict(config)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_packed_bit_sis_matches_flat(self, family, seed):
+        import numpy as np
+
+        from repro.mis.sis_vectorized import VectorizedSIS
+
+        graph = make_graph(family, seed)
+        kernel = VectorizedSIS(graph)
+        protocol = make_protocol("sis")
+        config = random_configuration(protocol, graph, ensure_rng(seed))
+        x = kernel.encode(config)
+        assert x.dtype == np.dtype(np.uint8)
+        bits = kernel.pack(x)
+        assert bits.dtype == np.dtype(np.uint8)
+        assert bits.nbytes <= x.nbytes // 8 + 1
+        assert np.array_equal(kernel.unpack(bits), x)
+        # step the packed and flat representations side by side to a
+        # fixpoint: byte-identical trajectories
+        for _ in range(graph.n + 8):
+            nxt = kernel.step(x)
+            bits = kernel.step_packed(bits)
+            assert np.array_equal(kernel.unpack(bits), nxt)
+            if np.array_equal(nxt, x):
+                break
+            x = nxt
+        assert dict(kernel.decode(kernel.unpack(bits))) == dict(kernel.decode(x))
+
+
+class TestBatchSweepDispatch:
+    """Batch-sweep dispatch returns results bit-identical to per-trial
+    execution (modulo the honest ``backend="batch"`` label), for any
+    ``jobs``, and its metric exports keep the determinism pin."""
+
+    def _specs(self, backend, protocols=("smm", "sis")):
+        from repro.parallel import TrialSpec
+
+        return [
+            TrialSpec(
+                key,
+                make_graph(family, 0),
+                random_configuration(
+                    make_protocol(key), make_graph(family, 0), ensure_rng(seed)
+                ),
+                backend=backend,
+            )
+            for key in protocols
+            for family in FAMILIES
+            for seed in SEEDS
+        ]
+
+    def test_auto_specs_dispatch_through_batch_kernel(self):
+        from repro.parallel import run_trials, sweep_eligible
+
+        specs = self._specs("auto")
+        assert all(sweep_eligible(spec) for spec in specs)
+        reference = run_trials(self._specs("reference"), jobs=1)
+        for jobs in (1, 2):
+            results = run_trials(specs, jobs=jobs)
+            for ref, res in zip(reference, results):
+                assert res.backend == "batch"
+                assert_equivalent(ref, res)
+
+    def test_disabled_batching_matches_and_selects_vectorized(self):
+        from repro.parallel import run_trials
+
+        specs = self._specs("auto")
+        batched = run_trials(specs, jobs=1)
+        unbatched = run_trials(specs, jobs=1, batch_sweep=False)
+        for a, b in zip(batched, unbatched):
+            assert b.backend == "vectorized"  # auto's per-trial pick
+            assert_equivalent(a, b)
+
+    def test_observed_specs_stay_per_trial(self):
+        from repro.parallel import TrialSpec, run_trials, sweep_eligible
+
+        graph = make_graph("cycle", 0)
+        specs = [
+            TrialSpec("smm", graph, seed=s, backend="auto", telemetry=True)
+            for s in SEEDS
+        ]
+        assert not any(sweep_eligible(spec) for spec in specs)
+        results = run_trials(specs, jobs=1)
+        assert all(r.backend == "vectorized" for r in results)
+        assert all(r.telemetry is not None for r in results)
+
+    def test_counter_exports_identical_across_batching_and_jobs(self):
+        from repro.observability import MetricsRegistry, use_registry
+        from repro.parallel import run_trials
+
+        def exposition(batch_sweep, jobs):
+            registry = MetricsRegistry()
+            with use_registry(registry):
+                run_trials(
+                    self._specs("auto"), jobs=jobs, batch_sweep=batch_sweep
+                )
+            return registry.exposition(kinds=("counter",))
+
+        strip = TestMetricsEquivalence._strip_backend_families
+        reference = strip(exposition(False, 1))
+        for jobs in (1, 2):
+            assert strip(exposition(True, jobs)) == reference
+
+
+class TestSharedGraphEquivalence:
+    """The zero-copy handoff is invisible in results and metrics: a
+    sweep over shared-memory graphs is byte-identical to the inline
+    sweep, for either handoff policy, and leaves no segment behind."""
+
+    def _specs(self):
+        from repro.parallel import TrialSpec
+
+        return [
+            TrialSpec(
+                key,
+                make_graph(family, 0),
+                random_configuration(
+                    make_protocol(key), make_graph(family, 0), ensure_rng(seed)
+                ),
+                backend="vectorized",  # ineligible for batching: the
+                # specs must actually cross the process boundary
+            )
+            for key in ("smm", "sis")
+            for family in FAMILIES
+            for seed in SEEDS
+        ]
+
+    @pytest.mark.parametrize("policy", ("auto", "always", "never"))
+    def test_pool_results_identical_under_handoff(self, policy):
+        from repro.observability import MetricsRegistry, use_registry
+        from repro.parallel import leaked_shared_segments, run_trials
+
+        def sweep(jobs, shared):
+            registry = MetricsRegistry()
+            with use_registry(registry):
+                results = run_trials(
+                    self._specs(), jobs=jobs, shared_graphs=shared
+                )
+            return results, registry.exposition(kinds=("counter",))
+
+        inline_results, inline_counters = sweep(1, "never")
+        pool_results, pool_counters = sweep(2, policy)
+        for ref, res in zip(inline_results, pool_results):
+            assert_equivalent(ref, res)
+            assert res.backend == "vectorized"
+        assert pool_counters == inline_counters
+        assert leaked_shared_segments() == []
