@@ -27,6 +27,17 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle:
     # the analysis package must not import experiments at import time.
     from repro.experiments.common import ExperimentResult
 
+#: Version of the serialization schema defined by this module — the
+#: wire format of executions, trial specs and the serve request/response
+#: schemas built on them.  Folded into
+#: :func:`repro.parallel.spec_fingerprint`, so bumping it invalidates
+#: every content-addressed artefact keyed by a fingerprint (resume
+#: checkpoints, the serve result store) across incompatible releases
+#: instead of silently replaying stale bytes.  History: 1 = the
+#: unversioned pre-serve format; 2 = versioned fingerprints + trial-spec
+#: / graph serialization (the `repro serve` wire schema).
+SCHEMA_VERSION = 2
+
 
 def _state_to_json(state: Any) -> Any:
     if isinstance(state, tuple):
@@ -137,6 +148,118 @@ def execution_from_dict(data: Mapping[str, Any]) -> Execution:
 
 def execution_from_json(text: str) -> Execution:
     return execution_from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# graphs and trial specs (the serve / job-journal wire format)
+# ----------------------------------------------------------------------
+def graph_to_dict(graph) -> Dict[str, Any]:
+    """JSON-safe topology: explicit node and sorted edge lists."""
+    return {
+        "nodes": [int(n) for n in graph.nodes],
+        "edges": sorted(
+            [int(u), int(v)] if int(u) <= int(v) else [int(v), int(u)]
+            for u, v in graph.edges
+        ),
+    }
+
+
+def graph_from_dict(data: Mapping[str, Any]):
+    """Rebuild a :class:`~repro.graphs.graph.Graph` from
+    :func:`graph_to_dict` output."""
+    from repro.graphs.graph import Graph
+
+    return Graph(
+        [int(n) for n in data["nodes"]],
+        [(int(u), int(v)) for u, v in data.get("edges", ())],
+    )
+
+
+def _option_value_to_json(name: str, value: Any) -> Any:
+    """JSON encoding for one trial-spec option value.
+
+    Scalars pass through; a :class:`~repro.resilience.FaultPlan` (any
+    object with ``to_dict``/``from_dict``) is tagged so it round-trips.
+    Anything else — injected callables, monitors — has no wire format
+    and is rejected: such specs cannot cross the serve/journal boundary.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if hasattr(value, "to_dict") and hasattr(type(value), "from_dict"):
+        module = type(value).__module__
+        return {
+            "__kind__": "object",
+            "class": f"{module}.{type(value).__qualname__}",
+            "value": value.to_dict(),
+        }
+    raise ValueError(
+        f"trial-spec option {name!r} has no serialization "
+        f"({type(value).__name__}); only JSON scalars and "
+        "to_dict/from_dict objects (e.g. FaultPlan) cross the wire"
+    )
+
+
+def _option_value_from_json(value: Any) -> Any:
+    if isinstance(value, Mapping) and value.get("__kind__") == "object":
+        import importlib
+
+        module_name, _, qualname = value["class"].rpartition(".")
+        cls = getattr(importlib.import_module(module_name), qualname)
+        return cls.from_dict(value["value"])
+    return value
+
+
+def trial_spec_to_dict(spec) -> Dict[str, Any]:
+    """JSON-safe :class:`~repro.parallel.TrialSpec` (versioned with
+    :data:`SCHEMA_VERSION`; round-trips through
+    :func:`trial_spec_from_dict`).  Raises ``ValueError`` for specs
+    carrying non-serializable option values.
+    """
+    return {
+        "schema": SCHEMA_VERSION,
+        "protocol": spec.protocol,
+        "graph": graph_to_dict(spec.graph),
+        "config": (
+            None
+            if spec.config is None
+            else configuration_to_dict(dict(spec.config))
+        ),
+        "daemon": spec.daemon,
+        "max_rounds": spec.max_rounds,
+        "record_history": spec.record_history,
+        "seed": None if spec.seed is None else int(spec.seed),
+        "options": [
+            [name, _option_value_to_json(name, value)]
+            for name, value in spec.options
+        ],
+        "backend": spec.backend,
+        "telemetry": spec.telemetry,
+    }
+
+
+def trial_spec_from_dict(data: Mapping[str, Any]):
+    """Rebuild a :class:`~repro.parallel.TrialSpec` from
+    :func:`trial_spec_to_dict` output."""
+    from repro.parallel.trial_runner import TrialSpec
+
+    config = data.get("config")
+    return TrialSpec(
+        protocol=str(data["protocol"]),
+        graph=graph_from_dict(data["graph"]),
+        config=None if config is None else configuration_from_dict(config),
+        daemon=str(data.get("daemon", "synchronous")),
+        max_rounds=(
+            None if data.get("max_rounds") is None else int(data["max_rounds"])
+        ),
+        record_history=bool(data.get("record_history", False)),
+        seed=None if data.get("seed") is None else int(data["seed"]),
+        options=tuple(
+            (str(name), _option_value_from_json(value))
+            for name, value in data.get("options", ())
+        ),
+        backend=str(data.get("backend", "reference")),
+        telemetry=bool(data.get("telemetry", False)),
+    )
 
 
 # ----------------------------------------------------------------------

@@ -382,6 +382,29 @@ def cmd_dash(telemetry: str, output: str, title: str | None = None) -> int:
     return 0
 
 
+def cmd_serve(
+    host: str,
+    port: int,
+    state_dir: str,
+    *,
+    workers: int,
+    jobs: int,
+    trial_timeout: float | None,
+    retries: int,
+) -> int:
+    from repro.serve import run_server
+
+    return run_server(
+        host=host,
+        port=port,
+        state_dir=state_dir,
+        workers=workers,
+        runner_jobs=jobs,
+        trial_timeout=trial_timeout,
+        retries=retries,
+    )
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -509,6 +532,56 @@ def main(argv: List[str] | None = None) -> int:
         help="output HTML path (default: report.html)",
     )
     dash.add_argument("--title", default=None, help="report title")
+    serve = sub.add_parser(
+        "serve",
+        help="run the persistent sweep control plane (HTTP + /metrics)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8265,
+        help="TCP port (0 = ephemeral; default: 8265)",
+    )
+    serve.add_argument(
+        "--state-dir",
+        default=".repro-serve",
+        metavar="DIR",
+        help="journal + result-store directory; queued and running jobs "
+        "survive restarts through it (default: .repro-serve)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent jobs (worker threads; default: 2)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes per job's trial fan-out (0 = all cores)",
+    )
+    serve.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-trial wall-clock timeout in seconds",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="retry budget for timed-out or crashed trials (default: 1)",
+    )
     reporter = sub.add_parser(
         "report", help="run everything and write a markdown report"
     )
@@ -526,10 +599,22 @@ def main(argv: List[str] | None = None) -> int:
     timeout = getattr(args, "trial_timeout", None)
     if timeout is not None and timeout <= 0:
         parser.error(f"argument --trial-timeout: must be > 0, got {timeout}")
+    if getattr(args, "workers", 1) < 1:
+        parser.error(f"argument --workers: must be >= 1, got {args.workers}")
     if args.command == "list":
         return cmd_list()
     if args.command == "dash":
         return cmd_dash(args.telemetry, args.output, title=args.title)
+    if args.command == "serve":
+        return cmd_serve(
+            args.host,
+            args.port,
+            args.state_dir,
+            workers=args.workers,
+            jobs=args.jobs,
+            trial_timeout=args.trial_timeout,
+            retries=args.retries,
+        )
     if args.command == "report":
         from repro.experiments.report import write_report
 

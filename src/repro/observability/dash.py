@@ -47,8 +47,11 @@ _DARK = ("#3987e5", "#d95926", "#199e70", "#c98500", "#d55181", "#008300")
 def load_telemetry(path) -> List[Tuple[str, RunTelemetry]]:
     """``(label, telemetry)`` per record of a telemetry JSONL file.
 
-    Unparseable lines are skipped (a killed run may truncate its last
-    line); a file with no valid records raises ``ValueError``.
+    Unparseable lines are skipped (a killed or still-running job may
+    truncate its last line mid-write); a file with no usable records
+    raises ``ValueError`` with a diagnostic saying *why* — empty file
+    vs. lines that exist but don't parse as telemetry — instead of a
+    traceback from the first torn line.
     """
     out: List[Tuple[str, RunTelemetry]] = []
     for i, record in enumerate(TelemetrySink.read(path)):
@@ -68,8 +71,34 @@ def load_telemetry(path) -> List[Tuple[str, RunTelemetry]]:
             continue
         out.append((label, telemetry))
     if not out:
-        raise ValueError(f"no telemetry records in {path}")
+        raise ValueError(_empty_telemetry_diagnostic(path))
     return out
+
+
+def _empty_telemetry_diagnostic(path) -> str:
+    """Why a telemetry file produced zero records, for humans."""
+    import os
+
+    try:
+        size = os.path.getsize(str(path))
+    except OSError:
+        size = None
+    if size == 0:
+        return (
+            f"telemetry file {path} is empty — no records were written "
+            "yet (was the run started with --telemetry, or has the job "
+            "produced its first trial?)"
+        )
+    try:
+        with open(str(path), "r", encoding="utf-8") as handle:
+            lines = sum(1 for line in handle if line.strip())
+    except OSError:
+        lines = "?"
+    return (
+        f"no usable telemetry records in {path}: {lines} non-blank "
+        "line(s) present but none parsed as telemetry (file truncated "
+        "mid-write, or not a telemetry JSONL?)"
+    )
 
 
 # ----------------------------------------------------------------------

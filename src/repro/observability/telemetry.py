@@ -344,14 +344,35 @@ class TelemetrySink:
             pass
 
     @staticmethod
-    def read(path) -> List[Dict[str, Any]]:
-        """All records of a JSONL file, in write order."""
+    def read(path, *, strict: bool = False) -> List[Dict[str, Any]]:
+        """All parseable records of a JSONL file, in write order.
+
+        A file being read may still be written (live jobs stream
+        telemetry) or may have been truncated mid-line by a kill, so by
+        default unparseable and non-object lines are skipped — readers
+        see every complete record and never a traceback for a torn
+        write.  ``strict=True`` restores the raise-on-corrupt behaviour
+        for pipelines that must detect damage.
+        """
         out: List[Dict[str, Any]] = []
         with open(str(path), "r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
-                if line:
-                    out.append(json.loads(line))
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    if strict:
+                        raise
+                    continue
+                if not isinstance(record, dict):
+                    if strict:
+                        raise ValueError(
+                            f"telemetry line is not an object: {line[:80]!r}"
+                        )
+                    continue
+                out.append(record)
         return out
 
 

@@ -35,11 +35,14 @@ from repro.parallel.shared_graph import (
     MemoGraph,
     SharedGraph,
     SharedGraphStore,
+    close_all_stores,
     leaked_shared_segments,
 )
 from repro.parallel.trial_runner import (
     PROTOCOLS,
     FailedTrial,
+    SweepCancelled,
+    SweepInterrupted,
     TrialRunner,
     TrialSpec,
     execute_trial,
@@ -54,8 +57,11 @@ __all__ = [
     "MemoGraph",
     "SharedGraph",
     "SharedGraphStore",
+    "SweepCancelled",
+    "SweepInterrupted",
     "TrialRunner",
     "TrialSpec",
+    "close_all_stores",
     "dispatch_groups",
     "execute_trial",
     "leaked_shared_segments",

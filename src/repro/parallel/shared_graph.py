@@ -39,6 +39,7 @@ import itertools
 import os
 import pickle
 import warnings
+import weakref
 from multiprocessing import resource_tracker, shared_memory
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -51,8 +52,31 @@ __all__ = [
     "MemoGraph",
     "SharedGraph",
     "SharedGraphStore",
+    "close_all_stores",
     "leaked_shared_segments",
 ]
+
+#: Every live store, for process-wide emergency cleanup
+#: (:func:`close_all_stores`) — weak so ordinary lifecycle (the trial
+#: runner's ``finally``) stays the owner.
+_LIVE_STORES: "weakref.WeakSet[SharedGraphStore]" = weakref.WeakSet()
+
+
+def close_all_stores() -> int:
+    """Close (unlink) every live :class:`SharedGraphStore` of this
+    process and return how many were closed.
+
+    The graceful-shutdown backstop for long-lived owners: a daemon
+    tearing down on SIGTERM calls this after cancelling its sweeps so
+    no ``/dev/shm`` segment outlives the process even if a runner's
+    ``finally`` never ran (e.g. a worker thread killed mid-sweep).
+    Idempotent — closing an already-closed store is a no-op.
+    """
+    closed = 0
+    for store in list(_LIVE_STORES):
+        closed += 1
+        store.close()
+    return closed
 
 #: Prefix of every shared-memory segment created here (followed by the
 #: creating pid and a sequence number) — the audit key for leak checks.
@@ -200,6 +224,7 @@ class SharedGraphStore:
         self._shared = shared
         self._segments: List[shared_memory.SharedMemory] = []
         self._wrapped: Dict[Graph, Graph] = {}
+        _LIVE_STORES.add(self)
 
     def __enter__(self) -> "SharedGraphStore":
         return self

@@ -31,6 +31,29 @@ therefore has a second, *resilient* mode, selected by any of the
 Without any of those knobs, :meth:`TrialRunner.map` is the original
 pool path, byte-for-byte.
 
+Long-lived owners
+-----------------
+A sweep no longer has to be a run-to-completion black box.  Two hooks
+let a persistent owner — the ``repro serve`` control plane
+(:mod:`repro.serve`), or any other daemon embedding the runner — drive
+it incrementally:
+
+* ``on_result`` is called once per trial as its outcome lands
+  (``on_result(index, outcome, resumed)``), including trials restored
+  from a resume checkpoint (``resumed=True``) and trials answered by
+  batch-sweep dispatch.  Results are unchanged; the callback only
+  observes them.
+* ``cancel`` is a :class:`threading.Event`; once set, the runner stops
+  dispatching, terminates in-flight resilient attempts, and raises
+  :class:`SweepCancelled`.  Work already checkpointed stays
+  checkpointed, so a cancelled job resumes exactly where it stopped.
+
+In resilient mode the runner additionally converts a ``SIGTERM`` (main
+thread, default disposition only) into :class:`SweepInterrupted`, so a
+killed process unwinds through its ``finally`` blocks: the checkpoint
+JSONL is flushed and closed, shared-memory segments are unlinked, and
+the exit code is the conventional ``128 + signum``.
+
 Sweep fast paths
 ----------------
 Two transparent optimisations sit in front of both modes, each
@@ -52,17 +75,29 @@ preserving bit-identical results (pinned by
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import multiprocessing
 import os
+import signal
+import threading
 import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from multiprocessing.connection import wait as _connection_wait
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.engine.registry import PROTOCOLS, register_protocol
 from repro.engine.result import RunResult
@@ -74,6 +109,8 @@ __all__ = [
     "BATCH_SWEEP_DEFAULT",
     "SHARED_GRAPHS_DEFAULT",
     "FailedTrial",
+    "SweepCancelled",
+    "SweepInterrupted",
     "TrialRunner",
     "TrialSpec",
     "execute_trial",
@@ -82,6 +119,63 @@ __all__ = [
     "run_trials",
     "spec_fingerprint",
 ]
+
+#: Signature of the :class:`TrialRunner` progress callback:
+#: ``(index, outcome, resumed)`` — the spec index, its
+#: :class:`~repro.engine.result.RunResult` or :class:`FailedTrial`, and
+#: whether it was restored from a resume checkpoint rather than run.
+OnResult = Callable[[int, Union[RunResult, "FailedTrial"], bool], None]
+
+
+class SweepCancelled(RuntimeError):
+    """Raised by :meth:`TrialRunner.map` when its ``cancel`` event is
+    set mid-sweep.  Completed trials are already checkpointed (resilient
+    mode) and reported through ``on_result``; re-running with the same
+    checkpoint resumes from where the cancel landed."""
+
+
+class SweepInterrupted(SystemExit):
+    """``SIGTERM`` during a resilient sweep, converted to an exception
+    so the sweep unwinds orderly — checkpoint flushed and closed,
+    shared-memory segments unlinked — before the process exits with the
+    conventional ``128 + signum`` status."""
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(128 + int(signum))
+        self.signum = int(signum)
+
+
+@contextlib.contextmanager
+def _sigterm_unwinds():
+    """Convert ``SIGTERM`` into :class:`SweepInterrupted` for the block.
+
+    Installed only in the main thread (signal handlers cannot be set
+    elsewhere) and only when the signal's disposition is the default
+    (an embedding application that installed its own handler — the
+    serve control plane does — keeps it).  ``SIGINT`` needs no
+    conversion: ``KeyboardInterrupt`` already unwinds ``finally``
+    blocks.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    try:
+        previous = signal.getsignal(signal.SIGTERM)
+    except (ValueError, OSError):  # pragma: no cover - exotic platform
+        yield
+        return
+    if previous is not signal.SIG_DFL:
+        yield
+        return
+
+    def _raise(signum, frame):
+        raise SweepInterrupted(signum)
+
+    signal.signal(signal.SIGTERM, _raise)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 #: Process-wide defaults for the sweep fast paths, read by
 #: :class:`TrialRunner` when the corresponding keyword is omitted.  The
@@ -247,11 +341,22 @@ def _fingerprint_canon(value):
 def spec_fingerprint(spec: TrialSpec) -> str:
     """A short stable hash of everything that determines the trial's
     result — the checkpoint key that guards resumes against spec-list
-    drift.  Graphs hash by node/edge lists, configurations by sorted
-    items, option values through ``to_dict`` when they have one
+    drift, and the content address of the serve result store.  Graphs
+    hash by node/edge lists, configurations by sorted items, option
+    values through ``to_dict`` when they have one
     (:class:`~repro.resilience.FaultPlan` does) and ``repr`` otherwise.
+
+    The serialization schema version
+    (:data:`repro.analysis.serialize.SCHEMA_VERSION`) is folded into
+    the hash, so every fingerprint-keyed artefact — resume checkpoints,
+    result-store entries — invalidates wholesale across incompatible
+    releases instead of deserializing stale bytes.  The exact format is
+    pinned by ``tests/test_parallel.py::TestFingerprintFormat``.
     """
+    from repro.analysis.serialize import SCHEMA_VERSION
+
     payload = {
+        "schema": SCHEMA_VERSION,
         "protocol": spec.protocol,
         "nodes": [repr(n) for n in spec.graph.nodes],
         "edges": sorted(sorted(repr(x) for x in e) for e in spec.graph.edges),
@@ -473,6 +578,12 @@ class TrialRunner:
     pickle; see :mod:`repro.parallel.shared_graph`).  Both fast paths
     are result-preserving; the knobs exist for benchmarking and for
     environments without a usable shared-memory filesystem.
+
+    ``on_result`` and ``cancel`` are the long-lived-owner hooks (module
+    docstring): a per-trial progress callback
+    ``(index, outcome, resumed)`` and a :class:`threading.Event` whose
+    setting makes the sweep stop and raise :class:`SweepCancelled`.
+    Neither changes any result.
     """
 
     def __init__(
@@ -486,6 +597,8 @@ class TrialRunner:
         checkpoint: Optional[str] = None,
         batch_sweep: Optional[bool] = None,
         shared_graphs: Optional[str] = None,
+        on_result: Optional[OnResult] = None,
+        cancel: Optional[threading.Event] = None,
     ):
         self.jobs = resolve_jobs(jobs)
         self.chunksize = chunksize
@@ -508,6 +621,8 @@ class TrialRunner:
                 f"{sorted(_SHARED_GRAPH_POLICIES)}, got {shared_graphs!r}"
             )
         self.shared_graphs = shared_graphs
+        self.on_result = on_result
+        self.cancel = cancel
 
     @property
     def resilient(self) -> bool:
@@ -516,6 +631,17 @@ class TrialRunner:
             or self.retries > 0
             or self.checkpoint is not None
         )
+
+    # ------------------------------------------------------------------
+    # long-lived-owner hooks
+    # ------------------------------------------------------------------
+    def _notify(self, index: int, outcome, resumed: bool = False) -> None:
+        if self.on_result is not None:
+            self.on_result(index, outcome, resumed)
+
+    def _check_cancel(self) -> None:
+        if self.cancel is not None and self.cancel.is_set():
+            raise SweepCancelled("sweep cancelled by owner")
 
     def map(
         self, specs: Sequence[TrialSpec]
@@ -541,6 +667,7 @@ class TrialRunner:
         tracer = _tracing.current_tracer()
         registry = _metrics.current_registry()
         traced = tracer is not None
+        self._check_cancel()
 
         # ------------------------------------------------------------
         # fast path 1: batch-sweep dispatch (parent-side, result-
@@ -556,10 +683,14 @@ class TrialRunner:
                 )
             else:
                 batched = _batch_sweep.dispatch_groups(specs)
+        for index in sorted(batched):
+            self._notify(index, batched[index])
         if batched:
             rest = [spec for i, spec in enumerate(specs) if i not in batched]
+            rest_indices = [i for i in range(len(specs)) if i not in batched]
         else:
             rest = specs
+            rest_indices = list(range(len(specs)))
 
         # ------------------------------------------------------------
         # fast path 2: per-sweep graph handoff for everything that will
@@ -577,12 +708,17 @@ class TrialRunner:
                 )
                 rest = store.pack_specs(rest)
             if self.resilient:
-                # batching never applies here, so indices line up
-                outcomes, attempts, resumed = self._map_resilient(
-                    rest, traced=traced
-                )
+                # batching never applies here, so indices line up; a
+                # SIGTERM unwinds through the finally below (checkpoint
+                # closed, segments unlinked) instead of killing us cold
+                with _sigterm_unwinds():
+                    outcomes, attempts, resumed = self._map_resilient(
+                        rest, traced=traced
+                    )
             else:
-                rest_outcomes = self._map_plain(rest, traced=traced)
+                rest_outcomes = self._map_plain(
+                    rest, traced=traced, indices=rest_indices
+                )
                 attempts, resumed = {}, frozenset()
                 if batched:
                     rest_iter = iter(rest_outcomes)
@@ -602,28 +738,60 @@ class TrialRunner:
         return outcomes
 
     def _map_plain(
-        self, specs: List[TrialSpec], *, traced: bool
+        self,
+        specs: List[TrialSpec],
+        *,
+        traced: bool,
+        indices: Optional[Sequence[int]] = None,
     ) -> List[Union[RunResult, FailedTrial]]:
+        """``indices`` maps positions in ``specs`` back to positions in
+        the caller's full spec list (batch-sweep dispatch may have
+        answered some up front) — it labels ``on_result`` calls only."""
         specs = _prepare_specs(specs, traced=traced)
+        indices = list(indices) if indices is not None else list(range(len(specs)))
         if self.jobs <= 1 or len(specs) <= 1:
-            return [_execute_local(spec) for spec in specs]
+            outcomes = []
+            for j, spec in enumerate(specs):
+                self._check_cancel()
+                outcome = _execute_local(spec)
+                self._notify(indices[j], outcome)
+                outcomes.append(outcome)
+            return outcomes
         chunk = self.chunksize or max(1, len(specs) // (self.jobs * 4))
+        outcomes: List[Union[RunResult, FailedTrial]] = []
+        failure: Optional[_TrialFailure] = None
         try:
             with ProcessPoolExecutor(
                 max_workers=min(self.jobs, len(specs)),
                 initializer=_pin_worker_threads,
             ) as pool:
-                # trial exceptions come back tagged as _TrialFailure, so
-                # an exception reaching the except clause below really is
-                # pool machinery failing — a trial's own OSError or
-                # RuntimeError must propagate, not trigger the fallback
-                outcomes = list(
-                    pool.map(_execute_trial_tagged, specs, chunksize=chunk)
-                )
+                # pool.map yields in spec order as chunks complete, so
+                # progress streams without changing result order.  Trial
+                # exceptions come back tagged as _TrialFailure and are
+                # re-raised *outside* this try: an exception reaching
+                # the except clause below really is pool machinery
+                # failing — a trial's own OSError or RuntimeError must
+                # propagate, not trigger the fallback (and must not be
+                # mistaken for pool death by being raised in here).
+                for outcome in pool.map(
+                    _execute_trial_tagged, specs, chunksize=chunk
+                ):
+                    if self.cancel is not None and self.cancel.is_set():
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        raise SweepCancelled("sweep cancelled by owner")
+                    if isinstance(outcome, _TrialFailure):
+                        failure = outcome
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        break
+                    self._notify(indices[len(outcomes)], outcome)
+                    outcomes.append(outcome)
+        except SweepCancelled:
+            raise
         except (BrokenProcessPool, OSError, RuntimeError) as exc:
             # Pool died (OOM kill, fork failure, interpreter without
             # multiprocessing support...): the trials are side-effect
-            # free, so rerunning everything inline is safe.
+            # free, so running the remainder inline is safe (results
+            # already yielded — and notified — are kept).
             import warnings
 
             warnings.warn(
@@ -631,10 +799,14 @@ class TrialRunner:
                 RuntimeWarning,
                 stacklevel=2,
             )
-            return [_execute_local(spec) for spec in specs]
-        for outcome in outcomes:
-            if isinstance(outcome, _TrialFailure):
-                raise outcome.error
+            for j in range(len(outcomes), len(specs)):
+                self._check_cancel()
+                outcome = _execute_local(specs[j])
+                self._notify(indices[j], outcome)
+                outcomes.append(outcome)
+            return outcomes
+        if failure is not None:
+            raise failure.error
         return outcomes
 
     # ------------------------------------------------------------------
@@ -659,6 +831,8 @@ class TrialRunner:
             loaded = _load_checkpoint(self.checkpoint, fingerprints)
             results.update(loaded)
             resumed = frozenset(loaded)
+            for index in sorted(loaded):
+                self._notify(index, loaded[index], resumed=True)
             writer = open(self.checkpoint, "a", encoding="utf-8")
         try:
             self._run_scheduler(run_specs, fingerprints, results, writer, attempts)
@@ -688,6 +862,7 @@ class TrialRunner:
                 )
                 writer.write("\n")
                 writer.flush()
+            self._notify(index, outcome)
 
         def retry_or_fail(att: _Attempt, error_type: str, message: str) -> None:
             timed_out = error_type == "Timeout"
@@ -717,7 +892,42 @@ class TrialRunner:
                     att.process.kill()
             att.process.join()
 
+        try:
+            self._scheduler_loop(
+                ctx,
+                specs,
+                fingerprints,
+                pending,
+                backing_off,
+                running,
+                record,
+                retry_or_fail,
+                reap,
+            )
+        finally:
+            # exceptional unwind (cancel, SIGTERM, a raising callback):
+            # in-flight attempts must not outlive the sweep — their
+            # results have nowhere to land and the worker processes
+            # would keep shared-memory attachments alive
+            for conn, att in list(running.items()):
+                reap(att, kill=True)
+                conn.close()
+            running.clear()
+
+    def _scheduler_loop(
+        self,
+        ctx,
+        specs,
+        fingerprints,
+        pending,
+        backing_off,
+        running,
+        record,
+        retry_or_fail,
+        reap,
+    ) -> None:
         while pending or backing_off or running:
+            self._check_cancel()
             now = time.monotonic()
             while backing_off and backing_off[0][0] <= now:
                 _, index, attempt = backing_off.pop(0)
@@ -905,11 +1115,14 @@ def run_trials(
     checkpoint: Optional[str] = None,
     batch_sweep: Optional[bool] = None,
     shared_graphs: Optional[str] = None,
+    on_result: Optional[OnResult] = None,
+    cancel: Optional[threading.Event] = None,
 ) -> List[Union[RunResult, FailedTrial]]:
     """Convenience wrapper: ``TrialRunner(...).map(specs)``.  The
     ``timeout``/``retries``/``backoff``/``checkpoint`` knobs select the
     resilient mode; ``batch_sweep``/``shared_graphs`` tune the sweep
-    fast paths (see :class:`TrialRunner`)."""
+    fast paths; ``on_result``/``cancel`` are the long-lived-owner hooks
+    (see :class:`TrialRunner`)."""
     return TrialRunner(
         jobs,
         chunksize=chunksize,
@@ -919,4 +1132,6 @@ def run_trials(
         checkpoint=checkpoint,
         batch_sweep=batch_sweep,
         shared_graphs=shared_graphs,
+        on_result=on_result,
+        cancel=cancel,
     ).map(specs)

@@ -1,0 +1,48 @@
+"""Stabilization-as-a-service: a persistent control plane for sweeps.
+
+``repro serve`` turns the one-shot trial runner into a long-lived HTTP
+daemon: clients POST sweep requests (JSON), a bounded worker pool
+executes them through the same resilient
+:class:`~repro.parallel.TrialRunner` the CLI uses, results are
+content-addressed by :func:`~repro.parallel.spec_fingerprint` so
+repeated or concurrent identical submissions share one computation,
+and the :class:`~repro.observability.MetricsRegistry` is exposed as a
+real Prometheus ``/metrics`` scrape target.
+
+Layers (one module each):
+
+:mod:`repro.serve.schema`
+    The wire format — JSON requests validated into ``TrialSpec``s.
+:mod:`repro.serve.store`
+    The content-addressed result store with single-writer dedup.
+:mod:`repro.serve.jobs`
+    Job queue, worker pool, crash-safe journal, cache orchestration.
+:mod:`repro.serve.server`
+    The stdlib HTTP surface and graceful-shutdown entry point.
+
+See docs/serving.md for the endpoint reference and operational notes.
+"""
+
+from repro.serve.jobs import JOB_STATES, Job, JobManager
+from repro.serve.schema import (
+    MODES,
+    RequestError,
+    SweepRequest,
+    parse_sweep_request,
+)
+from repro.serve.server import ReproServer, ServeApp, run_server
+from repro.serve.store import ResultStore
+
+__all__ = [
+    "JOB_STATES",
+    "Job",
+    "JobManager",
+    "MODES",
+    "ReproServer",
+    "RequestError",
+    "ResultStore",
+    "ServeApp",
+    "SweepRequest",
+    "parse_sweep_request",
+    "run_server",
+]

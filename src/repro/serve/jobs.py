@@ -1,0 +1,658 @@
+"""Job queue and worker pool of the serve control plane.
+
+A *job* is one validated sweep submission: an ordered list of
+:class:`~repro.parallel.TrialSpec` records plus bookkeeping (state,
+progress counters, timestamps).  The :class:`JobManager` owns
+
+* a FIFO queue drained by a bounded pool of worker threads, each
+  driving a :class:`~repro.parallel.TrialRunner` in resilient mode
+  (per-trial fork/timeout/retry/checkpoint) for the specs that
+  actually need computing;
+* the content-addressed :class:`~repro.serve.store.ResultStore` —
+  every cacheable trial is leased there first, so repeated submissions
+  hit the store and concurrent identical submissions coalesce onto one
+  computation;
+* a per-job on-disk journal (``<state>/jobs/<id>/``) holding the
+  serialized specs (``job.json``, immutable), mutable status
+  (``status.json``, atomically replaced), the runner's resume
+  checkpoint (``checkpoint.jsonl``), streamed telemetry
+  (``telemetry.jsonl``) and the final response (``results.json``).
+
+Crash-safety contract: everything a restarted server needs is in the
+journal.  :meth:`JobManager.start` re-enqueues every job that was
+queued or running when the previous process died; re-execution leases
+the store first (finished trials are cache hits) and the runner
+resumes the remainder from its checkpoint, so no completed trial is
+ever recomputed.  A SIGTERM'd server *requeues* (rather than cancels)
+jobs interrupted mid-run — see :meth:`JobManager.shutdown`.
+
+Trial failures (:class:`~repro.parallel.FailedTrial`) do not fail a
+job: like resilient sweeps, the job completes ``done`` with ``failed``
+entries in the affected slots.  A job fails only when the runner
+itself raises.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.serialize import (
+    SCHEMA_VERSION,
+    execution_to_dict,
+    trial_spec_from_dict,
+    trial_spec_to_dict,
+)
+from repro.observability.metrics import (
+    MetricsRegistry,
+    record_failed_trial,
+    record_run_result,
+)
+from repro.observability.telemetry import TelemetrySink
+from repro.parallel.trial_runner import (
+    FailedTrial,
+    SweepCancelled,
+    TrialRunner,
+    TrialSpec,
+    execute_trial,
+    spec_fingerprint,
+)
+from repro.serve.store import ResultStore
+
+__all__ = ["Job", "JobManager", "JOB_STATES"]
+
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: How long a job waits for another job's in-flight computation of the
+#: same fingerprint before falling back to computing inline.
+COALESCE_TIMEOUT = 600.0
+
+
+def _now() -> float:
+    return time.time()
+
+
+def _atomic_write_json(path: str, payload: Dict[str, Any]) -> None:
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True)
+    os.replace(tmp, path)
+
+
+class Job:
+    """One sweep submission and its lifecycle state.
+
+    Mutable fields (``state``, ``progress``, timestamps, ``error``,
+    ``entries``) are owned by the single worker thread executing the
+    job; readers snapshot them through :meth:`summary` under the
+    manager's lock.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        specs: Sequence[TrialSpec],
+        *,
+        directory: str,
+        label: Optional[str] = None,
+        mode: str = "async",
+        created: Optional[float] = None,
+    ) -> None:
+        self.id = job_id
+        self.specs: Tuple[TrialSpec, ...] = tuple(specs)
+        self.fingerprints: Tuple[str, ...] = tuple(
+            spec_fingerprint(s) for s in self.specs
+        )
+        self.directory = directory
+        self.label = label
+        self.mode = mode
+        self.state = "queued"
+        self.error: Optional[str] = None
+        self.created = _now() if created is None else created
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self.progress: Dict[str, int] = {
+            "total": len(self.specs),
+            "completed": 0,
+            "cached": 0,
+            "computed": 0,
+            "resumed": 0,
+            "failed": 0,
+            "coalesced": 0,
+        }
+        self.entries: Optional[List[Optional[Dict[str, Any]]]] = None
+        self.cancel_event = threading.Event()
+        self.done_event = threading.Event()
+        self.telemetry_requested = any(s.telemetry for s in self.specs)
+
+    # -- journal paths --------------------------------------------------
+    @property
+    def spec_path(self) -> str:
+        return os.path.join(self.directory, "job.json")
+
+    @property
+    def status_path(self) -> str:
+        return os.path.join(self.directory, "status.json")
+
+    @property
+    def checkpoint_path(self) -> str:
+        return os.path.join(self.directory, "checkpoint.jsonl")
+
+    @property
+    def telemetry_path(self) -> str:
+        return os.path.join(self.directory, "telemetry.jsonl")
+
+    @property
+    def results_path(self) -> str:
+        return os.path.join(self.directory, "results.json")
+
+    # -- views ----------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """The JSON job record served by ``GET /v1/jobs/<id>``."""
+        return {
+            "id": self.id,
+            "label": self.label,
+            "mode": self.mode,
+            "state": self.state,
+            "error": self.error,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "trials": len(self.specs),
+            "progress": dict(self.progress),
+            "telemetry": self.telemetry_requested,
+            "links": {
+                "status": f"/v1/jobs/{self.id}",
+                "result": f"/v1/jobs/{self.id}/result",
+                "telemetry": f"/v1/jobs/{self.id}/telemetry",
+                "cancel": f"/v1/jobs/{self.id}/cancel",
+            },
+        }
+
+    def status_payload(self) -> Dict[str, Any]:
+        return {
+            "state": self.state,
+            "error": self.error,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "progress": dict(self.progress),
+        }
+
+
+class JobManager:
+    """Bounded worker pool + journal + result store.  Thread-safe."""
+
+    def __init__(
+        self,
+        state_dir: str,
+        *,
+        workers: int = 2,
+        runner_jobs: int = 1,
+        trial_timeout: Optional[float] = None,
+        retries: int = 1,
+        backoff: float = 0.1,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.state_dir = os.path.abspath(state_dir)
+        self.jobs_dir = os.path.join(self.state_dir, "jobs")
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        self.store = ResultStore(os.path.join(self.state_dir, "results"))
+        self.workers = workers
+        self.runner_jobs = runner_jobs
+        self.trial_timeout = trial_timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.registry = registry if registry is not None else MetricsRegistry()
+        # MetricsRegistry increments are not atomic; every server-side
+        # record goes through this lock (trial workers are separate
+        # *processes* and never touch it).
+        self.metrics_lock = threading.Lock()
+        self._lock = threading.RLock()
+        self._jobs: Dict[str, Job] = {}
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Recover journaled jobs, then start the worker pool."""
+        self._recover()
+        for i in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-serve-worker-{i}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def shutdown(self, *, timeout: float = 30.0) -> None:
+        """Graceful stop: interrupt running sweeps (they checkpoint),
+        journal interrupted jobs back to ``queued`` for the next
+        process, and join the workers."""
+        self._stop.set()
+        with self._lock:
+            running = [j for j in self._jobs.values() if j.state == "running"]
+        for job in running:
+            job.cancel_event.set()
+        for _ in self._threads:
+            self._queue.put(None)
+        deadline = time.monotonic() + timeout
+        for thread in self._threads:
+            thread.join(max(0.1, deadline - time.monotonic()))
+        self._threads.clear()
+
+    def _recover(self) -> None:
+        """Re-register every journaled job; re-enqueue unfinished ones."""
+        try:
+            entries = sorted(os.listdir(self.jobs_dir))
+        except OSError:
+            return
+        recovered = []
+        for job_id in entries:
+            directory = os.path.join(self.jobs_dir, job_id)
+            try:
+                with open(
+                    os.path.join(directory, "job.json"), encoding="utf-8"
+                ) as handle:
+                    record = json.load(handle)
+                specs = [
+                    trial_spec_from_dict(s) for s in record["specs"]
+                ]
+            except (OSError, ValueError, KeyError):
+                continue  # torn journal: not recoverable, leave on disk
+            job = Job(
+                job_id,
+                specs,
+                directory=directory,
+                label=record.get("label"),
+                mode=record.get("mode", "async"),
+                created=record.get("created"),
+            )
+            try:
+                with open(job.status_path, encoding="utf-8") as handle:
+                    status = json.load(handle)
+            except (OSError, ValueError):
+                status = {}
+            state = status.get("state", "queued")
+            job.started = status.get("started")
+            job.finished = status.get("finished")
+            job.error = status.get("error")
+            progress = status.get("progress")
+            if isinstance(progress, dict):
+                job.progress.update(
+                    {k: int(v) for k, v in progress.items() if k in job.progress}
+                )
+            if state in ("done", "failed", "cancelled"):
+                job.state = state
+                job.done_event.set()
+            else:
+                # queued, running, or torn status: run it (again); the
+                # store + checkpoint make re-execution incremental
+                job.state = "queued"
+                job.progress.update(
+                    completed=0, cached=0, computed=0, resumed=0,
+                    failed=0, coalesced=0,
+                )
+                recovered.append(job.id)
+            self._jobs[job.id] = job
+        for job_id in recovered:
+            self._journal(self._jobs[job_id])
+            self._queue.put(job_id)
+
+    # ------------------------------------------------------------------
+    # submission API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        specs: Sequence[TrialSpec],
+        *,
+        label: Optional[str] = None,
+        mode: str = "async",
+    ) -> Job:
+        """Journal and enqueue one job; returns immediately."""
+        if not specs:
+            raise ValueError("a job needs at least one trial spec")
+        serialized = [trial_spec_to_dict(s) for s in specs]  # may raise
+        with self._lock:
+            self._seq += 1
+            job_id = f"{int(_now() * 1000):013d}-{self._seq:04d}"
+            directory = os.path.join(self.jobs_dir, job_id)
+            os.makedirs(directory, exist_ok=True)
+            job = Job(job_id, specs, directory=directory, label=label, mode=mode)
+            _atomic_write_json(
+                job.spec_path,
+                {
+                    "schema": SCHEMA_VERSION,
+                    "id": job.id,
+                    "label": job.label,
+                    "mode": job.mode,
+                    "created": job.created,
+                    "specs": serialized,
+                },
+            )
+            self._journal(job)
+            self._jobs[job.id] = job
+        self._metric(
+            lambda reg: reg.counter(
+                "repro_jobs_submitted_total", "Sweep jobs accepted"
+            ).inc()
+        )
+        self._queue.put(job.id)
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: (j.created, j.id))
+
+    def wait(self, job: Job, timeout: Optional[float] = None) -> bool:
+        return job.done_event.wait(timeout)
+
+    def cancel(self, job_id: str) -> Optional[str]:
+        """Request cancellation; returns the job's (possibly new) state
+        or ``None`` for an unknown id.  Queued jobs cancel immediately;
+        running jobs unwind at the runner's next scheduling point."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            job.cancel_event.set()
+            if job.state == "queued":
+                self._finish_locked(job, "cancelled")
+            return job.state
+
+    def results(self, job: Job) -> Optional[List[Dict[str, Any]]]:
+        """The per-trial result entries of a finished job (``None`` if
+        unfinished or the journal is unreadable)."""
+        if job.entries is not None and all(
+            e is not None for e in job.entries
+        ):
+            return list(job.entries)  # in-process, fresh
+        try:
+            with open(job.results_path, encoding="utf-8") as handle:
+                return json.load(handle)["results"]
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return sum(1 for j in self._jobs.values() if j.state == "queued")
+
+    def running_count(self) -> int:
+        with self._lock:
+            return sum(1 for j in self._jobs.values() if j.state == "running")
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _metric(self, record: Callable[[MetricsRegistry], None]) -> None:
+        with self.metrics_lock:
+            record(self.registry)
+
+    def _journal(self, job: Job) -> None:
+        _atomic_write_json(job.status_path, job.status_payload())
+
+    def _finish_locked(self, job: Job, state: str, error: Optional[str] = None) -> None:
+        job.state = state
+        job.error = error
+        job.finished = _now()
+        self._journal(job)
+        job.done_event.set()
+        self._metric(
+            lambda reg: reg.counter(
+                "repro_jobs_completed_total", "Jobs finished, by final state"
+            ).inc(state=state)
+        )
+
+    def _finish(self, job: Job, state: str, error: Optional[str] = None) -> None:
+        with self._lock:
+            self._finish_locked(job, state, error)
+
+    def _worker_loop(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            if self._stop.is_set():
+                # leave the job journaled as queued for the next process
+                return
+            with self._lock:
+                job = self._jobs.get(job_id)
+                if job is None or job.state != "queued":
+                    continue
+                if job.cancel_event.is_set():
+                    self._finish_locked(job, "cancelled")
+                    continue
+                job.state = "running"
+                job.started = _now()
+                self._journal(job)
+            try:
+                self._execute(job)
+            except SweepCancelled:
+                if self._stop.is_set():
+                    # shutdown interruption, not a user cancel: requeue
+                    # for the next process (checkpoint makes it cheap)
+                    with self._lock:
+                        job.state = "queued"
+                        self._journal(job)
+                else:
+                    self._finish(job, "cancelled")
+            except Exception as exc:  # infrastructure failure
+                self._finish(job, "failed", f"{type(exc).__name__}: {exc}")
+
+    def _execute(self, job: Job) -> None:
+        specs, fingerprints = job.specs, job.fingerprints
+        n = len(specs)
+        entries: List[Optional[Dict[str, Any]]] = [None] * n
+        job.entries = entries
+        cacheable = [self.store.cacheable(s) for s in specs]
+        sink = TelemetrySink(job.telemetry_path) if job.telemetry_requested else None
+
+        compute: List[int] = []  # indices this job must run
+        followers: List[Tuple[int, threading.Event]] = []
+        leaders: Dict[str, int] = {}  # fp -> leading index in this job
+        dup_of: Dict[int, int] = {}
+        leased: List[str] = []  # fps to abandon if we unwind early
+
+        def cache_entry(index: int, result: Dict[str, Any]) -> None:
+            entries[index] = {"status": "ok", "cached": True, "result": result}
+            job.progress["completed"] += 1
+            job.progress["cached"] += 1
+            self._metric(
+                lambda reg: reg.counter(
+                    "repro_result_cache_hits_total",
+                    "Trials served from the content-addressed result store",
+                ).inc()
+            )
+            if sink is not None and result.get("telemetry") is not None:
+                sink.write(result["telemetry"])
+
+        try:
+            for i in range(n):
+                if not cacheable[i]:
+                    compute.append(i)
+                    continue
+                fp = fingerprints[i]
+                if fp in leaders:
+                    dup_of[i] = leaders[fp]
+                    continue
+                kind, value = self.store.lease(fp)
+                if kind == "hit":
+                    cache_entry(i, value)
+                elif kind == "wait":
+                    followers.append((i, value))
+                    job.progress["coalesced"] += 1
+                    self._metric(
+                        lambda reg: reg.counter(
+                            "repro_result_inflight_coalesced_total",
+                            "Trials that joined another job's in-flight "
+                            "computation instead of recomputing",
+                        ).inc()
+                    )
+                else:
+                    leaders[fp] = i
+                    leased.append(fp)
+                    compute.append(i)
+            self._journal(job)
+
+            if compute:
+                self._run_compute(job, compute, entries, cacheable, leased, sink)
+            for i, event in followers:
+                self._check_cancelled(job)
+                result = self.store.wait(fingerprints[i], event, COALESCE_TIMEOUT)
+                if result is not None:
+                    cache_entry(i, result)
+                else:
+                    # the leader abandoned (failed / cancelled): compute
+                    # for ourselves, re-leasing so the store still fills
+                    self._compute_fallback(job, i, entries, cacheable[i], sink)
+                self._journal(job)
+            for i, leader in dup_of.items():
+                entries[i] = entries[leader]
+                job.progress["completed"] += 1
+                job.progress["cached"] += 1
+        except BaseException:
+            for fp in leased:
+                self.store.abandon(fp)
+            raise
+        finally:
+            if sink is not None:
+                sink.close()
+
+        _atomic_write_json(
+            job.results_path,
+            {"schema": SCHEMA_VERSION, "id": job.id, "results": entries},
+        )
+        self._finish(job, "done")
+
+    def _check_cancelled(self, job: Job) -> None:
+        if job.cancel_event.is_set():
+            raise SweepCancelled("job cancelled")
+
+    def _run_compute(
+        self,
+        job: Job,
+        compute: List[int],
+        entries: List[Optional[Dict[str, Any]]],
+        cacheable: List[bool],
+        leased: List[str],
+        sink: Optional[TelemetrySink],
+    ) -> None:
+        """Drive one resilient runner over the to-compute subset."""
+        fingerprints = job.fingerprints
+
+        def on_result(local: int, outcome, resumed: bool) -> None:
+            index = compute[local]
+            fp = fingerprints[index]
+            if isinstance(outcome, FailedTrial):
+                entries[index] = {
+                    "status": "failed",
+                    "cached": False,
+                    "error_type": outcome.error_type,
+                    "error": outcome.error,
+                    "attempts": outcome.attempts,
+                    "timed_out": outcome.timed_out,
+                }
+                job.progress["completed"] += 1
+                job.progress["failed"] += 1
+                if cacheable[index]:
+                    self.store.abandon(fp)
+                    if fp in leased:
+                        leased.remove(fp)
+                self._metric(lambda reg: record_failed_trial(reg, outcome))
+            else:
+                result = execution_to_dict(outcome)
+                if cacheable[index]:
+                    self.store.fulfill(fp, result)
+                    if fp in leased:
+                        leased.remove(fp)
+                    self._metric(
+                        lambda reg: reg.counter(
+                            "repro_result_cache_misses_total",
+                            "Trials computed because the store had no "
+                            "result for their fingerprint",
+                        ).inc()
+                    )
+                entries[index] = {
+                    "status": "ok",
+                    "cached": False,
+                    "result": result,
+                }
+                job.progress["completed"] += 1
+                job.progress["computed"] += 1
+                if resumed:
+                    job.progress["resumed"] += 1
+                self._metric(lambda reg: record_run_result(reg, outcome))
+                if sink is not None and result.get("telemetry") is not None:
+                    sink.write(result["telemetry"])
+            self._journal(job)
+
+        runner = TrialRunner(
+            jobs=self.runner_jobs,
+            timeout=self.trial_timeout,
+            retries=self.retries,
+            backoff=self.backoff,
+            checkpoint=job.checkpoint_path,
+            on_result=on_result,
+            cancel=job.cancel_event,
+        )
+        runner.map([job.specs[i] for i in compute])
+
+    def _compute_fallback(
+        self,
+        job: Job,
+        index: int,
+        entries: List[Optional[Dict[str, Any]]],
+        cacheable: bool,
+        sink: Optional[TelemetrySink],
+    ) -> None:
+        """A follower whose leader abandoned: compute inline (once)."""
+        fp = job.fingerprints[index]
+        lease_kind = None
+        if cacheable:
+            lease_kind, value = self.store.lease(fp)
+            if lease_kind == "hit":
+                # raced with a concurrent fallback that already stored it
+                entries[index] = {"status": "ok", "cached": True, "result": value}
+                job.progress["completed"] += 1
+                job.progress["cached"] += 1
+                return
+        try:
+            outcome = execute_trial(job.specs[index])
+        except Exception as exc:
+            if lease_kind == "lease":
+                self.store.abandon(fp)
+            entries[index] = {
+                "status": "failed",
+                "cached": False,
+                "error_type": type(exc).__name__,
+                "error": str(exc),
+                "attempts": 1,
+                "timed_out": False,
+            }
+            job.progress["completed"] += 1
+            job.progress["failed"] += 1
+            return
+        result = execution_to_dict(outcome)
+        if lease_kind == "lease":
+            self.store.fulfill(fp, result)
+        entries[index] = {"status": "ok", "cached": False, "result": result}
+        job.progress["completed"] += 1
+        job.progress["computed"] += 1
+        self._metric(lambda reg: record_run_result(reg, outcome))
+        if sink is not None and result.get("telemetry") is not None:
+            sink.write(result["telemetry"])

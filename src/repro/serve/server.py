@@ -1,0 +1,470 @@
+"""HTTP surface of the serve control plane (stdlib only).
+
+:class:`ServeApp` is the transport-free application object — every
+endpoint is an ordinary method returning ``(status, payload)`` — and
+:class:`ReproServer` mounts it on a ``ThreadingHTTPServer``.  Keeping
+the two apart means the routing/validation logic is testable without
+sockets while the e2e tests still drive real HTTP.
+
+Endpoints (all JSON unless noted)::
+
+    GET  /                      service + endpoint index
+    GET  /healthz               liveness (always 200 once serving)
+    GET  /metrics               Prometheus text exposition (v0.0.4)
+    POST /v1/sweeps             submit a sweep (schema.py documents the
+                                body); sync mode answers 200 with
+                                results inline, async answers 202 with
+                                the job record
+    GET  /v1/jobs               all jobs, newest last
+    GET  /v1/jobs/<id>          job status + progress
+    GET  /v1/jobs/<id>/result   per-trial results (409 while running)
+    GET  /v1/jobs/<id>/telemetry  raw JSONL stream (``repro dash``
+                                renders a saved copy)
+    POST /v1/jobs/<id>/cancel   request cancellation
+
+Graceful shutdown: :func:`run_server` installs SIGTERM/SIGINT handlers
+that set an event; the main thread then stops accepting, drains the
+job manager (interrupted jobs are journaled back to ``queued``) and
+unlinks every shared-memory segment via
+:func:`repro.parallel.close_all_stores`, so a killed daemon leaks
+nothing in ``/dev/shm`` and resumes its queue on restart.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Optional, Tuple
+
+from repro.observability.metrics import MetricsRegistry
+from repro.serve.jobs import JobManager
+from repro.serve.schema import RequestError, parse_sweep_request
+
+__all__ = ["ServeApp", "ReproServer", "run_server"]
+
+#: ``mode="auto"`` submissions at or below this many trials answer
+#: synchronously (the request blocks until the job finishes).
+SYNC_MAX_TRIALS = 16
+
+#: How long a sync request blocks before degrading to the async answer.
+SYNC_TIMEOUT = 300.0
+
+_JSON = "application/json"
+_PROM = "text/plain; version=0.0.4; charset=utf-8"
+_NDJSON = "application/x-ndjson"
+
+Response = Tuple[int, str, Any]  # (status, content-type, payload)
+
+
+class ServeApp:
+    """The control plane behind the HTTP handler."""
+
+    def __init__(
+        self,
+        state_dir: str,
+        *,
+        workers: int = 2,
+        runner_jobs: int = 1,
+        trial_timeout: Optional[float] = None,
+        retries: int = 1,
+        sync_max_trials: int = SYNC_MAX_TRIALS,
+        sync_timeout: float = SYNC_TIMEOUT,
+    ) -> None:
+        self.registry = MetricsRegistry()
+        self.manager = JobManager(
+            state_dir,
+            workers=workers,
+            runner_jobs=runner_jobs,
+            trial_timeout=trial_timeout,
+            retries=retries,
+            registry=self.registry,
+        )
+        self.sync_max_trials = sync_max_trials
+        self.sync_timeout = sync_timeout
+        self.started = time.time()
+
+    def start(self) -> None:
+        self.manager.start()
+
+    def stop(self) -> None:
+        self.manager.shutdown()
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def handle_index(self) -> Response:
+        return (
+            200,
+            _JSON,
+            {
+                "service": "repro-serve",
+                "endpoints": [
+                    "GET /healthz",
+                    "GET /metrics",
+                    "POST /v1/sweeps",
+                    "GET /v1/jobs",
+                    "GET /v1/jobs/<id>",
+                    "GET /v1/jobs/<id>/result",
+                    "GET /v1/jobs/<id>/telemetry",
+                    "POST /v1/jobs/<id>/cancel",
+                ],
+            },
+        )
+
+    def handle_health(self) -> Response:
+        return (
+            200,
+            _JSON,
+            {
+                "status": "ok",
+                "uptime_seconds": round(time.time() - self.started, 3),
+                "queued": self.manager.queue_depth(),
+                "running": self.manager.running_count(),
+            },
+        )
+
+    def handle_metrics(self) -> Response:
+        manager = self.manager
+        with manager.metrics_lock:
+            self.registry.gauge(
+                "repro_serve_queue_depth", "Jobs waiting for a worker"
+            ).set(manager.queue_depth())
+            self.registry.gauge(
+                "repro_serve_running_jobs", "Jobs currently executing"
+            ).set(manager.running_count())
+            self.registry.gauge(
+                "repro_serve_uptime_seconds", "Seconds since server start"
+            ).set(round(time.time() - self.started, 3))
+            self.registry.gauge(
+                "repro_result_store_entries", "Results in the dedup store"
+            ).set(len(manager.store))
+            text = self.registry.exposition()
+        return (200, _PROM, text)
+
+    def handle_submit(self, payload: Any) -> Response:
+        try:
+            request = parse_sweep_request(payload)
+        except RequestError as exc:
+            return (400, _JSON, {"error": str(exc)})
+        mode = request.mode
+        if mode == "auto":
+            mode = (
+                "sync"
+                if len(request.specs) <= self.sync_max_trials
+                else "async"
+            )
+        try:
+            job = self.manager.submit(
+                request.specs, label=request.label, mode=mode
+            )
+        except ValueError as exc:
+            return (400, _JSON, {"error": str(exc)})
+        if mode == "sync":
+            if self.manager.wait(job, timeout=self.sync_timeout):
+                return (
+                    200,
+                    _JSON,
+                    {"job": job.summary(), "results": self.manager.results(job)},
+                )
+            # still running: degrade to the async contract
+            return (202, _JSON, {"job": job.summary()})
+        return (202, _JSON, {"job": job.summary()})
+
+    def handle_jobs(self) -> Response:
+        return (
+            200,
+            _JSON,
+            {"jobs": [job.summary() for job in self.manager.jobs()]},
+        )
+
+    def handle_job(self, job_id: str) -> Response:
+        job = self.manager.get(job_id)
+        if job is None:
+            return (404, _JSON, {"error": f"unknown job {job_id!r}"})
+        return (200, _JSON, {"job": job.summary()})
+
+    def handle_result(self, job_id: str) -> Response:
+        job = self.manager.get(job_id)
+        if job is None:
+            return (404, _JSON, {"error": f"unknown job {job_id!r}"})
+        if job.state in ("queued", "running"):
+            return (
+                409,
+                _JSON,
+                {
+                    "error": f"job {job_id} is {job.state}; poll "
+                    f"{job.summary()['links']['status']} until it finishes",
+                    "job": job.summary(),
+                },
+            )
+        if job.state in ("failed", "cancelled"):
+            return (
+                410,
+                _JSON,
+                {
+                    "error": f"job {job_id} finished {job.state}"
+                    + (f": {job.error}" if job.error else ""),
+                    "job": job.summary(),
+                },
+            )
+        results = self.manager.results(job)
+        if results is None:
+            return (
+                500,
+                _JSON,
+                {"error": f"job {job_id} journal is missing its results"},
+            )
+        return (200, _JSON, {"job": job.summary(), "results": results})
+
+    def handle_telemetry(self, job_id: str) -> Response:
+        job = self.manager.get(job_id)
+        if job is None:
+            return (404, _JSON, {"error": f"unknown job {job_id!r}"})
+        if not job.telemetry_requested:
+            return (
+                404,
+                _JSON,
+                {
+                    "error": f"job {job_id} has no telemetry "
+                    "(no spec requested telemetry=true)"
+                },
+            )
+        try:
+            with open(job.telemetry_path, "rb") as handle:
+                body = handle.read()
+        except OSError:
+            body = b""  # requested but nothing streamed yet
+        return (200, _NDJSON, body)
+
+    def handle_cancel(self, job_id: str) -> Response:
+        state = self.manager.cancel(job_id)
+        if state is None:
+            return (404, _JSON, {"error": f"unknown job {job_id!r}"})
+        job = self.manager.get(job_id)
+        return (202, _JSON, {"job": job.summary() if job else {"state": state}})
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    _ROUTES: Tuple[Tuple[str, "re.Pattern[str]", str, str], ...] = (
+        ("GET", re.compile(r"^/$"), "index", "/"),
+        ("GET", re.compile(r"^/healthz$"), "health", "/healthz"),
+        ("GET", re.compile(r"^/metrics$"), "metrics", "/metrics"),
+        ("POST", re.compile(r"^/v1/sweeps$"), "submit", "/v1/sweeps"),
+        ("GET", re.compile(r"^/v1/jobs$"), "jobs", "/v1/jobs"),
+        ("GET", re.compile(r"^/v1/jobs/([^/]+)$"), "job", "/v1/jobs/<id>"),
+        (
+            "GET",
+            re.compile(r"^/v1/jobs/([^/]+)/result$"),
+            "result",
+            "/v1/jobs/<id>/result",
+        ),
+        (
+            "GET",
+            re.compile(r"^/v1/jobs/([^/]+)/telemetry$"),
+            "telemetry",
+            "/v1/jobs/<id>/telemetry",
+        ),
+        (
+            "POST",
+            re.compile(r"^/v1/jobs/([^/]+)/cancel$"),
+            "cancel",
+            "/v1/jobs/<id>/cancel",
+        ),
+    )
+
+    def dispatch(self, method: str, path: str, body: Optional[bytes]) -> Response:
+        """Route one request to its ``handle_*`` method."""
+        try:
+            for verb, pattern, name, _label in self._ROUTES:
+                match = pattern.match(path)
+                if match is None:
+                    continue
+                if verb != method:
+                    return (
+                        405,
+                        _JSON,
+                        {"error": f"{path} only supports {verb}"},
+                    )
+                handler: Callable[..., Response] = getattr(
+                    self, f"handle_{name}"
+                )
+                args = list(match.groups())
+                if method == "POST" and name == "submit":
+                    try:
+                        payload = json.loads(body or b"")
+                    except ValueError:
+                        return (
+                            400,
+                            _JSON,
+                            {"error": "request body is not valid JSON"},
+                        )
+                    args.append(payload)
+                return handler(*args)
+            return (404, _JSON, {"error": f"no route for {method} {path}"})
+        except Exception as exc:  # never let a handler kill the thread
+            return (
+                500,
+                _JSON,
+                {"error": f"internal error: {type(exc).__name__}: {exc}"},
+            )
+
+    def record_http(self, method: str, route: str, code: int) -> None:
+        with self.manager.metrics_lock:
+            self.registry.counter(
+                "repro_http_requests_total", "Control-plane HTTP requests"
+            ).inc(method=method, route=route, code=str(code))
+
+    def route_label(self, method: str, path: str) -> str:
+        for _verb, pattern, _name, label in self._ROUTES:
+            if pattern.match(path):
+                return label
+        return "<unmatched>"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def app(self) -> ServeApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    def _respond(self, response: Response) -> None:
+        status, content_type, payload = response
+        if isinstance(payload, bytes):
+            body = payload
+        elif content_type == _PROM:
+            body = str(payload).encode("utf-8")
+        else:
+            body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _serve(self, method: str) -> None:
+        path = self.path.split("?", 1)[0]
+        body = None
+        if method == "POST":
+            length = int(self.headers.get("Content-Length") or 0)
+            body = self.rfile.read(length) if length else b""
+        response = self.app.dispatch(method, path, body)
+        try:
+            self._respond(response)
+        finally:
+            self.app.record_http(
+                method, self.app.route_label(method, path), response[0]
+            )
+
+    def do_GET(self) -> None:
+        self._serve("GET")
+
+    def do_POST(self) -> None:
+        self._serve("POST")
+
+
+class ReproServer:
+    """A :class:`ServeApp` mounted on a threading HTTP server."""
+
+    def __init__(self, app: ServeApp, host: str = "127.0.0.1", port: int = 0):
+        self.app = app
+        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.httpd.app = app  # type: ignore[attr-defined]
+        self.httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    def start(self) -> None:
+        self.app.start()
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def shutdown(self) -> None:
+        """Stop accepting, drain the manager, release shared memory."""
+        from repro.parallel import close_all_stores
+
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(5.0)
+            self._thread = None
+        self.app.stop()
+        close_all_stores()
+
+
+def _print_flushed(message: str) -> None:
+    # The listen line is parsed by supervisors (tests, smoke scripts)
+    # reading our pipe; block buffering would withhold it until exit.
+    print(message, flush=True)
+
+
+def run_server(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    state_dir: str,
+    workers: int = 2,
+    runner_jobs: int = 1,
+    trial_timeout: Optional[float] = None,
+    retries: int = 1,
+    print_fn: Callable[[str], None] = _print_flushed,
+) -> int:
+    """Blocking entry point behind ``repro serve``.
+
+    Runs until SIGTERM/SIGINT, then shuts down gracefully: running
+    sweeps are interrupted at their next scheduling point and journaled
+    back to ``queued`` (their checkpoints make the restart cheap), and
+    every shared-memory segment is unlinked before exit.
+    """
+    app = ServeApp(
+        state_dir,
+        workers=workers,
+        runner_jobs=runner_jobs,
+        trial_timeout=trial_timeout,
+        retries=retries,
+    )
+    server = ReproServer(app, host=host, port=port)
+    stop = threading.Event()
+
+    def _signal_handler(signum: int, frame: Any) -> None:
+        stop.set()
+
+    previous = {
+        sig: signal.signal(sig, _signal_handler)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        server.start()
+        print_fn(
+            f"repro serve listening on http://{server.host}:{server.port} "
+            f"(state dir {app.manager.state_dir})"
+        )
+        stop.wait()
+        print_fn("repro serve: shutting down (draining jobs, unlinking shm)")
+        server.shutdown()
+        print_fn("repro serve: shutdown complete")
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    return 0

@@ -1,0 +1,128 @@
+"""Content-addressed result store with single-writer dedup.
+
+Results are keyed by :func:`~repro.parallel.spec_fingerprint` — the
+versioned hash of everything a trial's outcome depends on — so two
+submissions of the same spec share one computation and one stored
+result, across jobs and across server restarts.  Three invariants:
+
+* **addressing** — one file per fingerprint
+  (``<root>/<fp>.json``), written atomically (``os.replace`` of a
+  same-directory temp file) so readers never observe a torn write;
+* **single writer** — :meth:`ResultStore.lease` hands out at most one
+  lease per fingerprint at a time; concurrent requesters get the
+  leader's :class:`threading.Event` and wait for :meth:`fulfill`
+  instead of recomputing;
+* **no wrong answers** — a spec is cacheable only when it is
+  deterministic, i.e. carries an explicit ``seed``
+  (:meth:`cacheable`).  Unseeded trials always compute.
+
+The store itself keeps no hit/miss counters — the
+:class:`~repro.serve.jobs.JobManager` records those in its
+:class:`~repro.observability.MetricsRegistry` where they land on
+``/metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Any, Dict, Optional, Tuple, Union
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """Fingerprint-addressed JSON results on disk, with in-process
+    in-flight coalescing.  Thread-safe."""
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, threading.Event] = {}
+
+    @staticmethod
+    def cacheable(spec) -> bool:
+        """Whether ``spec``'s result may be served from the store.
+
+        Only explicitly seeded specs qualify: an unseeded trial draws
+        fresh randomness per run, so 'the same request' is *supposed*
+        to differ between submissions.
+        """
+        return spec.seed is not None
+
+    def path(self, fingerprint: str) -> str:
+        return os.path.join(self.root, f"{fingerprint}.json")
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The stored result for ``fingerprint``, or ``None``.  A
+        missing or unreadable file is a miss, never an error."""
+        try:
+            with open(self.path(fingerprint), encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def lease(
+        self, fingerprint: str
+    ) -> Tuple[str, Union[Dict[str, Any], threading.Event]]:
+        """Claim the right to compute ``fingerprint``, or learn why not.
+
+        Returns one of::
+
+            ("hit",   result_dict)  # already stored — use it
+            ("wait",  event)        # another thread holds the lease;
+                                    # wait on the event, then get()
+            ("lease", event)        # you are the single writer: compute,
+                                    # then fulfill() or abandon()
+        """
+        with self._lock:
+            result = self.get(fingerprint)
+            if result is not None:
+                return ("hit", result)
+            event = self._inflight.get(fingerprint)
+            if event is not None:
+                return ("wait", event)
+            event = threading.Event()
+            self._inflight[fingerprint] = event
+            return ("lease", event)
+
+    def fulfill(self, fingerprint: str, result: Dict[str, Any]) -> None:
+        """Store the leased result and wake every waiter (atomic)."""
+        final = self.path(fingerprint)
+        tmp = f"{final}.tmp.{os.getpid()}.{threading.get_ident()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, sort_keys=True)
+        os.replace(tmp, final)
+        self._release(fingerprint)
+
+    def abandon(self, fingerprint: str) -> None:
+        """Give up a lease without storing (the trial failed or was
+        cancelled).  Waiters wake, find no result, and fall back to
+        computing for themselves."""
+        self._release(fingerprint)
+
+    def _release(self, fingerprint: str) -> None:
+        with self._lock:
+            event = self._inflight.pop(fingerprint, None)
+        if event is not None:
+            event.set()
+
+    def wait(
+        self, fingerprint: str, event: threading.Event, timeout: Optional[float]
+    ) -> Optional[Dict[str, Any]]:
+        """Wait for a leased computation, then re-read the store.
+        ``None`` means the leader abandoned (or the wait timed out)."""
+        event.wait(timeout)
+        return self.get(fingerprint)
+
+    def __len__(self) -> int:
+        try:
+            return sum(
+                1
+                for name in os.listdir(self.root)
+                if name.endswith(".json")
+            )
+        except OSError:
+            return 0

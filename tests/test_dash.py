@@ -67,6 +67,29 @@ class TestLoad:
         with pytest.raises(ValueError):
             load_telemetry(path)
 
+    def test_empty_file_diagnostic_names_the_cause(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(ValueError, match="empty"):
+            load_telemetry(path)
+
+    def test_truncated_mid_line_keeps_complete_records(self, tmp_path):
+        # a SIGKILLed writer tears the last line mid-record; every
+        # complete record before it must still render
+        path = _telemetry_file(tmp_path)
+        with open(path, "r+", encoding="utf-8") as handle:
+            content = handle.read()
+            handle.seek(0)
+            handle.write(content + content.splitlines()[0][: len(content) // 7])
+            handle.truncate()
+        assert len(load_telemetry(path)) == 3
+
+    def test_only_truncated_line_diagnoses_truncation(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"telemetry": {"proto', encoding="utf-8")
+        with pytest.raises(ValueError, match="truncated"):
+            load_telemetry(path)
+
 
 class TestSummarize:
     def test_mentions_totals_and_faults(self, tmp_path):
@@ -143,3 +166,25 @@ class TestCLIDash:
         code = main(["dash", str(tmp_path / "missing.jsonl")])
         capsys.readouterr()
         assert code == 2
+
+    def test_empty_file_gives_diagnostic_not_traceback(self, tmp_path, capsys):
+        from repro.cli import main
+
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("", encoding="utf-8")
+        code = main(["dash", str(empty)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "empty" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_torn_file_gives_diagnostic_not_traceback(self, tmp_path, capsys):
+        from repro.cli import main
+
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text('{"telemetry": {"pro', encoding="utf-8")
+        code = main(["dash", str(torn)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "truncated" in captured.err
+        assert "Traceback" not in captured.err

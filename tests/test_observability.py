@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.analysis.serialize import execution_from_json, execution_to_json
 from repro.core.executor import run_central, run_distributed, run_synchronous
 from repro.core.transform import run_synchronized_central
@@ -159,6 +161,31 @@ class TestSink:
         # flushed per write call: readable while the sink is still open
         assert TelemetrySink.read(path) == [{"a": 1}]
         sink.close()
+
+    def test_read_skips_truncated_and_non_object_lines(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text(
+            '{"a": 1}\n'
+            "[1, 2, 3]\n"  # valid JSON, not a record object
+            '{"b": 2}\n'
+            '{"c": 3, "unfinish',  # torn mid-write by a kill
+            encoding="utf-8",
+        )
+        assert TelemetrySink.read(path) == [{"a": 1}, {"b": 2}]
+
+    def test_read_empty_file_is_empty_list(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", encoding="utf-8")
+        assert TelemetrySink.read(path) == []
+
+    def test_read_strict_raises_on_damage(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"a": 1}\n{"b":', encoding="utf-8")
+        with pytest.raises(ValueError):
+            TelemetrySink.read(path, strict=True)
+        path.write_text('{"a": 1}\n[1]\n', encoding="utf-8")
+        with pytest.raises(ValueError):
+            TelemetrySink.read(path, strict=True)
 
     def test_context_manager_closes_and_reopens_append(self, tmp_path):
         path = tmp_path / "t.jsonl"

@@ -25,6 +25,7 @@ from repro.parallel import (
     execute_trial,
     resolve_jobs,
     run_trials,
+    spec_fingerprint,
 )
 from repro.parallel.trial_runner import register_protocol
 
@@ -264,3 +265,178 @@ class TestSpecPickling:
         clone = pickle.loads(pickle.dumps(g))
         assert clone._csr is None
         assert clone == g
+
+
+class TestFingerprintFormat:
+    """Pin the versioned fingerprint format (PR 7 satellite).
+
+    The serve result store and resume checkpoints are content-addressed
+    by these hashes; an accidental payload change would silently replay
+    stale artefacts.  The pinned literals were computed with
+    ``SCHEMA_VERSION = 2`` — if a schema bump changes them, update BOTH
+    the literals and ``SCHEMA_VERSION``'s history note deliberately.
+    """
+
+    def test_pinned_fingerprints(self):
+        spec = TrialSpec(protocol="smm", graph=cycle_graph(6), seed=7)
+        assert spec_fingerprint(spec) == "fee222a31e568303"
+        rich = TrialSpec(
+            protocol="smm",
+            graph=cycle_graph(6),
+            daemon="central",
+            seed=7,
+            options=(("step_limit", 500),),
+        )
+        assert spec_fingerprint(rich) == "8ce0656b43130cc1"
+
+    def test_schema_version_is_folded_in(self, monkeypatch):
+        from repro.analysis import serialize
+
+        spec = TrialSpec(protocol="smm", graph=cycle_graph(6), seed=7)
+        before = spec_fingerprint(spec)
+        monkeypatch.setattr(serialize, "SCHEMA_VERSION", 999)
+        assert spec_fingerprint(spec) != before
+
+    def test_shape_and_determinism(self):
+        spec = TrialSpec(protocol="smm", graph=cycle_graph(6), seed=7)
+        fp = spec_fingerprint(spec)
+        assert len(fp) == 16
+        assert int(fp, 16) >= 0  # hex
+        assert spec_fingerprint(spec) == fp
+        other = dataclasses.replace(spec, seed=8)
+        assert spec_fingerprint(other) != fp
+
+
+class TestOwnerHooks:
+    """The long-lived-owner surface: on_result callbacks and
+    cooperative cancellation (what `repro serve` drives)."""
+
+    def _specs(self, count=4):
+        graph = cycle_graph(8)
+        return [
+            TrialSpec("smm", graph, seed=100 + i) for i in range(count)
+        ]
+
+    def test_on_result_sees_every_trial_inline(self):
+        seen = []
+        runner = TrialRunner(
+            jobs=1,
+            batch_sweep=False,
+            on_result=lambda i, outcome, resumed: seen.append(
+                (i, outcome, resumed)
+            ),
+        )
+        results = runner.map(self._specs())
+        assert [s[0] for s in seen] == [0, 1, 2, 3]
+        assert all(outcome.stabilized for _, outcome, _ in seen)
+        assert all(resumed is False for _, _, resumed in seen)
+        assert len(results) == 4
+
+    def test_on_result_sees_every_trial_pooled(self):
+        seen = []
+        runner = TrialRunner(
+            jobs=2,
+            batch_sweep=False,
+            shared_graphs="never",
+            on_result=lambda i, outcome, resumed: seen.append(i),
+        )
+        results = runner.map(self._specs())
+        assert sorted(seen) == [0, 1, 2, 3]
+        assert len(results) == 4
+
+    def test_on_result_with_batch_dispatch(self):
+        seen = []
+        runner = TrialRunner(
+            jobs=1,
+            batch_sweep=True,
+            on_result=lambda i, outcome, resumed: seen.append(i),
+        )
+        runner.map(self._specs())
+        assert sorted(seen) == [0, 1, 2, 3]
+
+    def test_on_result_resilient_and_resumed(self, tmp_path):
+        ck = tmp_path / "sweep.jsonl"
+        first = []
+        TrialRunner(
+            jobs=1,
+            checkpoint=str(ck),
+            on_result=lambda i, outcome, resumed: first.append(resumed),
+        ).map(self._specs())
+        assert first == [False] * 4
+        second = []
+        results = TrialRunner(
+            jobs=1,
+            checkpoint=str(ck),
+            on_result=lambda i, outcome, resumed: second.append(resumed),
+        ).map(self._specs())
+        assert second == [True] * 4  # everything came from the checkpoint
+        assert len(results) == 4
+
+    def test_results_identical_with_and_without_hooks(self):
+        plain = run_trials(self._specs())
+        hooked = TrialRunner(
+            jobs=1, on_result=lambda *a: None
+        ).map(self._specs())
+        for a, b in zip(plain, hooked):
+            assert a.final == b.final and a.moves == b.moves
+
+    def test_preset_cancel_raises_before_work(self):
+        import threading
+
+        from repro.parallel import SweepCancelled
+
+        cancel = threading.Event()
+        cancel.set()
+        runner = TrialRunner(jobs=1, cancel=cancel)
+        with pytest.raises(SweepCancelled):
+            runner.map(self._specs())
+
+    def test_cancel_mid_sweep_inline(self):
+        import threading
+
+        from repro.parallel import SweepCancelled
+
+        cancel = threading.Event()
+        seen = []
+
+        def hook(i, outcome, resumed):
+            seen.append(i)
+            if len(seen) == 2:
+                cancel.set()
+
+        runner = TrialRunner(
+            jobs=1, batch_sweep=False, cancel=cancel, on_result=hook
+        )
+        with pytest.raises(SweepCancelled):
+            runner.map(self._specs())
+        assert len(seen) == 2  # stopped at the next scheduling point
+
+    def test_cancel_mid_sweep_resilient_checkpoints(self, tmp_path):
+        import threading
+
+        from repro.parallel import SweepCancelled
+
+        ck = tmp_path / "sweep.jsonl"
+        cancel = threading.Event()
+        seen = []
+
+        def hook(i, outcome, resumed):
+            seen.append(i)
+            if len(seen) == 2:
+                cancel.set()
+
+        runner = TrialRunner(
+            jobs=1, checkpoint=str(ck), cancel=cancel, on_result=hook
+        )
+        with pytest.raises(SweepCancelled):
+            runner.map(self._specs())
+        # the completed trials were flushed before the unwind: a fresh
+        # runner resumes them instead of recomputing
+        resumed = []
+        results = TrialRunner(
+            jobs=1,
+            checkpoint=str(ck),
+            on_result=lambda i, outcome, r: resumed.append(r),
+        ).map(self._specs())
+        assert len(results) == 4
+        assert resumed.count(True) >= 2

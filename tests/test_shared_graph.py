@@ -223,3 +223,106 @@ class TestSweepHygiene:
         for a, b in zip(first, again):
             assert a.final == b.final
         assert leaked_shared_segments() == []
+
+
+class _SlowSigMatching(SynchronousMaximalMatching):
+    """SMM that naps per rule evaluation — slow enough to SIGTERM
+    mid-sweep.  Module-level so forked workers can unpickle it."""
+
+    def enabled_rule(self, view):
+        time.sleep(0.005)
+        return super().enabled_rule(view)
+
+
+class TestSignalDrivenShutdown:
+    """SIGTERM during a resilient sweep (PR 7 satellite): the runner
+    converts it into an unwinding exception, so the checkpoint JSONL is
+    flushed and every shm segment is unlinked before the process exits
+    with the conventional 128+15 status."""
+
+    _SCRIPT = """
+import sys, time
+from repro.graphs.generators import erdos_renyi_graph
+from repro.rng import ensure_rng
+from repro.matching.smm import SynchronousMaximalMatching
+from repro.parallel import TrialRunner, TrialSpec
+from repro.parallel.trial_runner import register_protocol
+
+class SlowMatching(SynchronousMaximalMatching):
+    def enabled_rule(self, view):
+        time.sleep(0.005)
+        return super().enabled_rule(view)
+
+register_protocol("slow-sig-test", SlowMatching)
+graph = erdos_renyi_graph(60, 0.1, ensure_rng(3))
+specs = [TrialSpec("slow-sig-test", graph, seed=s) for s in range(6)]
+runner = TrialRunner(
+    jobs=1,
+    checkpoint=sys.argv[1],
+    shared_graphs="always",
+    on_result=lambda i, outcome, resumed: print("DONE", i, flush=True),
+)
+runner.map(specs)
+print("FINISHED", flush=True)
+"""
+
+    def test_sigterm_flushes_checkpoint_and_unlinks_shm(self, tmp_path):
+        ck = tmp_path / "sweep.jsonl"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ["src", env.get("PYTHONPATH", "")] if p
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", self._SCRIPT, str(ck)],
+            stdout=subprocess.PIPE,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            text=True,
+        )
+        try:
+            done = 0
+            for line in proc.stdout:
+                if line.startswith("DONE"):
+                    done += 1
+                if done == 2:
+                    break
+            assert done == 2, "sweep never produced two results"
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup
+                proc.kill()
+                proc.wait(timeout=10)
+        assert proc.returncode == 143  # 128 + SIGTERM, via SweepInterrupted
+        # the flushed checkpoint holds everything that completed
+        lines = [
+            line
+            for line in ck.read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        ]
+        assert len(lines) >= 2
+        # ... and the SIGTERM'd parent unlinked its segments on the way out
+        assert leaked_shared_segments() == []
+
+        # a resumed sweep completes from the checkpoint
+        register_protocol("slow-sig-test", _SlowSigMatching)
+        try:
+            graph = erdos_renyi_graph(60, 0.1, ensure_rng(3))
+            specs = [
+                TrialSpec("slow-sig-test", graph, seed=s) for s in range(6)
+            ]
+            resumed_flags = []
+            results = TrialRunner(
+                jobs=1,
+                checkpoint=str(ck),
+                shared_graphs="always",
+                on_result=lambda i, outcome, resumed: resumed_flags.append(
+                    resumed
+                ),
+            ).map(specs)
+        finally:
+            del PROTOCOLS["slow-sig-test"]
+        assert len(results) == 6
+        assert not any(isinstance(r, FailedTrial) for r in results)
+        assert resumed_flags.count(True) >= 2
+        assert leaked_shared_segments() == []
