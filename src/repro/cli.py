@@ -34,6 +34,7 @@ from repro.experiments import (
     e11_ablations,
     e12_id_sensitivity,
     e13_fault_recovery,
+    e14_streaming,
 )
 from repro.experiments.common import ExperimentResult
 
@@ -242,6 +243,16 @@ def _registry(
                 )
             ],
         ),
+        "E14": (
+            "model claim 6 — SLOs under sustained streaming churn",
+            lambda: [e14_streaming.run(seed=150, backend=backend)],
+            lambda: [
+                e14_streaming.run(
+                    families=("tree",), sizes=(16,), rates=(0.1, 0.5),
+                    events=20, seed=150, backend=backend,
+                )
+            ],
+        ),
     }
 
 
@@ -382,6 +393,116 @@ def cmd_dash(telemetry: str, output: str, title: str | None = None) -> int:
     return 0
 
 
+def cmd_stream(
+    protocol: str,
+    *,
+    family: str,
+    n: int,
+    seed: int,
+    backend: str,
+    rate: float,
+    events: int,
+    kinds: str,
+    trace_file: str | None,
+    settle_budget: int | None,
+    soak_seconds: float | None,
+    chunk_events: int,
+    sample_cap: int,
+    metrics: str | None,
+    report: str | None,
+) -> int:
+    """Run a long-lived streaming-churn session and print its SLOs."""
+    import contextlib
+    import json
+
+    from repro.errors import ExperimentError
+    from repro.graphs.generators import family as graph_family
+    from repro.rng import ensure_rng
+    from repro.streaming import (
+        StreamEngine,
+        load_trace,
+        poisson_plan,
+        run_soak,
+    )
+
+    kind_list = tuple(k.strip() for k in kinds.split(",") if k.strip())
+    try:
+        graph = graph_family(family)(n, ensure_rng(seed))
+    except Exception as exc:
+        print(f"stream: cannot build graph: {exc}", file=sys.stderr)
+        return 2
+    metrics_registry = None
+    with contextlib.ExitStack() as stack:
+        if metrics is not None:
+            from repro.observability import MetricsRegistry, use_registry
+
+            metrics_registry = MetricsRegistry()
+            stack.enter_context(use_registry(metrics_registry))
+        try:
+            if soak_seconds is not None:
+                out = run_soak(
+                    protocol,
+                    graph,
+                    backend=backend,
+                    rate=rate,
+                    chunk_events=chunk_events,
+                    max_seconds=soak_seconds,
+                    seed=seed,
+                    kinds=kind_list,
+                    sample_cap=sample_cap,
+                    settle_budget=settle_budget,
+                )
+                stream_report = out["report"]
+                print(
+                    f"soak: {out['chunks']} chunk(s), {out['events']} events, "
+                    f"{out['rounds']} rounds, peak RSS {out['max_rss_kb']} kB"
+                )
+            else:
+                if trace_file is not None:
+                    plan = load_trace(trace_file)
+                else:
+                    plan = poisson_plan(
+                        graph,
+                        rate=rate,
+                        events=events,
+                        seed=seed,
+                        kinds=kind_list,
+                    )
+                engine = StreamEngine(
+                    protocol,
+                    graph,
+                    backend=backend,
+                    sample_cap=sample_cap,
+                )
+                stream_report = engine.run(plan, settle_budget=settle_budget)
+        except ExperimentError as exc:
+            print(f"stream: {exc}", file=sys.stderr)
+            return 2
+    summary = stream_report.to_dict()
+    print(
+        f"{protocol} on {family} n={graph.n} [{backend}]: "
+        f"{summary['events']} events over {summary['rounds']} rounds"
+    )
+    print(
+        f"  recovered {summary['recovered']}/{summary['events']} "
+        f"({stream_report.recovered_frac:.2%}), "
+        f"p50/p99 re-stabilization {summary['p50_rounds']}/"
+        f"{summary['p99_rounds']} rounds, "
+        f"radius max {summary['radius_max']}, "
+        f"{stream_report.events_per_sec:.1f} events/s"
+    )
+    if report is not None:
+        with open(report, "w", encoding="utf-8") as handle:
+            meta = {k: v for k, v in summary.items() if k != "samples"}
+            handle.write(json.dumps({"stream_meta": meta}) + "\n")
+            for sample in stream_report.samples:
+                handle.write(json.dumps({"stream": sample.to_dict()}) + "\n")
+        print(f"wrote {len(stream_report.samples)} samples to {report}")
+    if metrics_registry is not None:
+        _write_metrics(metrics_registry, metrics)
+    return 0
+
+
 def cmd_serve(
     host: str,
     port: int,
@@ -413,7 +534,7 @@ def main(argv: List[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list the experiments")
     runner = sub.add_parser("run", help="run experiments and print tables")
-    runner.add_argument("ids", nargs="+", help="experiment ids (E1..E13) or 'all'")
+    runner.add_argument("ids", nargs="+", help="experiment ids (E1..E14) or 'all'")
     runner.add_argument(
         "--quick", action="store_true", help="reduced-scale parameters"
     )
@@ -532,6 +653,107 @@ def main(argv: List[str] | None = None) -> int:
         help="output HTML path (default: report.html)",
     )
     dash.add_argument("--title", default=None, help="report title")
+    stream = sub.add_parser(
+        "stream",
+        help="stream topology churn into one long-lived run and report "
+        "re-stabilization SLOs",
+    )
+    stream.add_argument(
+        "protocol", choices=("smm", "sis"), help="protocol to keep alive"
+    )
+    stream.add_argument(
+        "--family",
+        default="udg",
+        metavar="NAME",
+        help="graph family (repro.graphs.generators; default: udg)",
+    )
+    stream.add_argument(
+        "--n", type=int, default=64, metavar="N", help="graph size (default: 64)"
+    )
+    stream.add_argument(
+        "--seed", type=int, default=0, help="graph/schedule seed (default: 0)"
+    )
+    stream.add_argument(
+        "--backend",
+        choices=("reference", "vectorized"),
+        default="vectorized",
+        help="stream backend; SLO counters are identical on both "
+        "(default: vectorized)",
+    )
+    stream.add_argument(
+        "--rate",
+        type=float,
+        default=0.2,
+        metavar="R",
+        help="Poisson event rate in events per round (default: 0.2)",
+    )
+    stream.add_argument(
+        "--events",
+        type=int,
+        default=200,
+        metavar="N",
+        help="number of events to stream (default: 200)",
+    )
+    stream.add_argument(
+        "--kinds",
+        default="churn,perturb",
+        metavar="K1,K2",
+        help="comma-separated event kinds to draw from "
+        "(churn, perturb, message_dup, crash; default: churn,perturb)",
+    )
+    stream.add_argument(
+        "--trace-file",
+        default=None,
+        metavar="PATH",
+        help="replay a trace schedule (FaultPlan JSON or JSONL of "
+        "events) instead of generating a Poisson plan",
+    )
+    stream.add_argument(
+        "--settle-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rounds allowed after the last event (default: the "
+        "executor's budget for the graph)",
+    )
+    stream.add_argument(
+        "--soak",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="soak mode: stream freshly generated chunks until the "
+        "wall-clock limit (bounded memory; reports peak RSS)",
+    )
+    stream.add_argument(
+        "--chunk-events",
+        type=int,
+        default=64,
+        metavar="N",
+        help="events per generated soak chunk (default: 64)",
+    )
+    stream.add_argument(
+        "--sample-cap",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="per-event samples retained in memory; aggregates stay "
+        "exact beyond it (default: 4096)",
+    )
+    stream.add_argument(
+        "--metrics",
+        nargs="?",
+        const="metrics.prom",
+        default=None,
+        metavar="PATH",
+        help="write stream SLO metrics as Prometheus text + JSON sibling "
+        "(default: metrics.prom + metrics.json)",
+    )
+    stream.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write per-event samples as JSONL for 'repro dash'",
+    )
     serve = sub.add_parser(
         "serve",
         help="run the persistent sweep control plane (HTTP + /metrics)",
@@ -605,6 +827,28 @@ def main(argv: List[str] | None = None) -> int:
         return cmd_list()
     if args.command == "dash":
         return cmd_dash(args.telemetry, args.output, title=args.title)
+    if args.command == "stream":
+        if args.rate <= 0:
+            parser.error(f"argument --rate: must be > 0, got {args.rate}")
+        if args.events < 0:
+            parser.error(f"argument --events: must be >= 0, got {args.events}")
+        return cmd_stream(
+            args.protocol,
+            family=args.family,
+            n=args.n,
+            seed=args.seed,
+            backend=args.backend,
+            rate=args.rate,
+            events=args.events,
+            kinds=args.kinds,
+            trace_file=args.trace_file,
+            settle_budget=args.settle_budget,
+            soak_seconds=args.soak,
+            chunk_events=args.chunk_events,
+            sample_cap=args.sample_cap,
+            metrics=args.metrics,
+            report=args.report,
+        )
     if args.command == "serve":
         return cmd_serve(
             args.host,

@@ -83,7 +83,17 @@ class Graph:
 
     @property
     def edges(self) -> frozenset[Edge]:
-        """All edges in canonical ``(min, max)`` form."""
+        """All edges in canonical ``(min, max)`` form.
+
+        Graphs derived via :meth:`with_updates` materialize this set
+        lazily from the adjacency dict: the streaming engine derives a
+        graph per topology event, and an eager O(m) edge-set rebuild
+        would dwarf the incremental CSR patch it exists to avoid.
+        """
+        if self._edges is None:
+            self._edges = frozenset(
+                (n, v) for n, row in self._adj.items() for v in row if n < v
+            )
         return self._edges
 
     @property
@@ -94,7 +104,11 @@ class Graph:
     @property
     def m(self) -> int:
         """Number of edges."""
-        return len(self._edges)
+        if self._edges is not None:
+            return len(self._edges)
+        if self._csr is not None:
+            return int(self._csr[1].size) // 2
+        return sum(len(row) for row in self._adj.values()) // 2
 
     def neighbors(self, node: NodeId) -> Tuple[NodeId, ...]:
         """Neighbours of ``node``, ascending.  ``N(i)`` in the paper."""
@@ -124,7 +138,9 @@ class Graph:
     def has_edge(self, u: NodeId, v: NodeId) -> bool:
         if u == v:
             return False
-        return canonical_edge(u, v) in self._edges
+        if self._edges is not None:
+            return canonical_edge(u, v) in self._edges
+        return v in self._adj.get(u, ())
 
     def __contains__(self, node: object) -> bool:
         return node in self._adj
@@ -138,11 +154,11 @@ class Graph:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Graph):
             return NotImplemented
-        return self._nodes == other._nodes and self._edges == other._edges
+        return self._nodes == other._nodes and self.edges == other.edges
 
     def __hash__(self) -> int:
         if self._hash is None:
-            self._hash = hash((self._nodes, self._edges))
+            self._hash = hash((self._nodes, self.edges))
         return self._hash
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -151,6 +167,7 @@ class Graph:
     def __getstate__(self):
         # Keep pickles lean: the CSR cache and hash are derived data and
         # rebuilt lazily on the receiving side (e.g. in pool workers).
+        # ``_edges`` may itself be lazily None on derived graphs.
         return {"_adj": self._adj, "_nodes": self._nodes, "_edges": self._edges}
 
     def __setstate__(self, state) -> None:
@@ -209,18 +226,211 @@ class Graph:
         This is the primitive behind topology churn: the paper's model
         keeps the node set fixed while links appear and disappear.
         """
-        edge_set = set(self._edges)
-        for u, v in remove:
-            e = canonical_edge(u, v)
-            if e not in edge_set:
+        return self.with_updates(add_edges=add, remove_edges=remove)
+
+    def with_updates(
+        self,
+        *,
+        add_edges: Iterable[Tuple[NodeId, NodeId]] = (),
+        remove_edges: Iterable[Tuple[NodeId, NodeId]] = (),
+        add_nodes: Iterable[NodeId] = (),
+        remove_nodes: Iterable[NodeId] = (),
+    ) -> "Graph":
+        """Derive a graph with nodes and edges added/removed incrementally.
+
+        Unlike constructing ``Graph(nodes, edges)`` from scratch, this
+        patches the derived structures: the adjacency dict copies
+        untouched rows, and — crucially for the streaming engine — a
+        cached CSR (:meth:`adjacency_arrays` / :meth:`dense_index`) is
+        carried over by splicing only the changed rows instead of the
+        O(n + m) Python rebuild.  The patched arrays are byte-identical
+        to a from-scratch rebuild (pinned by ``tests/test_streaming.py``).
+
+        Removing a node drops its incident edges implicitly.  Added
+        nodes start isolated; edges may reference them in the same call
+        (nodes are applied before edges).
+        """
+        add_edge_list = [canonical_edge(u, v) for u, v in add_edges]
+        remove_edge_list = [canonical_edge(u, v) for u, v in remove_edges]
+        add_node_list = list(add_nodes)
+        remove_node_list = list(remove_nodes)
+
+        removed_nodes: set[NodeId] = set()
+        for nd in remove_node_list:
+            if nd not in self._adj:
+                raise GraphError(f"unknown node {nd!r}")
+            if nd in removed_nodes:
+                raise GraphError("duplicate node ids")
+            removed_nodes.add(nd)
+        added_nodes: set[NodeId] = set()
+        for nd in add_node_list:
+            if not isinstance(nd, int):
+                raise GraphError(f"node id {nd!r} is not an int")
+            if nd in self._adj or nd in removed_nodes:
+                raise GraphError(f"cannot add existing node {nd}")
+            if nd in added_nodes:
+                raise GraphError("duplicate node ids")
+            added_nodes.add(nd)
+
+        edge_remove: set[Edge] = set()
+        for e in remove_edge_list:
+            if e[1] not in self._adj.get(e[0], ()) or e in edge_remove:
                 raise GraphError(f"cannot remove absent edge {e}")
-            edge_set.remove(e)
-        for u, v in add:
-            e = canonical_edge(u, v)
-            if e in edge_set:
+            edge_remove.add(e)
+        for nd in removed_nodes:
+            for v in self._adj[nd]:
+                edge_remove.add(canonical_edge(nd, v))
+
+        def _present(x: NodeId) -> bool:
+            return (x in self._adj and x not in removed_nodes) or x in added_nodes
+
+        edge_add: set[Edge] = set()
+        for e in add_edge_list:
+            present = e[1] in self._adj.get(e[0], ())
+            if (present and e not in edge_remove) or e in edge_add:
                 raise GraphError(f"cannot add existing edge {e}")
-            edge_set.add(e)
-        return Graph(self._nodes, edge_set)
+            if not _present(e[0]) or not _present(e[1]):
+                raise GraphError(f"edge {e} references unknown node")
+            edge_add.add(e)
+
+        # Net per-row adjacency deltas (an edge both removed and added
+        # in one call is a no-op and must not dirty its rows).
+        net_removed = edge_remove - edge_add
+        net_added = edge_add - edge_remove
+        deltas: Dict[NodeId, Tuple[set, set]] = {}
+        for u, v in net_removed:
+            for x, y in ((u, v), (v, u)):
+                if x not in removed_nodes:
+                    deltas.setdefault(x, (set(), set()))[0].add(y)
+        for u, v in net_added:
+            for x, y in ((u, v), (v, u)):
+                deltas.setdefault(x, (set(), set()))[1].add(y)
+
+        adj = dict(self._adj)
+        for nd in removed_nodes:
+            del adj[nd]
+        for nd in added_nodes:
+            adj[nd] = ()
+        for node, (gone, new) in deltas.items():
+            row = set(self._adj.get(node, ()))
+            row.difference_update(gone)
+            row.update(new)
+            adj[node] = tuple(sorted(row))
+
+        graph = Graph.__new__(Graph)
+        graph._adj = adj
+        if removed_nodes or added_nodes:
+            graph._nodes = tuple(sorted((set(self._nodes) - removed_nodes) | added_nodes))
+        else:
+            graph._nodes = self._nodes
+        # Lazy: materialized from ``_adj`` on first ``.edges`` access.
+        # An eager frozenset rebuild here is O(m) and would dominate the
+        # per-event cost the incremental CSR patch keeps at O(changed).
+        graph._edges = None
+        graph._hash = None
+        graph._csr = None
+        if self._csr is not None:
+            if removed_nodes or added_nodes:
+                graph._csr = self._csr_patch_nodes(
+                    graph, deltas, removed_nodes, added_nodes
+                )
+            else:
+                graph._csr = self._csr_patch_edges(graph, deltas)
+        return graph
+
+    def _csr_patch_edges(self, graph: "Graph", deltas) -> tuple:
+        """Patch the cached CSR for edge-only changes (node set fixed).
+
+        Only the rows whose adjacency changed are rebuilt; everything
+        else is spliced over with C-level array copies.  Returns a new
+        ``(indptr, indices, ids, pos)`` tuple byte-identical to what
+        :meth:`_csr_cache` would rebuild from scratch (``ids``/``pos``
+        are shared with ``self`` — they are treated as read-only).
+        """
+        indptr, indices, ids, pos = self._csr
+        if not deltas:
+            return self._csr
+        import numpy as np
+
+        changed = sorted(pos[node] for node in deltas)
+        delta = np.zeros(self.n, dtype=np.int64)
+        parts = []
+        prev = 0
+        for k in changed:
+            row = graph._adj[self._nodes[k]]
+            delta[k] = len(row) - int(indptr[k + 1] - indptr[k])
+            parts.append(indices[prev:int(indptr[k])])
+            parts.append(np.fromiter((pos[v] for v in row), dtype=np.int64, count=len(row)))
+            prev = int(indptr[k + 1])
+        parts.append(indices[prev:])
+        new_indices = np.concatenate(parts)
+        new_indptr = indptr.copy()
+        np.cumsum(delta, out=delta)
+        new_indptr[1:] += delta
+        return (new_indptr, new_indices, ids, pos)
+
+    def _csr_patch_nodes(self, graph: "Graph", deltas, removed_nodes, added_nodes) -> tuple:
+        """Patch the cached CSR across a node-set change.
+
+        Surviving rows are filtered and remapped with vectorized masks
+        (dense indices shift when nodes enter/leave the sorted id
+        order); only rows with edge deltas and the new empty rows are
+        rebuilt.  Byte-identical to a from-scratch rebuild.
+        """
+        import bisect
+
+        import numpy as np
+
+        old_indptr, old_indices, old_ids, old_pos = self._csr
+        new_nodes = graph._nodes
+        new_n = len(new_nodes)
+        new_ids = np.asarray(new_nodes, dtype=np.int64)
+        new_pos = {node: k for k, node in enumerate(new_nodes)}
+
+        old_n = self.n
+        keep = np.ones(old_n, dtype=bool)
+        for nd in removed_nodes:
+            keep[old_pos[nd]] = False
+        remap = np.full(old_n, -1, dtype=np.int64)
+        remap[keep] = np.searchsorted(new_ids, old_ids[keep])
+
+        # Drop entries in removed rows or pointing at removed nodes,
+        # then remap survivors to their new dense indices (monotone, so
+        # per-row sortedness is preserved).
+        row_of = np.repeat(np.arange(old_n), np.diff(old_indptr))
+        ekeep = keep[row_of] & keep[old_indices] if old_indices.size else np.zeros(0, bool)
+        kept_entries = remap[old_indices[ekeep]]
+        kept_counts = np.bincount(row_of[ekeep], minlength=old_n)[keep]
+        kept_indptr = np.zeros(kept_counts.size + 1, dtype=np.int64)
+        np.cumsum(kept_counts, out=kept_indptr[1:])
+
+        added_positions = sorted(new_pos[nd] for nd in added_nodes)
+        special = sorted(
+            set(added_positions) | {new_pos[nd] for nd in deltas if nd in new_pos}
+        )
+
+        def kept_row(k: int) -> int:
+            return k - bisect.bisect_left(added_positions, k)
+
+        parts = []
+        prev_k = 0
+        for k in special:
+            if prev_k < k:
+                parts.append(kept_entries[kept_indptr[kept_row(prev_k)]:kept_indptr[kept_row(k)]])
+            row = graph._adj[new_nodes[k]]
+            parts.append(np.fromiter((new_pos[v] for v in row), dtype=np.int64, count=len(row)))
+            prev_k = k + 1
+        if prev_k < new_n:
+            parts.append(kept_entries[kept_indptr[kept_row(prev_k)]:])
+        if parts:
+            new_indices = np.concatenate(parts)
+        else:
+            new_indices = np.empty(0, dtype=np.int64)
+
+        new_indptr = np.zeros(new_n + 1, dtype=np.int64)
+        for k, node in enumerate(new_nodes):
+            new_indptr[k + 1] = new_indptr[k] + len(graph._adj[node])
+        return (new_indptr, new_indices, new_ids, new_pos)
 
     def subgraph(self, nodes: Iterable[NodeId]) -> "Graph":
         """Induced subgraph on ``nodes``."""
@@ -228,7 +438,7 @@ class Graph:
         for nd in keep:
             if nd not in self._adj:
                 raise GraphError(f"unknown node {nd!r}")
-        edges = [e for e in self._edges if e[0] in keep and e[1] in keep]
+        edges = [e for e in self.edges if e[0] in keep and e[1] in keep]
         return Graph(keep, edges)
 
     def relabeled(self, mapping: Mapping[NodeId, NodeId]) -> "Graph":
@@ -243,7 +453,7 @@ class Graph:
         if len(set(mapping.values())) != len(mapping):
             raise GraphError("relabel mapping must be injective")
         nodes = [mapping[n] for n in self._nodes]
-        edges = [(mapping[u], mapping[v]) for u, v in self._edges]
+        edges = [(mapping[u], mapping[v]) for u, v in self.edges]
         return Graph(nodes, edges)
 
     # ------------------------------------------------------------------
@@ -253,7 +463,7 @@ class Graph:
         """Convert to a :class:`networkx.Graph` (copies the structure)."""
         g = nx.Graph()
         g.add_nodes_from(self._nodes)
-        g.add_edges_from(self._edges)
+        g.add_edges_from(self.edges)
         return g
 
     @classmethod

@@ -270,20 +270,47 @@ class VectorizedSMM:
     def _run_active(
         self, ptr: np.ndarray, budget: int, moves_by_rule: Dict[str, int]
     ) -> tuple[bool, int, np.ndarray]:
-        # enabled nodes are always a subset of the dirty set: under the
-        # synchronous daemon every enabled node fires, every firing
-        # changes the pointer (R1/R2: null -> node, R3: node -> null),
-        # and every changed node lands in the next dirty set — so a
-        # node outside it was last seen idle and stays idle.  Per-round
-        # work is proportional to the frontier; dense rounds (dirty set
-        # above n/16) use the cheaper flat full scan instead — a dirty
-        # superset is always sound, so they just mark everything dirty.
-        # Tiny frontiers step through the scalar loop (the dirty set may
-        # be an ndarray or a sorted list depending on the branch that
-        # produced it; decisions and dirty contents are identical).
+        stabilized, rounds, ptr, _ = self.segment_active(ptr, budget, moves_by_rule)
+        return stabilized, rounds, ptr
+
+    def segment_active(
+        self,
+        ptr: np.ndarray,
+        budget: int,
+        moves_by_rule: Dict[str, int],
+        dirty=None,
+        touched: Optional[np.ndarray] = None,
+    ) -> tuple[bool, int, np.ndarray, object]:
+        """Frontier stepping with an optional seeded initial dirty set.
+
+        This is the active-set loop of :meth:`run`, exposed for the
+        streaming engine: after a topology event over a quiescent state,
+        only the closed neighbourhood of the fault sites can be enabled,
+        so seeding ``dirty`` with it re-stabilizes at the containment
+        radius instead of scanning all ``n`` nodes.  ``dirty=None``
+        marks everything dirty (the cold-start case).  ``touched``, when
+        given, is a length-``n`` bool array accumulating every mover (the
+        containment-radius input).  Returns ``(stabilized, rounds, ptr,
+        residual_dirty)`` — the residual seeds the next segment when the
+        budget cut re-stabilization short.
+
+        Correctness of a seeded ``dirty``: enabled nodes are always a
+        subset of the dirty set — under the synchronous daemon every
+        enabled node fires, every firing changes the pointer (R1/R2:
+        null -> node, R3: node -> null), and every changed node lands in
+        the next dirty set — so a node outside it was last seen idle and
+        stays idle.  Per-round work is proportional to the frontier;
+        dense rounds (dirty set above n/16) use the cheaper flat full
+        scan instead — a dirty superset is always sound, so they just
+        mark everything dirty.  Tiny frontiers step through the scalar
+        loop (the dirty set may be an ndarray or a sorted list depending
+        on the branch that produced it; decisions and dirty contents are
+        identical).
+        """
         dense = max(1, self.n // 16)
         scalar_max = min(_SCALAR_MAX, dense - 1)
-        dirty = np.arange(self.n, dtype=np.int64)
+        if dirty is None:
+            dirty = np.arange(self.n, dtype=np.int64)
         rounds = 0
         stabilized = False
         while True:
@@ -300,6 +327,8 @@ class VectorizedSMM:
                 moves_by_rule["R3"] += int(r3.sum())
                 movers = np.nonzero(fired)[0]
                 ptr[movers] = new_ptr[movers]
+                if touched is not None:
+                    touched[movers] = True
                 n_moved = movers.size
             elif len(dirty) <= scalar_max:
                 rows = dirty if isinstance(dirty, list) else dirty.tolist()
@@ -314,6 +343,8 @@ class VectorizedSMM:
                 moves_by_rule["R3"] += c3
                 for i, v in zip(movers, vals):
                     ptr[i] = v
+                    if touched is not None:
+                        touched[i] = True
                 n_moved = len(movers)
             else:
                 if isinstance(dirty, list):
@@ -331,6 +362,8 @@ class VectorizedSMM:
                 moves_by_rule["R3"] += int((moved_rules == 3).sum())
                 movers = dirty[enabled]
                 ptr[movers] = val[enabled]
+                if touched is not None:
+                    touched[movers] = True
                 n_moved = movers.size
             rounds += 1
             if n_moved >= dense:
@@ -343,7 +376,7 @@ class VectorizedSMM:
                 dirty = sorted(nxt)
             else:
                 dirty = closed_neighborhood(self._indptr, self._indices, movers)
-        return stabilized, rounds, ptr
+        return stabilized, rounds, ptr, dirty
 
     # ------------------------------------------------------------------
     def run(

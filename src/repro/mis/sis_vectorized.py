@@ -179,18 +179,41 @@ class VectorizedSIS:
     def _run_active(
         self, x: np.ndarray, budget: int, moves_by_rule: Dict[str, int]
     ) -> tuple[bool, int, np.ndarray]:
-        # frontier stepping: identical round semantics, but per-round
-        # work proportional to the dirty set — nodes outside it cannot
-        # change, by locality of the guard.  The gather-based frontier
-        # step costs several times more per node than the flat full
-        # scan, so dense rounds (a dirty set above n/16) fall back to
-        # the full scan; a dirty superset is always sound, so dense
-        # rounds simply mark every node dirty.  Tiny frontiers (at most
-        # ``_SCALAR_MAX`` nodes) use the scalar loop; the dirty set may
-        # be an ndarray or a sorted list, with identical contents.
+        stabilized, rounds, x, _ = self.segment_active(x, budget, moves_by_rule)
+        return stabilized, rounds, x
+
+    def segment_active(
+        self,
+        x: np.ndarray,
+        budget: int,
+        moves_by_rule: Dict[str, int],
+        dirty=None,
+        touched: Optional[np.ndarray] = None,
+    ) -> tuple[bool, int, np.ndarray, object]:
+        """Frontier stepping with an optional seeded initial dirty set.
+
+        The active-set loop of :meth:`run`, exposed for the streaming
+        engine: seed ``dirty`` with the closed neighbourhood of a
+        topology event's fault sites (any superset of the enabled nodes
+        is sound — nodes outside it cannot change, by locality of the
+        guard) and the event is absorbed at its containment radius.
+        ``dirty=None`` marks everything dirty.  ``touched`` accumulates
+        movers into a length-``n`` bool array.  Returns ``(stabilized,
+        rounds, x, residual_dirty)``.
+
+        Frontier stepping keeps identical round semantics, with
+        per-round work proportional to the dirty set.  The gather-based
+        frontier step costs several times more per node than the flat
+        full scan, so dense rounds (a dirty set above n/16) fall back to
+        the full scan; a dirty superset is always sound, so dense
+        rounds simply mark every node dirty.  Tiny frontiers (at most
+        ``_SCALAR_MAX`` nodes) use the scalar loop; the dirty set may
+        be an ndarray or a sorted list, with identical contents.
+        """
         dense = max(1, self.n // 16)
         scalar_max = min(_SCALAR_MAX, dense - 1)
-        dirty = np.arange(self.n, dtype=np.int64)
+        if dirty is None:
+            dirty = np.arange(self.n, dtype=np.int64)
         rounds = 0
         stabilized = False
         while True:
@@ -206,6 +229,8 @@ class VectorizedSIS:
                 moves_by_rule["R1"] += int((vals == 1).sum())
                 moves_by_rule["R2"] += int((vals == 0).sum())
                 x[movers] = vals
+                if touched is not None:
+                    touched[movers] = True
                 n_moved = movers.size
             elif len(dirty) <= scalar_max:
                 rows = dirty if isinstance(dirty, list) else dirty.tolist()
@@ -219,6 +244,8 @@ class VectorizedSIS:
                 moves_by_rule["R2"] += c2
                 for i, v in zip(movers, vals):
                     x[i] = v
+                    if touched is not None:
+                        touched[i] = True
                 n_moved = len(movers)
             else:
                 if isinstance(dirty, list):
@@ -235,6 +262,8 @@ class VectorizedSIS:
                 moves_by_rule["R1"] += int((vals == 1).sum())
                 moves_by_rule["R2"] += int((vals == 0).sum())
                 x[movers] = vals
+                if touched is not None:
+                    touched[movers] = True
                 n_moved = movers.size
             rounds += 1
             if n_moved >= dense:
@@ -247,7 +276,7 @@ class VectorizedSIS:
                 dirty = sorted(nxt)
             else:
                 dirty = closed_neighborhood(self._indptr, self._indices, movers)
-        return stabilized, rounds, x
+        return stabilized, rounds, x, dirty
 
     def run(
         self,

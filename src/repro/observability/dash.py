@@ -35,7 +35,15 @@ from repro.observability.telemetry import (
     merge_telemetry,
 )
 
-__all__ = ["load_telemetry", "render_html", "summarize", "write_report"]
+__all__ = [
+    "load_stream",
+    "load_telemetry",
+    "render_html",
+    "render_stream_html",
+    "summarize",
+    "summarize_stream",
+    "write_report",
+]
 
 
 # validated categorical palette (see docs/observability.md); slot order
@@ -73,6 +81,24 @@ def load_telemetry(path) -> List[Tuple[str, RunTelemetry]]:
     if not out:
         raise ValueError(_empty_telemetry_diagnostic(path))
     return out
+
+
+def load_stream(path) -> Tuple[Optional[dict], List[dict]]:
+    """``(meta, samples)`` from a ``repro stream --report`` JSONL file.
+
+    Stream files interleave one ``{"stream_meta": {...}}`` summary line
+    with ``{"stream": {...}}`` per-event sample lines.  Returns
+    ``(None, [])`` when the file contains no stream records — the
+    caller then falls back to telemetry parsing.
+    """
+    meta: Optional[dict] = None
+    samples: List[dict] = []
+    for record in TelemetrySink.read(path):
+        if isinstance(record.get("stream_meta"), dict):
+            meta = record["stream_meta"]
+        elif isinstance(record.get("stream"), dict):
+            samples.append(record["stream"])
+    return meta, samples
 
 
 def _empty_telemetry_diagnostic(path) -> str:
@@ -151,7 +177,9 @@ _W, _H = 760, 240
 _PAD_L, _PAD_R, _PAD_T, _PAD_B = 46, 10, 8, 26
 
 
-def _axis(max_y: float, rounds: int, y_label: str) -> List[str]:
+def _axis(
+    max_y: float, rounds: int, y_label: str, x_label: str = "round"
+) -> List[str]:
     parts = []
     plot_h = _H - _PAD_T - _PAD_B
     plot_w = _W - _PAD_L - _PAD_R
@@ -175,7 +203,7 @@ def _axis(max_y: float, rounds: int, y_label: str) -> List[str]:
     parts.append(
         f'<text class="tick" x="{_PAD_L}" y="{_H - 8}">&#8203;</text>'
         f'<text class="axis-label" x="{_W / 2:.0f}" y="{_H - 8}" '
-        f'text-anchor="middle" dy="8">round</text>'
+        f'text-anchor="middle" dy="8">{html.escape(x_label)}</text>'
         f'<text class="axis-label" transform="rotate(-90)" '
         f'x="{-(_H / 2):.0f}" y="12" text-anchor="middle">{y_label}</text>'
     )
@@ -188,6 +216,7 @@ def _stacked_chart(
     *,
     y_label: str,
     area: bool,
+    x_label: str = "round",
 ) -> str:
     """Stacked area (``area=True``) or stacked per-round bars, with a
     hover tooltip fed by the embedded JSON payload."""
@@ -207,7 +236,7 @@ def _stacked_chart(
     def y_of(v: float) -> float:
         return _PAD_T + plot_h * (1.0 - v / max_y)
 
-    parts = _axis(max_y, rounds, y_label)
+    parts = _axis(max_y, rounds, y_label, x_label)
     cumulative = [0.0] * rounds
     if area:
         for k, name in enumerate(names):
@@ -245,7 +274,11 @@ def _stacked_chart(
                 )
     payload = html.escape(
         json.dumps(
-            {"names": names, "series": [series[n] for n in names]},
+            {
+                "names": names,
+                "series": [series[n] for n in names],
+                "x": x_label,
+            },
             separators=(",", ":"),
         ),
         quote=True,
@@ -435,7 +468,7 @@ _SCRIPT = """
       if (t < 0 || t >= rounds) { tip.hidden = true; return; }
       var x = PAD_L + (W - PAD_L - PAD_R) * (t / Math.max(rounds - 1, 1));
       cross.setAttribute('x1', x); cross.setAttribute('x2', x);
-      var lines = ['round ' + t];
+      var lines = [(data.x || 'round') + ' ' + t];
       data.names.forEach(function (name, k) {
         var v = data.series[k][t];
         if (v !== undefined) lines.push(name + ': ' + v);
@@ -452,6 +485,157 @@ _SCRIPT = """
   });
 })();
 """ % {"pad_l": _PAD_L, "pad_r": _PAD_R, "w": _W}
+
+
+def summarize_stream(meta: Optional[dict], samples: Sequence[dict]) -> str:
+    """Plain-text SLO summary of a stream report for the terminal."""
+    meta = meta or {}
+    events = meta.get("events", len(samples))
+    recovered = meta.get(
+        "recovered", sum(1 for s in samples if s.get("recovered"))
+    )
+    lines = [
+        f"stream: {meta.get('protocol', '?')} on n={meta.get('n', '?')} "
+        f"[{meta.get('backend', '?')}]   events: {events}   "
+        f"rounds: {meta.get('rounds', '?')}",
+        f"recovered: {recovered}/{events}   "
+        f"p50/p99 re-stabilization: {meta.get('p50_rounds', '-')}/"
+        f"{meta.get('p99_rounds', '-')} rounds   "
+        f"radius max: {meta.get('radius_max', '-')}",
+    ]
+    eps = meta.get("events_per_sec")
+    if eps:
+        lines.append(f"throughput: {eps:.1f} events/s")
+    return "\n".join(lines)
+
+
+def _stream_sample_table(samples: Sequence[dict]) -> str:
+    rows = []
+    for s in samples:
+        radius = s.get("radius")
+        rows.append(
+            "<tr>"
+            + "".join(
+                f"<td>{html.escape(str(v))}</td>"
+                for v in (
+                    s.get("index"),
+                    s.get("kind"),
+                    s.get("round"),
+                    s.get("sites"),
+                    "yes" if s.get("recovered") else "no",
+                    s.get("rounds"),
+                    s.get("moves"),
+                    s.get("touched"),
+                    "-" if radius is None else radius,
+                )
+            )
+            + "</tr>"
+        )
+    head = "".join(
+        f"<th>{h}</th>"
+        for h in (
+            "event",
+            "kind",
+            "round",
+            "sites",
+            "recovered",
+            "recovery rounds",
+            "moves",
+            "touched",
+            "radius",
+        )
+    )
+    return (
+        "<details><summary>per-event samples</summary>"
+        f"<table><thead><tr>{head}</tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table></details>"
+    )
+
+
+def render_stream_html(
+    meta: Optional[dict],
+    samples: Sequence[dict],
+    *,
+    title: str = "repro stream",
+    source: Optional[str] = None,
+) -> str:
+    """Self-contained HTML report for a streaming-churn session."""
+    meta = meta or {}
+    sections: List[str] = []
+    events = meta.get("events", len(samples))
+    recovered = meta.get(
+        "recovered", sum(1 for s in samples if s.get("recovered"))
+    )
+    tiles = [
+        ("events", events),
+        ("recovered", recovered),
+        ("rounds", meta.get("rounds", "-")),
+        ("p50 rounds", meta.get("p50_rounds", "-")),
+        ("p99 rounds", meta.get("p99_rounds", "-")),
+        ("radius max", meta.get("radius_max", "-")),
+    ]
+    eps = meta.get("events_per_sec")
+    if eps:
+        tiles.append(("events/s", f"{eps:.0f}"))
+    sections.append(
+        '<div class="tiles">'
+        + "".join(
+            f'<div class="tile"><b>{html.escape(str(value))}</b>'
+            f"<span>{html.escape(str(name))}</span></div>"
+            for name, value in tiles
+        )
+        + "</div>"
+    )
+
+    if samples:
+        latency = {
+            "recovery rounds": [float(s.get("rounds", 0)) for s in samples],
+        }
+        sections.append(
+            "<section><h2>Re-stabilization latency per event</h2>"
+            + _stacked_chart(
+                "stream-rounds",
+                latency,
+                y_label="rounds",
+                area=False,
+                x_label="event",
+            )
+            + _series_table(latency)
+            + "</section>"
+        )
+        spread = {
+            "touched": [float(s.get("touched", 0)) for s in samples],
+            "radius": [float(s.get("radius") or 0) for s in samples],
+        }
+        sections.append(
+            "<section><h2>Blast radius per event</h2>"
+            + _stacked_chart(
+                "stream-radius",
+                spread,
+                y_label="nodes / hops",
+                area=False,
+                x_label="event",
+            )
+            + _series_table(spread)
+            + "</section>"
+        )
+        sections.append(
+            "<section><h2>Events</h2>" + _stream_sample_table(samples)
+            + "</section>"
+        )
+
+    head_meta = "" if source is None else (
+        f'<p class="meta">source: {html.escape(str(source))}</p>'
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">'
+        f"<title>{html.escape(title)}</title>"
+        f"<style>{_STYLE}</style></head><body>"
+        f"<h1>{html.escape(title)}</h1>{head_meta}"
+        + "".join(sections)
+        + f"<script>{_SCRIPT}</script></body></html>"
+    )
 
 
 def render_html(
@@ -547,7 +731,23 @@ def write_report(
     telemetry_path, output_path, *, title: Optional[str] = None
 ) -> str:
     """Load ``telemetry_path``, write the HTML report to
-    ``output_path`` and return the terminal summary text."""
+    ``output_path`` and return the terminal summary text.
+
+    Stream-report JSONL files (``repro stream --report``) are detected
+    by their ``stream``/``stream_meta`` records and rendered as a
+    streaming SLO report; anything else goes through telemetry parsing.
+    """
+    meta, samples = load_stream(telemetry_path)
+    if meta is not None or samples:
+        text = render_stream_html(
+            meta,
+            samples,
+            title=title or f"repro stream — {telemetry_path}",
+            source=telemetry_path,
+        )
+        with open(str(output_path), "w", encoding="utf-8") as handle:
+            handle.write(text)
+        return summarize_stream(meta, samples)
     records = load_telemetry(telemetry_path)
     text = render_html(
         records,

@@ -109,22 +109,33 @@ def dispatch_groups(specs: Sequence) -> Dict[int, RunResult]:
     ineligible, or its group had fewer than two members) and must run
     through the ordinary per-trial paths.
     """
+    from repro.core.executor import _default_round_budget
+
     protocols: dict = {}
     groups: Dict[Tuple, List[Tuple[int, object]]] = {}
     for index, spec in enumerate(specs):
         if not sweep_eligible(spec, protocols):
             continue
-        key = (spec.protocol, spec.graph, spec.max_rounds)
+        # Key on the *resolved* round budget: ``max_rounds=None`` and an
+        # explicit budget equal to the default are the same execution, so
+        # keying on the raw field would fragment them into separate (and
+        # possibly size-1, hence unbatched) groups.
+        budget = (
+            spec.max_rounds
+            if spec.max_rounds is not None
+            else _default_round_budget(spec.graph)
+        )
+        key = (spec.protocol, spec.graph, budget)
         groups.setdefault(key, []).append((index, spec))
 
     results: Dict[int, RunResult] = {}
     dispatched_groups = 0
     dispatched_by_protocol: Dict[str, int] = {}
-    for (protocol_key, graph, max_rounds), members in groups.items():
+    for (protocol_key, graph, budget), members in groups.items():
         if len(members) < 2:
             continue
         results.update(
-            _run_group(protocol_key, graph, max_rounds, members, protocols)
+            _run_group(protocol_key, graph, budget, members, protocols)
         )
         dispatched_groups += 1
         dispatched_by_protocol[protocol_key] = dispatched_by_protocol.get(
@@ -138,12 +149,17 @@ def dispatch_groups(specs: Sequence) -> Dict[int, RunResult]:
 def _run_group(
     protocol_key: str,
     graph,
-    max_rounds: Optional[int],
+    budget: int,
     members: List[Tuple[int, object]],
     protocols: dict,
 ) -> Dict[int, RunResult]:
-    """One ``run_batch`` call for one group, decoded row-by-row."""
-    from repro.core.executor import _default_round_budget, _resolve_config
+    """One ``run_batch`` call for one group, decoded row-by-row.
+
+    ``budget`` is the already-resolved round budget (the group key), so
+    every member runs under the identical limit it would have resolved
+    per-trial.
+    """
+    from repro.core.executor import _resolve_config
 
     module_name, class_name, final_attr = _SWEEP_KERNELS[protocol_key]
     kernel_cls = getattr(importlib.import_module(module_name), class_name)
@@ -152,7 +168,6 @@ def _run_group(
         _resolve_config(protocol, graph, spec.config) for _, spec in members
     ]
     kernel = kernel_cls(graph)
-    budget = max_rounds if max_rounds is not None else _default_round_budget(graph)
     start = time.perf_counter()
     res = kernel.run_batch(kernel.encode_batch(initials), max_rounds=budget)
     # one wall-clock for k trials: attribute an equal share to each row

@@ -78,6 +78,20 @@ class _SMMFamily:
         j = int(gen.integers(stop - start + 1))
         ptr[k] = -1 if j == 0 else int(kernel._indices[start + j - 1])
 
+    @staticmethod
+    def drop_removed_links(ptr, pairs) -> None:
+        # mirrors sanitize_state across an explicit-edge churn: a valid
+        # pointer only turns invalid when its own link is removed, so
+        # resetting the endpoints of removed edges equals the full
+        # migrate_configuration sweep (pairs are dense index tuples)
+        from repro.kernels import SMM_NULL
+
+        for ku, kv in pairs:
+            if ptr[ku] == kv:
+                ptr[ku] = SMM_NULL
+            if ptr[kv] == ku:
+                ptr[kv] = SMM_NULL
+
 
 class _SISFamily:
     """VectorizedSIS hooks for the campaign adapter."""
@@ -116,6 +130,12 @@ class _SISFamily:
     def perturb_one(kernel, x, k: int, gen) -> None:
         # mirrors SynchronousMaximalIndependentSet.random_state
         x[k] = int(gen.integers(2))
+
+    @staticmethod
+    def drop_removed_links(x, pairs) -> None:
+        # SIS states are bits, topology-independent: migration is the
+        # identity (validate_state never consults the graph)
+        del x, pairs
 
 
 _FAMILIES = {"smm": _SMMFamily, "sis": _SISFamily}

@@ -513,12 +513,23 @@ class JobManager:
                 self._run_compute(job, compute, entries, cacheable, leased, sink)
             for i, event in followers:
                 self._check_cancelled(job)
-                result = self.store.wait(fingerprints[i], event, COALESCE_TIMEOUT)
+                result, timed_out = self.store.wait(
+                    fingerprints[i], event, COALESCE_TIMEOUT
+                )
+                if timed_out:
+                    self._metric(
+                        lambda reg: reg.counter(
+                            "repro_store_wait_timeouts_total",
+                            "Coalesce waits that expired before the "
+                            "leading computation fulfilled or abandoned",
+                        ).inc()
+                    )
                 if result is not None:
                     cache_entry(i, result)
                 else:
-                    # the leader abandoned (failed / cancelled): compute
-                    # for ourselves, re-leasing so the store still fills
+                    # the leader abandoned (failed / cancelled) or the
+                    # wait timed out: compute for ourselves, re-leasing
+                    # so the store still fills
                     self._compute_fallback(job, i, entries, cacheable[i], sink)
                 self._journal(job)
             for i, leader in dup_of.items():

@@ -39,8 +39,32 @@ class ResultStore:
     def __init__(self, root: Union[str, os.PathLike]) -> None:
         self.root = os.fspath(root)
         os.makedirs(self.root, exist_ok=True)
+        self._sweep_stale_tmp()
         self._lock = threading.Lock()
         self._inflight: Dict[str, threading.Event] = {}
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove temp files a crashed leader left behind.
+
+        :meth:`fulfill` writes ``<fp>.json.tmp.<pid>.<tid>`` and
+        ``os.replace``s it into place; a process killed between the two
+        leaves the temp file forever.  No live writer's temp file can be
+        racing us here: this runs before the store hands out any lease,
+        and temp names are pid/tid-qualified so another *process* writing
+        into the same root would only lose an in-flight temp file (its
+        ``os.replace`` simply fails, and the fingerprint recomputes).
+        """
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return
+        for name in names:
+            if ".json.tmp." not in name:
+                continue
+            try:
+                os.remove(os.path.join(self.root, name))
+            except OSError:
+                pass  # already gone, or unremovable: not worth failing init
 
     @staticmethod
     def cacheable(spec) -> bool:
@@ -111,11 +135,20 @@ class ResultStore:
 
     def wait(
         self, fingerprint: str, event: threading.Event, timeout: Optional[float]
-    ) -> Optional[Dict[str, Any]]:
+    ) -> Tuple[Optional[Dict[str, Any]], bool]:
         """Wait for a leased computation, then re-read the store.
-        ``None`` means the leader abandoned (or the wait timed out)."""
-        event.wait(timeout)
-        return self.get(fingerprint)
+
+        Returns ``(result, timed_out)``.  ``result`` is ``None`` when
+        there is nothing stored — because the leader abandoned, *or*
+        because the wait expired while the leader was still computing.
+        ``timed_out`` distinguishes the two: ``Event.wait`` returns
+        ``False`` on expiry, and discarding that bool (the old
+        behaviour) made a slow leader indistinguishable from a failed
+        one, so callers silently recomputed without ever counting the
+        expired coalesce wait.
+        """
+        completed = event.wait(timeout)
+        return self.get(fingerprint), not completed
 
     def __len__(self) -> int:
         try:

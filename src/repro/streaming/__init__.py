@@ -1,0 +1,44 @@
+"""Long-lived streaming-churn runs with re-stabilization SLOs.
+
+The paper's model claim 6 treats mobility-induced topology change as a
+transient fault the protocols self-stabilize out of.  Every other entry
+point in this repo is a one-shot — build graph, stabilize, exit.  This
+package keeps **one engine alive** under a sustained stream of topology
+events and measures, per event, how long re-stabilization takes and how
+far it spreads:
+
+* :func:`poisson_plan` / :func:`load_trace` — event schedules as plain
+  :class:`~repro.resilience.plan.FaultPlan` data (Poisson arrivals with
+  explicit edge churn, or trace files);
+* :class:`StreamEngine` — the never-restarting run: events apply
+  in-place, the vectorized kernels absorb each one from a dirty set
+  seeded at its fault sites (incremental CSR maintenance on
+  :class:`~repro.graphs.graph.Graph` keeps the per-event topology cost
+  O(changed rows) instead of O(n+m));
+* :class:`StreamReport` — per-event samples plus exact aggregate SLOs
+  (p50/p99 re-stabilization rounds, containment radius, sustained
+  events/sec) with a deterministic ``counters()`` view pinned identical
+  across backends;
+* :func:`run_soak` — bounded-memory chunked soak mode.
+
+See ``docs/streaming.md`` for the event schema and SLO definitions.
+"""
+
+from repro.streaming.engine import (
+    StreamEngine,
+    StreamReport,
+    StreamSample,
+    run_soak,
+    run_stream,
+)
+from repro.streaming.events import load_trace, poisson_plan
+
+__all__ = [
+    "StreamEngine",
+    "StreamReport",
+    "StreamSample",
+    "load_trace",
+    "poisson_plan",
+    "run_soak",
+    "run_stream",
+]

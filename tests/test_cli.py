@@ -6,9 +6,9 @@ from repro.cli import _registry, main
 
 
 class TestRegistry:
-    def test_thirteen_experiments(self):
+    def test_fourteen_experiments(self):
         reg = _registry()
-        assert set(reg) == {f"E{i}" for i in range(1, 14)}
+        assert set(reg) == {f"E{i}" for i in range(1, 15)}
 
     def test_every_entry_well_formed(self):
         for eid, (description, full, quick) in _registry().items():
@@ -20,7 +20,7 @@ class TestList:
     def test_list_prints_all(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        for i in range(1, 14):
+        for i in range(1, 15):
             assert f"E{i}" in out
 
 

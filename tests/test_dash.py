@@ -132,7 +132,7 @@ class TestRenderHtml:
         assert payloads
         for payload in payloads:
             data = json.loads(html_mod.unescape(payload))
-            assert list(data) == ["names", "series"]
+            assert list(data) == ["names", "series", "x"]
             assert len(data["names"]) == len(data["series"])
 
 

@@ -12,6 +12,7 @@ newly registered kernel is swept automatically.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 
 import pytest
@@ -454,6 +455,40 @@ class TestBatchSweepDispatch:
         unbatched = run_trials(specs, jobs=1, batch_sweep=False)
         for a, b in zip(batched, unbatched):
             assert b.backend == "vectorized"  # auto's per-trial pick
+            assert_equivalent(a, b)
+
+    def test_default_and_explicit_budget_share_a_group(self):
+        """Regression: grouping keyed on the raw ``max_rounds`` field,
+        so ``None`` and an explicit budget equal to the resolved default
+        fragmented into two size-1 groups — and size-1 groups are never
+        batched, silently losing the whole dispatch."""
+        from repro.core.executor import _default_round_budget
+        from repro.parallel import TrialSpec, run_trials
+        from repro.parallel.batch_sweep import dispatch_groups
+
+        graph = make_graph("cycle", 0)
+        config = random_configuration(
+            make_protocol("smm"), graph, ensure_rng(SEEDS[0])
+        )
+        specs = [
+            TrialSpec("smm", graph, config, backend="auto", max_rounds=None),
+            TrialSpec(
+                "smm", graph, config, backend="auto",
+                max_rounds=_default_round_budget(graph),
+            ),
+        ]
+        results = dispatch_groups(specs)
+        assert sorted(results) == [0, 1]  # one group of two, batched
+        assert all(r.backend == "batch" for r in results.values())
+        # a genuinely different budget still fragments into size-1
+        # groups, which are correctly left for the per-trial paths
+        other = dataclasses.replace(specs[1], max_rounds=3)
+        assert dispatch_groups([specs[0], other]) == {}
+        # end-to-end: the runner agrees with per-trial execution
+        batched = run_trials(specs, jobs=1)
+        per_trial = run_trials(specs, jobs=1, batch_sweep=False)
+        for a, b in zip(batched, per_trial):
+            assert a.backend == "batch"
             assert_equivalent(a, b)
 
     def test_observed_specs_stay_per_trial(self):

@@ -101,11 +101,11 @@ class TestBuildReport:
         return build_report(quick=True)
 
     def test_all_sections_present(self, report_text):
-        for i in range(1, 14):
+        for i in range(1, 15):
             assert f"## E{i} —" in report_text
 
     def test_summary_line(self, report_text):
-        assert "**Summary: 13/13 experiments reproduced.**" in report_text
+        assert "**Summary: 14/14 experiments reproduced.**" in report_text
 
     def test_no_failures(self, report_text):
         assert "✗ FAILED" not in report_text

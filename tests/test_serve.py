@@ -222,13 +222,16 @@ class TestResultStore:
         seen = {}
 
         def follower():
-            seen["result"] = store.wait("fp", event, timeout=5.0)
+            seen["result"], seen["timed_out"] = store.wait(
+                "fp", event, timeout=5.0
+            )
 
         thread = threading.Thread(target=follower)
         thread.start()
         store.fulfill("fp", {"ok": True})
         thread.join(5.0)
         assert seen["result"] == {"ok": True}
+        assert seen["timed_out"] is False
 
     def test_abandon_wakes_waiters_without_result(self, tmp_path):
         store = ResultStore(tmp_path)
@@ -236,10 +239,49 @@ class TestResultStore:
         kind, event = store.lease("fp")
         assert kind == "wait"
         store.abandon("fp")
-        assert store.wait("fp", event, timeout=0.1) is None
+        result, timed_out = store.wait("fp", event, timeout=0.1)
+        assert result is None
+        assert timed_out is False  # abandoned, not expired
         # the fingerprint is leasable again
         kind, _ = store.lease("fp")
         assert kind == "lease"
+
+    def test_wait_reports_timeout_distinctly(self, tmp_path):
+        """Regression: ``wait`` used to discard ``Event.wait``'s bool,
+        so an expired wait on a still-computing leader looked exactly
+        like an abandoned lease."""
+        store = ResultStore(tmp_path)
+        store.lease("fp")
+        kind, event = store.lease("fp")
+        assert kind == "wait"
+        result, timed_out = store.wait("fp", event, timeout=0.01)
+        assert result is None
+        assert timed_out is True  # the leader is still computing
+        # once the leader fulfills, a fresh wait succeeds immediately
+        store.fulfill("fp", {"ok": 1})
+        result, timed_out = store.wait("fp", event, timeout=0.01)
+        assert result == {"ok": 1}
+        assert timed_out is False
+
+    def test_init_sweeps_crashed_leader_tmp_files(self, tmp_path):
+        """Regression: a leader killed between writing its temp file and
+        ``os.replace`` left ``<fp>.json.tmp.<pid>.<tid>`` behind forever;
+        a fresh store over the same root must sweep it."""
+        root = tmp_path / "results"
+        store = ResultStore(root)
+        store.lease("fp")
+        store.fulfill("fp", {"moves": 2})
+        # simulate the torn write of a crashed process
+        stale = root / "deadbeef.json.tmp.12345.67890"
+        stale.write_text('{"moves": 1', encoding="utf-8")
+        unrelated = root / "notes.txt"
+        unrelated.write_text("keep me", encoding="utf-8")
+
+        reopened = ResultStore(root)
+        assert not stale.exists()
+        assert unrelated.exists()  # only temp files are swept
+        assert reopened.get("fp") == {"moves": 2}
+        assert len(reopened) == 1
 
     def test_cacheable_requires_seed(self):
         graph = cycle_graph(4)
