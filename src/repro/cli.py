@@ -509,9 +509,16 @@ def cmd_serve(
     state_dir: str,
     *,
     workers: int,
+    min_workers: int | None,
+    max_workers: int | None,
+    max_queue_depth: int | None,
     jobs: int,
     trial_timeout: float | None,
     retries: int,
+    sync_timeout: float,
+    scale_up_after: float,
+    scale_down_idle: float,
+    enable_chaos: bool,
 ) -> int:
     from repro.serve import run_server
 
@@ -520,10 +527,60 @@ def cmd_serve(
         port=port,
         state_dir=state_dir,
         workers=workers,
+        min_workers=min_workers,
+        max_workers=max_workers,
+        max_queue_depth=max_queue_depth,
         runner_jobs=jobs,
         trial_timeout=trial_timeout,
         retries=retries,
+        sync_timeout=sync_timeout,
+        scale_up_after=scale_up_after,
+        scale_down_idle=scale_down_idle,
+        enable_chaos=enable_chaos,
     )
+
+
+def cmd_chaos(
+    state_dir: str | None,
+    *,
+    seed: int,
+    faults: str | None,
+    report: str | None,
+) -> int:
+    import tempfile
+
+    from repro.serve import DEFAULT_FAULTS, ChaosHarness
+
+    selected = (
+        DEFAULT_FAULTS
+        if faults is None
+        else tuple(f.strip() for f in faults.split(",") if f.strip())
+    )
+    if state_dir is None:
+        state_dir = tempfile.mkdtemp(prefix="repro-chaos-")
+    try:
+        harness = ChaosHarness(
+            state_dir,
+            seed=seed,
+            faults=selected,
+            report_path=report,
+            log=lambda line: print(line, flush=True),
+        )
+    except ValueError as exc:
+        print(f"repro chaos: {exc}", file=sys.stderr)
+        return 2
+    result = harness.run()
+    for record in result["faults"]:
+        verdict = "ok" if record["ok"] else f"FAILED ({record.get('error')})"
+        print(f"  {record['fault']:<16} {record['elapsed_s']:>7.1f}s  {verdict}")
+    print(
+        f"chaos: graceful_shutdown={result['graceful_shutdown']} "
+        f"leaked_shm={result['leaked_shm']} -> "
+        + ("ALL INVARIANTS HELD" if result["ok"] else "INVARIANT VIOLATED")
+    )
+    if report:
+        print(f"wrote {report}")
+    return 0 if result["ok"] else 1
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -804,6 +861,88 @@ def main(argv: List[str] | None = None) -> int:
         metavar="N",
         help="retry budget for timed-out or crashed trials (default: 1)",
     )
+    serve.add_argument(
+        "--min-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="autoscaler floor (default: --workers, i.e. a fixed pool)",
+    )
+    serve.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="autoscaler ceiling (default: --workers, i.e. a fixed pool)",
+    )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission-control bound: further submissions answer "
+        "429 + Retry-After (default: unbounded)",
+    )
+    serve.add_argument(
+        "--sync-timeout",
+        type=float,
+        default=300.0,
+        metavar="S",
+        help="seconds a sync request blocks before degrading to the "
+        "async 202 answer (default: 300)",
+    )
+    serve.add_argument(
+        "--scale-up-after",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="sustained-backlog seconds before the supervisor adds a "
+        "worker (default: 1.0)",
+    )
+    serve.add_argument(
+        "--scale-down-idle",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="idle seconds before the supervisor retires a worker "
+        "(default: 5.0)",
+    )
+    serve.add_argument(
+        "--enable-chaos",
+        action="store_true",
+        help="expose POST /v1/chaos fault injection (chaos harness only)",
+    )
+    chaos = sub.add_parser(
+        "chaos",
+        help="drive a live serve daemon through scripted faults and "
+        "assert it re-stabilizes",
+    )
+    chaos.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="state dir for the daemon under test (default: a fresh "
+        "temp dir)",
+    )
+    chaos.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seeds fault offsets and sweep seeds (default: 0)",
+    )
+    chaos.add_argument(
+        "--faults",
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated fault scripts (default: all of "
+        "worker_kill,store_truncate,flood,sigkill,sync_skew)",
+    )
+    chaos.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the JSON chaos report here",
+    )
     reporter = sub.add_parser(
         "report", help="run everything and write a markdown report"
     )
@@ -823,6 +962,30 @@ def main(argv: List[str] | None = None) -> int:
         parser.error(f"argument --trial-timeout: must be > 0, got {timeout}")
     if getattr(args, "workers", 1) < 1:
         parser.error(f"argument --workers: must be >= 1, got {args.workers}")
+    if args.command == "serve":
+        # pool-shape ordering must fail at argparse time, not as a
+        # traceback from JobManager deep in run_server
+        low = args.min_workers if args.min_workers is not None else args.workers
+        high = args.max_workers if args.max_workers is not None else args.workers
+        if not (1 <= low <= args.workers <= high):
+            parser.error(
+                "arguments --min-workers/--workers/--max-workers: need "
+                f"1 <= min <= workers <= max, got {low} / {args.workers} "
+                f"/ {high}"
+            )
+        if args.max_queue_depth is not None and args.max_queue_depth < 1:
+            parser.error(
+                f"argument --max-queue-depth: must be >= 1, got "
+                f"{args.max_queue_depth}"
+            )
+        if args.sync_timeout <= 0:
+            parser.error(
+                f"argument --sync-timeout: must be > 0, got {args.sync_timeout}"
+            )
+        if args.scale_up_after <= 0 or args.scale_down_idle <= 0:
+            parser.error(
+                "arguments --scale-up-after/--scale-down-idle: must be > 0"
+            )
     if args.command == "list":
         return cmd_list()
     if args.command == "dash":
@@ -855,9 +1018,23 @@ def main(argv: List[str] | None = None) -> int:
             args.port,
             args.state_dir,
             workers=args.workers,
+            min_workers=args.min_workers,
+            max_workers=args.max_workers,
+            max_queue_depth=args.max_queue_depth,
             jobs=args.jobs,
             trial_timeout=args.trial_timeout,
             retries=args.retries,
+            sync_timeout=args.sync_timeout,
+            scale_up_after=args.scale_up_after,
+            scale_down_idle=args.scale_down_idle,
+            enable_chaos=args.enable_chaos,
+        )
+    if args.command == "chaos":
+        return cmd_chaos(
+            args.state_dir,
+            seed=args.seed,
+            faults=args.faults,
+            report=args.report,
         )
     if args.command == "report":
         from repro.experiments.report import write_report

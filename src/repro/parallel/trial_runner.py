@@ -129,9 +129,21 @@ OnResult = Callable[[int, Union[RunResult, "FailedTrial"], bool], None]
 
 class SweepCancelled(RuntimeError):
     """Raised by :meth:`TrialRunner.map` when its ``cancel`` event is
-    set mid-sweep.  Completed trials are already checkpointed (resilient
-    mode) and reported through ``on_result``; re-running with the same
-    checkpoint resumes from where the cancel landed."""
+    set mid-sweep, or its ``deadline`` passes.  Completed trials are
+    already checkpointed (resilient mode) and reported through
+    ``on_result``; re-running with the same checkpoint resumes from
+    where the cancel landed.
+
+    ``reason`` distinguishes the trigger: ``"cancel"`` (owner set the
+    event) vs ``"deadline"`` (wall clock passed ``deadline``), so an
+    owner like :class:`repro.serve.jobs.JobManager` can classify the
+    unwind without racing re-reads of the event.
+    """
+
+    def __init__(self, message: str = "sweep cancelled", *,
+                 reason: str = "cancel") -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 class SweepInterrupted(SystemExit):
@@ -583,7 +595,10 @@ class TrialRunner:
     docstring): a per-trial progress callback
     ``(index, outcome, resumed)`` and a :class:`threading.Event` whose
     setting makes the sweep stop and raise :class:`SweepCancelled`.
-    Neither changes any result.
+    ``deadline`` is the same unwind on a clock instead of an event: an
+    absolute ``time.time()`` timestamp after which the sweep stops with
+    ``SweepCancelled(reason="deadline")`` at the next trial boundary.
+    None of the three changes any result.
     """
 
     def __init__(
@@ -599,6 +614,7 @@ class TrialRunner:
         shared_graphs: Optional[str] = None,
         on_result: Optional[OnResult] = None,
         cancel: Optional[threading.Event] = None,
+        deadline: Optional[float] = None,
     ):
         self.jobs = resolve_jobs(jobs)
         self.chunksize = chunksize
@@ -623,6 +639,9 @@ class TrialRunner:
         self.shared_graphs = shared_graphs
         self.on_result = on_result
         self.cancel = cancel
+        if deadline is not None:
+            deadline = float(deadline)
+        self.deadline = deadline
 
     @property
     def resilient(self) -> bool:
@@ -639,9 +658,19 @@ class TrialRunner:
         if self.on_result is not None:
             self.on_result(index, outcome, resumed)
 
-    def _check_cancel(self) -> None:
+    def _cancel_reason(self) -> Optional[str]:
         if self.cancel is not None and self.cancel.is_set():
+            return "cancel"
+        if self.deadline is not None and time.time() > self.deadline:
+            return "deadline"
+        return None
+
+    def _check_cancel(self) -> None:
+        reason = self._cancel_reason()
+        if reason == "cancel":
             raise SweepCancelled("sweep cancelled by owner")
+        if reason == "deadline":
+            raise SweepCancelled("sweep deadline exceeded", reason="deadline")
 
     def map(
         self, specs: Sequence[TrialSpec]
@@ -776,9 +805,9 @@ class TrialRunner:
                 for outcome in pool.map(
                     _execute_trial_tagged, specs, chunksize=chunk
                 ):
-                    if self.cancel is not None and self.cancel.is_set():
+                    if self._cancel_reason() is not None:
                         pool.shutdown(wait=False, cancel_futures=True)
-                        raise SweepCancelled("sweep cancelled by owner")
+                        self._check_cancel()
                     if isinstance(outcome, _TrialFailure):
                         failure = outcome
                         pool.shutdown(wait=False, cancel_futures=True)
@@ -1117,12 +1146,13 @@ def run_trials(
     shared_graphs: Optional[str] = None,
     on_result: Optional[OnResult] = None,
     cancel: Optional[threading.Event] = None,
+    deadline: Optional[float] = None,
 ) -> List[Union[RunResult, FailedTrial]]:
     """Convenience wrapper: ``TrialRunner(...).map(specs)``.  The
     ``timeout``/``retries``/``backoff``/``checkpoint`` knobs select the
     resilient mode; ``batch_sweep``/``shared_graphs`` tune the sweep
-    fast paths; ``on_result``/``cancel`` are the long-lived-owner hooks
-    (see :class:`TrialRunner`)."""
+    fast paths; ``on_result``/``cancel``/``deadline`` are the
+    long-lived-owner hooks (see :class:`TrialRunner`)."""
     return TrialRunner(
         jobs,
         chunksize=chunksize,
@@ -1134,4 +1164,5 @@ def run_trials(
         shared_graphs=shared_graphs,
         on_result=on_result,
         cancel=cancel,
+        deadline=deadline,
     ).map(specs)

@@ -19,11 +19,26 @@ Layers (one module each):
     Job queue, worker pool, crash-safe journal, cache orchestration.
 :mod:`repro.serve.server`
     The stdlib HTTP surface and graceful-shutdown entry point.
+:mod:`repro.serve.chaos`
+    The chaos harness — seeded fault scripts against a live daemon,
+    asserting the re-stabilization invariants (``repro chaos``).
 
-See docs/serving.md for the endpoint reference and operational notes.
+The control plane is *self-healing*: a supervisor restarts crashed
+workers and autoscales the pool, admission control sheds overload
+(429/503 + ``Retry-After``) instead of buffering it, and the result
+store quarantines corrupt entries instead of serving or crashing on
+them.  See docs/serving.md for the endpoint reference, degradation
+modes, and operational notes.
 """
 
-from repro.serve.jobs import JOB_STATES, Job, JobManager
+from repro.serve.chaos import DEFAULT_FAULTS, ChaosHarness, ChaosError
+from repro.serve.jobs import (
+    JOB_STATES,
+    Draining,
+    Job,
+    JobManager,
+    QueueFull,
+)
 from repro.serve.schema import (
     MODES,
     RequestError,
@@ -34,10 +49,15 @@ from repro.serve.server import ReproServer, ServeApp, run_server
 from repro.serve.store import ResultStore
 
 __all__ = [
+    "ChaosError",
+    "ChaosHarness",
+    "DEFAULT_FAULTS",
+    "Draining",
     "JOB_STATES",
     "Job",
     "JobManager",
     "MODES",
+    "QueueFull",
     "ReproServer",
     "RequestError",
     "ResultStore",

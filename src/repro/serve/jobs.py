@@ -30,6 +30,24 @@ Trial failures (:class:`~repro.parallel.FailedTrial`) do not fail a
 job: like resilient sweeps, the job completes ``done`` with ``failed``
 entries in the affected slots.  A job fails only when the runner
 itself raises.
+
+Self-healing contract (the serve-layer analogue of the paper's
+self-stabilization): a *supervisor* thread watches the pool — workers
+stamp heartbeats, crashed workers are restarted
+(``repro_serve_worker_restarts_total``), and the pool autoscales
+between ``min_workers`` and ``max_workers`` on sustained backlog /
+idle grace.  Overload is *shed*, never buffered unboundedly: with
+``max_queue_depth`` set, :meth:`JobManager.submit` raises
+:class:`QueueFull` (HTTP 429 upstream) at saturation and
+:class:`Draining` (503) during shutdown; queued jobs past their
+``deadline_s`` are shed as ``cancelled`` with a ``deadline`` error.
+A per-fingerprint circuit breaker fails-fast specs that keep failing
+(``circuit_threshold`` consecutive times) instead of burning retries.
+
+Lock ordering: ``JobManager._lock`` may be held when taking
+``metrics_lock`` (``_finish_locked`` → ``_metric``), so nothing may
+acquire ``_lock`` while holding ``metrics_lock`` — scrape handlers
+must snapshot queue/pool stats *before* locking the registry.
 """
 
 from __future__ import annotations
@@ -63,13 +81,53 @@ from repro.parallel.trial_runner import (
 )
 from repro.serve.store import ResultStore
 
-__all__ = ["Job", "JobManager", "JOB_STATES"]
+__all__ = ["Job", "JobManager", "JOB_STATES", "QueueFull", "Draining"]
 
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
 
 #: How long a job waits for another job's in-flight computation of the
 #: same fingerprint before falling back to computing inline.
 COALESCE_TIMEOUT = 600.0
+
+#: After this many seconds an open circuit half-opens: the next
+#: submission of the failing fingerprint gets one real attempt.
+CIRCUIT_COOLDOWN = 300.0
+
+
+class QueueFull(RuntimeError):
+    """Admission control rejected a submission: the queue is at
+    ``max_queue_depth``.  ``retry_after`` is the server's estimate (in
+    whole seconds) of when capacity frees up — it becomes the HTTP
+    ``Retry-After`` header."""
+
+    def __init__(self, retry_after: int, depth: int) -> None:
+        super().__init__(
+            f"job queue is full ({depth} queued); retry in ~{retry_after}s"
+        )
+        self.retry_after = int(retry_after)
+        self.depth = depth
+
+
+class Draining(RuntimeError):
+    """Submission rejected because the manager is shutting down."""
+
+    def __init__(self) -> None:
+        super().__init__("server is draining for shutdown; not accepting jobs")
+
+
+class _ChaosWorkerDeath(RuntimeError):
+    """Injected worker crash (``chaos_kill_worker``): unwinds the worker
+    thread without deregistering it, exactly like an unhandled bug
+    would, so the supervisor's restart path is exercised end-to-end."""
+
+
+# Queue tokens besides job ids.  ``None`` is the shutdown poison pill
+# (worker exits, stays registered for the joining shutdown); _RETIRE is
+# the scale-down pill (worker deregisters itself and exits); _CHAOS_*
+# are fault injections (see chaos_kill_worker / chaos_stall_worker).
+_RETIRE = object()
+_CHAOS_KILL = object()
+_CHAOS_STALL = object()
 
 
 def _now() -> float:
@@ -101,6 +159,7 @@ class Job:
         label: Optional[str] = None,
         mode: str = "async",
         created: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> None:
         self.id = job_id
         self.specs: Tuple[TrialSpec, ...] = tuple(specs)
@@ -110,6 +169,9 @@ class Job:
         self.directory = directory
         self.label = label
         self.mode = mode
+        #: absolute ``time.time()`` seconds; queued jobs past it are
+        #: shed, running jobs unwind at the next trial boundary
+        self.deadline = deadline
         self.state = "queued"
         self.error: Optional[str] = None
         self.created = _now() if created is None else created
@@ -162,6 +224,7 @@ class Job:
             "created": self.created,
             "started": self.started,
             "finished": self.finished,
+            "deadline": self.deadline,
             "trials": len(self.specs),
             "progress": dict(self.progress),
             "telemetry": self.telemetry_requested,
@@ -185,30 +248,60 @@ class Job:
 
 
 class JobManager:
-    """Bounded worker pool + journal + result store.  Thread-safe."""
+    """Supervised worker pool + journal + result store.  Thread-safe."""
 
     def __init__(
         self,
         state_dir: str,
         *,
         workers: int = 2,
+        min_workers: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        max_queue_depth: Optional[int] = None,
+        circuit_threshold: Optional[int] = 3,
         runner_jobs: int = 1,
         trial_timeout: Optional[float] = None,
         retries: int = 1,
         backoff: float = 0.1,
         registry: Optional[MetricsRegistry] = None,
+        scale_up_after: float = 1.0,
+        scale_down_idle: float = 5.0,
+        supervise_interval: float = 0.25,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        min_workers = workers if min_workers is None else int(min_workers)
+        max_workers = workers if max_workers is None else int(max_workers)
+        if not (1 <= min_workers <= workers <= max_workers):
+            raise ValueError(
+                f"need 1 <= min_workers <= workers <= max_workers, got "
+                f"{min_workers} / {workers} / {max_workers}"
+            )
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
         self.state_dir = os.path.abspath(state_dir)
         self.jobs_dir = os.path.join(self.state_dir, "jobs")
         os.makedirs(self.jobs_dir, exist_ok=True)
-        self.store = ResultStore(os.path.join(self.state_dir, "results"))
+        self.store = ResultStore(
+            os.path.join(self.state_dir, "results"),
+            on_corrupt=self._record_corrupt_entry,
+        )
         self.workers = workers
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.max_queue_depth = max_queue_depth
+        self.circuit_threshold = (
+            None if not circuit_threshold else int(circuit_threshold)
+        )
         self.runner_jobs = runner_jobs
         self.trial_timeout = trial_timeout
         self.retries = retries
         self.backoff = backoff
+        self.scale_up_after = scale_up_after
+        self.scale_down_idle = scale_down_idle
+        self.supervise_interval = supervise_interval
         self.registry = registry if registry is not None else MetricsRegistry()
         # MetricsRegistry increments are not atomic; every server-side
         # record goes through this lock (trial workers are separate
@@ -216,41 +309,216 @@ class JobManager:
         self.metrics_lock = threading.Lock()
         self._lock = threading.RLock()
         self._jobs: Dict[str, Job] = {}
-        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
-        self._threads: List[threading.Thread] = []
+        self._queue: "queue.Queue[Any]" = queue.Queue()
+        self._threads: Dict[str, threading.Thread] = {}
+        self._heartbeats: Dict[str, float] = {}
         self._stop = threading.Event()
         self._seq = 0
+        self._worker_seq = 0
+        self._target = workers
+        self._restarts = 0
+        self._supervisor: Optional[threading.Thread] = None
+        # autoscaler bookkeeping (supervisor thread only)
+        self._backlog_mark: Optional[Tuple[float, int]] = None
+        self._idle_since: Optional[float] = None
+        # EWMA of finished-job wall-clock, for Retry-After estimates
+        self._avg_job_seconds: Optional[float] = None
+        # fingerprint -> (consecutive failures, last failure time)
+        self._circuit: Dict[str, Tuple[int, float]] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Recover journaled jobs, then start the worker pool."""
+        """Recover journaled jobs, then start the worker pool and its
+        supervisor."""
         self._recover()
-        for i in range(self.workers):
-            thread = threading.Thread(
-                target=self._worker_loop,
-                name=f"repro-serve-worker-{i}",
-                daemon=True,
-            )
-            thread.start()
-            self._threads.append(thread)
+        with self._lock:
+            self._target = self.workers
+            for _ in range(self.workers):
+                self._spawn_worker_locked()
+        self._supervisor = threading.Thread(
+            target=self._supervise_loop,
+            name="repro-serve-supervisor",
+            daemon=True,
+        )
+        self._supervisor.start()
 
     def shutdown(self, *, timeout: float = 30.0) -> None:
         """Graceful stop: interrupt running sweeps (they checkpoint),
         journal interrupted jobs back to ``queued`` for the next
-        process, and join the workers."""
+        process, and join the workers.
+
+        The supervisor is quiesced *first*: it restarts crashed workers
+        and scales the pool up, and either action after the poison
+        pills are counted would leave a worker without a pill (the join
+        below would then hang until ``timeout``).  Only once the
+        supervisor is provably not spawning is the live-thread set
+        snapshotted and one pill sent per worker.
+        """
         self._stop.set()
+        deadline = time.monotonic() + timeout
+        supervisor = self._supervisor
+        if supervisor is not None:
+            supervisor.join(max(0.1, deadline - time.monotonic()))
+            self._supervisor = None
         with self._lock:
             running = [j for j in self._jobs.values() if j.state == "running"]
+            threads = list(self._threads.values())
         for job in running:
             job.cancel_event.set()
-        for _ in self._threads:
+        for _ in threads:
             self._queue.put(None)
-        deadline = time.monotonic() + timeout
-        for thread in self._threads:
+        for thread in threads:
             thread.join(max(0.1, deadline - time.monotonic()))
-        self._threads.clear()
+        with self._lock:
+            self._threads.clear()
+            self._heartbeats.clear()
+
+    # ------------------------------------------------------------------
+    # supervision: heartbeats, restarts, autoscaling
+    # ------------------------------------------------------------------
+    def _spawn_worker_locked(self) -> threading.Thread:
+        self._worker_seq += 1
+        name = f"repro-serve-worker-{self._worker_seq}"
+        thread = threading.Thread(
+            target=self._worker_main, args=(name,), name=name, daemon=True
+        )
+        self._threads[name] = thread
+        self._heartbeats[name] = time.monotonic()
+        thread.start()
+        return thread
+
+    def _beat(self, name: str) -> None:
+        self._heartbeats[name] = time.monotonic()
+
+    def _supervise_loop(self) -> None:
+        while not self._stop.wait(self.supervise_interval):
+            try:
+                self._supervise_once()
+            except Exception:
+                # the supervisor must never die of a transient error —
+                # it is the thing that un-sticks everything else
+                pass
+
+    def _supervise_once(self, now: Optional[float] = None) -> None:
+        """One supervision pass: bury + replace crashed workers, shed
+        expired queued jobs, apply the autoscaling policy, reconcile
+        the pool to its target size."""
+        now = time.monotonic() if now is None else now
+        restarted = 0
+        with self._lock:
+            # 1. crashed workers: deregister, count, respawn below via
+            #    the reconcile step
+            dead = [
+                name
+                for name, thread in self._threads.items()
+                if not thread.is_alive()
+            ]
+            for name in dead:
+                del self._threads[name]
+                self._heartbeats.pop(name, None)
+            restarted = len(dead)
+            self._restarts += restarted
+
+            # 2. deadline shedding for jobs still sitting in the queue
+            wall = _now()
+            for job in self._jobs.values():
+                if (
+                    job.state == "queued"
+                    and job.deadline is not None
+                    and wall > job.deadline
+                ):
+                    self._shed_locked(job, "deadline")
+
+            # 3. autoscaling policy
+            depth = sum(
+                1 for j in self._jobs.values() if j.state == "queued"
+            )
+            busy = depth + sum(
+                1 for j in self._jobs.values() if j.state == "running"
+            )
+            if depth > 0:
+                self._idle_since = None
+                if self._backlog_mark is None:
+                    self._backlog_mark = (now, depth)
+                else:
+                    since, depth_then = self._backlog_mark
+                    sustained = now - since >= self.scale_up_after
+                    draining = depth < depth_then  # net drain since mark
+                    if draining:
+                        # drain rate is keeping up: restart the window
+                        self._backlog_mark = (now, depth)
+                    elif sustained and self._target < self.max_workers:
+                        self._target += 1
+                        self._backlog_mark = (now, depth)
+            else:
+                self._backlog_mark = None
+                if busy > 0:
+                    self._idle_since = None
+                elif self._idle_since is None:
+                    self._idle_since = now
+                elif (
+                    now - self._idle_since >= self.scale_down_idle
+                    and self._target > self.min_workers
+                ):
+                    self._target -= 1
+                    self._idle_since = now  # one retire per grace period
+                    self._queue.put(_RETIRE)
+
+            # 4. reconcile pool to target (covers both restart-after-
+            #    crash and scale-up; scale-down happens via _RETIRE)
+            while len(self._threads) < self._target:
+                self._spawn_worker_locked()
+        if restarted:
+            self._metric(
+                lambda reg: reg.counter(
+                    "repro_serve_worker_restarts_total",
+                    "Crashed worker threads restarted by the supervisor",
+                ).inc(restarted)
+            )
+
+    def pool_stats(self) -> Dict[str, Any]:
+        """Supervisor's view of the pool, for ``/healthz`` and tests."""
+        now = time.monotonic()
+        with self._lock:
+            alive = sum(
+                1 for t in self._threads.values() if t.is_alive()
+            )
+            beats = list(self._heartbeats.values())
+            return {
+                "target": self._target,
+                "alive": alive,
+                "min": self.min_workers,
+                "max": self.max_workers,
+                "restarts": self._restarts,
+                "oldest_heartbeat_s": (
+                    round(now - min(beats), 3) if beats else None
+                ),
+            }
+
+    def saturation(self) -> float:
+        """Queue depth over capacity in ``[0, 1]`` (0 when unbounded)."""
+        if self.max_queue_depth is None:
+            return 0.0
+        return min(1.0, self.queue_depth() / self.max_queue_depth)
+
+    @property
+    def draining(self) -> bool:
+        return self._stop.is_set()
+
+    # -- chaos injection hooks (exposed over HTTP only behind
+    #    --enable-chaos; harmless but useless in production) ------------
+    def chaos_kill_worker(self) -> None:
+        """Crash one worker at its next queue pickup.  The thread dies
+        exactly like an unhandled exception would — still registered —
+        so the supervisor has to notice and restart it."""
+        self._queue.put(_CHAOS_KILL)
+
+    def chaos_stall_worker(self, seconds: float) -> None:
+        """Make one worker sleep ``seconds`` (capped at 30) at its next
+        pickup: deterministic busy-pool for flood tests."""
+        self._queue.put((_CHAOS_STALL, min(float(seconds), 30.0)))
 
     def _recover(self) -> None:
         """Re-register every journaled job; re-enqueue unfinished ones."""
@@ -260,6 +528,10 @@ class JobManager:
             return
         recovered = []
         for job_id in entries:
+            if job_id in self._jobs:
+                # already registered (submitted before start()): replacing
+                # the live Job would orphan the submitter's handle
+                continue
             directory = os.path.join(self.jobs_dir, job_id)
             try:
                 with open(
@@ -271,6 +543,7 @@ class JobManager:
                 ]
             except (OSError, ValueError, KeyError):
                 continue  # torn journal: not recoverable, leave on disk
+            deadline = record.get("deadline")
             job = Job(
                 job_id,
                 specs,
@@ -278,6 +551,7 @@ class JobManager:
                 label=record.get("label"),
                 mode=record.get("mode", "async"),
                 created=record.get("created"),
+                deadline=deadline if isinstance(deadline, (int, float)) else None,
             )
             try:
                 with open(job.status_path, encoding="utf-8") as handle:
@@ -319,17 +593,47 @@ class JobManager:
         *,
         label: Optional[str] = None,
         mode: str = "async",
+        deadline_s: Optional[float] = None,
     ) -> Job:
-        """Journal and enqueue one job; returns immediately."""
+        """Journal and enqueue one job; returns immediately.
+
+        Admission control happens here: raises :class:`Draining` while
+        shutting down and :class:`QueueFull` when ``max_queue_depth``
+        is reached — both are *shed* submissions
+        (``repro_serve_shed_total``), never silently buffered.
+        ``deadline_s`` (seconds from now) bounds how long the job may
+        wait + run before it is shed as cancelled.
+        """
         if not specs:
             raise ValueError("a job needs at least one trial spec")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
         serialized = [trial_spec_to_dict(s) for s in specs]  # may raise
         with self._lock:
+            if self._stop.is_set():
+                self._count_shed("draining")
+                raise Draining()
+            if self.max_queue_depth is not None:
+                depth = sum(
+                    1 for j in self._jobs.values() if j.state == "queued"
+                )
+                if depth >= self.max_queue_depth:
+                    self._count_shed("queue_full")
+                    raise QueueFull(self._retry_after_locked(depth), depth)
             self._seq += 1
             job_id = f"{int(_now() * 1000):013d}-{self._seq:04d}"
             directory = os.path.join(self.jobs_dir, job_id)
             os.makedirs(directory, exist_ok=True)
-            job = Job(job_id, specs, directory=directory, label=label, mode=mode)
+            job = Job(
+                job_id,
+                specs,
+                directory=directory,
+                label=label,
+                mode=mode,
+                deadline=(
+                    None if deadline_s is None else _now() + float(deadline_s)
+                ),
+            )
             _atomic_write_json(
                 job.spec_path,
                 {
@@ -338,6 +642,7 @@ class JobManager:
                     "label": job.label,
                     "mode": job.mode,
                     "created": job.created,
+                    "deadline": job.deadline,
                     "specs": serialized,
                 },
             )
@@ -350,6 +655,33 @@ class JobManager:
         )
         self._queue.put(job.id)
         return job
+
+    def _retry_after_locked(self, depth: int) -> int:
+        """Whole-second ``Retry-After`` estimate: time for the pool to
+        drain one slot at the observed per-job pace."""
+        avg = self._avg_job_seconds if self._avg_job_seconds else 1.0
+        estimate = depth * avg / max(1, self._target)
+        return max(1, min(60, int(estimate) + 1))
+
+    def _count_shed(self, reason: str) -> None:
+        self._metric(
+            lambda reg: reg.counter(
+                "repro_serve_shed_total",
+                "Work shed by admission control / deadlines, by reason",
+            ).inc(reason=reason)
+        )
+
+    def _shed_locked(self, job: Job, reason: str) -> None:
+        self._count_shed(reason)
+        self._finish_locked(job, "cancelled", f"shed: {reason} exceeded")
+
+    def _record_corrupt_entry(self, fingerprint: str) -> None:
+        self._metric(
+            lambda reg: reg.counter(
+                "repro_store_corrupt_total",
+                "Corrupt result-store entries quarantined to *.corrupt",
+            ).inc()
+        )
 
     def get(self, job_id: str) -> Optional[Job]:
         with self._lock:
@@ -410,6 +742,14 @@ class JobManager:
         job.state = state
         job.error = error
         job.finished = _now()
+        if state == "done" and job.started is not None:
+            duration = max(0.0, job.finished - job.started)
+            if self._avg_job_seconds is None:
+                self._avg_job_seconds = duration
+            else:
+                self._avg_job_seconds = (
+                    0.7 * self._avg_job_seconds + 0.3 * duration
+                )
         self._journal(job)
         job.done_event.set()
         self._metric(
@@ -422,14 +762,35 @@ class JobManager:
         with self._lock:
             self._finish_locked(job, state, error)
 
-    def _worker_loop(self) -> None:
+    def _worker_main(self, name: str) -> None:
+        try:
+            self._worker_loop(name)
+        except _ChaosWorkerDeath:
+            # injected crash: die silently but *without* deregistering,
+            # leaving the same wreckage a real bug would
+            pass
+
+    def _worker_loop(self, name: str) -> None:
         while True:
-            job_id = self._queue.get()
-            if job_id is None:
+            self._beat(name)
+            token = self._queue.get()
+            self._beat(name)
+            if token is None:
+                return  # shutdown pill: stay registered, shutdown joins
+            if token is _RETIRE:
+                with self._lock:
+                    self._threads.pop(name, None)
+                    self._heartbeats.pop(name, None)
                 return
+            if token is _CHAOS_KILL:
+                raise _ChaosWorkerDeath(name)
+            if isinstance(token, tuple) and token and token[0] is _CHAOS_STALL:
+                time.sleep(token[1])
+                continue
             if self._stop.is_set():
                 # leave the job journaled as queued for the next process
                 return
+            job_id = token
             with self._lock:
                 job = self._jobs.get(job_id)
                 if job is None or job.state != "queued":
@@ -437,13 +798,19 @@ class JobManager:
                 if job.cancel_event.is_set():
                     self._finish_locked(job, "cancelled")
                     continue
+                if job.deadline is not None and _now() > job.deadline:
+                    self._shed_locked(job, "deadline")
+                    continue
                 job.state = "running"
                 job.started = _now()
                 self._journal(job)
             try:
                 self._execute(job)
-            except SweepCancelled:
-                if self._stop.is_set():
+            except SweepCancelled as exc:
+                if getattr(exc, "reason", "cancel") == "deadline":
+                    self._count_shed("deadline")
+                    self._finish(job, "cancelled", "shed: deadline exceeded")
+                elif self._stop.is_set():
                     # shutdown interruption, not a user cancel: requeue
                     # for the next process (checkpoint makes it cheap)
                     with self._lock:
@@ -453,6 +820,7 @@ class JobManager:
                     self._finish(job, "cancelled")
             except Exception as exc:  # infrastructure failure
                 self._finish(job, "failed", f"{type(exc).__name__}: {exc}")
+            self._beat(name)
 
     def _execute(self, job: Job) -> None:
         specs, fingerprints = job.specs, job.fingerprints
@@ -481,12 +849,39 @@ class JobManager:
             if sink is not None and result.get("telemetry") is not None:
                 sink.write(result["telemetry"])
 
+        def circuit_entry(index: int, fp: str) -> None:
+            entries[index] = {
+                "status": "failed",
+                "cached": False,
+                "error_type": "CircuitOpen",
+                "error": (
+                    f"fingerprint {fp} failed "
+                    f"{self.circuit_threshold} consecutive attempts; "
+                    f"failing fast (half-opens after "
+                    f"{CIRCUIT_COOLDOWN:.0f}s)"
+                ),
+                "attempts": 0,
+                "timed_out": False,
+            }
+            job.progress["completed"] += 1
+            job.progress["failed"] += 1
+            self._metric(
+                lambda reg: reg.counter(
+                    "repro_serve_circuit_open_total",
+                    "Trials failed fast because their fingerprint's "
+                    "circuit breaker was open",
+                ).inc()
+            )
+
         try:
             for i in range(n):
+                fp = fingerprints[i]
+                if self._circuit_open(fp):
+                    circuit_entry(i, fp)
+                    continue
                 if not cacheable[i]:
                     compute.append(i)
                     continue
-                fp = fingerprints[i]
                 if fp in leaders:
                     dup_of[i] = leaders[fp]
                     continue
@@ -553,6 +948,39 @@ class JobManager:
     def _check_cancelled(self, job: Job) -> None:
         if job.cancel_event.is_set():
             raise SweepCancelled("job cancelled")
+        if job.deadline is not None and _now() > job.deadline:
+            raise SweepCancelled("job deadline exceeded", reason="deadline")
+
+    # -- circuit breaker ------------------------------------------------
+    def _circuit_open(self, fingerprint: str) -> bool:
+        if self.circuit_threshold is None:
+            return False
+        with self._lock:
+            record = self._circuit.get(fingerprint)
+            if record is None:
+                return False
+            failures, last = record
+            if failures < self.circuit_threshold:
+                return False
+            if _now() - last >= CIRCUIT_COOLDOWN:
+                # half-open: let exactly one attempt through by dropping
+                # below the threshold; a failure re-opens, success resets
+                self._circuit[fingerprint] = (
+                    self.circuit_threshold - 1,
+                    last,
+                )
+                return False
+            return True
+
+    def _circuit_record(self, fingerprint: str, ok: bool) -> None:
+        if self.circuit_threshold is None:
+            return
+        with self._lock:
+            if ok:
+                self._circuit.pop(fingerprint, None)
+            else:
+                failures, _ = self._circuit.get(fingerprint, (0, 0.0))
+                self._circuit[fingerprint] = (failures + 1, _now())
 
     def _run_compute(
         self,
@@ -584,6 +1012,7 @@ class JobManager:
                     self.store.abandon(fp)
                     if fp in leased:
                         leased.remove(fp)
+                self._circuit_record(fp, ok=False)
                 self._metric(lambda reg: record_failed_trial(reg, outcome))
             else:
                 result = execution_to_dict(outcome)
@@ -607,6 +1036,7 @@ class JobManager:
                 job.progress["computed"] += 1
                 if resumed:
                     job.progress["resumed"] += 1
+                self._circuit_record(fp, ok=True)
                 self._metric(lambda reg: record_run_result(reg, outcome))
                 if sink is not None and result.get("telemetry") is not None:
                     sink.write(result["telemetry"])
@@ -620,6 +1050,7 @@ class JobManager:
             checkpoint=job.checkpoint_path,
             on_result=on_result,
             cancel=job.cancel_event,
+            deadline=job.deadline,
         )
         runner.map([job.specs[i] for i in compute])
 
@@ -657,10 +1088,12 @@ class JobManager:
             }
             job.progress["completed"] += 1
             job.progress["failed"] += 1
+            self._circuit_record(fp, ok=False)
             return
         result = execution_to_dict(outcome)
         if lease_kind == "lease":
             self.store.fulfill(fp, result)
+        self._circuit_record(fp, ok=True)
         entries[index] = {"status": "ok", "cached": False, "result": result}
         job.progress["completed"] += 1
         job.progress["computed"] += 1

@@ -14,6 +14,9 @@ Request shape::
     {
       "mode": "auto" | "sync" | "async",      # default "auto"
       "label": "nightly smm sweep",           # optional, display only
+      "deadline_s": 30,                       # optional; job is shed as
+                                              # cancelled past this many
+                                              # seconds after submit
       "trials": [ {<trial>}, ... ],           # explicit form
       "sweep": { ... }                        # or generator form
     }
@@ -94,6 +97,9 @@ class SweepRequest:
     specs: Tuple[TrialSpec, ...]
     mode: str = "auto"
     label: Optional[str] = None
+    #: seconds from submission after which the job is shed (queued jobs
+    #: cancel immediately, running ones at the next trial boundary)
+    deadline_s: Optional[float] = None
 
 
 def parse_sweep_request(payload: Any) -> SweepRequest:
@@ -112,6 +118,17 @@ def parse_sweep_request(payload: Any) -> SweepRequest:
     label = payload.get("label")
     if label is not None and not isinstance(label, str):
         raise RequestError("label must be a string")
+    deadline_s = payload.get("deadline_s")
+    if deadline_s is not None:
+        if (
+            isinstance(deadline_s, bool)
+            or not isinstance(deadline_s, (int, float))
+            or deadline_s <= 0
+        ):
+            raise RequestError(
+                f"deadline_s must be a positive number, got {deadline_s!r}"
+            )
+        deadline_s = float(deadline_s)
     trials = payload.get("trials")
     sweep = payload.get("sweep")
     if (trials is None) == (sweep is None):
@@ -134,7 +151,9 @@ def parse_sweep_request(payload: Any) -> SweepRequest:
             f"ceiling is {MAX_REQUEST_TRIALS} (split into several "
             "submissions)"
         )
-    return SweepRequest(specs=tuple(specs), mode=mode, label=label)
+    return SweepRequest(
+        specs=tuple(specs), mode=mode, label=label, deadline_s=deadline_s
+    )
 
 
 # ----------------------------------------------------------------------

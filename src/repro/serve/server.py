@@ -35,13 +35,14 @@ from __future__ import annotations
 import json
 import re
 import signal
+import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.observability.metrics import MetricsRegistry
-from repro.serve.jobs import JobManager
+from repro.serve.jobs import Draining, JobManager, QueueFull
 from repro.serve.schema import RequestError, parse_sweep_request
 
 __all__ = ["ServeApp", "ReproServer", "run_server"]
@@ -57,7 +58,10 @@ _JSON = "application/json"
 _PROM = "text/plain; version=0.0.4; charset=utf-8"
 _NDJSON = "application/x-ndjson"
 
-Response = Tuple[int, str, Any]  # (status, content-type, payload)
+#: ``(status, content-type, payload)`` — handlers that need extra
+#: headers (``Retry-After`` on 429/503) append a ``{name: value}`` dict
+#: as a fourth element.
+Response = Tuple[Any, ...]
 
 
 class ServeApp:
@@ -68,23 +72,35 @@ class ServeApp:
         state_dir: str,
         *,
         workers: int = 2,
+        min_workers: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        max_queue_depth: Optional[int] = None,
         runner_jobs: int = 1,
         trial_timeout: Optional[float] = None,
         retries: int = 1,
         sync_max_trials: int = SYNC_MAX_TRIALS,
         sync_timeout: float = SYNC_TIMEOUT,
+        scale_up_after: float = 1.0,
+        scale_down_idle: float = 5.0,
+        enable_chaos: bool = False,
     ) -> None:
         self.registry = MetricsRegistry()
         self.manager = JobManager(
             state_dir,
             workers=workers,
+            min_workers=min_workers,
+            max_workers=max_workers,
+            max_queue_depth=max_queue_depth,
             runner_jobs=runner_jobs,
             trial_timeout=trial_timeout,
             retries=retries,
             registry=self.registry,
+            scale_up_after=scale_up_after,
+            scale_down_idle=scale_down_idle,
         )
         self.sync_max_trials = sync_max_trials
         self.sync_timeout = sync_timeout
+        self.enable_chaos = enable_chaos
         self.started = time.time()
 
     def start(self) -> None:
@@ -111,7 +127,8 @@ class ServeApp:
                     "GET /v1/jobs/<id>/result",
                     "GET /v1/jobs/<id>/telemetry",
                     "POST /v1/jobs/<id>/cancel",
-                ],
+                ]
+                + (["POST /v1/chaos"] if self.enable_chaos else []),
             },
         )
 
@@ -120,28 +137,52 @@ class ServeApp:
             200,
             _JSON,
             {
-                "status": "ok",
+                "status": "draining" if self.manager.draining else "ok",
                 "uptime_seconds": round(time.time() - self.started, 3),
                 "queued": self.manager.queue_depth(),
                 "running": self.manager.running_count(),
+                "saturation": round(self.manager.saturation(), 4),
+                "pool": self.manager.pool_stats(),
             },
         )
 
     def handle_metrics(self) -> Response:
         manager = self.manager
+        # Snapshot every gauge input *before* taking metrics_lock: the
+        # manager acquires metrics_lock while holding its own lock
+        # (_finish_locked -> _metric), so calling queue_depth() &c.
+        # under metrics_lock would invert the lock order and deadlock
+        # against a finishing job.
+        depth = manager.queue_depth()
+        running = manager.running_count()
+        saturation = manager.saturation()
+        pool = manager.pool_stats()
+        entries = len(manager.store)
+        uptime = round(time.time() - self.started, 3)
         with manager.metrics_lock:
             self.registry.gauge(
                 "repro_serve_queue_depth", "Jobs waiting for a worker"
-            ).set(manager.queue_depth())
+            ).set(depth)
             self.registry.gauge(
                 "repro_serve_running_jobs", "Jobs currently executing"
-            ).set(manager.running_count())
+            ).set(running)
+            self.registry.gauge(
+                "repro_serve_queue_saturation",
+                "Queue depth over max_queue_depth (0 when unbounded)",
+            ).set(round(saturation, 4))
+            self.registry.gauge(
+                "repro_serve_workers", "Live worker threads"
+            ).set(pool["alive"])
+            self.registry.gauge(
+                "repro_serve_workers_target",
+                "Worker count the supervisor is steering toward",
+            ).set(pool["target"])
             self.registry.gauge(
                 "repro_serve_uptime_seconds", "Seconds since server start"
-            ).set(round(time.time() - self.started, 3))
+            ).set(uptime)
             self.registry.gauge(
                 "repro_result_store_entries", "Results in the dedup store"
-            ).set(len(manager.store))
+            ).set(entries)
             text = self.registry.exposition()
         return (200, _PROM, text)
 
@@ -159,7 +200,24 @@ class ServeApp:
             )
         try:
             job = self.manager.submit(
-                request.specs, label=request.label, mode=mode
+                request.specs,
+                label=request.label,
+                mode=mode,
+                deadline_s=request.deadline_s,
+            )
+        except QueueFull as exc:
+            return (
+                429,
+                _JSON,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                {"Retry-After": str(exc.retry_after)},
+            )
+        except Draining as exc:
+            return (
+                503,
+                _JSON,
+                {"error": str(exc)},
+                {"Retry-After": "10"},
             )
         except ValueError as exc:
             return (400, _JSON, {"error": str(exc)})
@@ -247,6 +305,38 @@ class ServeApp:
         job = self.manager.get(job_id)
         return (202, _JSON, {"job": job.summary() if job else {"state": state}})
 
+    def handle_chaos(self, payload: Any) -> Response:
+        """Fault injection for the chaos harness; a 404 unless the
+        server was started with ``--enable-chaos``."""
+        if not self.enable_chaos:
+            return (
+                404,
+                _JSON,
+                {"error": "chaos endpoint disabled (start with --enable-chaos)"},
+            )
+        fault = payload.get("fault") if isinstance(payload, dict) else None
+        if fault == "kill_worker":
+            self.manager.chaos_kill_worker()
+            return (202, _JSON, {"fault": "kill_worker"})
+        if fault == "stall_worker":
+            seconds = payload.get("seconds", 5)
+            if not isinstance(seconds, (int, float)) or seconds <= 0:
+                return (400, _JSON, {"error": "seconds must be > 0"})
+            self.manager.chaos_stall_worker(float(seconds))
+            return (
+                202,
+                _JSON,
+                {"fault": "stall_worker", "seconds": min(float(seconds), 30.0)},
+            )
+        return (
+            400,
+            _JSON,
+            {
+                "error": f"unknown fault {fault!r} "
+                "(expected kill_worker or stall_worker)"
+            },
+        )
+
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
@@ -275,6 +365,7 @@ class ServeApp:
             "cancel",
             "/v1/jobs/<id>/cancel",
         ),
+        ("POST", re.compile(r"^/v1/chaos$"), "chaos", "/v1/chaos"),
     )
 
     def dispatch(self, method: str, path: str, body: Optional[bytes]) -> Response:
@@ -294,7 +385,7 @@ class ServeApp:
                     self, f"handle_{name}"
                 )
                 args = list(match.groups())
-                if method == "POST" and name == "submit":
+                if method == "POST" and name in ("submit", "chaos"):
                     try:
                         payload = json.loads(body or b"")
                     except ValueError:
@@ -339,7 +430,8 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     def _respond(self, response: Response) -> None:
-        status, content_type, payload = response
+        status, content_type, payload = response[:3]
+        extra: Dict[str, str] = response[3] if len(response) > 3 else {}
         if isinstance(payload, bytes):
             body = payload
         elif content_type == _PROM:
@@ -349,6 +441,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in extra.items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -425,9 +519,16 @@ def run_server(
     port: int = 0,
     state_dir: str,
     workers: int = 2,
+    min_workers: Optional[int] = None,
+    max_workers: Optional[int] = None,
+    max_queue_depth: Optional[int] = None,
     runner_jobs: int = 1,
     trial_timeout: Optional[float] = None,
     retries: int = 1,
+    sync_timeout: float = SYNC_TIMEOUT,
+    scale_up_after: float = 1.0,
+    scale_down_idle: float = 5.0,
+    enable_chaos: bool = False,
     print_fn: Callable[[str], None] = _print_flushed,
 ) -> int:
     """Blocking entry point behind ``repro serve``.
@@ -436,15 +537,35 @@ def run_server(
     sweeps are interrupted at their next scheduling point and journaled
     back to ``queued`` (their checkpoints make the restart cheap), and
     every shared-memory segment is unlinked before exit.
+
+    Returns 2 (with a one-line diagnostic on stderr) when the listen
+    address cannot be bound — the classic already-running case must not
+    be a traceback.
     """
     app = ServeApp(
         state_dir,
         workers=workers,
+        min_workers=min_workers,
+        max_workers=max_workers,
+        max_queue_depth=max_queue_depth,
         runner_jobs=runner_jobs,
         trial_timeout=trial_timeout,
         retries=retries,
+        sync_timeout=sync_timeout,
+        scale_up_after=scale_up_after,
+        scale_down_idle=scale_down_idle,
+        enable_chaos=enable_chaos,
     )
-    server = ReproServer(app, host=host, port=port)
+    try:
+        server = ReproServer(app, host=host, port=port)
+    except OSError as exc:
+        print(
+            f"repro serve: cannot bind {host}:{port}: {exc.strerror or exc} "
+            "(is another server already listening there?)",
+            file=sys.stderr,
+            flush=True,
+        )
+        return 2
     stop = threading.Event()
 
     def _signal_handler(signum: int, frame: Any) -> None:

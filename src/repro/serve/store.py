@@ -15,11 +15,18 @@ result, across jobs and across server restarts.  Three invariants:
 * **no wrong answers** — a spec is cacheable only when it is
   deterministic, i.e. carries an explicit ``seed``
   (:meth:`cacheable`).  Unseeded trials always compute.
+* **corrupt entries are misses** — a stored file that exists but no
+  longer parses (torn write survived a crash, disk bitrot, manual
+  tampering) is quarantined to ``<fp>.json.corrupt`` and treated as a
+  miss, so the fingerprint recomputes instead of poisoning every
+  future hit.
 
 The store itself keeps no hit/miss counters — the
 :class:`~repro.serve.jobs.JobManager` records those in its
 :class:`~repro.observability.MetricsRegistry` where they land on
-``/metrics``.
+``/metrics``.  The one store-level event worth counting, a
+quarantined corrupt entry, is reported through the optional
+``on_corrupt`` callback for the same reason.
 """
 
 from __future__ import annotations
@@ -27,7 +34,7 @@ from __future__ import annotations
 import json
 import os
 import threading
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 __all__ = ["ResultStore"]
 
@@ -36,12 +43,18 @@ class ResultStore:
     """Fingerprint-addressed JSON results on disk, with in-process
     in-flight coalescing.  Thread-safe."""
 
-    def __init__(self, root: Union[str, os.PathLike]) -> None:
+    def __init__(
+        self,
+        root: Union[str, os.PathLike],
+        *,
+        on_corrupt: Optional[Callable[[str], None]] = None,
+    ) -> None:
         self.root = os.fspath(root)
         os.makedirs(self.root, exist_ok=True)
         self._sweep_stale_tmp()
         self._lock = threading.Lock()
         self._inflight: Dict[str, threading.Event] = {}
+        self._on_corrupt = on_corrupt
 
     def _sweep_stale_tmp(self) -> None:
         """Remove temp files a crashed leader left behind.
@@ -81,12 +94,33 @@ class ResultStore:
 
     def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
         """The stored result for ``fingerprint``, or ``None``.  A
-        missing or unreadable file is a miss, never an error."""
+        missing or unreadable file is a miss, never an error.
+
+        A file that *exists* but does not parse is a torn or corrupted
+        entry: it is renamed to ``<fp>.json.corrupt`` (preserved for
+        post-mortem, out of the way of future reads) and reported via
+        ``on_corrupt`` before the miss is returned.
+        """
+        path = self.path(fingerprint)
         try:
-            with open(self.path(fingerprint), encoding="utf-8") as handle:
+            with open(path, encoding="utf-8") as handle:
                 return json.load(handle)
-        except (OSError, ValueError):
+        except OSError:
             return None
+        except ValueError:
+            self._quarantine(fingerprint, path)
+            return None
+
+    def _quarantine(self, fingerprint: str, path: str) -> None:
+        try:
+            os.replace(path, f"{path}.corrupt")
+        except OSError:
+            return  # a concurrent reader already moved it
+        if self._on_corrupt is not None:
+            try:
+                self._on_corrupt(fingerprint)
+            except Exception:
+                pass  # telemetry must never break the read path
 
     def lease(
         self, fingerprint: str
@@ -113,13 +147,37 @@ class ResultStore:
             return ("lease", event)
 
     def fulfill(self, fingerprint: str, result: Dict[str, Any]) -> None:
-        """Store the leased result and wake every waiter (atomic)."""
+        """Store the leased result and wake every waiter (atomic).
+
+        The temp file is fsynced before the rename so the rename never
+        publishes a name whose *contents* are still in the page cache —
+        without it a power loss can durably commit the rename but not
+        the data, which is exactly the torn entry :meth:`get`
+        quarantines.
+        """
         final = self.path(fingerprint)
         tmp = f"{final}.tmp.{os.getpid()}.{threading.get_ident()}"
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(result, handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, final)
+        self._fsync_dir()
         self._release(fingerprint)
+
+    def _fsync_dir(self) -> None:
+        """Best-effort fsync of the store directory so the rename itself
+        is durable; some filesystems don't allow O_RDONLY dir fds."""
+        try:
+            fd = os.open(self.root, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
 
     def abandon(self, fingerprint: str) -> None:
         """Give up a lease without storing (the trial failed or was

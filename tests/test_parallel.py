@@ -440,3 +440,48 @@ class TestOwnerHooks:
         ).map(self._specs())
         assert len(results) == 4
         assert resumed.count(True) >= 2
+
+    def test_expired_deadline_raises_before_work(self):
+        import time as _time
+
+        from repro.parallel import SweepCancelled
+
+        runner = TrialRunner(jobs=1, deadline=_time.time() - 1.0)
+        with pytest.raises(SweepCancelled) as excinfo:
+            runner.map(self._specs())
+        assert excinfo.value.reason == "deadline"
+
+    def test_deadline_mid_sweep_inline(self):
+        import time as _time
+
+        from repro.parallel import SweepCancelled
+
+        state = {"deadline": _time.time() + 3600.0}
+        seen = []
+
+        def hook(i, outcome, resumed):
+            seen.append(i)
+            if len(seen) == 2:
+                state["runner"].deadline = _time.time() - 1.0
+
+        runner = TrialRunner(
+            jobs=1, batch_sweep=False, on_result=hook,
+            deadline=state["deadline"],
+        )
+        state["runner"] = runner
+        with pytest.raises(SweepCancelled) as excinfo:
+            runner.map(self._specs())
+        assert excinfo.value.reason == "deadline"
+        assert len(seen) == 2  # stopped at the next scheduling point
+
+    def test_cancel_reason_defaults_to_cancel(self):
+        import threading
+
+        from repro.parallel import SweepCancelled
+
+        cancel = threading.Event()
+        cancel.set()
+        runner = TrialRunner(jobs=1, cancel=cancel)
+        with pytest.raises(SweepCancelled) as excinfo:
+            runner.map(self._specs())
+        assert excinfo.value.reason == "cancel"

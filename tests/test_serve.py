@@ -43,12 +43,15 @@ from repro.parallel import (
 )
 from repro.parallel.trial_runner import PROTOCOLS, register_protocol
 from repro.serve import (
+    Draining,
     JobManager,
+    QueueFull,
     ReproServer,
     RequestError,
     ResultStore,
     ServeApp,
     parse_sweep_request,
+    run_server,
 )
 
 
@@ -838,3 +841,505 @@ class TestResponseSchema:
             assert payload["id"] == job.id
         finally:
             manager.shutdown()
+
+
+# ----------------------------------------------------------------------
+# self-healing control plane: durable-store hardening, admission
+# control, supervision/autoscaling, circuit breaking, torn journals
+# ----------------------------------------------------------------------
+def _metric_value(registry, name, **labels):
+    """Sum of a counter family's samples, optionally filtered to one
+    exact label set."""
+    family = registry.to_dict().get(name)
+    if family is None:
+        return 0.0
+    want = {str(k): str(v) for k, v in labels.items()}
+    return sum(
+        sample["value"]
+        for sample in family["samples"]
+        if not want or sample["labels"] == want
+    )
+
+
+class TestStoreHardening:
+    def test_corrupt_entry_is_miss_and_quarantined(self, tmp_path):
+        corrupted = []
+        store = ResultStore(
+            str(tmp_path / "store"), on_corrupt=corrupted.append
+        )
+        spec = _specs(1)[0]
+        fp = spec_fingerprint(spec)
+        store.fulfill(fp, {"status": "ok", "result": {"x": 1}})
+        assert store.get(fp) is not None
+
+        # torn write / bit rot: leave a JSON prefix behind
+        with open(store.path(fp), "w", encoding="utf-8") as handle:
+            handle.write('{"status": "ok", "resu')
+        assert store.get(fp) is None  # miss, not a crash
+        assert corrupted == [fp]
+        assert not os.path.exists(store.path(fp))
+        assert os.path.exists(store.path(fp) + ".corrupt")
+        assert len(store) == 0  # quarantined files don't count
+
+    def test_missing_entry_is_plain_miss(self, tmp_path):
+        corrupted = []
+        store = ResultStore(
+            str(tmp_path / "store"), on_corrupt=corrupted.append
+        )
+        assert store.get("0" * 16) is None
+        assert corrupted == []
+
+    def test_sweep_recomputes_after_corruption(self, tmp_path):
+        """Satellite regression: a truncated store entry must not crash
+        or poison a sweep — the trial is recomputed and the final bytes
+        match an untouched run."""
+        manager = _manager(tmp_path, workers=1)
+        manager.start()
+        try:
+            first = manager.submit(_specs(2))
+            assert manager.wait(first, timeout=60)
+            assert first.state == "done"
+            reference = [e["result"] for e in manager.results(first)]
+
+            victim = spec_fingerprint(_specs(2)[0])
+            with open(
+                manager.store.path(victim), "w", encoding="utf-8"
+            ) as handle:
+                handle.write('{"status"')
+
+            second = manager.submit(_specs(2))
+            assert manager.wait(second, timeout=60)
+            assert second.state == "done"
+            assert second.progress["computed"] == 1  # the victim
+            assert second.progress["cached"] == 1  # the survivor
+            assert [e["result"] for e in manager.results(second)] == reference
+            assert (
+                _metric_value(manager.registry, "repro_store_corrupt_total")
+                >= 1
+            )
+            assert os.path.exists(manager.store.path(victim) + ".corrupt")
+        finally:
+            manager.shutdown()
+
+
+class TestAdmissionControl:
+    def test_queue_full_raises_with_retry_after(self, tmp_path):
+        manager = _manager(tmp_path, workers=1, max_queue_depth=1)
+        # not started: the queued job cannot drain, so depth is exact
+        manager.submit(_specs(1))
+        with pytest.raises(QueueFull) as excinfo:
+            manager.submit(_specs(1, seed=500))
+        assert excinfo.value.retry_after >= 1
+        assert excinfo.value.depth == 1
+        assert (
+            _metric_value(
+                manager.registry,
+                "repro_serve_shed_total",
+                reason="queue_full",
+            )
+            == 1
+        )
+        assert manager.saturation() == 1.0
+
+    def test_draining_rejects_submissions(self, tmp_path):
+        manager = _manager(tmp_path, workers=1)
+        manager.start()
+        manager.shutdown()
+        with pytest.raises(Draining):
+            manager.submit(_specs(1))
+        assert (
+            _metric_value(
+                manager.registry, "repro_serve_shed_total", reason="draining"
+            )
+            == 1
+        )
+
+    def test_expired_deadline_sheds_queued_job(self, tmp_path):
+        manager = _manager(
+            tmp_path, workers=1, supervise_interval=0.05
+        )
+        job = manager.submit(_specs(1), deadline_s=0.01)
+        time.sleep(0.1)  # expire while still queued
+        manager.start()
+        try:
+            assert job.done_event.wait(30)
+            assert job.state == "cancelled"
+            assert "deadline" in job.error
+            assert (
+                _metric_value(
+                    manager.registry,
+                    "repro_serve_shed_total",
+                    reason="deadline",
+                )
+                >= 1
+            )
+        finally:
+            manager.shutdown()
+
+    def test_deadline_survives_recovery(self, tmp_path):
+        """A journaled deadline is enforced by the *next* process too."""
+        manager = _manager(tmp_path, workers=1)
+        job = manager.submit(_specs(1), deadline_s=0.01)
+        job_id = job.id
+        time.sleep(0.1)
+        # simulate a crash-restart: a fresh manager on the same state
+        second = _manager(tmp_path, workers=1, supervise_interval=0.05)
+        second.start()
+        try:
+            recovered = second.get(job_id)
+            assert recovered is not None
+            assert recovered.done_event.wait(30)
+            assert recovered.state == "cancelled"
+            assert "deadline" in recovered.error
+        finally:
+            second.shutdown()
+
+    def test_http_429_with_retry_after_header(self, tmp_path):
+        app = ServeApp(
+            str(tmp_path / "state"),
+            workers=1,
+            max_queue_depth=1,
+            enable_chaos=True,
+        )
+        server = ReproServer(app, port=0)
+        server.start()
+        try:
+            app.manager.chaos_stall_worker(3.0)  # pin the only worker
+            time.sleep(0.2)
+            body = {
+                "mode": "async",
+                "sweep": {
+                    "protocol": "smm",
+                    "family": "cycle",
+                    "n": 8,
+                    "trials": 1,
+                    "seed": 1,
+                    "backend": "reference",
+                },
+            }
+            codes = []
+            rejected_headers = []
+            for seed in range(5):
+                body["sweep"]["seed"] = seed
+                code, raw, headers = _request(
+                    server, "POST", "/v1/sweeps", body
+                )
+                codes.append(code)
+                if code == 429:
+                    rejected_headers.append((headers, json.loads(raw)))
+            assert 429 in codes, codes
+            assert 202 in codes, codes
+            for headers, payload in rejected_headers:
+                assert int(headers["Retry-After"]) >= 1
+                assert payload["retry_after"] == int(headers["Retry-After"])
+            # saturation + shed counter are scrapeable
+            code, raw, _ = _request(server, "GET", "/metrics")
+            samples = _parse_prometheus(raw.decode())
+            assert samples['repro_serve_shed_total{reason="queue_full"}'] >= 1
+            assert samples["repro_serve_queue_saturation"] == 1.0
+        finally:
+            server.shutdown()
+
+    def test_http_503_when_draining(self, tmp_path):
+        app = ServeApp(str(tmp_path / "state"), workers=1)
+        server = ReproServer(app, port=0)
+        server.start()
+        try:
+            app.manager._stop.set()  # what SIGTERM does first
+            body = {
+                "mode": "async",
+                "sweep": {
+                    "protocol": "smm",
+                    "family": "cycle",
+                    "n": 8,
+                    "trials": 1,
+                    "seed": 1,
+                },
+            }
+            code, raw, headers = _request(server, "POST", "/v1/sweeps", body)
+            assert code == 503
+            assert "Retry-After" in headers
+            code, raw, _ = _request(server, "GET", "/healthz")
+            assert json.loads(raw)["status"] == "draining"
+        finally:
+            app.manager._stop.clear()  # let shutdown() run normally
+            server.shutdown()
+
+    def test_chaos_endpoint_is_gated(self, http_server):
+        code, _, _ = _request(
+            http_server, "POST", "/v1/chaos", {"fault": "kill_worker"}
+        )
+        assert code == 404  # not enabled on this server
+
+
+class TestSupervisor:
+    def test_crashed_worker_is_restarted(self, tmp_path):
+        manager = _manager(
+            tmp_path, workers=1, supervise_interval=0.05
+        )
+        manager.start()
+        try:
+            manager.chaos_kill_worker()
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                stats = manager.pool_stats()
+                if stats["restarts"] >= 1 and stats["alive"] == stats["target"]:
+                    break
+                time.sleep(0.05)
+            stats = manager.pool_stats()
+            assert stats["restarts"] >= 1, stats
+            assert stats["alive"] == stats["target"] == 1, stats
+            assert (
+                _metric_value(
+                    manager.registry, "repro_serve_worker_restarts_total"
+                )
+                >= 1
+            )
+            # the restarted pool still serves jobs
+            job = manager.submit(_specs(2))
+            assert manager.wait(job, timeout=60)
+            assert job.state == "done"
+        finally:
+            manager.shutdown()
+
+    def test_autoscales_up_under_backlog_then_back_down(self, tmp_path):
+        manager = _manager(
+            tmp_path,
+            workers=1,
+            min_workers=1,
+            max_workers=3,
+            scale_up_after=0.1,
+            scale_down_idle=0.2,
+            supervise_interval=0.05,
+        )
+        manager.start()
+        try:
+            manager.chaos_stall_worker(2.0)  # pin so backlog sustains
+            time.sleep(0.1)
+            jobs = [
+                manager.submit(_specs(2, seed=500 + i * 10))
+                for i in range(5)
+            ]
+            grew = 1
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                grew = max(grew, manager.pool_stats()["target"])
+                if grew > 1 and all(j.done_event.is_set() for j in jobs):
+                    break
+                time.sleep(0.02)
+            assert grew > 1, "pool never scaled up under sustained backlog"
+            assert all(j.state == "done" for j in jobs)
+            # idle pool shrinks back to min_workers (and the retired
+            # threads actually exit)
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                stats = manager.pool_stats()
+                if stats["target"] == 1 and stats["alive"] == 1:
+                    break
+                time.sleep(0.05)
+            stats = manager.pool_stats()
+            assert stats["target"] == 1 and stats["alive"] == 1, stats
+        finally:
+            manager.shutdown()
+
+    def test_shutdown_under_load_terminates(self, tmp_path):
+        """Satellite 6 pin: shutdown with a full queue, busy workers,
+        and an active supervisor must quiesce within the timeout — the
+        supervisor may not resurrect workers after their poison pills
+        are counted."""
+        register_protocol("slow-shutdown-test", _SlowMatching)
+        try:
+            manager = _manager(
+                tmp_path,
+                workers=2,
+                min_workers=1,
+                max_workers=4,
+                scale_up_after=0.1,
+                supervise_interval=0.05,
+            )
+            manager.start()
+            jobs = [
+                manager.submit(
+                    _specs(2, seed=900 + i, protocol="slow-shutdown-test")
+                )
+                for i in range(6)
+            ]
+            time.sleep(0.4)  # let work start and the autoscaler engage
+            began = time.monotonic()
+            manager.shutdown(timeout=30)
+            assert time.monotonic() - began < 25
+            assert manager._supervisor is None
+            assert not manager._threads
+            for job in jobs:
+                # every job ended in a legal journaled state; running
+                # ones were re-queued for the next process
+                assert job.state in ("queued", "done", "cancelled")
+        finally:
+            del PROTOCOLS["slow-shutdown-test"]
+
+    def test_worker_bounds_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            _manager(tmp_path, workers=2, max_workers=1)
+        with pytest.raises(ValueError):
+            _manager(tmp_path, workers=1, min_workers=2)
+        with pytest.raises(ValueError):
+            _manager(tmp_path, workers=1, min_workers=0)
+        with pytest.raises(ValueError):
+            _manager(tmp_path, workers=1, max_queue_depth=0)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self, tmp_path):
+        manager = _manager(
+            tmp_path, workers=1, circuit_threshold=2, retries=0
+        )
+        manager.start()
+        try:
+            bad = [
+                TrialSpec(
+                    "smm", cycle_graph(8), seed=1, backend="nonexistent"
+                )
+            ]
+            error_types = []
+            for _ in range(4):
+                job = manager.submit(bad)
+                assert manager.wait(job, timeout=60)
+                error_types.append(job.entries[0].get("error_type"))
+            # first two fail for real, then the breaker fails fast
+            assert error_types[2:] == ["CircuitOpen", "CircuitOpen"]
+            assert "CircuitOpen" not in error_types[:2]
+            assert (
+                _metric_value(
+                    manager.registry, "repro_serve_circuit_open_total"
+                )
+                >= 2
+            )
+        finally:
+            manager.shutdown()
+
+    def test_open_circuit_does_not_affect_other_fingerprints(self, tmp_path):
+        manager = _manager(
+            tmp_path, workers=1, circuit_threshold=1, retries=0
+        )
+        manager.start()
+        try:
+            bad = [
+                TrialSpec(
+                    "smm", cycle_graph(8), seed=1, backend="nonexistent"
+                )
+            ]
+            for _ in range(2):
+                job = manager.submit(bad)
+                assert manager.wait(job, timeout=60)
+            assert job.entries[0]["error_type"] == "CircuitOpen"
+            good = manager.submit(_specs(2))
+            assert manager.wait(good, timeout=60)
+            assert good.state == "done"
+            assert all(e["status"] == "ok" for e in manager.results(good))
+        finally:
+            manager.shutdown()
+
+
+class TestTornJournalRecovery:
+    """Satellite property test: truncating any journal file at any byte
+    offset before restart leaves every job recoverable to a legal state
+    with no duplicate execution (the intact store answers everything)."""
+
+    @pytest.mark.parametrize("case_seed", [0, 1, 2, 3, 4])
+    def test_truncated_journals_recover(self, tmp_path, case_seed):
+        import random
+        import shutil
+
+        origin = tmp_path / "origin"
+        manager = JobManager(str(origin), workers=1)
+        manager.start()
+        job_ids = []
+        try:
+            for i in range(2):
+                job = manager.submit(_specs(2, seed=1000 + 10 * i))
+                assert manager.wait(job, timeout=60)
+                assert job.state == "done"
+                job_ids.append(job.id)
+        finally:
+            manager.shutdown()
+
+        state = tmp_path / f"torn-{case_seed}"
+        shutil.copytree(origin, state)
+        rng = random.Random(case_seed)
+        torn = {}
+        for job_id in job_ids:
+            directory = state / "jobs" / job_id
+            name = rng.choice(
+                ["job.json", "status.json", "checkpoint.jsonl"]
+            )
+            torn[job_id] = name
+            path = directory / name
+            data = path.read_bytes()
+            path.write_bytes(data[: rng.randrange(0, max(1, len(data)))])
+
+        recovered = JobManager(str(state), workers=1)
+        recovered.start()
+        try:
+            for job_id in job_ids:
+                job = recovered.get(job_id)
+                if job is None:
+                    # a strict prefix of job.json never parses: the job
+                    # is unrecoverable and skipped, never half-loaded
+                    assert torn[job_id] == "job.json"
+                    continue
+                assert job.state in (
+                    "queued",
+                    "running",
+                    "done",
+                    "failed",
+                    "cancelled",
+                )
+                assert job.done_event.wait(60), job.state
+                assert job.state == "done"
+                if torn[job_id] == "status.json":
+                    # the job was re-run from scratch — but the intact
+                    # store answered every trial, so nothing executed
+                    # twice
+                    assert job.progress["completed"] == 2
+                    assert job.progress["computed"] == 0
+                    assert job.progress["cached"] == 2
+                results = recovered.results(job)
+                assert results is not None and len(results) == 2
+        finally:
+            recovered.shutdown()
+
+
+class TestRunServerErrors:
+    def test_bound_port_exits_2(self, tmp_path, capsys):
+        import socket
+
+        blocker = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            rc = run_server(
+                state_dir=str(tmp_path / "state"), port=port
+            )
+        finally:
+            blocker.close()
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "cannot bind" in err
+        assert err.count("\n") == 1  # one-line diagnostic, no traceback
+
+    def test_cli_rejects_bad_worker_ordering(self, tmp_path):
+        from repro.cli import main
+
+        state = str(tmp_path / "state")
+        for argv in (
+            ["serve", "--state-dir", state, "--workers", "2",
+             "--max-workers", "1"],
+            ["serve", "--state-dir", state, "--workers", "1",
+             "--min-workers", "2"],
+            ["serve", "--state-dir", state, "--min-workers", "0"],
+            ["serve", "--state-dir", state, "--max-queue-depth", "0"],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2
